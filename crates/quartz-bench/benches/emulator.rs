@@ -1,0 +1,48 @@
+//! Criterion benchmarks for emulator-path costs (host-side speed of the
+//! reproduction, not virtual-time results).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quartz::{NvmTarget, Quartz, QuartzConfig};
+use quartz_bench::{run_workload, MachineSpec};
+use quartz_platform::{Architecture, NodeId};
+use quartz_workloads::{run_memlat, MemLatConfig};
+
+fn bench_emulated_memlat(c: &mut Criterion) {
+    c.bench_function("memlat_2k_iters_under_quartz", |b| {
+        b.iter(|| {
+            let mem = MachineSpec::new(Architecture::IvyBridge).build();
+            let cfg = QuartzConfig::new(NvmTarget::new(400.0));
+            let m2 = Arc::clone(&mem);
+            let (r, _) = run_workload(mem, Some(cfg), move |ctx, _| {
+                let cfg = MemLatConfig {
+                    chains: 1,
+                    lines_per_chain: 8 * m2.config().l3.size_bytes / 64,
+                    iterations: 2_000,
+                    node: NodeId(0),
+                    seed: 7,
+                };
+                run_memlat(ctx, &cfg)
+            });
+            r.accesses
+        })
+    });
+}
+
+fn bench_epoch_processing(c: &mut Criterion) {
+    c.bench_function("epoch_model_evaluation", |b| {
+        b.iter(|| {
+            quartz::model::stalls_from_counters(1_000_000.0, 5_000.0, 20_000.0, 6.4)
+                + quartz::model::delay_stall_based_ns(450_000.0, 87.0, 400.0)
+                + quartz::model::split_remote_stall_ns(450_000.0, 5_000, 15_000, 87.0, 176.0)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_emulated_memlat, bench_epoch_processing
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the simulation substrate's host-side speed:
+//! how fast the cache/DRAM model processes simulated accesses.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use quartz_bench::MachineSpec;
+use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::{Architecture, NodeId};
+
+fn bench_load_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsim");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("10k_random_loads", |b| {
+        let mem = MachineSpec::new(Architecture::IvyBridge).build();
+        let a = mem.alloc(NodeId(0), 1 << 24).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut idx = 1u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                idx = (idx.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) % (1 << 18);
+                let r = mem.load(0, a.offset_by(idx * 64), now);
+                now += r.stall + Duration::from_ns(1);
+            }
+        })
+    });
+    group.bench_function("10k_sequential_loads", |b| {
+        let mem = MachineSpec::new(Architecture::IvyBridge).build();
+        let a = mem.alloc(NodeId(0), 1 << 24).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                i = (i + 1) % (1 << 18);
+                let r = mem.load(0, a.offset_by(i * 64), now);
+                now += r.stall + Duration::from_ns(1);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_load_path
+}
+criterion_main!(benches);

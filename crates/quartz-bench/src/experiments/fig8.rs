@@ -1,0 +1,58 @@
+//! Fig. 8 — STREAM copy bandwidth vs. thermal-control register value:
+//! the measured bandwidth must rise linearly with the 12-bit register
+//! until the application's attainable maximum.
+
+use std::path::Path;
+
+use quartz_bench::report::{f, Table};
+use quartz_bench::{run_workload, MachineSpec};
+use quartz_platform::{Architecture, NodeId, SocketId};
+use quartz_workloads::{run_stream_copy, StreamConfig};
+
+/// Sweeps the throttle register and measures STREAM copy bandwidth.
+pub fn run(out_dir: &Path, quick: bool) {
+    let lines = if quick { 10_000 } else { 40_000 };
+    let registers: &[u32] = if quick {
+        &[0x100, 0x400, 0x800, 0xC00, 0xFFF]
+    } else {
+        &[
+            0x080, 0x100, 0x200, 0x300, 0x400, 0x600, 0x800, 0xA00, 0xC00, 0xE00, 0xFFF,
+        ]
+    };
+    let mut table = Table::new(
+        "Fig 8 - STREAM copy bandwidth vs thermal register (Sandy Bridge)",
+        &["register", "register/0xFFF", "bandwidth GB/s", "linear prediction"],
+    );
+    let arch = Architecture::SandyBridge;
+    let mut peak_measured = 0.0f64;
+    for &reg in registers {
+        let mem = MachineSpec::new(arch).with_seed(8).build();
+        mem.platform()
+            .kernel_module()
+            .set_dimm_throttle(SocketId(0), reg)
+            .expect("throttle");
+        let node_peak = mem.config().node_peak_bw_gbps();
+        let (bw, _) = run_workload(mem, None, move |ctx, _| {
+            run_stream_copy(
+                ctx,
+                &StreamConfig {
+                    threads: 4,
+                    lines_per_thread: lines,
+                    node: NodeId(0),
+                },
+            )
+            .bandwidth_gbps()
+        });
+        peak_measured = peak_measured.max(bw);
+        let frac = reg as f64 / 0xFFF as f64;
+        table.row(&[
+            format!("{reg:#05x}"),
+            f(frac, 3),
+            f(bw, 2),
+            f(node_peak * frac, 2),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("(paper: linear in the register value until the attainable maximum)");
+    let _ = table.save_csv(out_dir);
+}

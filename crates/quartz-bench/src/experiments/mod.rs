@@ -1,0 +1,85 @@
+//! One module per reproduced table/figure. See DESIGN.md for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured results.
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig8;
+pub mod overhead;
+pub mod pagerank_validation;
+pub mod table1;
+pub mod table2;
+
+use std::sync::Arc;
+
+use quartz::{NvmTarget, QuartzConfig};
+use quartz_bench::{run_workload, MachineSpec};
+use quartz_memsim::MemorySystem;
+use quartz_platform::time::Duration;
+use quartz_platform::{Architecture, NodeId};
+use quartz_workloads::{run_memlat, MemLatConfig, MemLatResult};
+
+/// MemLat sized for the scaled-down LLC: total footprint 8x the L3.
+pub fn memlat_config(mem: &MemorySystem, chains: usize, iterations: u64, node: NodeId, seed: u64) -> MemLatConfig {
+    let l3 = mem.config().l3.size_bytes;
+    MemLatConfig {
+        chains,
+        lines_per_chain: (8 * l3 / 64) / chains as u64,
+        iterations,
+        node,
+        seed,
+    }
+}
+
+/// Conf_2: MemLat on physically remote DRAM, no emulator.
+pub fn conf2_memlat(arch: Architecture, chains: usize, iterations: u64, seed: u64) -> MemLatResult {
+    let mem = MachineSpec::new(arch).with_seed(seed).build();
+    let m2 = Arc::clone(&mem);
+    let (r, _) = run_workload(mem, None, move |ctx, _| {
+        let cfg = memlat_config(&m2, chains, iterations, NodeId(1), seed);
+        run_memlat(ctx, &cfg)
+    });
+    r
+}
+
+/// Conf_1: MemLat on local DRAM under Quartz emulating `target_ns`.
+pub fn conf1_memlat(
+    arch: Architecture,
+    chains: usize,
+    iterations: u64,
+    seed: u64,
+    target_ns: f64,
+    max_epoch: Duration,
+) -> MemLatResult {
+    let mem = MachineSpec::new(arch).with_seed(seed).build();
+    let m2 = Arc::clone(&mem);
+    let cfg = QuartzConfig::new(NvmTarget::new(target_ns)).with_max_epoch(max_epoch);
+    let (r, _) = run_workload(mem, Some(cfg), move |ctx, _| {
+        let cfg = memlat_config(&m2, chains, iterations, NodeId(0), seed);
+        run_memlat(ctx, &cfg)
+    });
+    r
+}
+
+/// The standard epoch used across the validation experiments (the paper
+/// settles on 10 ms on real hardware; our runs are orders of magnitude
+/// shorter in virtual time, so the epoch scales down with them while
+/// keeping epochs ≪ run length — the final epoch's delay lands after a
+/// workload stops its internal timer, so accuracy requires many epochs
+/// per measured window).
+pub fn validation_epoch() -> Duration {
+    Duration::from_us(20)
+}
+
+/// A Quartz handle for PM-only emulation of remote-DRAM latency — the
+/// Conf_1 arrangement used by most validation experiments.
+pub fn emulate_remote_config(arch: Architecture) -> QuartzConfig {
+    let remote = arch.params().remote_dram_ns.avg_ns as f64;
+    QuartzConfig::new(NvmTarget::new(remote)).with_max_epoch(validation_epoch())
+}
+

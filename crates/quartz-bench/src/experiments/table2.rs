@@ -1,0 +1,64 @@
+//! Table 2 — measured local/remote DRAM access latencies (min/avg/max)
+//! on the three testbeds, measured with the MemLat pointer chase.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use quartz_bench::report::{f, Table};
+use quartz_bench::{run_workload, MachineSpec};
+use quartz_platform::{Architecture, NodeId};
+use quartz_workloads::{run_memlat, MemLatConfig};
+
+use super::memlat_config;
+
+/// Measures and prints the Table 2 latency bands.
+pub fn run(out_dir: &Path, quick: bool) {
+    let trials = if quick { 3 } else { 10 };
+    let iters = if quick { 5_000 } else { 20_000 };
+    let mut table = Table::new(
+        "Table 2 - measured memory access latencies (ns)",
+        &[
+            "family",
+            "min local",
+            "avg local",
+            "max local",
+            "min remote",
+            "avg remote",
+            "max remote",
+        ],
+    );
+    for arch in Architecture::ALL {
+        let mut bands = Vec::new();
+        for node in [NodeId(0), NodeId(1)] {
+            let mut samples = Vec::new();
+            for t in 0..trials {
+                let mem = MachineSpec::new(arch).with_seed(100 + t).build();
+                let m2 = Arc::clone(&mem);
+                let (r, _) = run_workload(mem, None, move |ctx, _| {
+                    let cfg = MemLatConfig {
+                        seed: 0x7AB1 + t,
+                        ..memlat_config(&m2, 1, iters, node, 0)
+                    };
+                    run_memlat(ctx, &cfg)
+                });
+                samples.push(r.latency_per_iteration_ns());
+            }
+            let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+            let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+            let avg = quartz_bench::mean(&samples);
+            bands.push((min, avg, max));
+        }
+        table.row(&[
+            arch.to_string(),
+            f(bands[0].0, 1),
+            f(bands[0].1, 1),
+            f(bands[0].2, 1),
+            f(bands[1].0, 1),
+            f(bands[1].1, 1),
+            f(bands[1].2, 1),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("(paper: SNB 97/97/98 & 158/163/165; IVB 87/87/87 & 172/176/185; HSW 120/120/120 & 174/175/175)");
+    let _ = table.save_csv(out_dir);
+}

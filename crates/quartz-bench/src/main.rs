@@ -1,0 +1,105 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation section (§4) on the simulated testbed.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] <experiment>...
+//! repro all
+//! ```
+//!
+//! Experiments: table1 table2 fig8 fig11 fig12 fig13 fig14 fig15
+//! pagerank_validation fig16 overhead ablation_model ablation_pcommit
+//! ablation_dvfs
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+mod experiments;
+
+struct Options {
+    quick: bool,
+    out_dir: PathBuf,
+}
+
+const ALL: &[&str] = &[
+    "table1",
+    "table2",
+    "fig8",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "pagerank_validation",
+    "fig16",
+    "overhead",
+    "ablation_model",
+    "ablation_pcommit",
+    "ablation_dvfs",
+    "ablation_epoch",
+    "graph500",
+    "parallel_pagerank",
+    "loaded_latency",
+];
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut chosen: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] [--out DIR] <experiment>... | all");
+                println!("experiments: {}", ALL.join(" "));
+                return;
+            }
+            "all" => chosen.extend(ALL.iter().map(|s| s.to_string())),
+            other if ALL.contains(&other) => chosen.push(other.to_string()),
+            other => {
+                eprintln!("unknown experiment '{other}'; known: {}", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+    if chosen.is_empty() {
+        chosen.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    let opts = Options { quick, out_dir };
+    for name in chosen {
+        let t0 = Instant::now();
+        println!("=== {name} ===");
+        match name.as_str() {
+            "table1" => experiments::table1::run(&opts.out_dir),
+            "table2" => experiments::table2::run(&opts.out_dir, opts.quick),
+            "fig8" => experiments::fig8::run(&opts.out_dir, opts.quick),
+            "fig11" => experiments::fig11::run(&opts.out_dir, opts.quick),
+            "fig12" => experiments::fig12::run(&opts.out_dir, opts.quick),
+            "fig13" => experiments::fig13::run(&opts.out_dir, opts.quick),
+            "fig14" => experiments::fig14::run(&opts.out_dir, opts.quick),
+            "fig15" => experiments::fig15::run(&opts.out_dir, opts.quick),
+            "pagerank_validation" => {
+                experiments::pagerank_validation::run(&opts.out_dir, opts.quick)
+            }
+            "fig16" => experiments::fig16::run(&opts.out_dir, opts.quick),
+            "overhead" => experiments::overhead::run(&opts.out_dir, opts.quick),
+            "ablation_model" => experiments::ablations::model(&opts.out_dir, opts.quick),
+            "ablation_pcommit" => experiments::ablations::pcommit(&opts.out_dir, opts.quick),
+            "ablation_dvfs" => experiments::ablations::dvfs(&opts.out_dir, opts.quick),
+            "ablation_epoch" => experiments::ablations::epoch_sweep(&opts.out_dir, opts.quick),
+            "graph500" => experiments::extensions::graph500(&opts.out_dir, opts.quick),
+            "parallel_pagerank" => {
+                experiments::extensions::parallel_pagerank(&opts.out_dir, opts.quick)
+            }
+            "loaded_latency" => experiments::extensions::loaded_latency(&opts.out_dir, opts.quick),
+            _ => unreachable!("validated above"),
+        }
+        println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,127 @@
+//! Physical addresses of the simulated machine.
+//!
+//! Addresses are 64-bit; bits `[NODE_SHIFT..NODE_SHIFT+4)` encode the NUMA
+//! node the address resides on, so node membership is recoverable from the
+//! address alone (the way a physical address decodes to a home node
+//! through the SAD/TAD decoders on a real Xeon).
+
+use std::fmt;
+
+use quartz_platform::NodeId;
+
+/// Bytes per cache line on every modeled family.
+pub const LINE_SIZE: u64 = 64;
+
+/// Bit position where the NUMA node id is encoded.
+pub const NODE_SHIFT: u32 = 40;
+
+/// A simulated physical address.
+///
+/// ```
+/// use quartz_memsim::Addr;
+/// use quartz_platform::NodeId;
+/// let a = Addr::on_node(NodeId(1), 0x1000);
+/// assert_eq!(a.node(), NodeId(1));
+/// assert_eq!(a.offset(), 0x1000);
+/// assert_eq!(a.line(), a.line_base().line());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Builds an address on `node` at byte `offset` within the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` overflows into the node bits or the node id
+    /// exceeds 4 bits.
+    pub fn on_node(node: NodeId, offset: u64) -> Self {
+        assert!(offset < 1 << NODE_SHIFT, "offset {offset:#x} too large");
+        assert!(node.0 < 16, "node id {} exceeds 4-bit field", node.0);
+        Addr(((node.0 as u64) << NODE_SHIFT) | offset)
+    }
+
+    /// The NUMA node this address resides on.
+    pub fn node(self) -> NodeId {
+        NodeId(((self.0 >> NODE_SHIFT) & 0xF) as usize)
+    }
+
+    /// Byte offset within the node.
+    pub fn offset(self) -> u64 {
+        self.0 & ((1 << NODE_SHIFT) - 1)
+    }
+
+    /// The cache-line number (global).
+    pub fn line(self) -> u64 {
+        self.0 / LINE_SIZE
+    }
+
+    /// The address rounded down to its cache-line base.
+    pub fn line_base(self) -> Addr {
+        Addr(self.0 & !(LINE_SIZE - 1))
+    }
+
+    /// Adds a byte displacement.
+    pub fn offset_by(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// The 4 KiB page number (for TLB indexing).
+    pub fn page_4k(self) -> u64 {
+        self.0 >> 12
+    }
+
+    /// The 2 MiB page number (for hugepage TLB indexing).
+    pub fn page_2m(self) -> u64 {
+        self.0 >> 21
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{:#x}", self.node(), self.offset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_encoding_roundtrips() {
+        for n in 0..4 {
+            let a = Addr::on_node(NodeId(n), 0xdead_beef);
+            assert_eq!(a.node(), NodeId(n));
+            assert_eq!(a.offset(), 0xdead_beef);
+        }
+    }
+
+    #[test]
+    fn line_math() {
+        let a = Addr::on_node(NodeId(0), 130);
+        assert_eq!(a.line_base().offset(), 128);
+        let base = a.line_base();
+        assert_eq!(base.line(), base.offset_by(63).line());
+        assert_ne!(base.line(), base.offset_by(64).line());
+    }
+
+    #[test]
+    fn lines_on_different_nodes_differ() {
+        let a = Addr::on_node(NodeId(0), 0);
+        let b = Addr::on_node(NodeId(1), 0);
+        assert_ne!(a.line(), b.line());
+    }
+
+    #[test]
+    fn page_numbers() {
+        let a = Addr::on_node(NodeId(0), 4096 * 3 + 17);
+        assert_eq!(a.page_4k(), 3);
+        assert_eq!(Addr::on_node(NodeId(0), 2 * 1024 * 1024).page_2m(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_offset_panics() {
+        let _ = Addr::on_node(NodeId(0), 1 << NODE_SHIFT);
+    }
+}

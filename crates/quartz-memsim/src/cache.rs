@@ -1,0 +1,274 @@
+//! Set-associative, write-back, write-allocate cache with LRU replacement.
+
+use crate::addr::Addr;
+use crate::config::CacheGeometry;
+
+/// Result of probing or filling a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line was present.
+    Hit,
+    /// The line was absent.
+    Miss,
+}
+
+/// A line evicted by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// Cache-line number of the victim.
+    pub line: u64,
+    /// Whether the victim was dirty (must be written back).
+    pub dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    line: u64,
+    dirty: bool,
+    valid: bool,
+    /// Monotonic recency stamp; larger = more recent.
+    lru: u64,
+}
+
+const INVALID: Way = Way {
+    line: 0,
+    dirty: false,
+    valid: false,
+    lru: 0,
+};
+
+/// One cache instance.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: u64,
+    ways: usize,
+    data: Vec<Way>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache of the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let sets = geom.sets();
+        Cache {
+            sets,
+            ways: geom.ways,
+            data: vec![INVALID; (sets as usize) * geom.ways],
+            tick: 0,
+        }
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line % self.sets) as usize
+    }
+
+    fn set_slice_mut(&mut self, line: u64) -> &mut [Way] {
+        let idx = self.set_index(line) * self.ways;
+        let ways = self.ways;
+        &mut self.data[idx..idx + ways]
+    }
+
+    /// Probes for a line without modifying replacement state.
+    pub fn contains(&self, addr: Addr) -> bool {
+        let line = addr.line();
+        let idx = self.set_index(line) * self.ways;
+        self.data[idx..idx + self.ways]
+            .iter()
+            .any(|w| w.valid && w.line == line)
+    }
+
+    /// Accesses a line: on hit updates LRU and returns `Hit`; on miss
+    /// returns `Miss` without filling.
+    pub fn touch(&mut self, addr: Addr) -> Lookup {
+        self.tick += 1;
+        let tick = self.tick;
+        let line = addr.line();
+        for w in self.set_slice_mut(line) {
+            if w.valid && w.line == line {
+                w.lru = tick;
+                return Lookup::Hit;
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Like [`Cache::touch`] but also marks the line dirty on hit.
+    pub fn touch_dirty(&mut self, addr: Addr) -> Lookup {
+        self.tick += 1;
+        let tick = self.tick;
+        let line = addr.line();
+        for w in self.set_slice_mut(line) {
+            if w.valid && w.line == line {
+                w.lru = tick;
+                w.dirty = true;
+                return Lookup::Hit;
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Fills a line (after a miss), evicting the LRU way if the set is
+    /// full. `dirty` marks the incoming line (store-allocate).
+    pub fn fill(&mut self, addr: Addr, dirty: bool) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let line = addr.line();
+        let set = self.set_slice_mut(line);
+        // Already present (e.g. racing prefetch): refresh.
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.line == line) {
+            w.lru = tick;
+            w.dirty |= dirty;
+            return None;
+        }
+        // Free way?
+        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+            *w = Way {
+                line,
+                dirty,
+                valid: true,
+                lru: tick,
+            };
+            return None;
+        }
+        // Evict LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("non-empty set");
+        let evicted = Evicted {
+            line: victim.line,
+            dirty: victim.dirty,
+        };
+        *victim = Way {
+            line,
+            dirty,
+            valid: true,
+            lru: tick,
+        };
+        Some(evicted)
+    }
+
+    /// Invalidates a line if present, returning whether it was dirty
+    /// (`clflush` semantics).
+    pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
+        let line = addr.line();
+        for w in self.set_slice_mut(line) {
+            if w.valid && w.line == line {
+                let dirty = w.dirty;
+                *w = INVALID;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Invalidates everything (used between experiment trials, like the
+    /// paper's "we invalidate caches between the runs", §4.7 footnote).
+    pub fn invalidate_all(&mut self) {
+        self.data.fill(INVALID);
+        self.tick = 0;
+    }
+
+    /// Number of valid lines (for tests).
+    pub fn occupancy(&self) -> usize {
+        self.data.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_platform::NodeId;
+
+    fn addr(off: u64) -> Addr {
+        Addr::on_node(NodeId(0), off)
+    }
+
+    fn small_cache() -> Cache {
+        // 2 sets x 2 ways x 64B = 256 B.
+        Cache::new(CacheGeometry::new(256, 2))
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small_cache();
+        assert_eq!(c.touch(addr(0)), Lookup::Miss);
+        assert_eq!(c.fill(addr(0), false), None);
+        assert_eq!(c.touch(addr(0)), Lookup::Hit);
+        assert_eq!(c.touch(addr(63)), Lookup::Hit, "same line");
+        assert_eq!(c.touch(addr(64)), Lookup::Miss, "next line");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small_cache();
+        // Lines 0, 2, 4 all map to set 0 (even line numbers).
+        c.fill(addr(0), false);
+        c.fill(addr(256), false);
+        // Touch line 0 so line 256 becomes LRU.
+        c.touch(addr(0));
+        let ev = c.fill(addr(512), false).expect("eviction");
+        assert_eq!(ev.line, addr(256).line());
+        assert!(!ev.dirty);
+        assert!(c.contains(addr(0)));
+        assert!(!c.contains(addr(256)));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = small_cache();
+        c.fill(addr(0), true);
+        c.fill(addr(256), false);
+        c.touch(addr(256));
+        let ev = c.fill(addr(512), false).expect("eviction");
+        assert_eq!(ev.line, addr(0).line());
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn touch_dirty_marks() {
+        let mut c = small_cache();
+        c.fill(addr(0), false);
+        assert_eq!(c.touch_dirty(addr(0)), Lookup::Hit);
+        assert_eq!(c.invalidate(addr(0)), Some(true));
+    }
+
+    #[test]
+    fn invalidate_semantics() {
+        let mut c = small_cache();
+        assert_eq!(c.invalidate(addr(0)), None);
+        c.fill(addr(0), false);
+        assert_eq!(c.invalidate(addr(0)), Some(false));
+        assert!(!c.contains(addr(0)));
+    }
+
+    #[test]
+    fn refill_existing_line_is_not_eviction() {
+        let mut c = small_cache();
+        c.fill(addr(0), false);
+        assert_eq!(c.fill(addr(0), true), None);
+        // Dirty bit merged.
+        assert_eq!(c.invalidate(addr(0)), Some(true));
+    }
+
+    #[test]
+    fn invalidate_all_empties() {
+        let mut c = small_cache();
+        for i in 0..4 {
+            c.fill(addr(i * 64), false);
+        }
+        assert!(c.occupancy() > 0);
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_bounded_by_capacity() {
+        let mut c = small_cache();
+        for i in 0..100 {
+            c.touch(addr(i * 64));
+            c.fill(addr(i * 64), false);
+        }
+        assert_eq!(c.occupancy(), 4);
+    }
+}

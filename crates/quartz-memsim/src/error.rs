@@ -1,0 +1,66 @@
+//! Memory-simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+use quartz_platform::NodeId;
+
+/// Errors raised by the memory simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemSimError {
+    /// An allocation exceeded the node's capacity.
+    OutOfMemory {
+        /// Node the allocation targeted.
+        node: NodeId,
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// A free targeted an address that was never allocated (or was already
+    /// freed).
+    InvalidFree {
+        /// The offending address (raw).
+        addr: u64,
+    },
+    /// An access targeted a node that does not exist on this machine.
+    NoSuchNode {
+        /// The missing node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for MemSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSimError::OutOfMemory { node, requested } => {
+                write!(f, "allocation of {requested} bytes failed on {node}")
+            }
+            MemSimError::InvalidFree { addr } => {
+                write!(f, "free of unallocated address {addr:#x}")
+            }
+            MemSimError::NoSuchNode { node } => write!(f, "no such numa node: {node}"),
+        }
+    }
+}
+
+impl Error for MemSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            MemSimError::OutOfMemory {
+                node: NodeId(0),
+                requested: 64,
+            },
+            MemSimError::InvalidFree { addr: 0x40 },
+            MemSimError::NoSuchNode { node: NodeId(9) },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

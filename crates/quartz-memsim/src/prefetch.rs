@@ -1,0 +1,205 @@
+//! Hardware stride prefetcher.
+//!
+//! The paper lists hardware prefetching among the processor features that
+//! break the naive "count every memory reference" latency model (§2.2):
+//! prefetched lines are served from cache and never stall the core. This
+//! stream-table prefetcher reproduces that effect for sequential and
+//! strided access patterns (STREAM, array scans), while pointer chases
+//! defeat it — which is exactly why MemLat is latency-bound.
+
+use crate::config::PrefetchConfig;
+
+#[derive(Clone, Copy, Debug)]
+struct Stream {
+    last_line: u64,
+    stride: i64,
+    confidence: u32,
+    lru: u64,
+}
+
+/// Per-core stride prefetcher.
+#[derive(Clone, Debug)]
+pub struct Prefetcher {
+    config: PrefetchConfig,
+    streams: Vec<Stream>,
+    tick: u64,
+}
+
+/// Maximum line distance for an access to match an existing stream.
+const MATCH_WINDOW: i64 = 16;
+
+/// Maximum |stride| (in lines) the prefetcher will follow.
+const MAX_STRIDE: i64 = 4;
+
+impl Prefetcher {
+    /// Creates an idle prefetcher.
+    pub fn new(config: PrefetchConfig) -> Self {
+        Prefetcher {
+            config,
+            streams: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    /// Observes a demand access to cache line `line` (on L2 miss) and
+    /// appends the lines that should be prefetched to `out`.
+    pub fn observe(&mut self, line: u64, out: &mut Vec<u64>) {
+        if !self.config.enabled {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        // Find the closest matching stream.
+        let best = self
+            .streams
+            .iter_mut()
+            .filter(|s| (line as i64 - s.last_line as i64).abs() <= MATCH_WINDOW)
+            .min_by_key(|s| (line as i64 - s.last_line as i64).unsigned_abs());
+        match best {
+            Some(s) => {
+                let stride = line as i64 - s.last_line as i64;
+                if stride == 0 {
+                    s.lru = tick;
+                    return;
+                }
+                if stride == s.stride {
+                    s.confidence += 1;
+                } else {
+                    s.stride = stride;
+                    s.confidence = 1;
+                }
+                s.last_line = line;
+                s.lru = tick;
+                if s.confidence >= self.config.trigger && s.stride.abs() <= MAX_STRIDE {
+                    for k in 1..=self.config.depth as i64 {
+                        let target = line as i64 + s.stride * k;
+                        if target >= 0 {
+                            out.push(target as u64);
+                        }
+                    }
+                }
+            }
+            None => {
+                if self.streams.len() >= self.config.streams {
+                    let lru = self
+                        .streams
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.lru)
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    self.streams.swap_remove(lru);
+                }
+                self.streams.push(Stream {
+                    last_line: line,
+                    stride: 0,
+                    confidence: 0,
+                    lru: tick,
+                });
+            }
+        }
+    }
+
+    /// Forgets all streams (trial reset).
+    pub fn reset(&mut self) {
+        self.streams.clear();
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> Prefetcher {
+        Prefetcher::new(PrefetchConfig {
+            enabled: true,
+            streams: 4,
+            trigger: 2,
+            depth: 2,
+        })
+    }
+
+    #[test]
+    fn sequential_scan_triggers_prefetch() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        p.observe(100, &mut out);
+        assert!(out.is_empty(), "first access allocates a stream");
+        p.observe(101, &mut out);
+        assert!(out.is_empty(), "one observation of stride 1");
+        p.observe(102, &mut out);
+        assert_eq!(out, vec![103, 104], "trigger reached, depth 2");
+    }
+
+    #[test]
+    fn backward_scan_also_works() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        for line in [200u64, 199, 198, 197] {
+            out.clear();
+            p.observe(line, &mut out);
+        }
+        assert_eq!(out, vec![196, 195]);
+    }
+
+    #[test]
+    fn random_pattern_never_prefetches() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        for line in [5u64, 90_000, 777, 12_345_678, 42, 99_999] {
+            p.observe(line, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn large_stride_not_followed() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        for line in [0u64, 10, 20, 30] {
+            out.clear();
+            p.observe(line, &mut out);
+        }
+        assert!(out.is_empty(), "stride 10 exceeds MAX_STRIDE");
+    }
+
+    #[test]
+    fn disabled_prefetcher_is_silent() {
+        let mut p = Prefetcher::new(PrefetchConfig {
+            enabled: false,
+            ..PrefetchConfig::default()
+        });
+        let mut out = Vec::new();
+        for line in 0..10 {
+            p.observe(line, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_interleaved_streams() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        // Two interleaved sequential streams far apart.
+        for i in 0..4u64 {
+            p.observe(1000 + i, &mut out);
+            p.observe(500_000 + i, &mut out);
+        }
+        assert!(out.contains(&1004));
+        assert!(out.contains(&500_004));
+    }
+
+    #[test]
+    fn reset_forgets_streams() {
+        let mut p = pf();
+        let mut out = Vec::new();
+        for line in [0u64, 1, 2] {
+            p.observe(line, &mut out);
+        }
+        p.reset();
+        out.clear();
+        p.observe(3, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Ground-truth statistics, for validation and tests.
+//!
+//! These are *simulator-side* numbers. The emulator never reads them —
+//! it only sees the (fidelity-skewed) PMU counters.
+
+use quartz_platform::time::Duration;
+
+/// Counters describing everything the memory system did since the last
+/// reset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Loads served by L1.
+    pub l1_hits: u64,
+    /// Loads served by L2.
+    pub l2_hits: u64,
+    /// Loads served by L3 (including lines landed by the prefetcher).
+    pub l3_hits: u64,
+    /// Loads that hit a prefetch still in flight.
+    pub prefetch_inflight_hits: u64,
+    /// Loads served by dirty cache-to-cache snoop transfers (HITM).
+    pub snoop_hitm: u64,
+    /// Loads served by DRAM on the local node.
+    pub dram_local: u64,
+    /// Loads served by DRAM on a remote node.
+    pub dram_remote: u64,
+    /// Prefetch transfers issued.
+    pub prefetches_issued: u64,
+    /// TLB misses (page walks).
+    pub tlb_misses: u64,
+    /// Dirty lines written back to DRAM.
+    pub writebacks: u64,
+    /// Store misses that fetched ownership from DRAM.
+    pub rfos: u64,
+    /// Non-temporal (streaming) stores.
+    pub stream_stores: u64,
+    /// Cache-line flushes (`clflush`/`clflushopt`).
+    pub flushes: u64,
+    /// Bytes moved to/from each node's DRAM, indexed by node.
+    pub node_bytes: Vec<u64>,
+    /// Total exposed load stall time.
+    pub load_stall: Duration,
+    /// Total stall time attributable to stores (buffer-full waits).
+    pub store_stall: Duration,
+}
+
+impl MemStats {
+    /// Creates zeroed stats covering `nodes` NUMA nodes.
+    pub fn new(nodes: usize) -> Self {
+        MemStats {
+            node_bytes: vec![0; nodes],
+            ..MemStats::default()
+        }
+    }
+
+    /// Total loads that reached the memory system.
+    pub fn total_loads(&self) -> u64 {
+        self.l1_hits
+            + self.l2_hits
+            + self.l3_hits
+            + self.prefetch_inflight_hits
+            + self.snoop_hitm
+            + self.dram_local
+            + self.dram_remote
+    }
+
+    /// Loads served by DRAM (either node).
+    pub fn dram_loads(&self) -> u64 {
+        self.dram_local + self.dram_remote
+    }
+
+    /// Total bytes of DRAM traffic across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.node_bytes.iter().sum()
+    }
+
+    /// Achieved DRAM bandwidth in GB/s over a window of `elapsed`.
+    pub fn bandwidth_gbps(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / elapsed.as_ns_f64()
+    }
+
+    /// Zeroes all counters, keeping the node count.
+    pub fn reset(&mut self) {
+        let nodes = self.node_bytes.len();
+        *self = MemStats::new(nodes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut s = MemStats::new(2);
+        s.l1_hits = 10;
+        s.l3_hits = 5;
+        s.dram_local = 3;
+        s.dram_remote = 2;
+        assert_eq!(s.total_loads(), 20);
+        assert_eq!(s.dram_loads(), 5);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let mut s = MemStats::new(1);
+        s.node_bytes[0] = 1_000;
+        // 1000 bytes over 100 ns = 10 GB/s.
+        assert!((s.bandwidth_gbps(Duration::from_ns(100)) - 10.0).abs() < 1e-9);
+        assert_eq!(s.bandwidth_gbps(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reset_keeps_node_count() {
+        let mut s = MemStats::new(3);
+        s.dram_local = 7;
+        s.node_bytes[2] = 9;
+        s.reset();
+        assert_eq!(s, MemStats::new(3));
+    }
+}

@@ -1,0 +1,1035 @@
+//! The assembled memory system.
+//!
+//! [`MemorySystem`] ties together per-core L1/L2, per-socket L3, the
+//! stride prefetcher, the TLB, and the throttleable DRAM channels, and
+//! feeds the raw PMU events the emulator will read. All timing is
+//! computed against the caller-supplied virtual `now` so the
+//! discrete-event thread scheduler stays in charge of time.
+
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::Mutex;
+use quartz_platform::pmu::RawEvent;
+use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::{NodeId, Platform};
+
+use crate::addr::{Addr, LINE_SIZE};
+use crate::alloc::NumaAllocator;
+use crate::cache::{Cache, Lookup};
+use crate::config::MemSimConfig;
+use crate::dram::DramChannels;
+use crate::error::MemSimError;
+use crate::prefetch::Prefetcher;
+use crate::stats::MemStats;
+use crate::tlb::Tlb;
+
+/// Which level of the hierarchy served a load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServiceLevel {
+    /// Private L1 data cache.
+    L1,
+    /// Private L2.
+    L2,
+    /// Shared last-level cache.
+    L3,
+    /// A prefetch still in flight (line-fill buffer hit).
+    PrefetchInFlight,
+    /// Served by a dirty cache-to-cache snoop transfer from another
+    /// core's private cache (HITM). Invisible to the Table 1 counters.
+    SnoopHitm,
+    /// DRAM on the accessing core's local node.
+    DramLocal,
+    /// DRAM on a remote node.
+    DramRemote,
+}
+
+impl ServiceLevel {
+    /// Whether this level is past L2 (contributes to
+    /// `STALLS_L2_PENDING`).
+    pub fn past_l2(self) -> bool {
+        !matches!(self, ServiceLevel::L1 | ServiceLevel::L2)
+    }
+}
+
+/// Outcome of a single load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Exposed latency of the access (the time the core stalls).
+    pub stall: Duration,
+    /// Where the data came from.
+    pub served: ServiceLevel,
+}
+
+struct Inner {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    /// One per socket.
+    l3: Vec<Cache>,
+    tlbs: Vec<Tlb>,
+    prefetchers: Vec<Prefetcher>,
+    channels: DramChannels,
+    /// Prefetches in flight: line -> instant the data arrives in L3.
+    inflight: HashMap<u64, SimTime>,
+    /// Coherence registry: cache lines held Modified in a core's
+    /// *private* (L1/L2) caches: line -> owning core. Stores
+    /// write-invalidate other owners; loads that miss the shared L3 but
+    /// hit another core's modified line are served by a cache-to-cache
+    /// snoop transfer (HITM) instead of DRAM.
+    dirty_owner: HashMap<u64, usize>,
+    /// Outstanding RFO completions per core (store misses).
+    rfo: Vec<VecDeque<SimTime>>,
+    /// Outstanding write-combining (streaming-store) completions per core.
+    wc: Vec<VecDeque<SimTime>>,
+    stats: MemStats,
+    /// Deterministic jitter sequence number.
+    seq: u64,
+    /// Scratch buffer for prefetch candidates.
+    pf_buf: Vec<u64>,
+}
+
+/// The simulated memory system of one machine.
+pub struct MemorySystem {
+    platform: Platform,
+    config: MemSimConfig,
+    allocator: NumaAllocator,
+    inner: Mutex<Inner>,
+}
+
+/// Write-combining buffer depth for streaming stores.
+const WC_BUFFERS: usize = 8;
+
+/// Fixed instruction cost of a `clflush` that finds nothing to write back.
+const FLUSH_BASE_NS: f64 = 4.0;
+
+/// Memory-controller acceptance time for a synchronous flush writeback on
+/// top of queueing and transfer.
+const FLUSH_ACCEPT_NS: f64 = 10.0;
+
+/// Latency multiplier for a dirty cache-to-cache (HITM) snoop transfer
+/// relative to a plain L3 hit.
+const SNOOP_HITM_FACTOR: f64 = 1.8;
+
+impl MemorySystem {
+    /// Builds the memory system of `platform`.
+    pub fn new(platform: Platform, config: MemSimConfig) -> Self {
+        let topo = platform.topology();
+        let cores = topo.num_cores();
+        let sockets = topo.num_sockets();
+        let channels = DramChannels::new(
+            topo.num_nodes(),
+            config.channels_per_node,
+            config.channel_bw_gbps,
+            quartz_platform::time::Duration::from_ns(config.queue_skew_tolerance_ns),
+            platform.thermal_view(),
+        );
+        let inner = Inner {
+            l1: (0..cores).map(|_| Cache::new(config.l1)).collect(),
+            l2: (0..cores).map(|_| Cache::new(config.l2)).collect(),
+            l3: (0..sockets).map(|_| Cache::new(config.l3)).collect(),
+            tlbs: (0..cores).map(|_| Tlb::new(config.tlb)).collect(),
+            prefetchers: (0..cores)
+                .map(|_| Prefetcher::new(config.prefetch))
+                .collect(),
+            channels,
+            inflight: HashMap::new(),
+            dirty_owner: HashMap::new(),
+            rfo: (0..cores).map(|_| VecDeque::new()).collect(),
+            wc: (0..cores).map(|_| VecDeque::new()).collect(),
+            stats: MemStats::new(topo.num_nodes()),
+            seq: 0,
+            pf_buf: Vec::new(),
+        };
+        let allocator = NumaAllocator::new(
+            topo.num_nodes(),
+            config.node_capacity,
+            config.tlb.hugepages,
+        );
+        MemorySystem {
+            platform,
+            config,
+            allocator,
+            inner: Mutex::new(inner),
+        }
+    }
+
+    /// The platform this memory system belongs to.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &MemSimConfig {
+        &self.config
+    }
+
+    /// Allocates `bytes` on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures ([`MemSimError`]).
+    pub fn alloc(&self, node: NodeId, bytes: u64) -> Result<Addr, MemSimError> {
+        self.allocator.alloc(node, bytes)
+    }
+
+    /// Frees an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures ([`MemSimError`]).
+    pub fn free(&self, addr: Addr) -> Result<(), MemSimError> {
+        self.allocator.free(addr)
+    }
+
+    /// The allocator (for direct inspection).
+    pub fn allocator(&self) -> &NumaAllocator {
+        &self.allocator
+    }
+
+    /// A snapshot of ground-truth statistics.
+    pub fn stats(&self) -> MemStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Zeroes ground-truth statistics.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats.reset();
+    }
+
+    /// Invalidates all caches, TLBs, prefetch streams and queue state —
+    /// the equivalent of the paper's cache invalidation between trials
+    /// (§4.7). Dirty lines are dropped, not written back.
+    pub fn invalidate_caches(&self) {
+        let g = &mut *self.inner.lock();
+        for c in g.l1.iter_mut().chain(g.l2.iter_mut()).chain(g.l3.iter_mut()) {
+            c.invalidate_all();
+        }
+        for t in &mut g.tlbs {
+            t.flush();
+        }
+        for p in &mut g.prefetchers {
+            p.reset();
+        }
+        g.channels.reset();
+        g.inflight.clear();
+        g.dirty_owner.clear();
+        for q in g.rfo.iter_mut().chain(g.wc.iter_mut()) {
+            q.clear();
+        }
+    }
+
+    fn socket_of(&self, core: usize) -> usize {
+        self.platform
+            .topology()
+            .socket_of(quartz_platform::CoreId(core))
+            .0
+    }
+
+    fn is_local(&self, core: usize, node: NodeId) -> bool {
+        self.platform
+            .topology()
+            .is_local(quartz_platform::CoreId(core), node)
+    }
+
+    fn dram_latency(&self, core: usize, node: NodeId, seq: u64, addr: Addr) -> (Duration, bool) {
+        let params = self.platform.arch_params();
+        let local = self.is_local(core, node);
+        let band = if local {
+            params.local_dram_ns
+        } else {
+            params.remote_dram_ns
+        };
+        let mut ns = band.avg_ns as f64;
+        if self.config.jitter {
+            let key = splitmix(self.config.seed ^ addr.0.wrapping_mul(0x9E37_79B9) ^ seq);
+            ns += band.jitter_ns() * to_unit(key);
+        }
+        (Duration::from_ns_f64(ns), local)
+    }
+
+    /// Performs one dependent load.
+    pub fn load(&self, core: usize, addr: Addr, now: SimTime) -> AccessResult {
+        let mut g = self.inner.lock();
+        let r = self.load_inner(&mut g, core, addr, now);
+        self.account_load(&mut g, core, r, now);
+        r
+    }
+
+    /// Performs a batch of *independent* loads issued together (the
+    /// memory-level-parallelism path). Misses overlap up to the MSHR
+    /// limit; the returned duration is the total exposed stall, which is
+    /// what `STALLS_L2_PENDING` accumulates.
+    pub fn load_batch(&self, core: usize, addrs: &[Addr], now: SimTime) -> Duration {
+        let mut g = self.inner.lock();
+        let mut total = Duration::ZERO;
+        let mut group_start = now;
+        let mut group_max = Duration::ZERO;
+        let mut group_len = 0usize;
+        for &addr in addrs {
+            let r = self.load_inner(&mut g, core, addr, group_start);
+            self.account_load_events_only(&mut g, core, r);
+            if r.served.past_l2() {
+                group_max = group_max.max(r.stall);
+                group_len += 1;
+                if group_len == self.config.mshrs {
+                    total += group_max;
+                    group_start += group_max;
+                    group_max = Duration::ZERO;
+                    group_len = 0;
+                }
+            }
+        }
+        total += group_max;
+        g.stats.load_stall += total;
+        self.platform.pmu().add(
+            core,
+            RawEvent::StallCyclesL2Pending,
+            self.stall_cycles(total, now),
+        );
+        total
+    }
+
+    /// Converts a stall span into counted cycles at the frequency the
+    /// core is actually running at. With DVFS enabled the cycle counters
+    /// tick faster or slower than nominal, which is exactly the
+    /// cycles-vs-nanoseconds hazard the paper disables DVFS to avoid
+    /// (§6).
+    fn stall_cycles(&self, stall: Duration, now: SimTime) -> u64 {
+        let nominal = self.platform.frequency().duration_to_cycles(stall);
+        let mult = self.platform.dvfs().multiplier(now);
+        if mult == 1.0 {
+            nominal
+        } else {
+            (nominal as f64 * mult).round() as u64
+        }
+    }
+
+    fn account_load(&self, g: &mut Inner, core: usize, r: AccessResult, now: SimTime) {
+        self.account_load_events_only(g, core, r);
+        if r.served.past_l2() {
+            g.stats.load_stall += r.stall;
+            self.platform.pmu().add(
+                core,
+                RawEvent::StallCyclesL2Pending,
+                self.stall_cycles(r.stall, now),
+            );
+        }
+    }
+
+    fn account_load_events_only(&self, g: &mut Inner, core: usize, r: AccessResult) {
+        let pmu = self.platform.pmu();
+        match r.served {
+            ServiceLevel::L1 => g.stats.l1_hits += 1,
+            ServiceLevel::L2 => g.stats.l2_hits += 1,
+            ServiceLevel::L3 => {
+                g.stats.l3_hits += 1;
+                pmu.add(core, RawEvent::L3HitLoads, 1);
+            }
+            ServiceLevel::PrefetchInFlight => {
+                g.stats.prefetch_inflight_hits += 1;
+                pmu.add(core, RawEvent::L3HitLoads, 1);
+            }
+            ServiceLevel::SnoopHitm => {
+                // XSNP_HITM is not in the Table 1 event set: stall
+                // cycles are counted (past_l2) but neither the hit nor
+                // the miss counters move.
+                g.stats.snoop_hitm += 1;
+            }
+            ServiceLevel::DramLocal => {
+                g.stats.dram_local += 1;
+                pmu.add(core, RawEvent::L3MissLocalLoads, 1);
+            }
+            ServiceLevel::DramRemote => {
+                g.stats.dram_remote += 1;
+                pmu.add(core, RawEvent::L3MissRemoteLoads, 1);
+            }
+        }
+    }
+
+    /// Core load path: resolves the service level, updates caches,
+    /// triggers prefetches. Does not touch PMU/stat accounting.
+    fn load_inner(&self, g: &mut Inner, core: usize, addr: Addr, now: SimTime) -> AccessResult {
+        let params = self.platform.arch_params();
+        let mut extra = Duration::ZERO;
+        if !g.tlbs[core].translate(addr) {
+            g.stats.tlb_misses += 1;
+            extra = Duration::from_ns_f64(g.tlbs[core].walk_ns());
+        }
+
+        if g.l1[core].touch(addr) == Lookup::Hit {
+            return AccessResult {
+                stall: extra + Duration::from_ns_f64(params.l1_ns),
+                served: ServiceLevel::L1,
+            };
+        }
+        if g.l2[core].touch(addr) == Lookup::Hit {
+            self.fill_l1(g, core, addr, false, now);
+            return AccessResult {
+                stall: extra + Duration::from_ns_f64(params.l2_ns),
+                served: ServiceLevel::L2,
+            };
+        }
+
+        // L2 miss: the prefetcher observes the demand stream here.
+        let mut pf = std::mem::take(&mut g.pf_buf);
+        pf.clear();
+        g.prefetchers[core].observe(addr.line(), &mut pf);
+
+        let socket = self.socket_of(core);
+        let served;
+        let stall;
+        if let Some(&owner) = g.dirty_owner.get(&addr.line()) {
+            if owner != core {
+                // Another core holds the line Modified: cache-to-cache
+                // HITM transfer. The Table 1 event set only counts
+                // XSNP_NONE hits and DRAM-sourced misses, so this load
+                // is invisible to the emulator's hit/miss mix even
+                // though its stall cycles are counted — a genuine
+                // limitation of the counter set on real hardware too.
+                g.l1[owner].invalidate(addr);
+                g.l2[owner].invalidate(addr);
+                g.dirty_owner.remove(&addr.line());
+                // The modified data lands in the shared L3 (dirty) and
+                // in the requester's private caches.
+                self.fill_l3(g, socket, addr, true, now);
+                self.fill_l2_l1(g, core, addr, false, now);
+                let stall = extra
+                    + Duration::from_ns_f64(params.l3_ns * SNOOP_HITM_FACTOR);
+                let pf_owned = std::mem::take(&mut pf);
+                g.pf_buf = pf;
+                for line in pf_owned {
+                    self.issue_prefetch(g, core, line, now);
+                }
+                return AccessResult {
+                    stall,
+                    served: ServiceLevel::SnoopHitm,
+                };
+            }
+        }
+        if g.l3[socket].touch(addr) == Lookup::Hit {
+            // Is this a prefetched line still in flight?
+            if let Some(&ready) = g.inflight.get(&addr.line()) {
+                if ready > now {
+                    served = ServiceLevel::PrefetchInFlight;
+                    stall = ready.duration_since(now);
+                } else {
+                    g.inflight.remove(&addr.line());
+                    served = ServiceLevel::L3;
+                    stall = Duration::from_ns_f64(params.l3_ns);
+                }
+            } else {
+                served = ServiceLevel::L3;
+                stall = Duration::from_ns_f64(params.l3_ns);
+            }
+            self.fill_l2_l1(g, core, addr, false, now);
+        } else {
+            // DRAM access.
+            let node = addr.node();
+            g.seq += 1;
+            let seq = g.seq;
+            let (base, local) = self.dram_latency(core, node, seq, addr);
+            let t = g.channels.reserve(node, addr.line(), now);
+            g.stats.node_bytes[node.0] += LINE_SIZE;
+            served = if local {
+                ServiceLevel::DramLocal
+            } else {
+                ServiceLevel::DramRemote
+            };
+            stall = base + t.queue_wait;
+            self.fill_l3(g, socket, addr, false, now);
+            self.fill_l2_l1(g, core, addr, false, now);
+        }
+
+        // Issue prefetches for candidate lines.
+        let pf_owned = std::mem::take(&mut pf);
+        g.pf_buf = pf;
+        for line in pf_owned {
+            self.issue_prefetch(g, core, line, now);
+        }
+
+        AccessResult {
+            stall: extra + stall,
+            served,
+        }
+    }
+
+    fn issue_prefetch(&self, g: &mut Inner, core: usize, line: u64, now: SimTime) {
+        let addr = Addr(line * LINE_SIZE);
+        let node = addr.node();
+        if node.0 >= self.platform.topology().num_nodes() {
+            return;
+        }
+        let socket = self.socket_of(core);
+        if g.l3[socket].contains(addr) || g.inflight.contains_key(&line) {
+            return;
+        }
+        g.seq += 1;
+        let seq = g.seq;
+        let (base, _) = self.dram_latency(core, node, seq, addr);
+        let t = g.channels.reserve(node, line, now);
+        let ready = now + t.queue_wait + base;
+        g.stats.prefetches_issued += 1;
+        g.stats.node_bytes[node.0] += LINE_SIZE;
+        self.fill_l3(g, socket, addr, false, now);
+        g.inflight.insert(line, ready);
+    }
+
+    fn fill_l1(&self, g: &mut Inner, core: usize, addr: Addr, dirty: bool, now: SimTime) {
+        if let Some(ev) = g.l1[core].fill(addr, dirty) {
+            if ev.dirty {
+                let victim = Addr(ev.line * LINE_SIZE);
+                // Dirty L1 victim moves to L2.
+                if g.l2[core].touch_dirty(victim) == Lookup::Miss {
+                    self.fill_l2_only(g, core, victim, true, now);
+                }
+            }
+        }
+    }
+
+    fn fill_l2_only(&self, g: &mut Inner, core: usize, addr: Addr, dirty: bool, now: SimTime) {
+        if let Some(ev) = g.l2[core].fill(addr, dirty) {
+            if ev.dirty {
+                let victim = Addr(ev.line * LINE_SIZE);
+                // The modified line leaves the private domain.
+                if g.dirty_owner.get(&ev.line) == Some(&core) {
+                    g.dirty_owner.remove(&ev.line);
+                }
+                let socket = self.socket_of(core);
+                if g.l3[socket].touch_dirty(victim) == Lookup::Miss {
+                    self.fill_l3(g, socket, victim, true, now);
+                }
+            }
+        }
+    }
+
+    fn fill_l2_l1(&self, g: &mut Inner, core: usize, addr: Addr, dirty: bool, now: SimTime) {
+        self.fill_l2_only(g, core, addr, dirty, now);
+        self.fill_l1(g, core, addr, dirty, now);
+    }
+
+    fn fill_l3(&self, g: &mut Inner, socket: usize, addr: Addr, dirty: bool, now: SimTime) {
+        if let Some(ev) = g.l3[socket].fill(addr, dirty) {
+            g.inflight.remove(&ev.line);
+            if ev.dirty {
+                // Dirty L3 victim: write back to its home node.
+                let victim = Addr(ev.line * LINE_SIZE);
+                let node = victim.node();
+                if node.0 < self.platform.topology().num_nodes() {
+                    g.channels.reserve(node, ev.line, now);
+                    g.stats.writebacks += 1;
+                    g.stats.node_bytes[node.0] += LINE_SIZE;
+                }
+            }
+        }
+    }
+
+    /// Performs a regular (write-back, posted) store. Stores retire into
+    /// the store buffer and rarely stall; on a miss the read-for-ownership
+    /// consumes DRAM bandwidth in the background, and the core only stalls
+    /// when the store buffer is full — which is why the paper's epoch
+    /// model cannot see slow NVM writes and `pflush` exists (§3.1).
+    pub fn store(&self, core: usize, addr: Addr, now: SimTime) -> Duration {
+        let params = self.platform.arch_params();
+        let mut g = self.inner.lock();
+        let mut cost = Duration::from_ns_f64(params.l1_ns);
+        if !g.tlbs[core].translate(addr) {
+            g.stats.tlb_misses += 1;
+            cost += Duration::from_ns_f64(g.tlbs[core].walk_ns());
+        }
+        // Write-invalidate: every other core's copy (shared or
+        // modified) of this line is invalidated before we take it
+        // Modified.
+        for c in 0..g.l1.len() {
+            if c != core {
+                g.l1[c].invalidate(addr);
+                g.l2[c].invalidate(addr);
+            }
+        }
+        g.dirty_owner.insert(addr.line(), core);
+        if g.l1[core].touch_dirty(addr) == Lookup::Hit {
+            return cost;
+        }
+        if g.l2[core].touch_dirty(addr) == Lookup::Hit {
+            self.fill_l1(g.deref_inner(), core, addr, true, now);
+            return cost;
+        }
+        let socket = self.socket_of(core);
+        if g.l3[socket].touch_dirty(addr) == Lookup::Hit {
+            self.fill_l2_l1(g.deref_inner(), core, addr, true, now);
+            return cost;
+        }
+        // Store miss: read-for-ownership from DRAM, posted.
+        let node = addr.node();
+        g.seq += 1;
+        let seq = g.seq;
+        let (base, _) = self.dram_latency(core, node, seq, addr);
+        let t = g.channels.reserve(node, addr.line(), now);
+        g.stats.rfos += 1;
+        g.stats.node_bytes[node.0] += LINE_SIZE;
+        let completion = now + t.queue_wait + base;
+        g.rfo[core].push_back(completion);
+        if g.rfo[core].len() > self.config.store_buffer {
+            let oldest = g.rfo[core].pop_front().expect("non-empty");
+            if oldest > now {
+                let stall = oldest.duration_since(now);
+                g.stats.store_stall += stall;
+                cost += stall;
+            }
+        }
+        self.fill_l3(g.deref_inner(), socket, addr, true, now);
+        self.fill_l2_l1(g.deref_inner(), core, addr, true, now);
+        cost
+    }
+
+    /// Performs a non-temporal (streaming, e.g. `movnt`) store that
+    /// bypasses the caches. Used by the STREAM benchmark to measure raw
+    /// memory bandwidth (paper §3.1, Fig. 8).
+    pub fn store_stream(&self, core: usize, addr: Addr, now: SimTime) -> Duration {
+        let mut g = self.inner.lock();
+        let mut cost = Duration::from_ns_f64(0.5);
+        if !g.tlbs[core].translate(addr) {
+            g.stats.tlb_misses += 1;
+            cost += Duration::from_ns_f64(g.tlbs[core].walk_ns());
+        }
+        // NT stores invalidate any cached copy (in every core).
+        if let Some(owner) = g.dirty_owner.remove(&addr.line()) {
+            g.l1[owner].invalidate(addr);
+            g.l2[owner].invalidate(addr);
+        }
+        g.l1[core].invalidate(addr);
+        g.l2[core].invalidate(addr);
+        let socket = self.socket_of(core);
+        g.l3[socket].invalidate(addr);
+        let node = addr.node();
+        let t = g.channels.reserve(node, addr.line(), now);
+        g.stats.stream_stores += 1;
+        g.stats.node_bytes[node.0] += LINE_SIZE;
+        g.wc[core].push_back(t.completes_at);
+        if g.wc[core].len() > WC_BUFFERS {
+            let oldest = g.wc[core].pop_front().expect("non-empty");
+            if oldest > now {
+                let stall = oldest.duration_since(now);
+                g.stats.store_stall += stall;
+                cost += stall;
+            }
+        }
+        cost
+    }
+
+    /// `clflush`: writes back (if dirty) and invalidates a line, stalling
+    /// until the writeback is accepted by the memory controller. The basis
+    /// of the emulator's `pflush` (paper §3.1).
+    pub fn flush(&self, core: usize, addr: Addr, now: SimTime) -> Duration {
+        let mut g = self.inner.lock();
+        g.stats.flushes += 1;
+        let dirty = self.invalidate_line(&mut g, core, addr);
+        if dirty {
+            let node = addr.node();
+            let t = g.channels.reserve(node, addr.line(), now);
+            g.stats.writebacks += 1;
+            g.stats.node_bytes[node.0] += LINE_SIZE;
+            t.queue_wait + t.transfer_time + Duration::from_ns_f64(FLUSH_ACCEPT_NS)
+        } else {
+            Duration::from_ns_f64(FLUSH_BASE_NS)
+        }
+    }
+
+    /// `clflushopt`: writes back and invalidates without stalling;
+    /// returns the instant the writeback completes, for `pcommit`-style
+    /// draining (paper §6).
+    pub fn flush_opt(&self, core: usize, addr: Addr, now: SimTime) -> (Duration, SimTime) {
+        let mut g = self.inner.lock();
+        g.stats.flushes += 1;
+        let dirty = self.invalidate_line(&mut g, core, addr);
+        if dirty {
+            let node = addr.node();
+            let t = g.channels.reserve(node, addr.line(), now);
+            g.stats.writebacks += 1;
+            g.stats.node_bytes[node.0] += LINE_SIZE;
+            (Duration::from_ns_f64(1.0), t.completes_at)
+        } else {
+            (Duration::from_ns_f64(1.0), now)
+        }
+    }
+
+    fn invalidate_line(&self, g: &mut Inner, core: usize, addr: Addr) -> bool {
+        let mut dirty = false;
+        // clflush is architecturally global: snoop out any modified copy.
+        if let Some(owner) = g.dirty_owner.remove(&addr.line()) {
+            if let Some(d) = g.l1[owner].invalidate(addr) {
+                dirty |= d;
+            }
+            if let Some(d) = g.l2[owner].invalidate(addr) {
+                dirty |= d;
+            }
+        }
+        if let Some(d) = g.l1[core].invalidate(addr) {
+            dirty |= d;
+        }
+        if let Some(d) = g.l2[core].invalidate(addr) {
+            dirty |= d;
+        }
+        let socket = self.socket_of(core);
+        if let Some(d) = g.l3[socket].invalidate(addr) {
+            dirty |= d;
+        }
+        g.inflight.remove(&addr.line());
+        dirty
+    }
+}
+
+impl std::fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("arch", &self.platform.arch())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Helper so borrow-split calls through a `MutexGuard` read clearly.
+trait DerefInner {
+    fn deref_inner(&mut self) -> &mut Inner;
+}
+
+impl DerefInner for parking_lot::MutexGuard<'_, Inner> {
+    fn deref_inner(&mut self) -> &mut Inner {
+        &mut *self
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn to_unit(h: u64) -> f64 {
+    let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+    2.0 * frac - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_platform::{Architecture, PlatformConfig};
+
+    fn mem(arch: Architecture) -> MemorySystem {
+        let platform = Platform::new(PlatformConfig::new(arch).with_perfect_counters());
+        MemorySystem::new(platform, MemSimConfig::default().without_jitter())
+    }
+
+    #[test]
+    fn load_hierarchy_levels() {
+        let m = mem(Architecture::IvyBridge);
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        let r1 = m.load(0, a, SimTime::ZERO);
+        assert_eq!(r1.served, ServiceLevel::DramLocal);
+        // First touch pays DRAM latency plus a TLB page walk.
+        assert!((r1.stall.as_ns_f64() - 117.0).abs() < 1.0, "{}", r1.stall);
+        let r2 = m.load(0, a, SimTime::from_ns(200));
+        assert_eq!(r2.served, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn remote_load_is_slower() {
+        let m = mem(Architecture::IvyBridge);
+        // Core 0 is on socket 0; node 1 is remote.
+        let a = m.alloc(NodeId(1), 4096).unwrap();
+        // Warm the TLB with a neighbouring line so the second access is a
+        // pure DRAM latency measurement.
+        m.load(0, a.offset_by(64), SimTime::ZERO);
+        let r = m.load(0, a, SimTime::from_ns(300));
+        assert_eq!(r.served, ServiceLevel::DramRemote);
+        assert!((r.stall.as_ns_f64() - 176.0).abs() < 1.0, "{}", r.stall);
+    }
+
+    #[test]
+    fn pmu_events_fed_correctly() {
+        let m = mem(Architecture::Haswell);
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        let b = m.alloc(NodeId(1), 4096).unwrap();
+        m.load(0, a, SimTime::ZERO);
+        m.load(0, b, SimTime::ZERO);
+        let pmu = m.platform().pmu();
+        assert_eq!(pmu.raw(0, RawEvent::L3MissLocalLoads), 1);
+        assert_eq!(pmu.raw(0, RawEvent::L3MissRemoteLoads), 1);
+        assert!(pmu.raw(0, RawEvent::StallCyclesL2Pending) > 0);
+        // L1 hit adds nothing further.
+        let before = pmu.raw(0, RawEvent::StallCyclesL2Pending);
+        m.load(0, a, SimTime::from_ns(500));
+        assert_eq!(pmu.raw(0, RawEvent::StallCyclesL2Pending), before);
+    }
+
+    #[test]
+    fn batch_loads_overlap() {
+        let m = mem(Architecture::IvyBridge);
+        // 8 independent lines on different channels/sets.
+        let addrs: Vec<Addr> = (0..8)
+            .map(|_| m.alloc(NodeId(0), 4096).unwrap())
+            .collect();
+        let stall = m.load_batch(0, &addrs, SimTime::ZERO);
+        // All 8 fit in 10 MSHRs: total stall ≈ one DRAM latency, not 8.
+        let ns = stall.as_ns_f64();
+        assert!(ns < 2.0 * 87.0, "batch stall {ns} ns should be ~1 latency");
+        assert!(ns >= 80.0);
+        assert_eq!(m.stats().dram_local, 8);
+    }
+
+    #[test]
+    fn batch_beyond_mshrs_serializes_groups() {
+        let m = mem(Architecture::IvyBridge);
+        let addrs: Vec<Addr> = (0..20)
+            .map(|_| m.alloc(NodeId(0), 4096).unwrap())
+            .collect();
+        let stall = m.load_batch(0, &addrs, SimTime::ZERO).as_ns_f64();
+        // 20 misses / 10 MSHRs = 2 groups ≈ 2 latencies (plus TLB walks
+        // and channel queueing).
+        assert!(stall > 1.5 * 87.0 && stall < 4.0 * 87.0, "{stall}");
+    }
+
+    #[test]
+    fn sequential_scan_gets_prefetched() {
+        let m = mem(Architecture::IvyBridge);
+        let a = m.alloc(NodeId(0), 1 << 20).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut dram_stalls = 0u32;
+        for i in 0..2_000u64 {
+            let r = m.load(0, a.offset_by(i * 64), now);
+            now += r.stall + Duration::from_ns(1);
+            if matches!(r.served, ServiceLevel::DramLocal) {
+                dram_stalls += 1;
+            }
+        }
+        let s = m.stats();
+        assert!(s.prefetches_issued > 500, "prefetcher should engage: {s:?}");
+        assert!(
+            (dram_stalls as f64) < 0.5 * 2_000.0,
+            "most loads served without full DRAM stall: {dram_stalls}"
+        );
+    }
+
+    #[test]
+    fn pointer_chase_defeats_prefetcher() {
+        let m = mem(Architecture::IvyBridge);
+        let a = m.alloc(NodeId(0), 1 << 22).unwrap();
+        // Visit lines in a scrambled order with large strides.
+        let mut now = SimTime::ZERO;
+        let lines = 1 << 14;
+        let mut idx = 1u64;
+        let mut dram = 0;
+        for _ in 0..2_000 {
+            idx = (idx.wrapping_mul(1_103_515_245).wrapping_add(12_345)) % lines;
+            let r = m.load(0, a.offset_by(idx * 64), now);
+            now += r.stall;
+            if matches!(r.served, ServiceLevel::DramLocal) {
+                dram += 1;
+            }
+        }
+        assert!(dram > 1_500, "random chase mostly misses: {dram}");
+    }
+
+    #[test]
+    fn stores_are_posted() {
+        let m = mem(Architecture::IvyBridge);
+        let a = m.alloc(NodeId(0), 1 << 20).unwrap();
+        // Warm the TLB so the store cost is isolated from the page walk.
+        m.load(0, a.offset_by(64), SimTime::ZERO);
+        let stalls_before = m.platform().pmu().raw(0, RawEvent::StallCyclesL2Pending);
+        // A store miss does not stall for the full DRAM latency.
+        let cost = m.store(0, a, SimTime::from_ns(300));
+        assert!(cost.as_ns_f64() < 20.0, "store cost {cost}");
+        assert_eq!(m.stats().rfos, 1);
+        // The store added no load-stall cycles.
+        assert_eq!(
+            m.platform().pmu().raw(0, RawEvent::StallCyclesL2Pending),
+            stalls_before
+        );
+    }
+
+    #[test]
+    fn store_buffer_backpressure() {
+        let m = mem(Architecture::IvyBridge);
+        let a = m.alloc(NodeId(0), 1 << 24).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut stalled = Duration::ZERO;
+        for i in 0..200u64 {
+            let c = m.store(0, a.offset_by(i * 4096 + (i % 7) * 64), now);
+            now += c;
+            stalled += c;
+        }
+        // Eventually the RFO buffer fills and stores stall.
+        assert!(m.stats().store_stall > Duration::ZERO);
+        assert!(stalled.as_ns_f64() > 100.0);
+    }
+
+    #[test]
+    fn flush_writes_back_dirty_lines() {
+        let m = mem(Architecture::IvyBridge);
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        m.store(0, a, SimTime::ZERO);
+        let stall = m.flush(0, a, SimTime::from_ns(100));
+        assert!(stall.as_ns_f64() >= 10.0, "dirty flush stalls: {stall}");
+        // Line is gone: next load misses to DRAM.
+        let r = m.load(0, a, SimTime::from_ns(500));
+        assert_eq!(r.served, ServiceLevel::DramLocal);
+        // Clean flush is cheap.
+        let stall2 = m.flush(0, a, SimTime::from_ns(900));
+        // The loaded line is clean, so only invalidation cost.
+        assert!(stall2.as_ns_f64() <= FLUSH_ACCEPT_NS + 10.0);
+    }
+
+    #[test]
+    fn flush_opt_does_not_stall() {
+        let m = mem(Architecture::IvyBridge);
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        m.store(0, a, SimTime::ZERO);
+        let (cost, done) = m.flush_opt(0, a, SimTime::from_ns(50));
+        assert!(cost.as_ns_f64() <= 2.0);
+        assert!(done > SimTime::from_ns(50));
+    }
+
+    #[test]
+    fn throttling_reduces_achieved_bandwidth() {
+        let m = mem(Architecture::SandyBridge);
+        let kmod = m.platform().kernel_module();
+        let a = m.alloc(NodeId(0), 1 << 24).unwrap();
+
+        let run = |m: &MemorySystem, start: SimTime| -> f64 {
+            m.reset_stats();
+            let mut now = start;
+            for i in 0..4_000u64 {
+                let c = m.store_stream(0, a.offset_by((i % 100_000) * 64), now);
+                now += c;
+            }
+            let elapsed = now.duration_since(start);
+            m.stats().bandwidth_gbps(elapsed)
+        };
+
+        let full = run(&m, SimTime::ZERO);
+        kmod.set_dimm_throttle(quartz_platform::SocketId(0), 0x200).unwrap();
+        m.invalidate_caches();
+        let throttled = run(&m, SimTime::from_ms(100));
+        assert!(
+            throttled < full / 4.0,
+            "throttled {throttled} vs full {full}"
+        );
+    }
+
+    #[test]
+    fn invalidate_caches_forces_remisses() {
+        let m = mem(Architecture::IvyBridge);
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        m.load(0, a, SimTime::ZERO);
+        m.invalidate_caches();
+        let r = m.load(0, a, SimTime::from_ns(10_000));
+        assert_eq!(r.served, ServiceLevel::DramLocal);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let m = mem(Architecture::IvyBridge);
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        m.load(0, a, SimTime::ZERO);
+        assert!(m.stats().total_loads() > 0);
+        m.reset_stats();
+        assert_eq!(m.stats().total_loads(), 0);
+    }
+}
+
+#[cfg(test)]
+mod coherence_tests {
+    use super::*;
+    use quartz_platform::{Architecture, PlatformConfig};
+
+    fn mem() -> MemorySystem {
+        let platform =
+            Platform::new(PlatformConfig::new(Architecture::IvyBridge).with_perfect_counters());
+        MemorySystem::new(platform, MemSimConfig::default().without_jitter())
+    }
+
+    #[test]
+    fn store_invalidates_other_cores_copies() {
+        let m = mem();
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        // Core 1 caches the line.
+        m.load(1, a, SimTime::ZERO);
+        assert_eq!(m.load(1, a, SimTime::from_ns(200)).served, ServiceLevel::L1);
+        // Core 0 writes it: core 1's private copy must be gone. Its next
+        // read is a HITM snoop from core 0's modified line.
+        m.store(0, a, SimTime::from_ns(400));
+        let r = m.load(1, a, SimTime::from_ns(600));
+        assert_eq!(r.served, ServiceLevel::SnoopHitm);
+        // After the transfer the line is shared: core 1 hits privately.
+        assert_eq!(m.load(1, a, SimTime::from_ns(800)).served, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn snoop_hitm_is_invisible_to_table1_counters() {
+        let m = mem();
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        m.store(0, a, SimTime::ZERO);
+        let pmu = m.platform().pmu();
+        let hits_before = pmu.raw(1, RawEvent::L3HitLoads);
+        let miss_before = pmu.raw(1, RawEvent::L3MissLocalLoads);
+        let stalls_before = pmu.raw(1, RawEvent::StallCyclesL2Pending);
+        let r = m.load(1, a, SimTime::from_ns(300));
+        assert_eq!(r.served, ServiceLevel::SnoopHitm);
+        // Stall cycles counted; neither hit nor miss moved.
+        assert_eq!(pmu.raw(1, RawEvent::L3HitLoads), hits_before);
+        assert_eq!(pmu.raw(1, RawEvent::L3MissLocalLoads), miss_before);
+        assert!(pmu.raw(1, RawEvent::StallCyclesL2Pending) > stalls_before);
+        assert_eq!(m.stats().snoop_hitm, 1);
+    }
+
+    #[test]
+    fn snoop_is_faster_than_dram_but_slower_than_l3() {
+        let m = mem();
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        m.store(0, a, SimTime::ZERO);
+        let r = m.load(1, a, SimTime::from_ns(300));
+        let ns = r.stall.as_ns_f64();
+        let params = m.platform().arch_params();
+        assert!(ns > params.l3_ns, "snoop slower than L3 hit: {ns}");
+        assert!(ns < params.local_dram_ns.avg_ns as f64, "but faster than DRAM: {ns}");
+    }
+
+    #[test]
+    fn clflush_snoops_out_remote_dirty_copy() {
+        let m = mem();
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        m.store(0, a, SimTime::ZERO);
+        // Core 3 flushes a line core 0 holds modified: the writeback
+        // must happen (dirty found via the snoop).
+        let stall = m.flush(3, a, SimTime::from_ns(300));
+        assert!(stall.as_ns_f64() >= 10.0, "dirty writeback: {stall}");
+        // Nobody holds it now: next load goes to DRAM.
+        let r = m.load(0, a, SimTime::from_ns(900));
+        assert_eq!(r.served, ServiceLevel::DramLocal);
+    }
+
+    #[test]
+    fn own_store_then_own_load_stays_private() {
+        let m = mem();
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        m.store(0, a, SimTime::ZERO);
+        assert_eq!(m.load(0, a, SimTime::from_ns(200)).served, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn ping_pong_between_writers() {
+        let m = mem();
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        let mut now = SimTime::ZERO;
+        for i in 0..10 {
+            let writer = i % 2;
+            let reader = 1 - writer;
+            m.store(writer, a, now);
+            now += Duration::from_ns(100);
+            let r = m.load(reader, a, now);
+            now += r.stall;
+            assert_eq!(r.served, ServiceLevel::SnoopHitm, "round {i}");
+            now += Duration::from_ns(100);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! A small fully-associative TLB with LRU replacement.
+
+use crate::addr::Addr;
+use crate::config::TlbConfig;
+
+/// Per-core TLB. With hugepages configured it indexes 2 MiB pages,
+/// otherwise 4 KiB pages.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// (page number, recency stamp).
+    entries: Vec<(u64, u64)>,
+    tick: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(config: TlbConfig) -> Self {
+        Tlb {
+            config,
+            entries: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        if self.config.hugepages {
+            self.config.entries_2m
+        } else {
+            self.config.entries_4k
+        }
+    }
+
+    fn page_of(&self, addr: Addr) -> u64 {
+        if self.config.hugepages {
+            addr.page_2m()
+        } else {
+            addr.page_4k()
+        }
+    }
+
+    /// Translates an address; returns `true` on TLB hit. On a miss the
+    /// entry is installed (page-walk cost is charged by the caller).
+    pub fn translate(&mut self, addr: Addr) -> bool {
+        if !self.config.enabled {
+            return true;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let page = self.page_of(addr);
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = tick;
+            return true;
+        }
+        if self.entries.len() >= self.capacity() {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((page, tick));
+        false
+    }
+
+    /// Page-walk cost in nanoseconds.
+    pub fn walk_ns(&self) -> f64 {
+        self.config.walk_ns
+    }
+
+    /// Empties the TLB (context switch / trial reset).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quartz_platform::NodeId;
+
+    fn addr(off: u64) -> Addr {
+        Addr::on_node(NodeId(0), off)
+    }
+
+    fn small_tlb(hugepages: bool) -> Tlb {
+        Tlb::new(TlbConfig {
+            enabled: true,
+            entries_4k: 2,
+            entries_2m: 2,
+            walk_ns: 30.0,
+            hugepages,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = small_tlb(false);
+        assert!(!t.translate(addr(0)));
+        assert!(t.translate(addr(100)), "same 4k page");
+        assert!(!t.translate(addr(4096)), "next page");
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = small_tlb(false);
+        t.translate(addr(0)); // page 0
+        t.translate(addr(4096)); // page 1
+        t.translate(addr(0)); // refresh page 0
+        t.translate(addr(8192)); // page 2 evicts page 1
+        assert!(t.translate(addr(0)));
+        assert!(!t.translate(addr(4096)), "page 1 was evicted");
+    }
+
+    #[test]
+    fn hugepages_cover_more() {
+        let mut t = small_tlb(true);
+        assert!(!t.translate(addr(0)));
+        // Anywhere in the same 2 MiB page hits.
+        assert!(t.translate(addr(1024 * 1024)));
+        assert!(!t.translate(addr(2 * 1024 * 1024)));
+    }
+
+    #[test]
+    fn disabled_tlb_always_hits() {
+        let mut t = Tlb::new(TlbConfig {
+            enabled: false,
+            ..TlbConfig::default()
+        });
+        assert!(t.translate(addr(0)));
+        assert!(t.translate(addr(1 << 30)));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = small_tlb(false);
+        t.translate(addr(0));
+        t.flush();
+        assert!(!t.translate(addr(0)));
+    }
+}

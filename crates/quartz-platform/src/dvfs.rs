@@ -1,0 +1,113 @@
+//! Dynamic voltage/frequency scaling (DVFS) model.
+//!
+//! Quartz translates counter readings (cycles) into nanoseconds using the
+//! nominal processor frequency; with DVFS enabled that relationship breaks
+//! and the paper disables DVFS on its testbeds (§6, "to preserve a fixed
+//! relationship between cycles and time we disable the DVFS feature").
+//!
+//! We model DVFS as a deterministic square-wave frequency multiplier so
+//! the ablation experiment can quantify the error the paper avoided.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::time::{Duration, SimTime};
+
+/// Deterministic DVFS frequency-multiplier schedule.
+#[derive(Debug)]
+pub struct DvfsModel {
+    enabled: AtomicBool,
+    period: Duration,
+    steps: Vec<f64>,
+}
+
+impl DvfsModel {
+    /// Default governor step schedule: oscillates around nominal the way a
+    /// loaded on-demand governor does.
+    pub const DEFAULT_STEPS: [f64; 4] = [1.0, 0.82, 1.12, 0.9];
+
+    /// Creates a model that is initially disabled.
+    pub fn new() -> Self {
+        DvfsModel {
+            enabled: AtomicBool::new(false),
+            period: Duration::from_us(50),
+            steps: Self::DEFAULT_STEPS.to_vec(),
+        }
+    }
+
+    /// Creates a model with an explicit step schedule and dwell period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, any step is non-positive, or the period
+    /// is zero.
+    pub fn with_schedule(period: Duration, steps: Vec<f64>) -> Self {
+        assert!(!steps.is_empty(), "dvfs schedule must have at least one step");
+        assert!(steps.iter().all(|&s| s > 0.0), "dvfs multipliers must be positive");
+        assert!(!period.is_zero(), "dvfs period must be non-zero");
+        DvfsModel {
+            enabled: AtomicBool::new(false),
+            period,
+            steps,
+        }
+    }
+
+    /// Enables or disables DVFS.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether DVFS is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The frequency multiplier in effect at `now` (1.0 when disabled).
+    pub fn multiplier(&self, now: SimTime) -> f64 {
+        if !self.is_enabled() {
+            return 1.0;
+        }
+        let slot = (now.as_ps() / self.period.as_ps()) as usize % self.steps.len();
+        self.steps[slot]
+    }
+}
+
+impl Default for DvfsModel {
+    fn default() -> Self {
+        DvfsModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_unity() {
+        let d = DvfsModel::new();
+        assert_eq!(d.multiplier(SimTime::from_ns(12345)), 1.0);
+    }
+
+    #[test]
+    fn enabled_cycles_through_steps() {
+        let d = DvfsModel::with_schedule(Duration::from_ns(10), vec![1.0, 0.5]);
+        d.set_enabled(true);
+        assert_eq!(d.multiplier(SimTime::from_ns(0)), 1.0);
+        assert_eq!(d.multiplier(SimTime::from_ns(10)), 0.5);
+        assert_eq!(d.multiplier(SimTime::from_ns(20)), 1.0);
+    }
+
+    #[test]
+    fn toggle() {
+        let d = DvfsModel::new();
+        d.set_enabled(true);
+        assert!(d.is_enabled());
+        d.set_enabled(false);
+        assert_eq!(d.multiplier(SimTime::from_ns(75_000)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_schedule_panics() {
+        let _ = DvfsModel::with_schedule(Duration::from_ns(1), vec![]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Platform error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::pmu::EventKind;
+use crate::topology::{CoreId, SocketId};
+
+/// Errors raised by the simulated platform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A privileged operation (PCI config write, counter programming) was
+    /// attempted without going through the kernel module.
+    PrivilegeRequired {
+        /// Human-readable description of the attempted operation.
+        op: &'static str,
+    },
+    /// `rdpmc` was executed from user mode on a core where the kernel
+    /// module has not enabled user-mode counter access (CR4.PCE clear).
+    UserRdpmcDisabled {
+        /// Core the instruction executed on.
+        core: CoreId,
+    },
+    /// A counter index outside the programmed bank was read.
+    CounterNotProgrammed {
+        /// Core the read targeted.
+        core: CoreId,
+        /// Counter slot index.
+        index: usize,
+    },
+    /// The architecture does not expose the requested PMU event
+    /// (e.g. local/remote LLC-miss split on Sandy Bridge).
+    EventUnavailable {
+        /// The unavailable event.
+        event: EventKind,
+    },
+    /// A PCI config-space address did not decode to a known register.
+    BadPciAddress {
+        /// Raw offset within the device's config space.
+        offset: u16,
+    },
+    /// A thermal-register write targeted a socket or channel that does not
+    /// exist.
+    BadThermalTarget {
+        /// Socket addressed.
+        socket: SocketId,
+        /// Channel index addressed.
+        channel: usize,
+    },
+    /// A value did not fit the 12-bit thermal throttle register.
+    ThrottleValueOutOfRange {
+        /// The rejected value.
+        value: u32,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::PrivilegeRequired { op } => {
+                write!(f, "privileged operation requires the kernel module: {op}")
+            }
+            PlatformError::UserRdpmcDisabled { core } => {
+                write!(f, "user-mode rdpmc not enabled on {core}")
+            }
+            PlatformError::CounterNotProgrammed { core, index } => {
+                write!(f, "counter {index} on {core} is not programmed")
+            }
+            PlatformError::EventUnavailable { event } => {
+                write!(f, "pmu event {event:?} unavailable on this architecture")
+            }
+            PlatformError::BadPciAddress { offset } => {
+                write!(f, "no register at pci config offset {offset:#x}")
+            }
+            PlatformError::BadThermalTarget { socket, channel } => {
+                write!(f, "no thermal register for {socket} channel {channel}")
+            }
+            PlatformError::ThrottleValueOutOfRange { value } => {
+                write!(f, "throttle value {value} exceeds 12-bit register range")
+            }
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs = [
+            PlatformError::PrivilegeRequired { op: "x" },
+            PlatformError::UserRdpmcDisabled { core: CoreId(1) },
+            PlatformError::CounterNotProgrammed {
+                core: CoreId(0),
+                index: 3,
+            },
+            PlatformError::EventUnavailable {
+                event: EventKind::L3MissLocal,
+            },
+            PlatformError::BadPciAddress { offset: 0x1f0 },
+            PlatformError::BadThermalTarget {
+                socket: SocketId(7),
+                channel: 9,
+            },
+            PlatformError::ThrottleValueOutOfRange { value: 5000 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PlatformError>();
+    }
+}

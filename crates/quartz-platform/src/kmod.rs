@@ -1,0 +1,162 @@
+//! The simulated kernel module.
+//!
+//! The real Quartz ships "a simple kernel module" that (1) programs the
+//! thermal-control registers through PCI config space and (2) programs
+//! the performance counters and enables direct user-mode `rdpmc` access
+//! (paper §3.1). This type is the only way to mint the
+//! [`PrivilegeToken`](crate::pci::PrivilegeToken) those operations need,
+//! reproducing the user/kernel privilege boundary.
+
+use std::sync::Arc;
+
+use crate::arch::Architecture;
+use crate::error::PlatformError;
+use crate::pci::{PciConfigSpace, PrivilegeToken};
+use crate::pmu::bank::{CounterSelection, StandardCounters};
+use crate::pmu::events::{standard_event_set, EventKind};
+use crate::pmu::PmuState;
+use crate::thermal::ThermalControl;
+use crate::topology::{CoreId, SocketId, Topology};
+
+/// Handle to the loaded kernel module.
+#[derive(Clone, Debug)]
+pub struct KernelModule {
+    arch: Architecture,
+    pmu: Arc<PmuState>,
+    thermal: ThermalControl,
+    topology: Topology,
+}
+
+impl KernelModule {
+    pub(crate) fn new(
+        arch: Architecture,
+        pmu: Arc<PmuState>,
+        pci: Arc<PciConfigSpace>,
+        topology: Topology,
+    ) -> Self {
+        KernelModule {
+            arch,
+            pmu,
+            thermal: ThermalControl::new(pci),
+            topology,
+        }
+    }
+
+    fn token(&self) -> PrivilegeToken {
+        PrivilegeToken(())
+    }
+
+    /// Programs the paper's Table 1 event set on `core` and enables
+    /// user-mode `rdpmc` there, returning the slot assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for the machine.
+    pub fn program_standard_counters(&self, core: usize) -> StandardCounters {
+        let core = CoreId(core);
+        assert!(core.0 < self.topology.num_cores(), "{core} out of range");
+        let events = standard_event_set(self.arch);
+        self.pmu
+            .program_bank(core, &events)
+            .expect("standard event set must be programmable");
+        self.pmu.set_user_rdpmc(core, true);
+        let sel = |ev: EventKind| -> Option<CounterSelection> {
+            events
+                .iter()
+                .position(|e| *e == ev)
+                .map(|slot| CounterSelection { slot, event: ev })
+        };
+        StandardCounters {
+            stalls_l2_pending: sel(EventKind::StallsL2Pending).expect("always programmed"),
+            l3_hit: sel(EventKind::L3Hit).expect("always programmed"),
+            l3_miss_local: sel(EventKind::L3MissLocal),
+            l3_miss_remote: sel(EventKind::L3MissRemote),
+            l3_miss_all: sel(EventKind::L3MissAll),
+        }
+    }
+
+    /// Programs an explicit event list on `core` (advanced use).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any event is unavailable on this family.
+    pub fn program_counters(
+        &self,
+        core: usize,
+        events: &[EventKind],
+    ) -> Result<(), PlatformError> {
+        self.pmu.program_bank(CoreId(core), events)
+    }
+
+    /// Enables or disables user-mode `rdpmc` on a core.
+    pub fn set_user_rdpmc(&self, core: usize, enabled: bool) {
+        self.pmu.set_user_rdpmc(CoreId(core), enabled);
+    }
+
+    /// Sets the 12-bit DIMM throttle value on every channel of `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value exceeds 12 bits or the socket does not exist.
+    pub fn set_dimm_throttle(&self, socket: SocketId, value: u32) -> Result<(), PlatformError> {
+        self.thermal.set_throttle_socket(&self.token(), socket, value)
+    }
+
+    /// Sets the throttle on a single channel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KernelModule::set_dimm_throttle`].
+    pub fn set_dimm_throttle_channel(
+        &self,
+        socket: SocketId,
+        channel: usize,
+        value: u32,
+    ) -> Result<(), PlatformError> {
+        self.thermal.set_throttle(&self.token(), socket, channel, value)
+    }
+
+    /// Typed view of the thermal registers.
+    pub fn thermal(&self) -> &ThermalControl {
+        &self.thermal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{Platform, PlatformConfig};
+    use crate::Architecture;
+
+    #[test]
+    fn standard_counters_snb_vs_ivb() {
+        let snb = Platform::new(PlatformConfig::new(Architecture::SandyBridge));
+        let sel = snb.kernel_module().program_standard_counters(0);
+        assert!(sel.l3_miss_all.is_some());
+        assert!(sel.l3_miss_local.is_none());
+        assert_eq!(sel.len(), 3);
+
+        let ivb = Platform::new(PlatformConfig::new(Architecture::IvyBridge));
+        let sel = ivb.kernel_module().program_standard_counters(0);
+        assert!(sel.l3_miss_all.is_none());
+        assert!(sel.l3_miss_local.is_some());
+        assert!(sel.l3_miss_remote.is_some());
+        assert_eq!(sel.len(), 4);
+    }
+
+    #[test]
+    fn programming_enables_rdpmc() {
+        let p = Platform::new(PlatformConfig::new(Architecture::Haswell));
+        let sel = p.kernel_module().program_standard_counters(2);
+        // Counter reads now succeed (value zero, nothing accumulated).
+        assert_eq!(p.pmu().rdpmc(CoreId(2), sel.stalls_l2_pending.slot).unwrap(), 0);
+    }
+
+    #[test]
+    fn throttle_via_kmod() {
+        let p = Platform::new(PlatformConfig::new(Architecture::IvyBridge));
+        let kmod = p.kernel_module();
+        kmod.set_dimm_throttle(SocketId(1), 0x400).unwrap();
+        assert_eq!(kmod.thermal().throttle_value(SocketId(1), 2), 0x400);
+    }
+}

@@ -1,0 +1,171 @@
+//! PCI configuration space of the integrated memory controller.
+//!
+//! The real thermal-control registers (`THRT_PWR_DIMM_[0:2]`) live in the
+//! PCI configuration space of the Xeon E5 integrated memory controller and
+//! require privileged access (paper §3.1); Quartz's kernel module programs
+//! them on behalf of the user-mode library. We model one IMC device per
+//! socket with word-addressed registers.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::error::PlatformError;
+use crate::topology::SocketId;
+
+/// Config-space offset of `THRT_PWR_DIMM_0`; channels 1 and 2 follow at
+/// 4-byte strides.
+pub const THRT_PWR_DIMM_BASE: u16 = 0x190;
+
+/// Config-space offset of the (documented but non-functional) separate
+/// *read*-bandwidth throttle register.
+///
+/// The paper's footnote 2 reports that Intel manuals describe separate
+/// read/write throttling registers, but "these registers are not yet
+/// broadly available in many latest processors" — writes to them take
+/// effect in config space but have **no effect on bandwidth** in our
+/// model, mirroring that finding.
+pub const THRT_PWR_DIMM_READ_BASE: u16 = 0x1a0;
+
+/// Config-space offset of the non-functional *write*-bandwidth throttle
+/// register (see [`THRT_PWR_DIMM_READ_BASE`]).
+pub const THRT_PWR_DIMM_WRITE_BASE: u16 = 0x1b0;
+
+/// Number of DIMM throttle channels per socket (`THRT_PWR_DIMM_[0:2]`).
+pub const DIMM_CHANNELS: usize = 3;
+
+/// Capability token proving the caller went through the kernel module.
+///
+/// Only [`crate::kmod::KernelModule`] can mint one, so user-mode code
+/// cannot write config space directly — the same privilege boundary the
+/// real emulator has.
+#[derive(Debug)]
+pub struct PrivilegeToken(pub(crate) ());
+
+/// The PCI configuration space of every socket's IMC device.
+#[derive(Debug)]
+pub struct PciConfigSpace {
+    sockets: usize,
+    regs: Mutex<HashMap<(usize, u16), u32>>,
+}
+
+impl PciConfigSpace {
+    /// Creates config space for `sockets` IMC devices with registers at
+    /// their reset values (throttle fully open: `0xFFF`).
+    pub fn new(sockets: usize) -> Self {
+        let mut regs = HashMap::new();
+        for s in 0..sockets {
+            for ch in 0..DIMM_CHANNELS {
+                let stride = (ch * 4) as u16;
+                regs.insert((s, THRT_PWR_DIMM_BASE + stride), 0xFFF);
+                regs.insert((s, THRT_PWR_DIMM_READ_BASE + stride), 0xFFF);
+                regs.insert((s, THRT_PWR_DIMM_WRITE_BASE + stride), 0xFFF);
+            }
+        }
+        PciConfigSpace {
+            sockets,
+            regs: Mutex::new(regs),
+        }
+    }
+
+    /// Number of sockets (IMC devices).
+    pub fn num_sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Privileged 32-bit config read.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the offset does not decode to a register.
+    pub fn read32(
+        &self,
+        _token: &PrivilegeToken,
+        socket: SocketId,
+        offset: u16,
+    ) -> Result<u32, PlatformError> {
+        self.regs
+            .lock()
+            .get(&(socket.0, offset))
+            .copied()
+            .ok_or(PlatformError::BadPciAddress { offset })
+    }
+
+    /// Privileged 32-bit config write.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the offset does not decode to a register.
+    pub fn write32(
+        &self,
+        _token: &PrivilegeToken,
+        socket: SocketId,
+        offset: u16,
+        value: u32,
+    ) -> Result<(), PlatformError> {
+        let mut regs = self.regs.lock();
+        match regs.get_mut(&(socket.0, offset)) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(PlatformError::BadPciAddress { offset }),
+        }
+    }
+
+    /// Unprivileged snapshot of a throttle register, used by the memory
+    /// model (the hardware side) to apply throttling.
+    pub(crate) fn throttle_value(&self, socket: SocketId, channel: usize) -> Option<u32> {
+        let offset = THRT_PWR_DIMM_BASE + (channel * 4) as u16;
+        self.regs.lock().get(&(socket.0, offset)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token() -> PrivilegeToken {
+        PrivilegeToken(())
+    }
+
+    #[test]
+    fn reset_values_are_fully_open() {
+        let pci = PciConfigSpace::new(2);
+        for s in 0..2 {
+            for ch in 0..DIMM_CHANNELS {
+                assert_eq!(pci.throttle_value(SocketId(s), ch), Some(0xFFF));
+            }
+        }
+    }
+
+    #[test]
+    fn write_then_read() {
+        let pci = PciConfigSpace::new(1);
+        let t = token();
+        pci.write32(&t, SocketId(0), THRT_PWR_DIMM_BASE, 0x200).unwrap();
+        assert_eq!(pci.read32(&t, SocketId(0), THRT_PWR_DIMM_BASE).unwrap(), 0x200);
+        assert_eq!(pci.throttle_value(SocketId(0), 0), Some(0x200));
+    }
+
+    #[test]
+    fn bad_offset_rejected() {
+        let pci = PciConfigSpace::new(1);
+        let t = token();
+        assert!(matches!(
+            pci.read32(&t, SocketId(0), 0x42),
+            Err(PlatformError::BadPciAddress { offset: 0x42 })
+        ));
+        assert!(pci.write32(&t, SocketId(0), 0x42, 1).is_err());
+    }
+
+    #[test]
+    fn read_write_registers_exist_but_are_separate() {
+        let pci = PciConfigSpace::new(1);
+        let t = token();
+        pci.write32(&t, SocketId(0), THRT_PWR_DIMM_READ_BASE, 0x100).unwrap();
+        // The combined register is untouched: writes to the read/write
+        // registers exist but do not throttle (paper footnote 2).
+        assert_eq!(pci.throttle_value(SocketId(0), 0), Some(0xFFF));
+    }
+}

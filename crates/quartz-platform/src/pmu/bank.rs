@@ -1,0 +1,131 @@
+//! Programmable counter banks.
+//!
+//! Modern Intel cores expose a handful of general-purpose programmable
+//! counters; the kernel module programs the Table 1 event set into them
+//! and user code reads slots with `rdpmc` (paper §3.1).
+
+use crate::pmu::events::EventKind;
+
+/// Number of general-purpose programmable counter slots per core.
+pub const NUM_SLOTS: usize = 8;
+
+/// One core's programmable counter bank.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterBank {
+    slots: [Option<EventKind>; NUM_SLOTS],
+}
+
+impl CounterBank {
+    /// Programs the given events into slots `0..events.len()`, clearing
+    /// the remaining slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`NUM_SLOTS`] events are supplied.
+    pub fn program(&mut self, events: &[EventKind]) {
+        assert!(
+            events.len() <= NUM_SLOTS,
+            "at most {NUM_SLOTS} counters can be programmed"
+        );
+        self.slots = [None; NUM_SLOTS];
+        for (slot, ev) in self.slots.iter_mut().zip(events) {
+            *slot = Some(*ev);
+        }
+    }
+
+    /// The event programmed at `index`, if any.
+    pub fn event_at(&self, index: usize) -> Option<EventKind> {
+        self.slots.get(index).copied().flatten()
+    }
+
+    /// The slot index holding `event`, if programmed.
+    pub fn slot_of(&self, event: EventKind) -> Option<usize> {
+        self.slots.iter().position(|s| *s == Some(event))
+    }
+}
+
+/// Where each standard event landed after the kernel module programmed a
+/// core (returned by
+/// [`KernelModule::program_standard_counters`](crate::kmod::KernelModule::program_standard_counters)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StandardCounters {
+    /// Slot of `CYCLE_ACTIVITY:STALLS_L2_PENDING`.
+    pub stalls_l2_pending: CounterSelection,
+    /// Slot of the LLC-hit event.
+    pub l3_hit: CounterSelection,
+    /// Slot of the local-DRAM LLC-miss event (Ivy Bridge / Haswell).
+    pub l3_miss_local: Option<CounterSelection>,
+    /// Slot of the remote-DRAM LLC-miss event (Ivy Bridge / Haswell).
+    pub l3_miss_remote: Option<CounterSelection>,
+    /// Slot of the combined LLC-miss event (Sandy Bridge).
+    pub l3_miss_all: Option<CounterSelection>,
+}
+
+impl StandardCounters {
+    /// Number of programmed slots.
+    pub fn len(&self) -> usize {
+        2 + self.l3_miss_local.is_some() as usize
+            + self.l3_miss_remote.is_some() as usize
+            + self.l3_miss_all.is_some() as usize
+    }
+
+    /// Always false: a standard selection has at least two counters.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A (slot index, event) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterSelection {
+    /// Slot index for `rdpmc`.
+    pub slot: usize,
+    /// The event programmed there.
+    pub event: EventKind,
+}
+
+impl CounterSelection {
+    /// Convenience accessor used by tests.
+    pub fn is_some(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_and_lookup() {
+        let mut bank = CounterBank::default();
+        bank.program(&[EventKind::StallsL2Pending, EventKind::L3Hit]);
+        assert_eq!(bank.event_at(0), Some(EventKind::StallsL2Pending));
+        assert_eq!(bank.event_at(1), Some(EventKind::L3Hit));
+        assert_eq!(bank.event_at(2), None);
+        assert_eq!(bank.slot_of(EventKind::L3Hit), Some(1));
+        assert_eq!(bank.slot_of(EventKind::L3MissAll), None);
+    }
+
+    #[test]
+    fn reprogramming_clears_old_slots() {
+        let mut bank = CounterBank::default();
+        bank.program(&[EventKind::StallsL2Pending, EventKind::L3Hit, EventKind::L3MissAll]);
+        bank.program(&[EventKind::L3Hit]);
+        assert_eq!(bank.event_at(0), Some(EventKind::L3Hit));
+        assert_eq!(bank.event_at(1), None);
+        assert_eq!(bank.event_at(2), None);
+    }
+
+    #[test]
+    fn out_of_range_slot_is_none() {
+        let bank = CounterBank::default();
+        assert_eq!(bank.event_at(100), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_events_panics() {
+        let mut bank = CounterBank::default();
+        bank.program(&[EventKind::L3Hit; NUM_SLOTS + 1]);
+    }
+}

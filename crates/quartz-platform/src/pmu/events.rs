@@ -1,0 +1,224 @@
+//! PMU event definitions (paper Table 1).
+
+use crate::arch::Architecture;
+
+/// The fundamental quantities the simulated hardware accumulates per core.
+///
+/// These are architecture-independent; what differs between families is
+/// which *selectable events* ([`EventKind`]) expose them and under what
+/// names (see [`TABLE1_EVENT_NAMES`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RawEvent {
+    /// Core cycles stalled with at least one demand load pending past L2
+    /// (`CYCLE_ACTIVITY:STALLS_L2_PENDING`). Counts stalls for loads served
+    /// by L3 *and* by DRAM; Eq. 3 scales out the L3 share.
+    StallCyclesL2Pending,
+    /// Retired demand loads served by the last-level cache.
+    L3HitLoads,
+    /// Retired demand loads that missed LLC and were served by the local
+    /// DRAM node.
+    L3MissLocalLoads,
+    /// Retired demand loads that missed LLC and were served by a remote
+    /// DRAM node.
+    L3MissRemoteLoads,
+}
+
+impl RawEvent {
+    /// All raw events, in storage order.
+    pub const ALL: [RawEvent; 4] = [
+        RawEvent::StallCyclesL2Pending,
+        RawEvent::L3HitLoads,
+        RawEvent::L3MissLocalLoads,
+        RawEvent::L3MissRemoteLoads,
+    ];
+
+    /// Dense index used by [`super::PmuState`] storage.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            RawEvent::StallCyclesL2Pending => 0,
+            RawEvent::L3HitLoads => 1,
+            RawEvent::L3MissLocalLoads => 2,
+            RawEvent::L3MissRemoteLoads => 3,
+        }
+    }
+}
+
+/// A selectable PMU event, as programmed into a counter slot.
+///
+/// ```
+/// use quartz_platform::pmu::EventKind;
+/// use quartz_platform::Architecture;
+/// // Sandy Bridge cannot split LLC misses by DRAM node:
+/// assert!(!EventKind::L3MissLocal.available_on(Architecture::SandyBridge));
+/// assert!(EventKind::L3MissAll.available_on(Architecture::SandyBridge));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// `CYCLE_ACTIVITY:STALLS_L2_PENDING` — all three families.
+    StallsL2Pending,
+    /// LLC hit loads (`MEM_LOAD_UOPS_*HIT*`) — all three families.
+    L3Hit,
+    /// LLC misses served from local DRAM — Ivy Bridge / Haswell only.
+    L3MissLocal,
+    /// LLC misses served from remote DRAM — Ivy Bridge / Haswell only.
+    L3MissRemote,
+    /// Combined LLC miss count (`MEM_LOAD_UOPS_MISC_RETIRED:LLC_MISS`) —
+    /// Sandy Bridge only.
+    L3MissAll,
+}
+
+impl EventKind {
+    /// Whether this event can be programmed on `arch` (paper Table 1).
+    pub fn available_on(self, arch: Architecture) -> bool {
+        match self {
+            EventKind::StallsL2Pending | EventKind::L3Hit => true,
+            EventKind::L3MissLocal | EventKind::L3MissRemote => {
+                arch.params().has_local_remote_miss_split()
+            }
+            EventKind::L3MissAll => matches!(arch, Architecture::SandyBridge),
+        }
+    }
+
+    /// The Intel event-name string the paper's Table 1 lists for this
+    /// event on `arch`, or `None` if unavailable.
+    pub fn intel_name(self, arch: Architecture) -> Option<&'static str> {
+        TABLE1_EVENT_NAMES
+            .iter()
+            .find(|(a, k, _)| *a == arch && *k == self)
+            .map(|(_, _, name)| *name)
+    }
+}
+
+/// The paper's Table 1: performance events per processor family.
+///
+/// Note the Ivy Bridge → Haswell rename from "LLC" to "L3" that the paper's
+/// footnote 3 calls out.
+pub const TABLE1_EVENT_NAMES: &[(Architecture, EventKind, &str)] = &[
+    (
+        Architecture::SandyBridge,
+        EventKind::StallsL2Pending,
+        "CYCLE_ACTIVITY:STALLS_L2_PENDING",
+    ),
+    (
+        Architecture::SandyBridge,
+        EventKind::L3Hit,
+        "MEM_LOAD_UOPS_RETIRED:L3_HIT",
+    ),
+    (
+        Architecture::SandyBridge,
+        EventKind::L3MissAll,
+        "MEM_LOAD_UOPS_MISC_RETIRED:LLC_MISS",
+    ),
+    (
+        Architecture::IvyBridge,
+        EventKind::StallsL2Pending,
+        "CYCLE_ACTIVITY:STALLS_L2_PENDING",
+    ),
+    (
+        Architecture::IvyBridge,
+        EventKind::L3Hit,
+        "MEM_LOAD_UOPS_LLC_HIT_RETIRED:XSNP_NONE",
+    ),
+    (
+        Architecture::IvyBridge,
+        EventKind::L3MissLocal,
+        "MEM_LOAD_UOPS_LLC_MISS_RETIRED:LOCAL_DRAM",
+    ),
+    (
+        Architecture::IvyBridge,
+        EventKind::L3MissRemote,
+        "MEM_LOAD_UOPS_LLC_MISS_RETIRED:REMOTE_DRAM",
+    ),
+    (
+        Architecture::Haswell,
+        EventKind::StallsL2Pending,
+        "CYCLE_ACTIVITY:STALLS_L2_PENDING",
+    ),
+    (
+        Architecture::Haswell,
+        EventKind::L3Hit,
+        "MEM_LOAD_UOPS_L3_HIT_RETIRED:XSNP_NONE",
+    ),
+    (
+        Architecture::Haswell,
+        EventKind::L3MissLocal,
+        "MEM_LOAD_UOPS_L3_MISS_RETIRED:LOCAL_DRAM",
+    ),
+    (
+        Architecture::Haswell,
+        EventKind::L3MissRemote,
+        "MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM",
+    ),
+];
+
+/// The standard event set Quartz programs on `arch`, in slot order.
+pub fn standard_event_set(arch: Architecture) -> Vec<EventKind> {
+    if arch.params().has_local_remote_miss_split() {
+        vec![
+            EventKind::StallsL2Pending,
+            EventKind::L3Hit,
+            EventKind::L3MissLocal,
+            EventKind::L3MissRemote,
+        ]
+    } else {
+        vec![
+            EventKind::StallsL2Pending,
+            EventKind::L3Hit,
+            EventKind::L3MissAll,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_names() {
+        assert_eq!(
+            EventKind::L3MissAll.intel_name(Architecture::SandyBridge),
+            Some("MEM_LOAD_UOPS_MISC_RETIRED:LLC_MISS")
+        );
+        // Footnote 3: LLC -> L3 rename between Ivy Bridge and Haswell.
+        assert_eq!(
+            EventKind::L3MissLocal.intel_name(Architecture::IvyBridge),
+            Some("MEM_LOAD_UOPS_LLC_MISS_RETIRED:LOCAL_DRAM")
+        );
+        assert_eq!(
+            EventKind::L3MissLocal.intel_name(Architecture::Haswell),
+            Some("MEM_LOAD_UOPS_L3_MISS_RETIRED:LOCAL_DRAM")
+        );
+    }
+
+    #[test]
+    fn unavailable_events_have_no_name() {
+        assert_eq!(EventKind::L3MissLocal.intel_name(Architecture::SandyBridge), None);
+        assert_eq!(EventKind::L3MissAll.intel_name(Architecture::Haswell), None);
+    }
+
+    #[test]
+    fn standard_set_sizes() {
+        assert_eq!(standard_event_set(Architecture::SandyBridge).len(), 3);
+        assert_eq!(standard_event_set(Architecture::IvyBridge).len(), 4);
+        assert_eq!(standard_event_set(Architecture::Haswell).len(), 4);
+    }
+
+    #[test]
+    fn standard_set_is_available() {
+        for arch in Architecture::ALL {
+            for ev in standard_event_set(arch) {
+                assert!(ev.available_on(arch), "{ev:?} on {arch}");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_event_indices_are_dense_and_unique() {
+        let mut seen = [false; 4];
+        for ev in RawEvent::ALL {
+            assert!(!seen[ev.index()]);
+            seen[ev.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

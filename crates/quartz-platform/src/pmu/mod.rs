@@ -1,0 +1,18 @@
+//! Hardware performance-monitoring unit (PMU).
+//!
+//! The emulator derives memory stall cycles from the per-family event set
+//! of the paper's Table 1 (see [`events`]). Raw event counts are produced
+//! by the memory-system simulator and accumulated in [`PmuState`]; software
+//! reads them back through programmable counter slots with `rdpmc`
+//! ([`bank`]), subject to per-family counter fidelity ([`fidelity`]).
+
+pub mod bank;
+pub mod events;
+pub mod fidelity;
+
+mod state;
+
+pub use bank::{CounterBank, CounterSelection, StandardCounters};
+pub use events::{EventKind, RawEvent, TABLE1_EVENT_NAMES};
+pub use fidelity::FidelityModel;
+pub use state::PmuState;

@@ -1,0 +1,237 @@
+//! Shared PMU state: raw event accumulation and counter reads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::arch::ArchParams;
+use crate::error::PlatformError;
+use crate::pmu::bank::CounterBank;
+use crate::pmu::events::{EventKind, RawEvent};
+use crate::pmu::fidelity::FidelityModel;
+use crate::topology::CoreId;
+
+/// The machine's PMU: per-core raw event accumulators, programmable
+/// counter banks, and the per-family fidelity model applied on reads.
+///
+/// The memory simulator increments raw events with [`PmuState::add`];
+/// emulator software reads them back with [`PmuState::rdpmc`] after the
+/// kernel module has programmed a bank and enabled user-mode access.
+#[derive(Debug)]
+pub struct PmuState {
+    arch: ArchParams,
+    /// `raw[core][RawEvent::index()]`.
+    raw: Vec<[AtomicU64; 4]>,
+    banks: Vec<Mutex<CounterBank>>,
+    user_rdpmc: Vec<AtomicBool>,
+    fidelity: Mutex<FidelityModel>,
+}
+
+impl PmuState {
+    /// Creates PMU state for `num_cores` cores with the given fidelity
+    /// model.
+    pub fn new(arch: ArchParams, num_cores: usize, fidelity: FidelityModel) -> Self {
+        PmuState {
+            arch,
+            raw: (0..num_cores).map(|_| Default::default()).collect(),
+            banks: (0..num_cores).map(|_| Mutex::new(CounterBank::default())).collect(),
+            user_rdpmc: (0..num_cores).map(|_| AtomicBool::new(false)).collect(),
+            fidelity: Mutex::new(fidelity),
+        }
+    }
+
+    /// Number of cores covered.
+    pub fn num_cores(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Accumulates `n` occurrences of a raw event on a core. Called by the
+    /// memory simulator; not a privileged operation because it models the
+    /// hardware itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn add(&self, core: usize, event: RawEvent, n: u64) {
+        self.raw[core][event.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Ground-truth raw count (no fidelity skew). For validation and tests
+    /// only — emulator code must go through [`PmuState::rdpmc`].
+    pub fn raw(&self, core: usize, event: RawEvent) -> u64 {
+        self.raw[core][event.index()].load(Ordering::Relaxed)
+    }
+
+    /// The true (unskewed) value of a selectable event.
+    pub fn true_value(&self, core: usize, event: EventKind) -> u64 {
+        match event {
+            EventKind::StallsL2Pending => self.raw(core, RawEvent::StallCyclesL2Pending),
+            EventKind::L3Hit => self.raw(core, RawEvent::L3HitLoads),
+            EventKind::L3MissLocal => self.raw(core, RawEvent::L3MissLocalLoads),
+            EventKind::L3MissRemote => self.raw(core, RawEvent::L3MissRemoteLoads),
+            EventKind::L3MissAll => {
+                self.raw(core, RawEvent::L3MissLocalLoads)
+                    + self.raw(core, RawEvent::L3MissRemoteLoads)
+            }
+        }
+    }
+
+    /// Zeroes every raw count (between experiment trials).
+    pub fn reset(&self) {
+        for core in &self.raw {
+            for cell in core {
+                cell.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Replaces the fidelity seed (between experiment trials).
+    pub fn set_fidelity_seed(&self, seed: u64) {
+        let mut f = self.fidelity.lock();
+        *f = f.with_seed(seed);
+    }
+
+    /// Swaps in a whole fidelity model (e.g. [`FidelityModel::perfect`]
+    /// for ablations).
+    pub fn set_fidelity(&self, model: FidelityModel) {
+        *self.fidelity.lock() = model;
+    }
+
+    /// The current fidelity model.
+    pub fn fidelity(&self) -> FidelityModel {
+        *self.fidelity.lock()
+    }
+
+    pub(crate) fn program_bank(
+        &self,
+        core: CoreId,
+        events: &[EventKind],
+    ) -> Result<(), PlatformError> {
+        for &ev in events {
+            if !ev.available_on(self.arch.arch) {
+                return Err(PlatformError::EventUnavailable { event: ev });
+            }
+        }
+        self.banks[core.0].lock().program(events);
+        Ok(())
+    }
+
+    pub(crate) fn set_user_rdpmc(&self, core: CoreId, enabled: bool) {
+        self.user_rdpmc[core.0].store(enabled, Ordering::Relaxed);
+    }
+
+    /// Executes `rdpmc` for counter slot `index` on `core`, returning the
+    /// (fidelity-skewed) value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if user-mode access was not enabled on the core or the slot
+    /// is not programmed.
+    pub fn rdpmc(&self, core: CoreId, index: usize) -> Result<u64, PlatformError> {
+        if !self.user_rdpmc[core.0].load(Ordering::Relaxed) {
+            return Err(PlatformError::UserRdpmcDisabled { core });
+        }
+        let event = self.banks[core.0]
+            .lock()
+            .event_at(index)
+            .ok_or(PlatformError::CounterNotProgrammed { core, index })?;
+        let true_val = self.true_value(core.0, event);
+        Ok(self.fidelity.lock().distort(event, true_val))
+    }
+
+    /// The event programmed in slot `index` of a core's bank, if any.
+    pub fn programmed_event(&self, core: CoreId, index: usize) -> Option<EventKind> {
+        self.banks[core.0].lock().event_at(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+
+    fn pmu() -> PmuState {
+        PmuState::new(
+            Architecture::IvyBridge.params(),
+            2,
+            FidelityModel::perfect(),
+        )
+    }
+
+    #[test]
+    fn add_and_read_raw() {
+        let p = pmu();
+        p.add(0, RawEvent::L3HitLoads, 5);
+        p.add(0, RawEvent::L3HitLoads, 2);
+        p.add(1, RawEvent::L3HitLoads, 9);
+        assert_eq!(p.raw(0, RawEvent::L3HitLoads), 7);
+        assert_eq!(p.raw(1, RawEvent::L3HitLoads), 9);
+    }
+
+    #[test]
+    fn l3miss_all_sums_local_and_remote() {
+        let p = pmu();
+        p.add(0, RawEvent::L3MissLocalLoads, 3);
+        p.add(0, RawEvent::L3MissRemoteLoads, 4);
+        assert_eq!(p.true_value(0, EventKind::L3MissAll), 7);
+    }
+
+    #[test]
+    fn rdpmc_requires_user_enable() {
+        let p = pmu();
+        p.program_bank(CoreId(0), &[EventKind::L3Hit]).unwrap();
+        assert!(matches!(
+            p.rdpmc(CoreId(0), 0),
+            Err(PlatformError::UserRdpmcDisabled { .. })
+        ));
+        p.set_user_rdpmc(CoreId(0), true);
+        assert_eq!(p.rdpmc(CoreId(0), 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn rdpmc_unprogrammed_slot_errors() {
+        let p = pmu();
+        p.set_user_rdpmc(CoreId(0), true);
+        assert!(matches!(
+            p.rdpmc(CoreId(0), 3),
+            Err(PlatformError::CounterNotProgrammed { index: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn programming_unavailable_event_fails() {
+        let p = PmuState::new(
+            Architecture::SandyBridge.params(),
+            1,
+            FidelityModel::perfect(),
+        );
+        let err = p
+            .program_bank(CoreId(0), &[EventKind::L3MissLocal])
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::EventUnavailable { .. }));
+    }
+
+    #[test]
+    fn reset_zeroes_counts() {
+        let p = pmu();
+        p.add(0, RawEvent::StallCyclesL2Pending, 100);
+        p.reset();
+        assert_eq!(p.raw(0, RawEvent::StallCyclesL2Pending), 0);
+    }
+
+    #[test]
+    fn rdpmc_applies_fidelity() {
+        let p = PmuState::new(
+            Architecture::SandyBridge.params(),
+            1,
+            FidelityModel::new(Architecture::SandyBridge.params(), 1234),
+        );
+        p.program_bank(CoreId(0), &[EventKind::StallsL2Pending]).unwrap();
+        p.set_user_rdpmc(CoreId(0), true);
+        p.add(0, RawEvent::StallCyclesL2Pending, 1_000_000);
+        let read = p.rdpmc(CoreId(0), 0).unwrap();
+        assert_ne!(read, 1_000_000, "SNB stall counter should be skewed");
+        let rel = (read as f64 - 1e6).abs() / 1e6;
+        assert!(rel < 0.1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Timestamp counter (`rdtsc`/`rdtscp`).
+//!
+//! Quartz implements delay injection as "a software spin loop that uses
+//! the x86 `rdtscp` instruction to read the processor timestamp counter"
+//! (paper §3.1). The TSC is *invariant*: it ticks at the nominal frequency
+//! regardless of DVFS state, which is exactly why spin loops keyed on it
+//! measure wall time faithfully.
+
+use crate::time::{Frequency, SimTime};
+
+/// The invariant timestamp counter.
+#[derive(Clone, Copy, Debug)]
+pub struct Tsc {
+    freq: Frequency,
+}
+
+impl Tsc {
+    /// Creates a TSC ticking at the given nominal frequency.
+    pub fn new(freq: Frequency) -> Self {
+        Tsc { freq }
+    }
+
+    /// The nominal tick rate.
+    pub fn frequency(&self) -> Frequency {
+        self.freq
+    }
+
+    /// The TSC value at simulated instant `now`.
+    pub fn read(&self, now: SimTime) -> u64 {
+        self.freq
+            .duration_to_cycles(now.saturating_duration_since(SimTime::ZERO))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn ticks_at_nominal_rate() {
+        let tsc = Tsc::new(Frequency::from_mhz(2_200));
+        assert_eq!(tsc.read(SimTime::ZERO), 0);
+        assert_eq!(tsc.read(SimTime::ZERO + Duration::from_ms(1)), 2_200_000);
+    }
+
+    #[test]
+    fn monotonic() {
+        let tsc = Tsc::new(Frequency::from_mhz(2_100));
+        let mut prev = 0;
+        for ns in (0..10_000).step_by(37) {
+            let v = tsc.read(SimTime::from_ns(ns));
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

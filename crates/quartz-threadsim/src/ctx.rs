@@ -1,0 +1,748 @@
+//! The per-thread operation context.
+
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+use parking_lot::MutexGuard;
+use quartz_memsim::{AccessResult, Addr, MemSimError, MemorySystem};
+use quartz_platform::error::PlatformError;
+use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::{CoreId, NodeId, Platform};
+
+use crate::engine::{
+    new_barrier, new_cond, new_mutex, schedule_next, spawn_thread, EngineShared, SchedState,
+    ShutdownSignal, Status, ThreadId, HANDOFF_NS, LOCK_OP_NS, SPAWN_NS,
+};
+use crate::{BarrierId, CondId, MutexId};
+
+/// "Infinitely" far in the future (no yield deadline).
+const FAR_FUTURE: SimTime = SimTime::from_ps(u64::MAX / 4);
+
+/// Handle through which a simulated thread performs every operation.
+///
+/// All methods advance the thread's virtual clock by the operation's
+/// modeled cost. Methods that can block (locks, joins, condition waits)
+/// hand control to the scheduler.
+pub struct ThreadCtx {
+    shared: Arc<EngineShared>,
+    id: ThreadId,
+    core: usize,
+    clock: SimTime,
+    deadline: SimTime,
+    next_timer: SimTime,
+    pending: Arc<AtomicBool>,
+    permit_rx: Receiver<()>,
+    in_hook: bool,
+    /// Wait time that absorbs spin delay: a POSIX signal interrupts a
+    /// blocked `pthread_mutex_lock`, so a delay injected by the signal
+    /// handler runs *during* the wait and only its excess over the wait
+    /// extends the thread's timeline.
+    spin_credit: Duration,
+}
+
+impl ThreadCtx {
+    pub(crate) fn new(
+        shared: Arc<EngineShared>,
+        id: ThreadId,
+        core: usize,
+        pending: Arc<AtomicBool>,
+        permit_rx: Receiver<()>,
+    ) -> Self {
+        ThreadCtx {
+            shared,
+            id,
+            core,
+            clock: SimTime::ZERO,
+            deadline: FAR_FUTURE,
+            next_timer: FAR_FUTURE,
+            pending,
+            permit_rx,
+            in_hook: false,
+            spin_credit: Duration::ZERO,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Identity and environment.
+    // ------------------------------------------------------------------
+
+    /// This thread's id.
+    pub fn thread_id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// The core this thread is bound to.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// The NUMA node local to this thread's core.
+    pub fn local_node(&self) -> NodeId {
+        self.platform().topology().local_node_of(CoreId(self.core))
+    }
+
+    /// The memory system.
+    pub fn mem(&self) -> &Arc<MemorySystem> {
+        &self.shared.mem
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> Platform {
+        self.shared.mem.platform().clone()
+    }
+
+    /// Current virtual time of this thread.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling internals.
+    // ------------------------------------------------------------------
+
+    /// Refreshes clock/deadline/timer caches after being scheduled.
+    pub(crate) fn resume_bookkeeping(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let st = shared.state.lock();
+        if st.shutdown {
+            drop(st);
+            panic_any(ShutdownSignal);
+        }
+        self.clock = st.threads[self.id.0].clock;
+        let (deadline, next_timer) = compute_caches(&st, self.id.0, self.shared.quantum);
+        self.deadline = deadline;
+        self.next_timer = next_timer;
+    }
+
+    /// Parks this thread until the scheduler hands control back.
+    fn park(&mut self, st: MutexGuard<'_, SchedState>) {
+        drop(st);
+        if self.permit_rx.recv().is_err() {
+            panic_any(ShutdownSignal);
+        }
+        self.resume_bookkeeping();
+    }
+
+    /// The per-operation boundary: fire due timers, deliver signals,
+    /// yield if past the lookahead deadline.
+    fn op_boundary(&mut self) {
+        if self.next_timer <= self.clock {
+            self.fire_due_timers();
+        }
+        if self.pending.load(Ordering::Relaxed) && !self.in_hook {
+            self.pending.store(false, Ordering::Relaxed);
+            let hooks = self.shared.hooks.read().clone();
+            self.in_hook = true;
+            hooks.on_signal(self);
+            self.in_hook = false;
+        }
+        if self.clock > self.deadline {
+            self.yield_handoff();
+        }
+    }
+
+    fn fire_due_timers(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        loop {
+            let due = st
+                .timers
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.next_fire <= self.clock)
+                .min_by_key(|(_, t)| t.next_fire)
+                .map(|(i, _)| i);
+            let Some(idx) = due else { break };
+            let fire_time = st.timers[idx].next_fire;
+            let period = st.timers[idx].period;
+            let live: Vec<ThreadId> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(i, _)| ThreadId(i))
+                .collect();
+            // Take the callback out so it can borrow the state view.
+            let mut cb = std::mem::replace(&mut st.timers[idx].callback, Box::new(|_| {}));
+            let mut api = crate::timer::TimerApi {
+                fire_time,
+                live: &live,
+                signalled: Vec::new(),
+            };
+            cb(&mut api);
+            let signalled = api.signalled;
+            st.timers[idx].callback = cb;
+            st.timers[idx].next_fire = fire_time + period;
+            for t in signalled {
+                if let Some(rec) = st.threads.get(t.0) {
+                    rec.pending_signal.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        self.next_timer = st
+            .timers
+            .iter()
+            .map(|t| t.next_fire)
+            .min()
+            .unwrap_or(FAR_FUTURE);
+    }
+
+    fn yield_handoff(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        st.threads[self.id.0].clock = self.clock;
+        let min_other = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| *i != self.id.0 && t.status == Status::Runnable)
+            .min_by_key(|(i, t)| (t.clock, *i))
+            .map(|(i, t)| (i, t.clock));
+        match min_other {
+            None => {
+                let (deadline, next_timer) = compute_caches(&st, self.id.0, shared.quantum);
+                self.deadline = deadline;
+                self.next_timer = next_timer;
+            }
+            Some((_, c)) if c >= self.clock => {
+                // We are (still) the minimum; extend the lookahead.
+                self.deadline = c + shared.quantum;
+            }
+            Some((i, _)) => {
+                st.threads[i]
+                    .permit
+                    .send(())
+                    .expect("runnable thread parked");
+                self.park(st);
+            }
+        }
+    }
+
+    /// Explicitly yields to the scheduler (sched_yield).
+    pub fn yield_now(&mut self) {
+        self.op_boundary();
+        self.yield_handoff();
+    }
+
+    pub(crate) fn dispatch_thread_start(&mut self) {
+        let hooks = self.shared.hooks.read().clone();
+        self.in_hook = true;
+        hooks.on_thread_start(self);
+        self.in_hook = false;
+    }
+
+    pub(crate) fn dispatch_thread_exit(&mut self) {
+        let hooks = self.shared.hooks.read().clone();
+        self.in_hook = true;
+        hooks.on_thread_exit(self);
+        self.in_hook = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Time and instructions.
+    // ------------------------------------------------------------------
+
+    /// Advances the clock by `ns` of computation, subject to the DVFS
+    /// frequency multiplier (faster clock ⇒ less wall time).
+    pub fn compute_ns(&mut self, ns: f64) {
+        self.op_boundary();
+        let mult = self.platform().dvfs().multiplier(self.clock);
+        self.clock += Duration::from_ns_f64(ns / mult);
+    }
+
+    /// Advances the clock by `cycles` of computation at the current
+    /// effective frequency.
+    pub fn compute_cycles(&mut self, cycles: u64) {
+        self.op_boundary();
+        let p = self.platform();
+        let mult = p.dvfs().multiplier(self.clock);
+        let nominal = p.frequency().cycles_to_duration(cycles);
+        self.clock += Duration::from_ns_f64(nominal.as_ns_f64() / mult);
+    }
+
+    /// Spins for exactly `d` of wall time — the TSC-based delay-injection
+    /// loop of the emulator (paper §3.1). The invariant TSC makes this
+    /// exact regardless of DVFS.
+    pub fn spin(&mut self, d: Duration) {
+        self.op_boundary();
+        let absorbed = d.min(self.spin_credit);
+        self.spin_credit -= absorbed;
+        self.clock += d - absorbed;
+    }
+
+    /// Executes `rdtscp`, returning the timestamp counter.
+    pub fn rdtscp(&mut self) -> u64 {
+        self.op_boundary();
+        let p = self.platform();
+        let cost = p.op_costs().rdtscp_cycles;
+        let mult = p.dvfs().multiplier(self.clock);
+        self.clock += Duration::from_ns_f64(p.cycles(cost).as_ns_f64() / mult);
+        p.tsc().read(self.clock)
+    }
+
+    /// Executes `rdpmc` for counter slot `slot` on this core.
+    ///
+    /// # Errors
+    ///
+    /// Fails if user-mode counter access is not enabled or the slot is
+    /// not programmed (see [`quartz_platform::PmuState::rdpmc`]).
+    pub fn rdpmc(&mut self, slot: usize) -> Result<u64, PlatformError> {
+        self.op_boundary();
+        let p = self.platform();
+        let cost = p.op_costs().rdpmc_cycles;
+        let mult = p.dvfs().multiplier(self.clock);
+        self.clock += Duration::from_ns_f64(p.cycles(cost).as_ns_f64() / mult);
+        p.pmu().rdpmc(CoreId(self.core), slot)
+    }
+
+    /// Reads a counter through a PAPI-like virtualized framework: same
+    /// value, ~8x the cost (paper §3.2 ablation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ThreadCtx::rdpmc`].
+    pub fn rdpmc_papi(&mut self, slot: usize) -> Result<u64, PlatformError> {
+        self.op_boundary();
+        let p = self.platform();
+        let cost = p.op_costs().papi_read_cycles;
+        let mult = p.dvfs().multiplier(self.clock);
+        self.clock += Duration::from_ns_f64(p.cycles(cost).as_ns_f64() / mult);
+        p.pmu().rdpmc(CoreId(self.core), slot)
+    }
+
+    /// `clock_gettime(CLOCK_MONOTONIC)`.
+    pub fn clock_gettime(&mut self) -> SimTime {
+        self.op_boundary();
+        let p = self.platform();
+        self.clock += p.cycles(p.op_costs().clock_gettime_cycles);
+        self.clock
+    }
+
+    /// Advances the clock by a raw duration without any boundary
+    /// processing. Intended for hook implementations charging their own
+    /// bookkeeping costs.
+    pub fn charge(&mut self, d: Duration) {
+        self.clock += d;
+    }
+
+    // ------------------------------------------------------------------
+    // Memory operations.
+    // ------------------------------------------------------------------
+
+    /// Allocates on this thread's local node (`malloc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of memory.
+    pub fn alloc_local(&mut self, bytes: u64) -> Addr {
+        self.try_alloc_on(self.local_node(), bytes)
+            .expect("local allocation failed")
+    }
+
+    /// Allocates on an explicit node (`numa_alloc_onnode`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of memory or absent.
+    pub fn alloc_on(&mut self, node: NodeId, bytes: u64) -> Addr {
+        self.try_alloc_on(node, bytes).expect("node allocation failed")
+    }
+
+    /// Fallible allocation on an explicit node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures.
+    pub fn try_alloc_on(&mut self, node: NodeId, bytes: u64) -> Result<Addr, MemSimError> {
+        self.op_boundary();
+        self.clock += Duration::from_ns(120); // allocator bookkeeping
+        self.shared.mem.alloc(node, bytes)
+    }
+
+    /// Frees an allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures.
+    pub fn free(&mut self, addr: Addr) -> Result<(), MemSimError> {
+        self.op_boundary();
+        self.clock += Duration::from_ns(80);
+        self.shared.mem.free(addr)
+    }
+
+    /// A dependent load.
+    pub fn load(&mut self, addr: Addr) -> AccessResult {
+        self.op_boundary();
+        let r = self.shared.mem.load(self.core, addr, self.clock);
+        self.clock += r.stall;
+        r
+    }
+
+    /// A batch of independent loads issued together (memory-level
+    /// parallelism). Returns the total exposed stall.
+    pub fn load_batch(&mut self, addrs: &[Addr]) -> Duration {
+        self.op_boundary();
+        let stall = self.shared.mem.load_batch(self.core, addrs, self.clock);
+        self.clock += stall;
+        stall
+    }
+
+    /// A regular (posted, write-back) store.
+    pub fn store(&mut self, addr: Addr) -> Duration {
+        self.op_boundary();
+        let cost = self.shared.mem.store(self.core, addr, self.clock);
+        self.clock += cost;
+        cost
+    }
+
+    /// A non-temporal streaming store.
+    pub fn store_stream(&mut self, addr: Addr) -> Duration {
+        self.op_boundary();
+        let cost = self.shared.mem.store_stream(self.core, addr, self.clock);
+        self.clock += cost;
+        cost
+    }
+
+    /// `clflush`: synchronous write-back + invalidate.
+    pub fn flush(&mut self, addr: Addr) -> Duration {
+        self.op_boundary();
+        let cost = self.shared.mem.flush(self.core, addr, self.clock);
+        self.clock += cost;
+        cost
+    }
+
+    /// `clflushopt`: asynchronous write-back + invalidate; returns the
+    /// completion instant for `pcommit`-style draining.
+    pub fn flush_opt(&mut self, addr: Addr) -> SimTime {
+        self.op_boundary();
+        let (cost, done) = self.shared.mem.flush_opt(self.core, addr, self.clock);
+        self.clock += cost;
+        done
+    }
+
+    // ------------------------------------------------------------------
+    // Threads.
+    // ------------------------------------------------------------------
+
+    /// Spawns a simulated thread on an automatically chosen core.
+    pub fn spawn<F>(&mut self, body: F) -> ThreadId
+    where
+        F: FnOnce(&mut ThreadCtx) + Send + 'static,
+    {
+        self.op_boundary();
+        self.clock += Duration::from_ns(SPAWN_NS);
+        let id = spawn_thread(&self.shared, None, self.clock, body);
+        // The child is runnable at our clock: bound our lookahead so we
+        // do not race past its first operations.
+        self.deadline = self.deadline.min(self.clock + self.shared.quantum);
+        id
+    }
+
+    /// Spawns a simulated thread pinned to `core`.
+    pub fn spawn_on<F>(&mut self, core: usize, body: F) -> ThreadId
+    where
+        F: FnOnce(&mut ThreadCtx) + Send + 'static,
+    {
+        self.op_boundary();
+        self.clock += Duration::from_ns(SPAWN_NS);
+        let id = spawn_thread(&self.shared, Some(core), self.clock, body);
+        self.deadline = self.deadline.min(self.clock + self.shared.quantum);
+        id
+    }
+
+    /// Waits for `thread` to finish.
+    pub fn join(&mut self, thread: ThreadId) {
+        self.op_boundary();
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        if st.threads[thread.0].status == Status::Finished {
+            let floor = st.threads[thread.0].finish_time + Duration::from_ns(HANDOFF_NS);
+            self.clock = self.clock.max(floor);
+            return;
+        }
+        st.threads[thread.0].joiners.push(self.id.0);
+        st.threads[self.id.0].status = Status::Blocked;
+        st.threads[self.id.0].clock = self.clock;
+        schedule_next(&shared, &mut st);
+        self.park(st);
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization.
+    // ------------------------------------------------------------------
+
+    /// Creates a mutex.
+    pub fn mutex_new(&mut self) -> MutexId {
+        new_mutex(&self.shared)
+    }
+
+    /// Creates a condition variable.
+    pub fn cond_new(&mut self) -> CondId {
+        new_cond(&self.shared)
+    }
+
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn barrier_new(&mut self, parties: usize) -> BarrierId {
+        new_barrier(&self.shared, parties)
+    }
+
+    /// Waits at a barrier until `parties` threads have arrived. Invokes
+    /// the [`before_barrier`](crate::Hooks::before_barrier) hook first,
+    /// so injected delay lands before the rendezvous. Returns `true` on
+    /// the thread that released the generation (the "leader").
+    pub fn barrier_wait(&mut self, b: BarrierId) -> bool {
+        self.op_boundary();
+        if !self.in_hook {
+            let hooks = self.shared.hooks.read().clone();
+            self.in_hook = true;
+            hooks.before_barrier(self);
+            self.in_hook = false;
+        }
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        let rec = &mut st.barriers[b.0];
+        assert!(
+            !rec.waiting.contains(&self.id.0),
+            "barrier re-entered while already waiting"
+        );
+        if rec.waiting.len() + 1 < rec.parties {
+            rec.waiting.push(self.id.0);
+            st.threads[self.id.0].status = Status::Blocked;
+            st.threads[self.id.0].clock = self.clock;
+            schedule_next(&shared, &mut st);
+            self.park(st);
+            false
+        } else {
+            // Last arriver releases the generation: every waiter resumes
+            // no earlier than the latest arrival.
+            let waiters = std::mem::take(&mut st.barriers[b.0].waiting);
+            let floor = self.clock + Duration::from_ns(HANDOFF_NS);
+            for t in waiters {
+                let rec = &mut st.threads[t];
+                rec.clock = rec.clock.max(floor);
+                rec.status = Status::Runnable;
+            }
+            self.deadline = self.deadline.min(floor + shared.quantum);
+            true
+        }
+    }
+
+    /// Acquires a mutex, blocking in virtual time if contended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this thread already owns the mutex.
+    pub fn mutex_lock(&mut self, m: MutexId) {
+        self.op_boundary();
+        if !self.in_hook {
+            let hooks = self.shared.hooks.read().clone();
+            self.in_hook = true;
+            hooks.before_mutex_lock(self);
+            self.in_hook = false;
+        }
+        // The hook may have spun (injected delay): let lower-clock
+        // threads catch up before we contend for the lock.
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        loop {
+            let shared = Arc::clone(&self.shared);
+            let mut st = shared.state.lock();
+            let rec = &mut st.mutexes[m.0];
+            assert_ne!(rec.owner, Some(self.id.0), "relock of owned mutex");
+            if rec.owner.is_none() {
+                rec.owner = Some(self.id.0);
+                return;
+            }
+            rec.waiters.push_back(self.id.0);
+            st.threads[self.id.0].status = Status::Blocked;
+            st.threads[self.id.0].clock = self.clock;
+            let wait_start = self.clock;
+            schedule_next(&shared, &mut st);
+            self.park(st);
+            // On resume the releasing thread transferred ownership to us.
+            if self.pending.load(Ordering::Relaxed) && !self.in_hook {
+                // A POSIX signal interrupts a blocked pthread_mutex_lock:
+                // its handler runs *without* the lock, concurrently with
+                // the wait, and the thread re-queues afterwards. Pass the
+                // lock on, deliver the signal with the wait as spin
+                // credit, and contend again.
+                {
+                    let mut st = shared.state.lock();
+                    self.release_mutex_locked(&mut st, m);
+                }
+                self.deliver_signal_after_wait(wait_start);
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Delivers a pending signal whose handler logically ran during a
+    /// wait that began at `wait_start`.
+    fn deliver_signal_after_wait(&mut self, wait_start: SimTime) {
+        if self.pending.load(Ordering::Relaxed) && !self.in_hook {
+            self.pending.store(false, Ordering::Relaxed);
+            self.spin_credit = self.clock.saturating_duration_since(wait_start);
+            let hooks = self.shared.hooks.read().clone();
+            self.in_hook = true;
+            hooks.on_signal(self);
+            self.in_hook = false;
+            self.spin_credit = Duration::ZERO;
+        }
+    }
+
+    /// Releases a mutex. Invokes the
+    /// [`before_mutex_unlock`](crate::Hooks::before_mutex_unlock) hook
+    /// *before* the release, so injected delay propagates to waiters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this thread does not own the mutex.
+    pub fn mutex_unlock(&mut self, m: MutexId) {
+        self.op_boundary();
+        if !self.in_hook {
+            let hooks = self.shared.hooks.read().clone();
+            self.in_hook = true;
+            hooks.before_mutex_unlock(self);
+            self.in_hook = false;
+        }
+        // The hook may have spun far ahead (injected delay): give lower-
+        // clock threads the chance to reach the lock queue before the
+        // release, preserving virtual-time causality.
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        self.release_mutex_locked(&mut st, m);
+    }
+
+    fn release_mutex_locked(&mut self, st: &mut SchedState, m: MutexId) {
+        let rec = &mut st.mutexes[m.0];
+        assert_eq!(rec.owner, Some(self.id.0), "unlock of unowned mutex");
+        if let Some(next) = rec.waiters.pop_front() {
+            rec.owner = Some(next);
+            let floor = self.clock + Duration::from_ns(HANDOFF_NS);
+            let t = &mut st.threads[next];
+            t.clock = t.clock.max(floor);
+            t.status = Status::Runnable;
+            self.deadline = self.deadline.min(t.clock + self.shared.quantum);
+        } else {
+            rec.owner = None;
+        }
+    }
+
+    /// Atomically releases `m` and waits on `c`; re-acquires `m` before
+    /// returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this thread does not own the mutex.
+    pub fn cond_wait(&mut self, c: CondId, m: MutexId) {
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        // The glibc-internal unlock inside cond_wait is not the
+        // interposed symbol, so no hook fires here (paper interposes
+        // pthread_mutex_unlock only).
+        self.release_mutex_locked(&mut st, m);
+        st.conds[c.0].waiters.push_back((self.id.0, m.0));
+        st.threads[self.id.0].status = Status::Blocked;
+        st.threads[self.id.0].clock = self.clock;
+        let wait_start = self.clock;
+        schedule_next(&shared, &mut st);
+        self.park(st);
+        // On resume we own the mutex again. Signals delivered during the
+        // wait ran concurrently with it (see mutex_lock).
+        self.deliver_signal_after_wait(wait_start);
+    }
+
+    /// Wakes one waiter of `c`. Invokes the
+    /// [`before_cond_notify`](crate::Hooks::before_cond_notify) hook
+    /// first.
+    pub fn cond_notify_one(&mut self, c: CondId) {
+        self.notify(c, false);
+    }
+
+    /// Wakes all waiters of `c`.
+    pub fn cond_notify_all(&mut self, c: CondId) {
+        self.notify(c, true);
+    }
+
+    fn notify(&mut self, c: CondId, all: bool) {
+        self.op_boundary();
+        if !self.in_hook {
+            let hooks = self.shared.hooks.read().clone();
+            self.in_hook = true;
+            hooks.before_cond_notify(self);
+            self.in_hook = false;
+        }
+        // Same causality consideration as mutex_unlock.
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        while let Some((t, m)) = st.conds[c.0].waiters.pop_front() {
+            let floor = self.clock + Duration::from_ns(HANDOFF_NS);
+            let rec = &mut st.threads[t];
+            rec.clock = rec.clock.max(floor);
+            if st.mutexes[m].owner.is_none() {
+                st.mutexes[m].owner = Some(t);
+                st.threads[t].status = Status::Runnable;
+                let woken_clock = st.threads[t].clock;
+                self.deadline = self.deadline.min(woken_clock + self.shared.quantum);
+            } else {
+                st.mutexes[m].waiters.push_back(t);
+                // Stays blocked until the mutex is handed over.
+            }
+            if !all {
+                break;
+            }
+        }
+    }
+}
+
+/// Computes (yield deadline, next timer fire) for thread `id`.
+fn compute_caches(
+    st: &SchedState,
+    id: usize,
+    quantum: Duration,
+) -> (SimTime, SimTime) {
+    let min_other = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| *i != id && t.status == Status::Runnable)
+        .map(|(_, t)| t.clock)
+        .min();
+    let deadline = match min_other {
+        Some(c) => c + quantum,
+        None => FAR_FUTURE,
+    };
+    let next_timer = st
+        .timers
+        .iter()
+        .map(|t| t.next_fire)
+        .min()
+        .unwrap_or(FAR_FUTURE);
+    (deadline, next_timer)
+}
+
+impl std::fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("id", &self.id)
+            .field("core", &self.core)
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
+}
+

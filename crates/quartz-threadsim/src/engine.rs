@@ -1,0 +1,431 @@
+//! The discrete-event scheduler.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Mutex, RwLock};
+use quartz_memsim::MemorySystem;
+use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::Platform;
+
+use crate::ctx::ThreadCtx;
+use crate::hooks::{Hooks, NoHooks};
+use crate::timer::{TimerApi, TimerRec};
+use crate::{CondId, MutexId};
+
+/// Identifies a simulated thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub usize);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Extra time a mutex/join hand-off costs the woken thread.
+pub(crate) const HANDOFF_NS: u64 = 50;
+
+/// Cost of an uncontended lock/unlock operation.
+pub(crate) const LOCK_OP_NS: u64 = 18;
+
+/// Cost `pthread_create` charges the parent.
+pub(crate) const SPAWN_NS: u64 = 2_000;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+pub(crate) struct ThreadRec {
+    pub clock: SimTime,
+    pub status: Status,
+    pub permit: Sender<()>,
+    pub pending_signal: Arc<AtomicBool>,
+    pub joiners: Vec<usize>,
+    pub finish_time: SimTime,
+}
+
+#[derive(Default)]
+pub(crate) struct MutexRec {
+    pub owner: Option<usize>,
+    pub waiters: VecDeque<usize>,
+}
+
+#[derive(Default)]
+pub(crate) struct CondRec {
+    /// (thread, mutex it must re-acquire).
+    pub waiters: VecDeque<(usize, usize)>,
+}
+
+pub(crate) struct BarrierRec {
+    /// Parties required per generation.
+    pub parties: usize,
+    /// Threads parked at the barrier this generation.
+    pub waiting: Vec<usize>,
+}
+
+pub(crate) struct SchedState {
+    pub threads: Vec<ThreadRec>,
+    pub mutexes: Vec<MutexRec>,
+    pub conds: Vec<CondRec>,
+    pub barriers: Vec<BarrierRec>,
+    pub timers: Vec<TimerRec>,
+    pub live: usize,
+    pub rr_core: usize,
+    pub shutdown: bool,
+    pub failure: Option<String>,
+    pub handles: Vec<JoinHandle<()>>,
+    pub done_tx: Option<Sender<()>>,
+}
+
+pub(crate) struct EngineShared {
+    pub mem: Arc<MemorySystem>,
+    pub state: Mutex<SchedState>,
+    pub hooks: RwLock<Arc<dyn Hooks>>,
+    pub quantum: Duration,
+    /// Cores used for round-robin placement of spawned threads.
+    pub default_cores: Vec<usize>,
+}
+
+/// Marker payload used to unwind simulated threads at shutdown.
+pub(crate) struct ShutdownSignal;
+
+/// Result of a completed simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Virtual instant the root thread finished.
+    pub root_finish: SimTime,
+    /// Virtual instant the last thread finished.
+    pub end_time: SimTime,
+}
+
+/// A deterministic discrete-event thread engine over one
+/// [`MemorySystem`].
+pub struct Engine {
+    shared: Arc<EngineShared>,
+}
+
+impl Engine {
+    /// Creates an engine. Spawned threads are placed round-robin on the
+    /// cores of socket 0 (the paper's virtual topology binds application
+    /// threads to the first socket of each sibling set, §3.3).
+    pub fn new(mem: Arc<MemorySystem>) -> Self {
+        let topo = mem.platform().topology();
+        let default_cores: Vec<usize> = topo
+            .cores_of(quartz_platform::SocketId(0))
+            .map(|c| c.0)
+            .collect();
+        Engine {
+            shared: Arc::new(EngineShared {
+                mem,
+                state: Mutex::new(SchedState {
+                    threads: Vec::new(),
+                    mutexes: Vec::new(),
+                    conds: Vec::new(),
+                    barriers: Vec::new(),
+                    timers: Vec::new(),
+                    live: 0,
+                    rr_core: 0,
+                    shutdown: false,
+                    failure: None,
+                    handles: Vec::new(),
+                    done_tx: None,
+                }),
+                hooks: RwLock::new(Arc::new(NoHooks)),
+                quantum: Duration::from_us(2),
+                default_cores,
+            }),
+        }
+    }
+
+    /// Installs the interposition hooks (the emulator library).
+    pub fn set_hooks(&self, hooks: Arc<dyn Hooks>) {
+        *self.shared.hooks.write() = hooks;
+    }
+
+    /// Registers a periodic virtual-time timer (the monitor thread).
+    /// The first firing happens at `period` after time zero.
+    pub fn add_timer(
+        &self,
+        period: Duration,
+        callback: impl FnMut(&mut TimerApi<'_>) + Send + 'static,
+    ) {
+        assert!(!period.is_zero(), "timer period must be non-zero");
+        self.shared.state.lock().timers.push(TimerRec {
+            period,
+            next_fire: SimTime::ZERO + period,
+            callback: Box::new(callback),
+        });
+    }
+
+    /// The memory system threads operate on.
+    pub fn mem(&self) -> &Arc<MemorySystem> {
+        &self.shared.mem
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> Platform {
+        self.shared.mem.platform().clone()
+    }
+
+    /// Runs `root` as the first simulated thread and drives the
+    /// simulation until every thread has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks or any simulated thread panics
+    /// (the panic message is propagated).
+    pub fn run<F>(self, root: F) -> RunReport
+    where
+        F: FnOnce(&mut ThreadCtx) + Send + 'static,
+    {
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        {
+            let mut st = self.shared.state.lock();
+            st.done_tx = Some(done_tx);
+        }
+        let root_id = spawn_thread(&self.shared, None, SimTime::ZERO, root);
+        debug_assert_eq!(root_id.0, 0);
+        // Kick the scheduler.
+        {
+            let mut st = self.shared.state.lock();
+            schedule_next(&self.shared, &mut st);
+        }
+        done_rx.recv().expect("scheduler done channel");
+
+        // Shut down any threads still parked (failure paths) and join.
+        let handles = {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            for t in &st.threads {
+                if t.status != Status::Finished {
+                    let _ = t.permit.send(());
+                }
+            }
+            std::mem::take(&mut st.handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+
+        let st = self.shared.state.lock();
+        if let Some(msg) = &st.failure {
+            panic!("simulation failed: {msg}");
+        }
+        let root_finish = st.threads[0].finish_time;
+        let end_time = st
+            .threads
+            .iter()
+            .map(|t| t.finish_time)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        RunReport {
+            root_finish,
+            end_time,
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine").finish_non_exhaustive()
+    }
+}
+
+/// Creates the bookkeeping and OS thread for a new simulated thread.
+pub(crate) fn spawn_thread<F>(
+    shared: &Arc<EngineShared>,
+    core: Option<usize>,
+    start_clock: SimTime,
+    body: F,
+) -> ThreadId
+where
+    F: FnOnce(&mut ThreadCtx) + Send + 'static,
+{
+    let (permit_tx, permit_rx): (Sender<()>, Receiver<()>) = std::sync::mpsc::channel();
+    let mut st = shared.state.lock();
+    let id = st.threads.len();
+    let core = core.unwrap_or_else(|| {
+        let c = shared.default_cores[st.rr_core % shared.default_cores.len()];
+        st.rr_core += 1;
+        c
+    });
+    let pending = Arc::new(AtomicBool::new(false));
+    st.threads.push(ThreadRec {
+        clock: start_clock,
+        status: Status::Runnable,
+        permit: permit_tx,
+        pending_signal: Arc::clone(&pending),
+        joiners: Vec::new(),
+        finish_time: SimTime::ZERO,
+    });
+    st.live += 1;
+
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("sim-{id}"))
+        .spawn(move || runner(shared2, id, core, pending, permit_rx, body))
+        .expect("spawn simulated thread");
+    st.handles.push(handle);
+    ThreadId(id)
+}
+
+fn runner<F>(
+    shared: Arc<EngineShared>,
+    id: usize,
+    core: usize,
+    pending: Arc<AtomicBool>,
+    permit_rx: Receiver<()>,
+    body: F,
+) where
+    F: FnOnce(&mut ThreadCtx) + Send + 'static,
+{
+    // Wait to be scheduled for the first time.
+    if permit_rx.recv().is_err() {
+        return;
+    }
+    if shared.state.lock().shutdown {
+        return;
+    }
+    let mut ctx = ThreadCtx::new(Arc::clone(&shared), ThreadId(id), core, pending, permit_rx);
+    ctx.resume_bookkeeping();
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        ctx.dispatch_thread_start();
+        body(&mut ctx);
+        ctx.dispatch_thread_exit();
+    }));
+    match result {
+        Ok(()) => {
+            finish_thread(&shared, id, ctx.now());
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<ShutdownSignal>().is_some() {
+                return; // orderly shutdown
+            }
+            let msg = panic_message(&*payload);
+            let mut st = shared.state.lock();
+            if st.failure.is_none() {
+                st.failure = Some(format!("thread t{id} panicked: {msg}"));
+            }
+            abort_all(&mut st);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_owned()
+    }
+}
+
+/// Marks a thread finished, wakes joiners, and schedules the next thread.
+pub(crate) fn finish_thread(shared: &Arc<EngineShared>, id: usize, clock: SimTime) {
+    let mut st = shared.state.lock();
+    st.threads[id].status = Status::Finished;
+    st.threads[id].clock = clock;
+    st.threads[id].finish_time = clock;
+    st.live -= 1;
+    let joiners = std::mem::take(&mut st.threads[id].joiners);
+    for j in joiners {
+        let floor = clock + Duration::from_ns(HANDOFF_NS);
+        let t = &mut st.threads[j];
+        t.clock = t.clock.max(floor);
+        t.status = Status::Runnable;
+    }
+    schedule_next(shared, &mut st);
+}
+
+/// Picks and wakes the runnable thread with the minimum clock. Detects
+/// completion and deadlock.
+pub(crate) fn schedule_next(shared: &Arc<EngineShared>, st: &mut SchedState) {
+    if st.shutdown {
+        return;
+    }
+    let next = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::Runnable)
+        .min_by_key(|(i, t)| (t.clock, *i))
+        .map(|(i, _)| i);
+    match next {
+        Some(i) => {
+            // A send can only fail if the target already exited during
+            // shutdown, which `st.shutdown` excludes.
+            st.threads[i]
+                .permit
+                .send(())
+                .expect("runnable thread must be parked");
+        }
+        None if st.live == 0 => {
+            if let Some(tx) = st.done_tx.take() {
+                let _ = tx.send(());
+            }
+        }
+        None => {
+            let blocked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Blocked)
+                .map(|(i, t)| format!("t{i}@{}", t.clock))
+                .collect();
+            st.failure = Some(format!(
+                "deadlock: {} live thread(s), all blocked: {}",
+                st.live,
+                blocked.join(", ")
+            ));
+            abort_all(st);
+        }
+    }
+    let _ = shared;
+}
+
+/// Wakes every parked thread into shutdown and signals the host.
+pub(crate) fn abort_all(st: &mut SchedState) {
+    st.shutdown = true;
+    for t in &st.threads {
+        if t.status != Status::Finished {
+            let _ = t.permit.send(());
+        }
+    }
+    if let Some(tx) = st.done_tx.take() {
+        let _ = tx.send(());
+    }
+}
+
+/// Allocates a new mutex.
+pub(crate) fn new_mutex(shared: &EngineShared) -> MutexId {
+    let mut st = shared.state.lock();
+    st.mutexes.push(MutexRec::default());
+    MutexId(st.mutexes.len() - 1)
+}
+
+/// Allocates a new condition variable.
+pub(crate) fn new_cond(shared: &EngineShared) -> CondId {
+    let mut st = shared.state.lock();
+    st.conds.push(CondRec::default());
+    CondId(st.conds.len() - 1)
+}
+
+/// Allocates a new barrier for `parties` threads.
+pub(crate) fn new_barrier(shared: &EngineShared, parties: usize) -> crate::BarrierId {
+    assert!(parties >= 1, "barrier needs at least one party");
+    let mut st = shared.state.lock();
+    st.barriers.push(BarrierRec {
+        parties,
+        waiting: Vec::new(),
+    });
+    crate::BarrierId(st.barriers.len() - 1)
+}

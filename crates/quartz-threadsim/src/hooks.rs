@@ -1,0 +1,68 @@
+//! Interposition hooks — the simulation's `LD_PRELOAD`.
+
+use crate::ctx::ThreadCtx;
+
+/// Callbacks invoked at the interposition points the real Quartz library
+/// obtains by overriding weak pthread symbols (paper §3.1).
+///
+/// Hooks receive the full [`ThreadCtx`] of the thread at the
+/// interposition point, so an implementation can read performance
+/// counters, spin to inject delays, and keep per-thread state keyed by
+/// [`ThreadCtx::thread_id`]. Hook invocations are not re-entrant: an
+/// operation performed *inside* a hook does not trigger further hooks.
+pub trait Hooks: Send + Sync {
+    /// A new application thread started (interposed `pthread_create`
+    /// callback: the thread registers itself with the monitor).
+    fn on_thread_start(&self, ctx: &mut ThreadCtx) {
+        let _ = ctx;
+    }
+
+    /// The thread is about to exit.
+    fn on_thread_exit(&self, ctx: &mut ThreadCtx) {
+        let _ = ctx;
+    }
+
+    /// The thread is about to acquire a mutex (interposed
+    /// `pthread_mutex_lock`). Closing the epoch here injects the delay
+    /// accumulated *outside* the critical section before the lock is
+    /// taken, so it overlaps with other threads' critical sections
+    /// instead of serializing inside the next one (paper §2.3: epochs
+    /// close "when the thread enters and/or exits a critical section").
+    fn before_mutex_lock(&self, ctx: &mut ThreadCtx) {
+        let _ = ctx;
+    }
+
+    /// The thread is about to release a mutex (interposed
+    /// `pthread_mutex_unlock`). Delay injected here lands *before* the
+    /// release and therefore propagates to threads waiting on the lock —
+    /// the correct multithreaded emulation of Fig. 4 (b).
+    fn before_mutex_unlock(&self, ctx: &mut ThreadCtx) {
+        let _ = ctx;
+    }
+
+    /// The thread is about to notify a condition variable.
+    fn before_cond_notify(&self, ctx: &mut ThreadCtx) {
+        let _ = ctx;
+    }
+
+    /// The thread is about to wait at a barrier (OpenMP-style
+    /// synchronization, one of the paper's §7 extension targets). Delay
+    /// injected here lands before the barrier and therefore delays the
+    /// whole barrier generation — the correct propagation for
+    /// bulk-synchronous code.
+    fn before_barrier(&self, ctx: &mut ThreadCtx) {
+        let _ = ctx;
+    }
+
+    /// The monitor signalled this thread (its epoch exceeded the maximum
+    /// epoch length). Delivered at the thread's next operation boundary.
+    fn on_signal(&self, ctx: &mut ThreadCtx) {
+        let _ = ctx;
+    }
+}
+
+/// A no-op hook set (running "without the emulator").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoHooks;
+
+impl Hooks for NoHooks {}

@@ -1,0 +1,70 @@
+//! Deterministic discrete-event thread simulation for the Quartz
+//! reproduction.
+//!
+//! Workloads are ordinary Rust closures that receive a [`ThreadCtx`] and
+//! issue memory operations, compute, and synchronization through it. Each
+//! simulated thread runs on its own OS thread, but **exactly one runs at a
+//! time**: at every operation boundary the scheduler hands control to the
+//! runnable thread with the smallest virtual clock (with a configurable
+//! lookahead quantum to amortize hand-offs), so every run is bit-for-bit
+//! deterministic regardless of host scheduling.
+//!
+//! The engine provides the interposition points the real Quartz obtains
+//! with `LD_PRELOAD` (paper §3.1):
+//!
+//! * [`Hooks::on_thread_start`] — `pthread_create` interposition
+//!   (thread registration with the monitor),
+//! * [`Hooks::before_mutex_unlock`] — `pthread_mutex_unlock`
+//!   interposition (epoch close + delay injection *before* the lock is
+//!   released, so the delay propagates to waiters, Fig. 4 (b)),
+//! * [`Hooks::on_signal`] — the POSIX signal the monitor thread sends
+//!   when a thread's epoch exceeds the maximum epoch length,
+//! * periodic [`Engine::add_timer`] callbacks — the monitor thread
+//!   itself, including its wake-up drift relative to epoch boundaries.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use quartz_platform::{Architecture, Platform, PlatformConfig};
+//! use quartz_memsim::{MemSimConfig, MemorySystem};
+//! use quartz_threadsim::Engine;
+//!
+//! let platform = Platform::new(PlatformConfig::new(Architecture::IvyBridge));
+//! let mem = Arc::new(MemorySystem::new(platform, MemSimConfig::default()));
+//! let engine = Engine::new(mem);
+//! let report = engine.run(|ctx| {
+//!     let a = ctx.alloc_local(4096);
+//!     ctx.load(a);
+//!     ctx.compute_ns(100.0);
+//! });
+//! assert!(report.end_time.as_ns_f64() > 100.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ctx;
+pub mod engine;
+pub mod hooks;
+pub mod timer;
+
+pub use ctx::ThreadCtx;
+pub use engine::{Engine, RunReport, ThreadId};
+pub use hooks::Hooks;
+pub use timer::TimerApi;
+
+/// Identifies a simulated mutex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MutexId(pub(crate) usize);
+
+/// Identifies a simulated condition variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CondId(pub(crate) usize);
+
+/// Identifies a simulated barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BarrierId(pub(crate) usize);
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,430 @@
+//! Engine behaviour tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use quartz_memsim::{MemSimConfig, MemorySystem};
+use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::{Architecture, Platform, PlatformConfig};
+
+use crate::{Engine, Hooks, ThreadCtx};
+
+fn engine(arch: Architecture) -> Engine {
+    let platform = Platform::new(PlatformConfig::new(arch).with_perfect_counters());
+    let mem = Arc::new(MemorySystem::new(
+        platform,
+        MemSimConfig::default().without_jitter(),
+    ));
+    Engine::new(mem)
+}
+
+#[test]
+fn single_thread_advances_time() {
+    let report = engine(Architecture::IvyBridge).run(|ctx| {
+        ctx.compute_ns(1_000.0);
+        let a = ctx.alloc_local(4096);
+        ctx.load(a);
+    });
+    assert!(report.root_finish.as_ns_f64() > 1_000.0);
+    assert_eq!(report.root_finish, report.end_time);
+}
+
+#[test]
+fn spawn_and_join_ordering() {
+    let report = engine(Architecture::IvyBridge).run(|ctx| {
+        let t = ctx.spawn(|c| c.compute_ns(10_000.0));
+        ctx.compute_ns(100.0);
+        ctx.join(t);
+        // Joiner resumed after the child's 10 us of work.
+        assert!(ctx.now().as_ns_f64() >= 10_000.0);
+    });
+    assert!(report.end_time.as_ns_f64() >= 10_000.0);
+}
+
+#[test]
+fn threads_run_concurrently_in_virtual_time() {
+    // Two threads each computing 1 ms finish at ~1 ms, not 2 ms.
+    let report = engine(Architecture::IvyBridge).run(|ctx| {
+        let a = ctx.spawn(|c| c.compute_ns(1_000_000.0));
+        let b = ctx.spawn(|c| c.compute_ns(1_000_000.0));
+        ctx.join(a);
+        ctx.join(b);
+    });
+    let ns = report.end_time.as_ns_f64();
+    assert!(ns < 1_100_000.0, "parallel threads overlapped: {ns}");
+    assert!(ns >= 1_000_000.0);
+}
+
+#[test]
+fn mutex_provides_mutual_exclusion_in_virtual_time() {
+    // Two threads each hold the lock for 1 ms: total ≥ 2 ms.
+    let report = engine(Architecture::IvyBridge).run(|ctx| {
+        let m = ctx.mutex_new();
+        let mut kids = Vec::new();
+        for _ in 0..2 {
+            kids.push(ctx.spawn(move |c| {
+                c.mutex_lock(m);
+                c.compute_ns(1_000_000.0);
+                c.mutex_unlock(m);
+            }));
+        }
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    assert!(
+        report.end_time.as_ns_f64() >= 2_000_000.0,
+        "critical sections serialized: {}",
+        report.end_time
+    );
+}
+
+#[test]
+fn delay_injected_before_unlock_propagates_to_waiter() {
+    // A hook that spins 1 ms before every unlock; with two threads taking
+    // the lock back-to-back, the second thread's acquisition is pushed
+    // past the first thread's injected delay (paper Fig. 4 (b)).
+    struct SpinOnUnlock;
+    impl Hooks for SpinOnUnlock {
+        fn before_mutex_unlock(&self, ctx: &mut ThreadCtx) {
+            ctx.spin(Duration::from_ms(1));
+        }
+    }
+    let e = engine(Architecture::IvyBridge);
+    e.set_hooks(Arc::new(SpinOnUnlock));
+    let acquired_at = Arc::new(AtomicU64::new(0));
+    let acq = Arc::clone(&acquired_at);
+    let report = e.run(move |ctx| {
+        let m = ctx.mutex_new();
+        ctx.mutex_lock(m);
+        let child = ctx.spawn(move |c| {
+            c.mutex_lock(m);
+            acq.store(c.now().as_ps(), Ordering::Relaxed);
+            c.mutex_unlock(m);
+        });
+        ctx.compute_ns(100.0);
+        ctx.mutex_unlock(m); // hook spins 1 ms first
+        ctx.join(child);
+    });
+    let t_acq = SimTime::from_ps(acquired_at.load(Ordering::Relaxed));
+    assert!(
+        t_acq.as_ns_f64() >= 1_000_100.0,
+        "waiter saw the injected delay: acquired at {t_acq}"
+    );
+    assert!(report.end_time.as_ns_f64() >= 2_000_000.0, "both unlocks spun");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run_once = || {
+        let e = engine(Architecture::Haswell);
+        e.run(|ctx| {
+            let m = ctx.mutex_new();
+            let mut kids = Vec::new();
+            for i in 0..4u64 {
+                kids.push(ctx.spawn(move |c| {
+                    let a = c.alloc_local(1 << 16);
+                    for k in 0..200u64 {
+                        c.mutex_lock(m);
+                        c.load(a.offset_by(((k * 7 + i) % 1000) * 64));
+                        c.compute_ns(35.0);
+                        c.mutex_unlock(m);
+                        c.compute_ns(10.0);
+                    }
+                }));
+            }
+            for k in kids {
+                ctx.join(k);
+            }
+        })
+        .end_time
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "identical runs produce identical virtual end times");
+}
+
+#[test]
+fn condvar_wait_notify() {
+    let report = engine(Architecture::IvyBridge).run(|ctx| {
+        let m = ctx.mutex_new();
+        let cv = ctx.cond_new();
+        let child = ctx.spawn(move |c| {
+            c.mutex_lock(m);
+            c.cond_wait(cv, m);
+            // Resumed with the mutex held, after notifier's 500 us.
+            assert!(c.now().as_ns_f64() >= 500_000.0, "woke at {}", c.now());
+            c.mutex_unlock(m);
+        });
+        ctx.compute_ns(500_000.0);
+        ctx.mutex_lock(m);
+        ctx.cond_notify_one(cv);
+        ctx.mutex_unlock(m);
+        ctx.join(child);
+    });
+    assert!(report.end_time.as_ns_f64() >= 500_000.0);
+}
+
+#[test]
+fn notify_all_wakes_everyone() {
+    let woken = Arc::new(AtomicU64::new(0));
+    let w = Arc::clone(&woken);
+    engine(Architecture::IvyBridge).run(move |ctx| {
+        let m = ctx.mutex_new();
+        let cv = ctx.cond_new();
+        let mut kids = Vec::new();
+        for _ in 0..3 {
+            let w = Arc::clone(&w);
+            kids.push(ctx.spawn(move |c| {
+                c.mutex_lock(m);
+                c.cond_wait(cv, m);
+                w.fetch_add(1, Ordering::Relaxed);
+                c.mutex_unlock(m);
+            }));
+        }
+        // Let all three block first.
+        ctx.compute_ns(100_000.0);
+        ctx.mutex_lock(m);
+        ctx.cond_notify_all(cv);
+        ctx.mutex_unlock(m);
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    assert_eq!(woken.load(Ordering::Relaxed), 3);
+}
+
+#[test]
+fn monitor_timer_fires_and_signals() {
+    struct CountSignals(Arc<AtomicU64>);
+    impl Hooks for CountSignals {
+        fn on_signal(&self, ctx: &mut ThreadCtx) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            let _ = ctx;
+        }
+    }
+    let count = Arc::new(AtomicU64::new(0));
+    let e = engine(Architecture::IvyBridge);
+    e.set_hooks(Arc::new(CountSignals(Arc::clone(&count))));
+    // Signal every live thread every 100 us.
+    e.add_timer(Duration::from_us(100), |api| {
+        for t in api.live_threads().to_vec() {
+            api.signal_thread(t);
+        }
+    });
+    e.run(|ctx| {
+        for _ in 0..100 {
+            ctx.compute_ns(10_000.0); // 10 us per op, 1 ms total
+        }
+    });
+    let n = count.load(Ordering::Relaxed);
+    // ~10 firings over 1 ms; lazy delivery may skip boundaries.
+    assert!((5..=12).contains(&n), "signals delivered: {n}");
+}
+
+#[test]
+fn signal_delivery_drifts_to_op_boundary() {
+    struct StampSignal(Arc<AtomicU64>);
+    impl Hooks for StampSignal {
+        fn on_signal(&self, ctx: &mut ThreadCtx) {
+            self.0.store(ctx.now().as_ps(), Ordering::Relaxed);
+        }
+    }
+    let stamp = Arc::new(AtomicU64::new(0));
+    let e = engine(Architecture::IvyBridge);
+    e.set_hooks(Arc::new(StampSignal(Arc::clone(&stamp))));
+    e.add_timer(Duration::from_us(100), |api| {
+        for t in api.live_threads().to_vec() {
+            api.signal_thread(t);
+        }
+    });
+    e.run(|ctx| {
+        // One long op crossing the 100 us firing: delivery lands after.
+        ctx.compute_ns(250_000.0);
+        ctx.compute_ns(1.0);
+    });
+    let t = stamp.load(Ordering::Relaxed) as f64 / 1000.0;
+    assert!(t >= 250_000.0, "signal delivered at boundary: {t} ns");
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn deadlock_is_detected() {
+    engine(Architecture::IvyBridge).run(|ctx| {
+        let m = ctx.mutex_new();
+        ctx.mutex_lock(m);
+        let child = ctx.spawn(move |c| {
+            c.mutex_lock(m); // never released by parent
+        });
+        ctx.join(child); // parent waits for child; child waits for mutex
+    });
+}
+
+#[test]
+#[should_panic(expected = "boom")]
+fn thread_panic_propagates() {
+    engine(Architecture::IvyBridge).run(|ctx| {
+        let child = ctx.spawn(|_| panic!("boom"));
+        ctx.join(child);
+    });
+}
+
+#[test]
+fn thread_start_hook_runs_per_thread() {
+    struct CountStarts(Arc<AtomicU64>);
+    impl Hooks for CountStarts {
+        fn on_thread_start(&self, ctx: &mut ThreadCtx) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            // Registration cost (paper: 300k cycles).
+            let p = ctx.platform();
+            ctx.charge(p.cycles(p.op_costs().thread_register_cycles));
+        }
+    }
+    let count = Arc::new(AtomicU64::new(0));
+    let e = engine(Architecture::IvyBridge);
+    e.set_hooks(Arc::new(CountStarts(Arc::clone(&count))));
+    e.run(|ctx| {
+        let kids: Vec<_> = (0..3).map(|_| ctx.spawn(|c| c.compute_ns(10.0))).collect();
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 4, "root + 3 children");
+}
+
+#[test]
+fn rdtscp_tracks_virtual_time() {
+    engine(Architecture::IvyBridge).run(|ctx| {
+        let t0 = ctx.rdtscp();
+        ctx.compute_ns(1_000.0);
+        let t1 = ctx.rdtscp();
+        // 1 us at 2.2 GHz = 2200 cycles (plus small instruction costs).
+        let delta = t1 - t0;
+        assert!((2_200..2_400).contains(&delta), "tsc delta {delta}");
+    });
+}
+
+#[test]
+fn threads_place_on_distinct_socket0_cores() {
+    engine(Architecture::IvyBridge).run(|ctx| {
+        assert_eq!(ctx.core(), 0);
+        let k1 = ctx.spawn(|c| assert_eq!(c.core(), 1));
+        let k2 = ctx.spawn(|c| assert_eq!(c.core(), 2));
+        let k3 = ctx.spawn_on(7, |c| assert_eq!(c.core(), 7));
+        ctx.join(k1);
+        ctx.join(k2);
+        ctx.join(k3);
+    });
+}
+
+#[test]
+fn contended_lock_fifo_fairness() {
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let o = Arc::clone(&order);
+    engine(Architecture::IvyBridge).run(move |ctx| {
+        let m = ctx.mutex_new();
+        ctx.mutex_lock(m);
+        let mut kids = Vec::new();
+        for i in 0..3u64 {
+            let o = Arc::clone(&o);
+            // Children start at slightly increasing clocks, so they
+            // block on the mutex in spawn order.
+            ctx.compute_ns(1_000.0);
+            kids.push(ctx.spawn(move |c| {
+                c.mutex_lock(m);
+                o.lock().push(i);
+                c.mutex_unlock(m);
+            }));
+        }
+        ctx.compute_ns(100_000.0);
+        ctx.mutex_unlock(m);
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    assert_eq!(*order.lock(), vec![0, 1, 2]);
+}
+
+#[test]
+fn barrier_synchronizes_generations() {
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let o = Arc::clone(&order);
+    engine(Architecture::IvyBridge).run(move |ctx| {
+        let b = ctx.barrier_new(3);
+        let mut kids = Vec::new();
+        for i in 0..3u64 {
+            let o = Arc::clone(&o);
+            kids.push(ctx.spawn(move |c| {
+                // Uneven work before the barrier.
+                c.compute_ns(1_000.0 * (i + 1) as f64);
+                o.lock().push(("before", i, c.now().as_ps()));
+                c.barrier_wait(b);
+                o.lock().push(("after", i, c.now().as_ps()));
+            }));
+        }
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    let events = order.lock();
+    let max_before = events
+        .iter()
+        .filter(|e| e.0 == "before")
+        .map(|e| e.2)
+        .max()
+        .unwrap();
+    for e in events.iter().filter(|e| e.0 == "after") {
+        assert!(e.2 >= max_before, "no thread passes before the slowest arrives");
+    }
+}
+
+#[test]
+fn barrier_reports_one_leader_per_generation() {
+    let leaders = Arc::new(AtomicU64::new(0));
+    let l = Arc::clone(&leaders);
+    engine(Architecture::IvyBridge).run(move |ctx| {
+        let b = ctx.barrier_new(4);
+        let mut kids = Vec::new();
+        for i in 0..4u64 {
+            let l = Arc::clone(&l);
+            kids.push(ctx.spawn(move |c| {
+                for _ in 0..5 {
+                    c.compute_ns(100.0 * (i + 1) as f64);
+                    if c.barrier_wait(b) {
+                        l.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    assert_eq!(leaders.load(Ordering::Relaxed), 5, "one leader per generation");
+}
+
+#[test]
+fn barrier_hook_delay_propagates_to_all() {
+    struct SpinAtBarrier;
+    impl Hooks for SpinAtBarrier {
+        fn before_barrier(&self, ctx: &mut ThreadCtx) {
+            ctx.spin(Duration::from_ms(1));
+        }
+    }
+    let e = engine(Architecture::IvyBridge);
+    e.set_hooks(Arc::new(SpinAtBarrier));
+    let report = e.run(|ctx| {
+        let b = ctx.barrier_new(2);
+        let k1 = ctx.spawn(move |c| {
+            c.barrier_wait(b);
+        });
+        let k2 = ctx.spawn(move |c| {
+            c.barrier_wait(b);
+            // Both threads' injected delays land before the rendezvous.
+            assert!(c.now().as_ns_f64() >= 1_000_000.0, "at {}", c.now());
+        });
+        ctx.join(k1);
+        ctx.join(k2);
+    });
+    assert!(report.end_time.as_ns_f64() >= 1_000_000.0);
+}

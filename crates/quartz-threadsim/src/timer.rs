@@ -1,0 +1,47 @@
+//! Periodic virtual-time timers — the monitor thread.
+//!
+//! The real Quartz monitor is an OS thread that "periodically wakes up
+//! and sends POSIX signals to interrupt each application thread whose
+//! current epoch time length exceeds a configurable maximum" (paper
+//! §3.1). We model it as a periodic callback in virtual time, evaluated
+//! lazily at the running thread's operation boundaries — which reproduces
+//! the paper's observation that "wake-up events and thread epoch
+//! completion times may slightly drift apart".
+
+use quartz_platform::time::SimTime;
+
+use crate::engine::ThreadId;
+
+/// What a timer callback may do: inspect live threads and mark them as
+/// signalled. The flags are consumed at each target thread's next
+/// operation boundary, where [`crate::Hooks::on_signal`] runs.
+pub struct TimerApi<'a> {
+    pub(crate) fire_time: SimTime,
+    pub(crate) live: &'a [ThreadId],
+    pub(crate) signalled: Vec<ThreadId>,
+}
+
+impl TimerApi<'_> {
+    /// The virtual instant this firing represents.
+    pub fn fire_time(&self) -> SimTime {
+        self.fire_time
+    }
+
+    /// Threads currently alive (running, runnable or blocked).
+    pub fn live_threads(&self) -> &[ThreadId] {
+        self.live
+    }
+
+    /// Sends a signal to `thread`, delivered at its next operation
+    /// boundary.
+    pub fn signal_thread(&mut self, thread: ThreadId) {
+        self.signalled.push(thread);
+    }
+}
+
+/// A periodic callback run by the engine.
+pub(crate) struct TimerRec {
+    pub period: quartz_platform::time::Duration,
+    pub next_fire: SimTime,
+    pub callback: Box<dyn FnMut(&mut TimerApi<'_>) + Send>,
+}

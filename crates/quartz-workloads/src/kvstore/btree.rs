@@ -1,0 +1,611 @@
+//! The lock-striped B+-tree behind [`KvStore`].
+//!
+//! Nodes live in simulated memory: each node owns a 256-byte allocation
+//! (4 cache lines — key area and payload area), and every traversal
+//! touches the key lines of each node on the root-to-leaf path, exactly
+//! the cache-miss profile that makes key-value stores latency-sensitive
+//! (Fig. 16 (c)).
+//!
+//! # Host-lock discipline
+//!
+//! The simulated-thread engine runs exactly one thread at a time, so a
+//! host-side lock held across a `ThreadCtx` operation (which may hand
+//! control to another simulated thread) deadlocks the whole simulation.
+//! Every operation therefore follows **plan-then-execute**: it takes the
+//! host tree lock briefly to walk/mutate the host structure and record
+//! the simulated addresses it touched, releases the lock, and only then
+//! replays the address trace through `ThreadCtx`. Simulated-time mutual
+//! exclusion between writers comes from striped *simulated* mutexes,
+//! which are safe to block on.
+
+use parking_lot::Mutex;
+use quartz::Quartz;
+use quartz_memsim::Addr;
+use quartz_platform::NodeId;
+use quartz_threadsim::{MutexId, ThreadCtx};
+
+/// Maximum keys per node (order). 16 keys × 8 B = two cache lines.
+const ORDER: usize = 16;
+
+/// Bytes allocated per node (4 lines: keys + payload).
+const NODE_BYTES: u64 = 256;
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Internal { children: Vec<usize> },
+    Leaf { values: Vec<u64> },
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    keys: Vec<u64>,
+    kind: NodeKind,
+    addr: Addr,
+}
+
+#[derive(Debug)]
+struct Tree {
+    nodes: Vec<Node>,
+    root: usize,
+    len: u64,
+    /// Pre-allocated node frames, refilled outside the host lock.
+    spare_addrs: Vec<Addr>,
+}
+
+/// The memory ops a structural operation decided on, replayed through
+/// the ctx after the host lock is released.
+#[derive(Debug, Default)]
+struct Trace {
+    loads: Vec<Addr>,
+    stores: Vec<Addr>,
+    flushes: Vec<Addr>,
+}
+
+impl Trace {
+    fn replay(self, ctx: &mut ThreadCtx, quartz: Option<&Quartz>) {
+        for a in self.loads {
+            ctx.load(a);
+        }
+        for a in self.stores {
+            ctx.store(a);
+        }
+        if let Some(q) = quartz {
+            for a in self.flushes {
+                q.pflush(ctx, a);
+            }
+        }
+    }
+}
+
+/// Key-value store configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Node hosting the tree nodes (use the Quartz NVM node for a
+    /// persistent index).
+    pub node: NodeId,
+    /// Number of writer lock stripes.
+    pub stripes: usize,
+    /// Flush dirtied node lines with `pflush` after every update
+    /// (requires passing a [`Quartz`] handle to [`KvStore::put`]).
+    pub persist: bool,
+}
+
+impl KvConfig {
+    /// A volatile store on `node` with 64 stripes.
+    pub fn new(node: NodeId) -> Self {
+        KvConfig {
+            node,
+            stripes: 64,
+            persist: false,
+        }
+    }
+
+    /// Enables `pflush`-based persistence of updates.
+    pub fn with_persistence(mut self) -> Self {
+        self.persist = true;
+        self
+    }
+}
+
+/// A concurrent ordered map from `u64` to `u64` over simulated memory.
+pub struct KvStore {
+    config: KvConfig,
+    tree: Mutex<Tree>,
+    stripes: Vec<MutexId>,
+}
+
+/// Spare node frames kept pre-allocated so splits never allocate inside
+/// the host lock.
+const SPARE_TARGET: usize = 8;
+
+impl KvStore {
+    /// Creates an empty store; allocates the root leaf and the lock
+    /// stripes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripes` is zero or allocation fails.
+    pub fn create(ctx: &mut ThreadCtx, config: KvConfig) -> Self {
+        assert!(config.stripes > 0, "need at least one stripe");
+        let root_addr = ctx.alloc_on(config.node, NODE_BYTES);
+        let spare_addrs = (0..SPARE_TARGET)
+            .map(|_| ctx.alloc_on(config.node, NODE_BYTES))
+            .collect();
+        let stripes = (0..config.stripes).map(|_| ctx.mutex_new()).collect();
+        KvStore {
+            config,
+            tree: Mutex::new(Tree {
+                nodes: vec![Node {
+                    keys: Vec::new(),
+                    kind: NodeKind::Leaf { values: Vec::new() },
+                    addr: root_addr,
+                }],
+                root: 0,
+                len: 0,
+                spare_addrs,
+            }),
+            stripes,
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> u64 {
+        self.tree.lock().len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn stripe_of(&self, key: u64) -> MutexId {
+        let mut x = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        self.stripes[(x as usize) % self.stripes.len()]
+    }
+
+    /// Tops up the spare node-frame pool (outside the host lock).
+    fn refill_spares(&self, ctx: &mut ThreadCtx) {
+        loop {
+            let need = {
+                let tree = self.tree.lock();
+                SPARE_TARGET.saturating_sub(tree.spare_addrs.len())
+            };
+            if need == 0 {
+                return;
+            }
+            let addr = ctx.alloc_on(self.config.node, NODE_BYTES);
+            self.tree.lock().spare_addrs.push(addr);
+        }
+    }
+
+    /// Host-side root-to-leaf descent recording the traversal loads.
+    fn descend(tree: &Tree, key: u64, trace: &mut Trace) -> Vec<usize> {
+        let mut path = Vec::with_capacity(6);
+        let mut cur = tree.root;
+        loop {
+            let node = &tree.nodes[cur];
+            // Key lines of every node on the path.
+            trace.loads.push(node.addr);
+            trace.loads.push(node.addr.offset_by(64));
+            path.push(cur);
+            match &node.kind {
+                NodeKind::Leaf { .. } => return path,
+                NodeKind::Internal { children } => {
+                    let slot = node.keys.partition_point(|&k| k <= key);
+                    cur = children[slot];
+                }
+            }
+        }
+    }
+
+    /// Looks a key up. Readers take no locks (MassTree-style lock-free
+    /// reads).
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64) -> Option<u64> {
+        let mut trace = Trace::default();
+        let result = {
+            let tree = self.tree.lock();
+            let path = Self::descend(&tree, key, &mut trace);
+            let leaf = &tree.nodes[*path.last().expect("non-empty path")];
+            trace.loads.push(leaf.addr.offset_by(128)); // payload line
+            match &leaf.kind {
+                NodeKind::Leaf { values } => {
+                    leaf.keys.binary_search(&key).ok().map(|i| values[i])
+                }
+                NodeKind::Internal { .. } => unreachable!("descend ends at a leaf"),
+            }
+        };
+        trace.replay(ctx, None);
+        result
+    }
+
+    /// Inserts or updates a key, returning the previous value. Writers
+    /// serialize per stripe; pass `quartz` to flush dirtied lines when
+    /// persistence is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `persist` is configured but `quartz` is `None`.
+    pub fn put(
+        &self,
+        ctx: &mut ThreadCtx,
+        quartz: Option<&Quartz>,
+        key: u64,
+        value: u64,
+    ) -> Option<u64> {
+        assert!(
+            !self.config.persist || quartz.is_some(),
+            "persistent store needs a Quartz handle for pflush"
+        );
+        self.refill_spares(ctx);
+        let stripe = self.stripe_of(key);
+        ctx.mutex_lock(stripe);
+        let mut trace = Trace::default();
+        let old = {
+            let mut tree = self.tree.lock();
+            let path = Self::descend(&tree, key, &mut trace);
+            let leaf_id = *path.last().expect("non-empty path");
+            let leaf_addr = tree.nodes[leaf_id].addr;
+            let old = {
+                let leaf = &mut tree.nodes[leaf_id];
+                let NodeKind::Leaf { values } = &mut leaf.kind else {
+                    unreachable!("descend ends at a leaf")
+                };
+                match leaf.keys.binary_search(&key) {
+                    Ok(i) => {
+                        let old = values[i];
+                        values[i] = value;
+                        Some(old)
+                    }
+                    Err(i) => {
+                        leaf.keys.insert(i, key);
+                        values.insert(i, value);
+                        None
+                    }
+                }
+            };
+            // Key line and payload line dirtied.
+            trace.stores.push(leaf_addr);
+            trace.stores.push(leaf_addr.offset_by(128));
+            if self.config.persist {
+                trace.flushes.push(leaf_addr);
+                trace.flushes.push(leaf_addr.offset_by(128));
+            }
+            if old.is_none() {
+                tree.len += 1;
+                if tree.nodes[leaf_id].keys.len() > ORDER {
+                    Self::split(&mut tree, &path, self.config.persist, &mut trace);
+                }
+            }
+            old
+        };
+        trace.replay(ctx, quartz);
+        ctx.mutex_unlock(stripe);
+        old
+    }
+
+    /// Removes a key, returning its value. (Leaf-local removal; no
+    /// rebalancing — deletions are rare in the paper's put/get workloads,
+    /// and MassTree itself defers structural shrinking.)
+    pub fn remove(&self, ctx: &mut ThreadCtx, quartz: Option<&Quartz>, key: u64) -> Option<u64> {
+        let stripe = self.stripe_of(key);
+        ctx.mutex_lock(stripe);
+        let mut trace = Trace::default();
+        let old = {
+            let mut tree = self.tree.lock();
+            let path = Self::descend(&tree, key, &mut trace);
+            let leaf_id = *path.last().expect("non-empty path");
+            let leaf_addr = tree.nodes[leaf_id].addr;
+            let leaf = &mut tree.nodes[leaf_id];
+            let NodeKind::Leaf { values } = &mut leaf.kind else {
+                unreachable!("descend ends at a leaf")
+            };
+            match leaf.keys.binary_search(&key) {
+                Ok(i) => {
+                    leaf.keys.remove(i);
+                    let old = values.remove(i);
+                    trace.stores.push(leaf_addr);
+                    trace.stores.push(leaf_addr.offset_by(128));
+                    if self.config.persist {
+                        trace.flushes.push(leaf_addr);
+                    }
+                    tree.len -= 1;
+                    Some(old)
+                }
+                Err(_) => None,
+            }
+        };
+        trace.replay(ctx, quartz);
+        ctx.mutex_unlock(stripe);
+        old
+    }
+
+    /// Ordered scan: up to `limit` pairs with key >= `from`.
+    pub fn scan(&self, ctx: &mut ThreadCtx, from: u64, limit: usize) -> Vec<(u64, u64)> {
+        let mut trace = Trace::default();
+        let out = {
+            let tree = self.tree.lock();
+            let mut out = Vec::with_capacity(limit);
+            let mut stack = vec![tree.root];
+            let mut leaves = Vec::new();
+            while let Some(id) = stack.pop() {
+                match &tree.nodes[id].kind {
+                    NodeKind::Leaf { .. } => leaves.push(id),
+                    NodeKind::Internal { children } => {
+                        stack.extend(children.iter().rev());
+                    }
+                }
+            }
+            leaves.sort_by_key(|&id| tree.nodes[id].keys.first().copied().unwrap_or(u64::MAX));
+            'outer: for id in leaves {
+                let node = &tree.nodes[id];
+                if node.keys.last().is_some_and(|&k| k < from) {
+                    continue;
+                }
+                trace.loads.push(node.addr);
+                trace.loads.push(node.addr.offset_by(64));
+                trace.loads.push(node.addr.offset_by(128));
+                let NodeKind::Leaf { values } = &node.kind else {
+                    unreachable!()
+                };
+                for (i, &k) in node.keys.iter().enumerate() {
+                    if k >= from {
+                        out.push((k, values[i]));
+                        if out.len() >= limit {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            out
+        };
+        trace.replay(ctx, None);
+        out
+    }
+
+    /// Splits the over-full node at the end of `path`, propagating
+    /// upward. Uses pre-allocated spare frames; records writes in the
+    /// trace. Called with the host tree lock held (no ctx operations).
+    fn split(tree: &mut Tree, path: &[usize], persist: bool, trace: &mut Trace) {
+        let mut child_level = path.len() - 1;
+        loop {
+            let node_id = path[child_level];
+            if tree.nodes[node_id].keys.len() <= ORDER {
+                break;
+            }
+            let new_addr = tree
+                .spare_addrs
+                .pop()
+                .expect("spare pool refilled before every put");
+            let (sep, new_node) = {
+                let node = &mut tree.nodes[node_id];
+                let mid = node.keys.len() / 2;
+                match &mut node.kind {
+                    NodeKind::Leaf { values } => {
+                        let right_keys = node.keys.split_off(mid);
+                        let right_vals = values.split_off(mid);
+                        let sep = right_keys[0];
+                        (
+                            sep,
+                            Node {
+                                keys: right_keys,
+                                kind: NodeKind::Leaf { values: right_vals },
+                                addr: new_addr,
+                            },
+                        )
+                    }
+                    NodeKind::Internal { children } => {
+                        let mut right_keys = node.keys.split_off(mid);
+                        let sep = right_keys.remove(0);
+                        let right_children = children.split_off(mid + 1);
+                        (
+                            sep,
+                            Node {
+                                keys: right_keys,
+                                kind: NodeKind::Internal {
+                                    children: right_children,
+                                },
+                                addr: new_addr,
+                            },
+                        )
+                    }
+                }
+            };
+            let new_id = tree.nodes.len();
+            let left_addr = tree.nodes[node_id].addr;
+            for line in 0..4 {
+                trace.stores.push(left_addr.offset_by(line * 64));
+                trace.stores.push(new_addr.offset_by(line * 64));
+            }
+            if persist {
+                trace.flushes.push(left_addr);
+                trace.flushes.push(new_addr);
+            }
+            tree.nodes.push(new_node);
+
+            if child_level == 0 {
+                // Split of the root: grow the tree.
+                let root_addr = tree
+                    .spare_addrs
+                    .pop()
+                    .expect("spare pool refilled before every put");
+                let new_root = Node {
+                    keys: vec![sep],
+                    kind: NodeKind::Internal {
+                        children: vec![node_id, new_id],
+                    },
+                    addr: root_addr,
+                };
+                trace.stores.push(root_addr);
+                tree.root = tree.nodes.len();
+                tree.nodes.push(new_root);
+                break;
+            }
+            // Insert separator into the parent.
+            let parent_id = path[child_level - 1];
+            let parent = &mut tree.nodes[parent_id];
+            let slot = parent.keys.partition_point(|&k| k <= sep);
+            parent.keys.insert(slot, sep);
+            let NodeKind::Internal { children } = &mut parent.kind else {
+                unreachable!("parents are internal")
+            };
+            children.insert(slot + 1, new_id);
+            let parent_addr = parent.addr;
+            trace.stores.push(parent_addr);
+            child_level -= 1;
+        }
+    }
+
+    /// Depth of the tree (diagnostics).
+    pub fn depth(&self) -> usize {
+        let tree = self.tree.lock();
+        let mut d = 1;
+        let mut cur = tree.root;
+        loop {
+            match &tree.nodes[cur].kind {
+                NodeKind::Leaf { .. } => return d,
+                NodeKind::Internal { children } => {
+                    cur = children[0];
+                    d += 1;
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore")
+            .field("len", &self.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use quartz_memsim::{MemSimConfig, MemorySystem};
+    use quartz_platform::{Architecture, Platform, PlatformConfig};
+    use quartz_threadsim::Engine;
+
+    fn engine() -> Engine {
+        let platform =
+            Platform::new(PlatformConfig::new(Architecture::IvyBridge).with_perfect_counters());
+        Engine::new(Arc::new(MemorySystem::new(
+            platform,
+            MemSimConfig::default().without_jitter(),
+        )))
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        engine().run(|ctx| {
+            let store = KvStore::create(ctx, KvConfig::new(NodeId(0)));
+            assert!(store.is_empty());
+            assert_eq!(store.put(ctx, None, 5, 50), None);
+            assert_eq!(store.put(ctx, None, 5, 55), Some(50));
+            assert_eq!(store.get(ctx, 5), Some(55));
+            assert_eq!(store.get(ctx, 6), None);
+            assert_eq!(store.len(), 1);
+        });
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        engine().run(|ctx| {
+            let store = KvStore::create(ctx, KvConfig::new(NodeId(0)));
+            // Insert in a scrambled order.
+            let n = 2_000u64;
+            let mut k = 1u64;
+            for _ in 0..n {
+                k = (k * 48271) % 2_147_483_647;
+                store.put(ctx, None, k, k + 1);
+            }
+            assert!(store.depth() >= 3, "tree grew: depth {}", store.depth());
+            // All retrievable.
+            let mut k = 1u64;
+            for _ in 0..n {
+                k = (k * 48271) % 2_147_483_647;
+                assert_eq!(store.get(ctx, k), Some(k + 1));
+            }
+            // Scan returns sorted keys.
+            let scan = store.scan(ctx, 0, 100);
+            assert_eq!(scan.len(), 100);
+            assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+        });
+    }
+
+    #[test]
+    fn remove_works() {
+        engine().run(|ctx| {
+            let store = KvStore::create(ctx, KvConfig::new(NodeId(0)));
+            for k in 0..100 {
+                store.put(ctx, None, k, k);
+            }
+            assert_eq!(store.remove(ctx, None, 40), Some(40));
+            assert_eq!(store.remove(ctx, None, 40), None);
+            assert_eq!(store.get(ctx, 40), None);
+            assert_eq!(store.len(), 99);
+        });
+    }
+
+    #[test]
+    fn scan_from_midpoint() {
+        engine().run(|ctx| {
+            let store = KvStore::create(ctx, KvConfig::new(NodeId(0)));
+            for k in (0..200).map(|x| x * 2) {
+                store.put(ctx, None, k, k);
+            }
+            let scan = store.scan(ctx, 101, 5);
+            assert_eq!(
+                scan.iter().map(|p| p.0).collect::<Vec<_>>(),
+                vec![102, 104, 106, 108, 110]
+            );
+        });
+    }
+
+    #[test]
+    fn concurrent_writers_are_consistent() {
+        let out = Arc::new(parking_lot::Mutex::new(0u64));
+        let o = Arc::clone(&out);
+        engine().run(move |ctx| {
+            let store = Arc::new(KvStore::create(ctx, KvConfig::new(NodeId(0))));
+            let mut kids = Vec::new();
+            for t in 0..4u64 {
+                let store = Arc::clone(&store);
+                kids.push(ctx.spawn(move |c| {
+                    for i in 0..500u64 {
+                        store.put(c, None, t * 10_000 + i, i);
+                    }
+                }));
+            }
+            for k in kids {
+                ctx.join(k);
+            }
+            *o.lock() = store.len();
+            // Spot-check cross-thread visibility.
+            assert_eq!(store.get(ctx, 30_499), Some(499));
+        });
+        assert_eq!(*out.lock(), 2_000);
+    }
+
+    #[test]
+    fn traversal_costs_grow_with_depth() {
+        engine().run(|ctx| {
+            let store = KvStore::create(ctx, KvConfig::new(NodeId(0)));
+            for k in 0..5_000u64 {
+                store.put(ctx, None, k, k);
+            }
+            ctx.mem().invalidate_caches();
+            let t0 = ctx.now();
+            store.get(ctx, 4_321);
+            let cold = ctx.now().saturating_duration_since(t0).as_ns_f64();
+            // A cold lookup of a depth-d tree costs ≥ d DRAM misses.
+            let d = store.depth() as f64;
+            assert!(cold > (d - 1.0) * 87.0, "cold lookup {cold} ns at depth {d}");
+        });
+    }
+}

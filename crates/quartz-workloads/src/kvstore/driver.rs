@@ -1,0 +1,229 @@
+//! The key-value benchmark driver (Fig. 15/16 workload).
+//!
+//! Preloads the store, then runs `threads` workers issuing a zipfian
+//! put/get mix, reporting the `put/s` and `get/s` throughputs the paper's
+//! Fig. 15 validates.
+
+use std::sync::Arc;
+
+use quartz::Quartz;
+use quartz_platform::time::Duration;
+use quartz_threadsim::ThreadCtx;
+
+use crate::kvstore::btree::KvStore;
+use crate::zipf::Zipf;
+
+/// Benchmark parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KvBenchConfig {
+    /// Keys preloaded before the timed phase.
+    pub preload_keys: u64,
+    /// Operations per worker thread.
+    pub ops_per_thread: u64,
+    /// Worker threads (the paper sweeps 1, 2, 4, 8).
+    pub threads: usize,
+    /// Fraction of operations that are gets (rest are puts).
+    pub get_fraction: f64,
+    /// Zipfian skew of the key distribution.
+    pub zipf_theta: f64,
+    /// Host CPU work per get, in ns (key hashing, node search, version
+    /// validation — MassTree spends on the order of a microsecond of CPU
+    /// per operation on its 140M-key trees).
+    pub get_compute_ns: f64,
+    /// Host CPU work per put, in ns.
+    pub put_compute_ns: f64,
+    /// Seed for key sampling.
+    pub seed: u64,
+}
+
+impl Default for KvBenchConfig {
+    fn default() -> Self {
+        KvBenchConfig {
+            preload_keys: 20_000,
+            ops_per_thread: 10_000,
+            threads: 1,
+            get_fraction: 0.5,
+            zipf_theta: 0.9,
+            get_compute_ns: 800.0,
+            put_compute_ns: 1_000.0,
+            seed: 0x4B56,
+        }
+    }
+}
+
+/// Benchmark output.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KvBenchResult {
+    /// Wall time of the timed phase.
+    pub elapsed: Duration,
+    /// Get operations completed.
+    pub gets: u64,
+    /// Put operations completed.
+    pub puts: u64,
+    /// Thread-time spent inside get operations (sums across threads).
+    pub get_time: Duration,
+    /// Thread-time spent inside put operations (sums across threads).
+    pub put_time: Duration,
+}
+
+impl KvBenchResult {
+    /// Get service rate: completed gets per second of time the threads
+    /// spent serving gets (the per-operation-class rate of Fig. 15).
+    pub fn gets_per_sec(&self) -> f64 {
+        if self.get_time.is_zero() {
+            return 0.0;
+        }
+        self.gets as f64 / (self.get_time.as_ns_f64() * 1e-9)
+    }
+
+    /// Put service rate: completed puts per second of put-serving time.
+    pub fn puts_per_sec(&self) -> f64 {
+        if self.put_time.is_zero() {
+            return 0.0;
+        }
+        self.puts as f64 / (self.put_time.as_ns_f64() * 1e-9)
+    }
+
+    /// Combined wall-clock throughput of the mixed phase.
+    pub fn ops_per_sec(&self) -> f64 {
+        (self.gets + self.puts) as f64 / (self.elapsed.as_ns_f64() * 1e-9)
+    }
+}
+
+/// Preloads `store` with `keys` sequential keys (scrambled insert order).
+pub fn preload(ctx: &mut ThreadCtx, store: &KvStore, quartz: Option<&Quartz>, keys: u64) {
+    let mut k = 1u64;
+    for _ in 0..keys {
+        k = (k.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(3_037_000_493)) % keys.max(2);
+        store.put(ctx, quartz, k, k ^ 0xABCD);
+    }
+    // Ensure the keyspace is fully populated despite LCG collisions.
+    for k in 0..keys {
+        store.put(ctx, quartz, k, k ^ 0xABCD);
+    }
+}
+
+/// Runs the timed put/get phase from the calling (coordinator) thread.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn run_kv_benchmark(
+    ctx: &mut ThreadCtx,
+    store: &Arc<KvStore>,
+    quartz: Option<Arc<Quartz>>,
+    config: &KvBenchConfig,
+) -> KvBenchResult {
+    assert!(config.threads >= 1, "need at least one worker");
+    let t0 = ctx.now();
+    let tallies: Arc<parking_lot::Mutex<(u64, u64, Duration, Duration)>> =
+        Arc::new(parking_lot::Mutex::new((0, 0, Duration::ZERO, Duration::ZERO)));
+    let mut kids = Vec::with_capacity(config.threads);
+    for t in 0..config.threads {
+        let store = Arc::clone(store);
+        let quartz = quartz.clone();
+        let cfg = *config;
+        let tallies = Arc::clone(&tallies);
+        kids.push(ctx.spawn(move |c| {
+            let mut zipf = Zipf::new(
+                cfg.preload_keys.max(1),
+                cfg.zipf_theta,
+                cfg.seed.wrapping_add(t as u64 * 1_000_003),
+            );
+            let mut coin = cfg.seed.wrapping_mul(t as u64 | 1);
+            let (mut gets, mut puts) = (0u64, 0u64);
+            let (mut get_time, mut put_time) = (Duration::ZERO, Duration::ZERO);
+            for i in 0..cfg.ops_per_thread {
+                let key = zipf.sample();
+                coin = coin
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let is_get = ((coin >> 33) as f64 / (1u64 << 31) as f64) < cfg.get_fraction;
+                let op_start = c.now();
+                if is_get {
+                    c.compute_ns(cfg.get_compute_ns);
+                    store.get(c, key);
+                    gets += 1;
+                    get_time += c.now().saturating_duration_since(op_start);
+                } else {
+                    c.compute_ns(cfg.put_compute_ns);
+                    store.put(c, quartz.as_deref(), key, i);
+                    puts += 1;
+                    put_time += c.now().saturating_duration_since(op_start);
+                }
+            }
+            let mut tl = tallies.lock();
+            tl.0 += gets;
+            tl.1 += puts;
+            tl.2 += get_time;
+            tl.3 += put_time;
+        }));
+    }
+    for k in kids {
+        ctx.join(k);
+    }
+    let elapsed = ctx.now().saturating_duration_since(t0);
+    let (gets, puts, get_time, put_time) = *tallies.lock();
+    KvBenchResult {
+        elapsed,
+        gets,
+        puts,
+        get_time,
+        put_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use quartz_memsim::{MemSimConfig, MemorySystem};
+    use quartz_platform::{Architecture, NodeId, Platform, PlatformConfig};
+    use quartz_threadsim::Engine;
+
+    use crate::kvstore::btree::KvConfig;
+
+    fn run(threads: usize, ops: u64) -> KvBenchResult {
+        let platform =
+            Platform::new(PlatformConfig::new(Architecture::SandyBridge).with_perfect_counters());
+        let mem = Arc::new(MemorySystem::new(
+            platform,
+            MemSimConfig::default().without_jitter(),
+        ));
+        let out = Arc::new(parking_lot::Mutex::new(None));
+        let o = Arc::clone(&out);
+        Engine::new(mem).run(move |ctx| {
+            let store = Arc::new(KvStore::create(ctx, KvConfig::new(NodeId(0))));
+            preload(ctx, &store, None, 5_000);
+            let cfg = KvBenchConfig {
+                preload_keys: 5_000,
+                ops_per_thread: ops,
+                threads,
+                ..KvBenchConfig::default()
+            };
+            *o.lock() = Some(run_kv_benchmark(ctx, &store, None, &cfg));
+        });
+        let r = out.lock().take().unwrap();
+        r
+    }
+
+    #[test]
+    fn throughput_is_positive_and_accounted() {
+        let r = run(1, 2_000);
+        assert_eq!(r.gets + r.puts, 2_000);
+        assert!(r.ops_per_sec() > 0.0);
+        assert!(r.gets_per_sec() > 0.0);
+        assert!(r.puts_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn more_threads_scale_throughput() {
+        let one = run(1, 2_000);
+        let four = run(4, 2_000);
+        let speedup = four.ops_per_sec() / one.ops_per_sec();
+        assert!(
+            speedup > 1.8,
+            "4 threads should outpace 1 (lock-striped): {speedup}"
+        );
+    }
+}

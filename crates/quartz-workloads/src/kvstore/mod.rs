@@ -1,0 +1,15 @@
+//! A concurrent ordered key-value store standing in for MassTree
+//! (paper §4.7, Fig. 15/16).
+//!
+//! MassTree is a cache-craftiness-oriented concatenation of B+-trees with
+//! fine-grained locking and lock-free readers. This stand-in keeps the
+//! properties the sensitivity study depends on — pointer-heavy
+//! root-to-leaf traversals of a few cache lines per node, lock-striped
+//! writers, lock-free readers, optional persistence via `pflush` — while
+//! staying small enough to audit. Keys and values are `u64`.
+
+pub mod btree;
+pub mod driver;
+
+pub use btree::{KvConfig, KvStore};
+pub use driver::{preload, run_kv_benchmark, KvBenchConfig, KvBenchResult};

@@ -1,0 +1,56 @@
+//! Benchmarks and applications for the Quartz reproduction.
+//!
+//! Microbenchmarks from the paper's evaluation (§4):
+//!
+//! * [`memlat`] — the memory-latency-bound pointer-chasing benchmark with
+//!   a configurable degree of memory access parallelism (§4.4); also the
+//!   latency *measurement* tool used throughout the evaluation,
+//! * [`stream`] — the STREAM *copy* kernel used to validate bandwidth
+//!   throttling (Fig. 8),
+//! * [`multithreaded`] — N threads × K critical sections with
+//!   configurable compute inside and outside the critical section
+//!   (§4.5, Fig. 13),
+//! * [`multilat`] — the two-array DRAM+NVM pointer chase with repeating
+//!   access patterns (§4.6, Fig. 14).
+//!
+//! Applications for the case study (§4.7):
+//!
+//! * [`kvstore`] — a concurrent lock-striped B+-tree key-value store
+//!   standing in for MassTree (Fig. 15/16),
+//! * [`pagerank`] — power-iteration PageRank over a CSR graph standing in
+//!   for the Yahoo linear-system solver (Fig. 16),
+//! * [`bfs`] — a Graph500-style level-synchronous BFS (the paper's §7
+//!   mentions Graph500 validation on HP's hardware emulator).
+//!
+//! Extensions beyond the paper's evaluation:
+//!
+//! * [`pagerank_mt`] — barrier-synchronized parallel PageRank exercising
+//!   the OpenMP-style primitives the paper's §7 plans to support,
+//! * [`pipeline`] — a condvar producer/consumer exercising notify-path
+//!   delay propagation.
+//!
+//! Every workload issues its memory traffic through a
+//! [`quartz_threadsim::ThreadCtx`], so the same binary runs unmodified in
+//! the paper's Conf_1 (local memory + Quartz) and Conf_2 (physically
+//! remote memory) validation configurations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bfs;
+pub mod chain;
+pub mod graph;
+pub mod kvstore;
+pub mod memlat;
+pub mod multilat;
+pub mod multithreaded;
+pub mod pagerank;
+pub mod pagerank_mt;
+pub mod pipeline;
+pub mod stream;
+pub mod zipf;
+
+pub use memlat::{run_memlat, MemLatConfig, MemLatResult};
+pub use multilat::{run_multilat, MultiLatConfig, MultiLatResult};
+pub use multithreaded::{run_multithreaded, MultiThreadedConfig, MultiThreadedResult};
+pub use stream::{run_stream_copy, StreamConfig, StreamResult};

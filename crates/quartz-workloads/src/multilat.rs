@@ -1,0 +1,183 @@
+//! **MultiLat** — the two-array DRAM+NVM pointer chase (paper §4.6,
+//! Fig. 14).
+//!
+//! A tailored extension of MemLat for validating the two-memory-type
+//! emulation: one chain lives in DRAM, the other in (virtual) NVM, and a
+//! repeating access pattern interleaves `dram_burst` DRAM accesses with
+//! `nvm_burst` NVM accesses. If the stall-splitting heuristic is correct,
+//! the completion time depends only on the element counts — not on the
+//! pattern: `CT = Num_DRAM × DRAM_lat + Num_NVM × NVM_lat`.
+
+use quartz_platform::time::Duration;
+use quartz_platform::NodeId;
+use quartz_threadsim::ThreadCtx;
+
+use crate::chain::Chain;
+
+/// MultiLat parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiLatConfig {
+    /// Elements in the DRAM-resident chain (`Num_DRAM`).
+    pub dram_elements: u64,
+    /// Elements in the NVM-resident chain (`Num_NVM`).
+    pub nvm_elements: u64,
+    /// Consecutive DRAM accesses per pattern repetition.
+    pub dram_burst: u64,
+    /// Consecutive NVM accesses per pattern repetition.
+    pub nvm_burst: u64,
+    /// Node hosting the DRAM chain.
+    pub dram_node: NodeId,
+    /// Node hosting the virtual-NVM chain.
+    pub nvm_node: NodeId,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl MultiLatConfig {
+    /// The paper's four patterns all keep a 2:1 DRAM:NVM burst ratio at
+    /// different granularities; this picks the pattern by its DRAM burst
+    /// length (200,000 / 20,000 / 2,000 / 200).
+    pub fn pattern(dram_elements: u64, nvm_elements: u64, dram_burst: u64) -> Self {
+        MultiLatConfig {
+            dram_elements,
+            nvm_elements,
+            dram_burst,
+            nvm_burst: dram_burst / 2,
+            dram_node: NodeId(0),
+            nvm_node: NodeId(1),
+            seed: 0x4D4C_4154,
+        }
+    }
+}
+
+/// MultiLat output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiLatResult {
+    /// Measured completion time.
+    pub elapsed: Duration,
+    /// DRAM accesses performed.
+    pub dram_accesses: u64,
+    /// NVM accesses performed.
+    pub nvm_accesses: u64,
+}
+
+impl MultiLatResult {
+    /// The expected completion time `Num_DRAM × DRAM_lat + Num_NVM ×
+    /// NVM_lat` (§4.6) for given average latencies, in nanoseconds.
+    pub fn expected_ns(&self, dram_lat_ns: f64, nvm_lat_ns: f64) -> f64 {
+        self.dram_accesses as f64 * dram_lat_ns + self.nvm_accesses as f64 * nvm_lat_ns
+    }
+
+    /// Relative error of the measured time against the expectation.
+    pub fn error_vs_expected(&self, dram_lat_ns: f64, nvm_lat_ns: f64) -> f64 {
+        let expect = self.expected_ns(dram_lat_ns, nvm_lat_ns);
+        (self.elapsed.as_ns_f64() - expect).abs() / expect
+    }
+}
+
+/// Runs MultiLat: chases both chains, visiting `dram_elements` +
+/// `nvm_elements` elements in total with the configured burst pattern.
+///
+/// # Panics
+///
+/// Panics if any burst length is zero or allocation fails.
+pub fn run_multilat(ctx: &mut ThreadCtx, config: &MultiLatConfig) -> MultiLatResult {
+    assert!(config.dram_burst > 0 && config.nvm_burst > 0, "bursts must be positive");
+    // The chains wrap around if the element counts exceed the chain
+    // length; size them to one visit per element when possible.
+    let dram_lines = config.dram_elements.clamp(2, 1 << 22);
+    let nvm_lines = config.nvm_elements.clamp(2, 1 << 22);
+    let mut dram = Chain::build(ctx, config.dram_node, dram_lines, config.seed);
+    let mut nvm = Chain::build(ctx, config.nvm_node, nvm_lines, config.seed ^ 0xFFFF);
+
+    // Warm the TLBs.
+    for _ in 0..32 {
+        dram.step(ctx);
+        nvm.step(ctx);
+    }
+
+    let mut dram_left = config.dram_elements;
+    let mut nvm_left = config.nvm_elements;
+    let t0 = ctx.now();
+    while dram_left > 0 || nvm_left > 0 {
+        let d = config.dram_burst.min(dram_left);
+        for _ in 0..d {
+            dram.step(ctx);
+        }
+        dram_left -= d;
+        let n = config.nvm_burst.min(nvm_left);
+        for _ in 0..n {
+            nvm.step(ctx);
+        }
+        nvm_left -= n;
+    }
+    let elapsed = ctx.now().saturating_duration_since(t0);
+    dram.free(ctx);
+    nvm.free(ctx);
+    MultiLatResult {
+        elapsed,
+        dram_accesses: config.dram_elements,
+        nvm_accesses: config.nvm_elements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use quartz_memsim::{MemSimConfig, MemorySystem};
+    use quartz_platform::{Architecture, Platform, PlatformConfig};
+    use quartz_threadsim::Engine;
+
+    fn run(config: MultiLatConfig) -> MultiLatResult {
+        let platform =
+            Platform::new(PlatformConfig::new(Architecture::Haswell).with_perfect_counters());
+        let mem = Arc::new(MemorySystem::new(
+            platform,
+            MemSimConfig::default().without_jitter(),
+        ));
+        let engine = Engine::new(mem);
+        let out = Arc::new(parking_lot::Mutex::new(None));
+        let o = Arc::clone(&out);
+        engine.run(move |ctx| {
+            *o.lock() = Some(run_multilat(ctx, &config));
+        });
+        let r = out.lock().take().unwrap();
+        r
+    }
+
+    #[test]
+    fn completion_time_matches_latency_sum_without_emulation() {
+        // Without an emulator, "NVM" is just remote DRAM at 175 ns.
+        let r = run(MultiLatConfig {
+            dram_elements: 20_000,
+            nvm_elements: 10_000,
+            ..MultiLatConfig::pattern(20_000, 10_000, 2_000)
+        });
+        let err = r.error_vs_expected(120.0, 175.0);
+        assert!(err < 0.02, "error {err}");
+    }
+
+    #[test]
+    fn pattern_granularity_does_not_change_completion_time() {
+        let mut times = Vec::new();
+        for burst in [200u64, 2_000, 20_000] {
+            let r = run(MultiLatConfig::pattern(20_000, 10_000, burst));
+            times.push(r.elapsed.as_ns_f64());
+        }
+        let max = times.iter().cloned().fold(f64::MIN, f64::max);
+        let min = times.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            (max - min) / min < 0.02,
+            "pattern-independent completion: {times:?}"
+        );
+    }
+
+    #[test]
+    fn accounting() {
+        let r = run(MultiLatConfig::pattern(5_000, 2_500, 200));
+        assert_eq!(r.dram_accesses, 5_000);
+        assert_eq!(r.nvm_accesses, 2_500);
+    }
+}

@@ -1,0 +1,182 @@
+//! The **Multi-Threaded** benchmark (paper §4.5, Fig. 13).
+//!
+//! N threads each execute K critical sections protected by one shared
+//! lock; compute inside the critical section is `cs_dur` pointer-chasing
+//! iterations of MemLat, compute outside is `out_dur` iterations. The
+//! "cs only" extreme sets `out_dur = 0`.
+
+use quartz_platform::time::Duration;
+use quartz_platform::NodeId;
+use quartz_threadsim::ThreadCtx;
+
+use crate::chain::Chain;
+
+/// Multi-Threaded benchmark parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiThreadedConfig {
+    /// `N` — worker threads.
+    pub threads: usize,
+    /// `K` — critical sections per thread.
+    pub critical_sections: u64,
+    /// Pointer-chasing iterations inside each critical section.
+    pub cs_dur: u64,
+    /// Pointer-chasing iterations outside (between) critical sections.
+    pub out_dur: u64,
+    /// Lines per thread-private chain.
+    pub lines_per_chain: u64,
+    /// Node the chains live on.
+    pub node: NodeId,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl MultiThreadedConfig {
+    /// The paper's "cs only" scenario scaled by `threads`
+    /// (`out_dur = 0`).
+    pub fn cs_only(threads: usize, critical_sections: u64, node: NodeId) -> Self {
+        MultiThreadedConfig {
+            threads,
+            critical_sections,
+            cs_dur: 100,
+            out_dur: 0,
+            lines_per_chain: 1 << 17,
+            node,
+            seed: 0x3417,
+        }
+    }
+
+    /// The paper's "with compute" scenario: equal work inside and outside
+    /// the critical section.
+    pub fn with_compute(threads: usize, critical_sections: u64, node: NodeId) -> Self {
+        MultiThreadedConfig {
+            out_dur: 100,
+            ..Self::cs_only(threads, critical_sections, node)
+        }
+    }
+}
+
+/// Multi-Threaded output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiThreadedResult {
+    /// Wall completion time (all threads joined).
+    pub elapsed: Duration,
+    /// Total chase iterations executed across threads.
+    pub total_iterations: u64,
+}
+
+/// Runs the benchmark from the calling thread, which acts as the
+/// coordinator.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or allocation fails.
+pub fn run_multithreaded(
+    ctx: &mut ThreadCtx,
+    config: &MultiThreadedConfig,
+) -> MultiThreadedResult {
+    assert!(config.threads >= 1, "need at least one thread");
+    let m = ctx.mutex_new();
+    let t0 = ctx.now();
+    let mut workers = Vec::with_capacity(config.threads);
+    for k in 0..config.threads {
+        let cfg = *config;
+        workers.push(ctx.spawn(move |c| {
+            let mut chain = Chain::build(
+                c,
+                cfg.node,
+                cfg.lines_per_chain,
+                cfg.seed.wrapping_add(k as u64 * 77),
+            );
+            for _ in 0..cfg.critical_sections {
+                c.mutex_lock(m);
+                for _ in 0..cfg.cs_dur {
+                    chain.step(c);
+                }
+                c.mutex_unlock(m);
+                for _ in 0..cfg.out_dur {
+                    chain.step(c);
+                }
+            }
+            chain.free(c);
+        }));
+    }
+    for w in workers {
+        ctx.join(w);
+    }
+    MultiThreadedResult {
+        elapsed: ctx.now().saturating_duration_since(t0),
+        total_iterations: config.threads as u64
+            * config.critical_sections
+            * (config.cs_dur + config.out_dur),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use quartz_memsim::{MemSimConfig, MemorySystem};
+    use quartz_platform::{Architecture, Platform, PlatformConfig};
+    use quartz_threadsim::Engine;
+
+    fn run(config: MultiThreadedConfig) -> f64 {
+        let platform =
+            Platform::new(PlatformConfig::new(Architecture::IvyBridge).with_perfect_counters());
+        let mem = Arc::new(MemorySystem::new(
+            platform,
+            MemSimConfig::default().without_jitter(),
+        ));
+        let engine = Engine::new(mem);
+        let out = Arc::new(parking_lot::Mutex::new(0.0));
+        let o = Arc::clone(&out);
+        engine.run(move |ctx| {
+            *o.lock() = run_multithreaded(ctx, &config).elapsed.as_ns_f64();
+        });
+        let v = *out.lock();
+        v
+    }
+
+    #[test]
+    fn cs_only_serializes_across_threads() {
+        let one = run(MultiThreadedConfig {
+            critical_sections: 50,
+            ..MultiThreadedConfig::cs_only(1, 50, NodeId(0))
+        });
+        let four = run(MultiThreadedConfig {
+            critical_sections: 50,
+            ..MultiThreadedConfig::cs_only(4, 50, NodeId(0))
+        });
+        // All work is inside the lock: 4 threads take ~4x as long.
+        let ratio = four / one;
+        assert!((3.5..4.6).contains(&ratio), "serialization ratio {ratio}");
+    }
+
+    #[test]
+    fn outside_compute_overlaps() {
+        let cs_only = run(MultiThreadedConfig::cs_only(4, 50, NodeId(0)));
+        let with_compute = run(MultiThreadedConfig::with_compute(4, 50, NodeId(0)));
+        // Twice the total work, but the outside half overlaps across
+        // threads: well under 2x the cs-only time.
+        let ratio = with_compute / cs_only;
+        assert!(ratio < 1.7, "outside compute overlapped: ratio {ratio}");
+        assert!(ratio > 1.0);
+    }
+
+    #[test]
+    fn iteration_accounting() {
+        let cfg = MultiThreadedConfig::with_compute(2, 10, NodeId(0));
+        let platform =
+            Platform::new(PlatformConfig::new(Architecture::IvyBridge).with_perfect_counters());
+        let mem = Arc::new(MemorySystem::new(
+            platform,
+            MemSimConfig::default().without_jitter(),
+        ));
+        let out = Arc::new(parking_lot::Mutex::new(0));
+        let o = Arc::clone(&out);
+        Engine::new(mem).run(move |ctx| {
+            *o.lock() = run_multithreaded(ctx, &cfg).total_iterations;
+        });
+        assert_eq!(*out.lock(), 2 * 10 * 200);
+    }
+}

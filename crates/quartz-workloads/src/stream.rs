@@ -1,0 +1,186 @@
+//! The STREAM *copy* kernel (paper §4.2, Fig. 8).
+//!
+//! "We estimate the maximum bandwidth possible for each register value by
+//! measuring the time to stream through a large memory region using x86
+//! streaming instructions (SSE). To effectively saturate memory
+//! bandwidth, we fork multiple threads each of which uses streaming
+//! instructions to access a part of the region." (§3.1)
+
+use quartz_platform::time::Duration;
+use quartz_platform::NodeId;
+use quartz_threadsim::ThreadCtx;
+
+/// STREAM copy parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Worker threads (forked from the calling thread).
+    pub threads: usize,
+    /// Cache lines copied per thread.
+    pub lines_per_thread: u64,
+    /// Node both source and destination live on.
+    pub node: NodeId,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            threads: 4,
+            lines_per_thread: 50_000,
+            node: NodeId(0),
+        }
+    }
+}
+
+/// STREAM copy output.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamResult {
+    /// Wall time of the parallel copy.
+    pub elapsed: Duration,
+    /// Total bytes moved (reads + writes).
+    pub bytes: u64,
+}
+
+impl StreamResult {
+    /// Copy bandwidth in GB/s (the STREAM convention counts the read and
+    /// the write of each element).
+    pub fn bandwidth_gbps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.bytes as f64 / self.elapsed.as_ns_f64()
+    }
+}
+
+/// Runs the copy kernel `c[i] = a[i]` with `threads` workers, each
+/// loading its slice of `a` and writing `c` with non-temporal stores.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or allocation fails.
+pub fn run_stream_copy(ctx: &mut ThreadCtx, config: &StreamConfig) -> StreamResult {
+    assert!(config.threads >= 1, "need at least one stream thread");
+    let lines = config.lines_per_thread;
+    let node = config.node;
+    let t0 = ctx.now();
+    let mut workers = Vec::with_capacity(config.threads);
+    for _ in 0..config.threads {
+        workers.push(ctx.spawn(move |c| {
+            let src = c.alloc_on(node, lines * 64);
+            let dst = c.alloc_on(node, lines * 64);
+            // SSE streaming reads issue independent line loads back to
+            // back; model a vector-unrolled loop as 8-line load batches
+            // so the misses overlap the way hardware sustains them.
+            let mut batch = [src; 8];
+            let mut i = 0;
+            while i < lines {
+                let chunk = (lines - i).min(8);
+                for (k, slot) in batch[..chunk as usize].iter_mut().enumerate() {
+                    *slot = src.offset_by((i + k as u64) * 64);
+                }
+                c.load_batch(&batch[..chunk as usize]);
+                for k in 0..chunk {
+                    c.store_stream(dst.offset_by((i + k) * 64));
+                }
+                i += chunk;
+            }
+            c.free(src).expect("stream src");
+            c.free(dst).expect("stream dst");
+        }));
+    }
+    for w in workers {
+        ctx.join(w);
+    }
+    let elapsed = ctx.now().saturating_duration_since(t0);
+    StreamResult {
+        elapsed,
+        bytes: config.threads as u64 * lines * 128, // 64 read + 64 written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use quartz_memsim::{MemSimConfig, MemorySystem};
+    use quartz_platform::{Architecture, Platform, PlatformConfig, SocketId};
+    use quartz_threadsim::Engine;
+
+    fn machine() -> Arc<MemorySystem> {
+        let platform =
+            Platform::new(PlatformConfig::new(Architecture::SandyBridge).with_perfect_counters());
+        Arc::new(MemorySystem::new(
+            platform,
+            MemSimConfig::default().without_jitter(),
+        ))
+    }
+
+    fn measure(mem: &Arc<MemorySystem>) -> f64 {
+        let engine = Engine::new(Arc::clone(mem));
+        let out = Arc::new(parking_lot::Mutex::new(0.0));
+        let o = Arc::clone(&out);
+        engine.run(move |ctx| {
+            let cfg = StreamConfig {
+                threads: 4,
+                lines_per_thread: 20_000,
+                node: NodeId(0),
+            };
+            *o.lock() = run_stream_copy(ctx, &cfg).bandwidth_gbps();
+        });
+        let v = *out.lock();
+        v
+    }
+
+    #[test]
+    fn multithreaded_copy_approaches_peak() {
+        let mem = machine();
+        let bw = measure(&mem);
+        let peak = mem.config().node_peak_bw_gbps();
+        assert!(bw > 0.6 * peak, "stream bw {bw} of peak {peak}");
+        assert!(bw <= 1.05 * peak);
+    }
+
+    #[test]
+    fn throttling_scales_bandwidth_linearly() {
+        let mem = machine();
+        let full = measure(&mem);
+        let kmod = mem.platform().kernel_module();
+        kmod.set_dimm_throttle(SocketId(0), 0xFFF / 4).unwrap();
+        mem.invalidate_caches();
+        let quarter = measure(&mem);
+        let ratio = quarter / full;
+        assert!(
+            (0.2..0.35).contains(&ratio),
+            "quarter throttle gives ~quarter bandwidth: {ratio}"
+        );
+    }
+
+    #[test]
+    fn more_threads_mean_more_bandwidth_until_saturation() {
+        let mem = machine();
+        let engine = Engine::new(Arc::clone(&mem));
+        let out = Arc::new(parking_lot::Mutex::new((0.0, 0.0)));
+        let o = Arc::clone(&out);
+        engine.run(move |ctx| {
+            let one = run_stream_copy(
+                ctx,
+                &StreamConfig {
+                    threads: 1,
+                    lines_per_thread: 20_000,
+                    node: NodeId(0),
+                },
+            );
+            let four = run_stream_copy(
+                ctx,
+                &StreamConfig {
+                    threads: 4,
+                    lines_per_thread: 20_000,
+                    node: NodeId(0),
+                },
+            );
+            *o.lock() = (one.bandwidth_gbps(), four.bandwidth_gbps());
+        });
+        let (one, four) = *out.lock();
+        assert!(four > one, "one thread {one}, four threads {four}");
+    }
+}

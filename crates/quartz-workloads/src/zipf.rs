@@ -1,0 +1,130 @@
+//! Zipfian key sampling for the key-value store driver.
+//!
+//! Key-value workloads are typically skewed; the driver samples keys from
+//! a Zipf(θ) distribution over `n` items using the standard inverse-CDF
+//! rejection-free method of Gray et al. (the same generator YCSB uses).
+
+/// A Zipf-distributed sampler over `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    state: u64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` in `[0, 1)`.
+    /// `theta = 0` is uniform; `0.99` is YCSB's default hot-spot skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is outside `[0, 1)`.
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Samples the next key.
+    pub fn sample(&mut self) -> u64 {
+        let u = self.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let mut z = Zipf::new(1000, 0.99, 7);
+        for _ in 0..10_000 {
+            assert!(z.sample() < 1000);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_head() {
+        let mut z = Zipf::new(10_000, 0.99, 7);
+        let mut head = 0u64;
+        let trials = 50_000;
+        for _ in 0..trials {
+            if z.sample() < 100 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top 1% of keys draw a large share.
+        let frac = head as f64 / trials as f64;
+        assert!(frac > 0.4, "head fraction {frac}");
+    }
+
+    #[test]
+    fn near_uniform_when_theta_zero() {
+        let mut z = Zipf::new(1000, 0.0, 7);
+        let mut head = 0u64;
+        let trials = 50_000;
+        for _ in 0..trials {
+            if z.sample() < 100 {
+                head += 1;
+            }
+        }
+        let frac = head as f64 / trials as f64;
+        assert!((frac - 0.1).abs() < 0.02, "uniform head fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<u64> = {
+            let mut z = Zipf::new(100, 0.5, 3);
+            (0..50).map(|_| z.sample()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut z = Zipf::new(100, 0.5, 3);
+            (0..50).map(|_| z.sample()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_bad_theta() {
+        let _ = Zipf::new(10, 1.0, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Calibration utilities.
+//!
+//! The real emulator's initialization measures the machine: memory access
+//! latencies per node (the paper's Table 2 methodology — a dependent
+//! pointer chase) and the maximum attainable bandwidth per throttle
+//! setting (streaming through a large region with SSE stores, §3.1).
+//! These helpers run the same measurements inside a simulated thread.
+
+use quartz_memsim::Addr;
+use quartz_platform::NodeId;
+use quartz_threadsim::ThreadCtx;
+
+/// Measures the average dependent-load latency to `node` in nanoseconds,
+/// chasing `accesses` randomly-ordered cache lines over a buffer sized to
+/// defeat the LLC.
+///
+/// # Panics
+///
+/// Panics if the node cannot satisfy the buffer allocation.
+pub fn measure_dram_latency_ns(ctx: &mut ThreadCtx, node: NodeId, accesses: u64) -> f64 {
+    let l3_bytes = ctx.mem().config().l3.size_bytes;
+    let buf_bytes = 8 * l3_bytes;
+    let lines = buf_bytes / 64;
+    let buf = ctx.alloc_on(node, buf_bytes);
+
+    // Deterministic scrambled visit order (LCG over the line space).
+    let mut idx: u64 = 1;
+    let next = |i: u64| (i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) % lines;
+
+    // Warm the TLB and counters out of the measurement.
+    for _ in 0..64 {
+        idx = next(idx);
+        ctx.load(buf.offset_by(idx * 64));
+    }
+    let t0 = ctx.now();
+    for _ in 0..accesses {
+        idx = next(idx);
+        ctx.load(buf.offset_by(idx * 64));
+    }
+    let elapsed = ctx.now().saturating_duration_since(t0);
+    ctx.free(buf).expect("calibration buffer");
+    elapsed.as_ns_f64() / accesses as f64
+}
+
+/// Measures attainable streaming-store bandwidth to `node` in GB/s by
+/// writing `lines` cache lines with non-temporal stores.
+///
+/// # Panics
+///
+/// Panics if the node cannot satisfy the buffer allocation.
+pub fn measure_stream_bandwidth_gbps(ctx: &mut ThreadCtx, node: NodeId, lines: u64) -> f64 {
+    let buf = ctx.alloc_on(node, lines * 64);
+    let t0 = ctx.now();
+    for i in 0..lines {
+        ctx.store_stream(buf.offset_by(i * 64));
+    }
+    let elapsed = ctx.now().saturating_duration_since(t0);
+    ctx.free(buf).expect("calibration buffer");
+    if elapsed.is_zero() {
+        return 0.0;
+    }
+    (lines * 64) as f64 / elapsed.as_ns_f64()
+}
+
+/// One measured latency summary (min/avg/max over trials) — the shape of
+/// the paper's Table 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Minimum trial average (ns).
+    pub min_ns: f64,
+    /// Mean of trial averages (ns).
+    pub avg_ns: f64,
+    /// Maximum trial average (ns).
+    pub max_ns: f64,
+}
+
+/// Runs `trials` latency measurements and summarizes them.
+///
+/// # Panics
+///
+/// Panics if allocation fails or `trials` is zero.
+pub fn latency_summary(
+    ctx: &mut ThreadCtx,
+    node: NodeId,
+    accesses: u64,
+    trials: u32,
+) -> LatencySummary {
+    assert!(trials > 0, "need at least one trial");
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for _ in 0..trials {
+        // Cold caches per trial, as the paper does between runs (§4.7).
+        ctx.mem().invalidate_caches();
+        let v = measure_dram_latency_ns(ctx, node, accesses);
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+    }
+    LatencySummary {
+        min_ns: min,
+        avg_ns: sum / trials as f64,
+        max_ns: max,
+    }
+}
+
+/// An allocation helper: builds the address of element `i` of an array
+/// of `stride`-byte records starting at `base`.
+pub fn element(base: Addr, i: u64, stride: u64) -> Addr {
+    base.offset_by(i * stride)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use quartz_memsim::{MemSimConfig, MemorySystem};
+    use quartz_platform::{Architecture, Platform, PlatformConfig};
+    use quartz_threadsim::Engine;
+
+    fn engine(arch: Architecture) -> Engine {
+        let platform = Platform::new(PlatformConfig::new(arch).with_perfect_counters());
+        Engine::new(Arc::new(MemorySystem::new(
+            platform,
+            MemSimConfig::default().without_jitter(),
+        )))
+    }
+
+    #[test]
+    fn latency_calibration_recovers_table2() {
+        let out = Arc::new(parking_lot::Mutex::new((0.0, 0.0)));
+        let o = Arc::clone(&out);
+        engine(Architecture::Haswell).run(move |ctx| {
+            let local = measure_dram_latency_ns(ctx, NodeId(0), 10_000);
+            let remote = measure_dram_latency_ns(ctx, NodeId(1), 10_000);
+            *o.lock() = (local, remote);
+        });
+        let (local, remote) = *out.lock();
+        assert!((local - 120.0).abs() < 4.0, "local {local}");
+        assert!((remote - 175.0).abs() < 4.0, "remote {remote}");
+    }
+
+    #[test]
+    fn bandwidth_calibration_is_positive_and_bounded() {
+        let out = Arc::new(parking_lot::Mutex::new(0.0));
+        let o = Arc::clone(&out);
+        engine(Architecture::IvyBridge).run(move |ctx| {
+            *o.lock() = measure_stream_bandwidth_gbps(ctx, NodeId(0), 50_000);
+        });
+        let bw = *out.lock();
+        assert!(bw > 5.0, "stream bandwidth {bw}");
+        assert!(bw <= 38.4 * 1.05, "bounded by node peak: {bw}");
+    }
+
+    #[test]
+    fn latency_summary_orders_min_avg_max() {
+        let out = Arc::new(parking_lot::Mutex::new(None));
+        let o = Arc::clone(&out);
+        engine(Architecture::IvyBridge).run(move |ctx| {
+            *o.lock() = Some(latency_summary(ctx, NodeId(0), 3_000, 4));
+        });
+        let s = out.lock().unwrap();
+        assert!(s.min_ns <= s.avg_ns && s.avg_ns <= s.max_ns);
+        assert!((s.avg_ns - 87.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn element_addressing() {
+        use quartz_memsim::Addr;
+        let base = Addr::on_node(NodeId(0), 0);
+        assert_eq!(element(base, 3, 64).offset(), 192);
+        assert_eq!(element(base, 0, 128), base);
+    }
+}

@@ -1,0 +1,107 @@
+//! Emulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+use quartz_platform::Architecture;
+use quartz_platform::PlatformError;
+
+/// Errors raised by the Quartz emulator library.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum QuartzError {
+    /// Two-memory mode needs the local/remote LLC-miss counter split,
+    /// which Sandy Bridge does not expose (paper §3.3 requires Ivy
+    /// Bridge or Haswell).
+    TwoMemoryUnsupported {
+        /// The offending family.
+        arch: Architecture,
+    },
+    /// Two-memory mode needs a sibling socket to host virtual NVM.
+    NoSiblingSocket,
+    /// The requested NVM latency is below the measured DRAM latency the
+    /// emulation substrate provides — software delays cannot make memory
+    /// *faster*.
+    TargetFasterThanSubstrate {
+        /// Requested NVM latency (ns).
+        requested_ns: f64,
+        /// Substrate DRAM latency (ns).
+        substrate_ns: f64,
+    },
+    /// An underlying platform operation failed.
+    Platform(PlatformError),
+    /// `pmalloc` failed (virtual NVM node out of memory).
+    PmallocFailed {
+        /// Human-readable cause.
+        cause: String,
+    },
+}
+
+impl fmt::Display for QuartzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuartzError::TwoMemoryUnsupported { arch } => write!(
+                f,
+                "two-memory mode requires local/remote miss counters, unavailable on {arch}"
+            ),
+            QuartzError::NoSiblingSocket => {
+                write!(f, "two-memory mode requires a sibling socket for virtual NVM")
+            }
+            QuartzError::TargetFasterThanSubstrate {
+                requested_ns,
+                substrate_ns,
+            } => write!(
+                f,
+                "requested NVM latency {requested_ns} ns is below the {substrate_ns} ns substrate"
+            ),
+            QuartzError::Platform(e) => write!(f, "platform error: {e}"),
+            QuartzError::PmallocFailed { cause } => write!(f, "pmalloc failed: {cause}"),
+        }
+    }
+}
+
+impl Error for QuartzError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuartzError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlatformError> for QuartzError {
+    fn from(e: PlatformError) -> Self {
+        QuartzError::Platform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            QuartzError::TwoMemoryUnsupported {
+                arch: Architecture::SandyBridge,
+            },
+            QuartzError::NoSiblingSocket,
+            QuartzError::TargetFasterThanSubstrate {
+                requested_ns: 50.0,
+                substrate_ns: 87.0,
+            },
+            QuartzError::PmallocFailed {
+                cause: "oom".into(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn platform_error_chains() {
+        let e = QuartzError::from(PlatformError::PrivilegeRequired { op: "x" });
+        assert!(e.source().is_some());
+    }
+}

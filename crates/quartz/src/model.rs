@@ -1,0 +1,182 @@
+//! The analytic memory performance model (paper §2 and §3.3).
+
+/// Derives the load-memory stall cycles (`LDM_STALL`) from the three
+/// counters of Eq. 3:
+///
+/// ```text
+/// LDM_STALL = L2_stalls × (W × L3_miss) / (L3_hit + W × L3_miss)
+/// ```
+///
+/// where `W` is the ratio of DRAM to L3 latency. `STALLS_L2_PENDING`
+/// counts stalls for loads pending past L2 — both L3 hits and DRAM
+/// accesses — and this latency-weighted ratio scales out the L3-hit
+/// share.
+///
+/// ```
+/// // All misses: every L2-pending stall cycle is a memory stall.
+/// assert_eq!(quartz::model::stalls_from_counters(1000.0, 0.0, 50.0, 7.0), 1000.0);
+/// // No misses: none of it is.
+/// assert_eq!(quartz::model::stalls_from_counters(1000.0, 50.0, 0.0, 7.0), 0.0);
+/// ```
+pub fn stalls_from_counters(l2_stalls: f64, l3_hits: f64, l3_misses: f64, w: f64) -> f64 {
+    let weighted = w * l3_misses;
+    let denom = l3_hits + weighted;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    l2_stalls * (weighted / denom)
+}
+
+/// Eq. 1 — the *simple* model: every LLC miss is assumed serialized.
+///
+/// `Δ = M × (NVM_lat − DRAM_lat)`, in nanoseconds. Over-estimates the
+/// delay by the memory-level-parallelism factor (Fig. 2); retained for
+/// the ablation study.
+pub fn delay_simple_ns(misses: u64, dram_lat_ns: f64, nvm_lat_ns: f64) -> f64 {
+    (misses as f64 * (nvm_lat_ns - dram_lat_ns)).max(0.0)
+}
+
+/// Eq. 2 — the stall-based model:
+///
+/// `Δ = LDM_STALL / DRAM_lat × (NVM_lat − DRAM_lat)`, in nanoseconds.
+///
+/// Dividing the stall time by the average DRAM latency yields the number
+/// of *serialized* memory accesses, so overlapped (MLP) accesses are
+/// charged once.
+pub fn delay_stall_based_ns(ldm_stall_ns: f64, dram_lat_ns: f64, nvm_lat_ns: f64) -> f64 {
+    if dram_lat_ns <= 0.0 {
+        return 0.0;
+    }
+    (ldm_stall_ns / dram_lat_ns * (nvm_lat_ns - dram_lat_ns)).max(0.0)
+}
+
+/// The §3.3 heuristic splitting total stall time into the share caused by
+/// remote-DRAM (virtual NVM) accesses:
+///
+/// ```text
+/// LDM_STALL_rem = LDM_STALL × (M_rem × lat_rem) / (M_loc × lat_loc + M_rem × lat_rem)
+/// ```
+///
+/// Latencies act as weights because a remote access stalls the processor
+/// proportionally longer (the paper's 3000 ns worked example).
+///
+/// ```
+/// // The paper's example: 10 local @100ns + 10 remote @200ns of 3000ns
+/// // total -> 2000ns attributed to remote.
+/// let rem = quartz::model::split_remote_stall_ns(3000.0, 10, 10, 100.0, 200.0);
+/// assert!((rem - 2000.0).abs() < 1e-9);
+/// ```
+pub fn split_remote_stall_ns(
+    total_stall_ns: f64,
+    m_local: u64,
+    m_remote: u64,
+    lat_local_ns: f64,
+    lat_remote_ns: f64,
+) -> f64 {
+    let num = m_remote as f64 * lat_remote_ns;
+    let denom = m_local as f64 * lat_local_ns + num;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    total_stall_ns * (num / denom)
+}
+
+/// Maps a target bandwidth to the 12-bit thermal-register value, using
+/// the measured peak bandwidth (linear relationship, Fig. 8). Values are
+/// clamped to the register range; targets above peak leave the register
+/// fully open.
+///
+/// ```
+/// // Half the peak -> roughly half the register range.
+/// let v = quartz::model::throttle_register_for(19.2, 38.4);
+/// assert!((v as f64 - 0xFFF as f64 / 2.0).abs() <= 1.0);
+/// assert_eq!(quartz::model::throttle_register_for(100.0, 38.4), 0xFFF);
+/// ```
+pub fn throttle_register_for(target_gbps: f64, peak_gbps: f64) -> u32 {
+    assert!(peak_gbps > 0.0, "peak bandwidth must be positive");
+    if target_gbps >= peak_gbps {
+        return 0xFFF;
+    }
+    let frac = (target_gbps / peak_gbps).max(0.0);
+    ((frac * 0xFFF as f64).round() as u32).clamp(1, 0xFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq3_mixed_hits_and_misses() {
+        // W=7, 70 hits, 10 misses: weighted misses = 70 -> half the
+        // stalls are memory stalls.
+        let s = stalls_from_counters(1000.0, 70.0, 10.0, 7.0);
+        assert!((s - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq3_zero_activity() {
+        assert_eq!(stalls_from_counters(0.0, 0.0, 0.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn eq1_scales_with_misses() {
+        assert_eq!(delay_simple_ns(10, 100.0, 300.0), 2000.0);
+        assert_eq!(delay_simple_ns(0, 100.0, 300.0), 0.0);
+        // NVM faster than DRAM clamps to zero, never negative.
+        assert_eq!(delay_simple_ns(10, 100.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn eq2_counts_serialized_accesses() {
+        // 1000 ns of stalls at 100 ns/access = 10 serialized accesses;
+        // target 300 ns -> inject 10 * 200 = 2000 ns.
+        assert!((delay_stall_based_ns(1000.0, 100.0, 300.0) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_with_mlp_charges_once() {
+        // 4 parallel accesses stall only ~one latency: 100 ns of stalls,
+        // not 400 -> delay is 1x the difference, not 4x (Fig. 2).
+        let d = delay_stall_based_ns(100.0, 100.0, 300.0);
+        assert!((d - 200.0).abs() < 1e-9);
+        let simple = delay_simple_ns(4, 100.0, 300.0);
+        assert!(simple > 3.0 * d, "Eq. 1 over-injects under MLP");
+    }
+
+    #[test]
+    fn split_edge_cases() {
+        assert_eq!(split_remote_stall_ns(3000.0, 10, 0, 100.0, 200.0), 0.0);
+        let all_remote = split_remote_stall_ns(3000.0, 0, 10, 100.0, 200.0);
+        assert!((all_remote - 3000.0).abs() < 1e-9);
+        assert_eq!(split_remote_stall_ns(0.0, 5, 5, 100.0, 200.0), 0.0);
+    }
+
+    #[test]
+    fn split_is_monotone_in_remote_count() {
+        let mut prev = 0.0;
+        for m_rem in 1..20 {
+            let s = split_remote_stall_ns(1000.0, 10, m_rem, 100.0, 200.0);
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn throttle_register_linearity() {
+        let peak = 38.4;
+        for i in 1..=10 {
+            let target = peak * i as f64 / 10.0;
+            let v = throttle_register_for(target, peak);
+            let achieved = v as f64 / 0xFFF as f64 * peak;
+            assert!(
+                (achieved - target).abs() / target < 0.01,
+                "target {target} -> register {v} -> {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn throttle_register_never_zero() {
+        assert_eq!(throttle_register_for(0.0, 38.4), 1);
+    }
+}

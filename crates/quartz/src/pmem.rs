@@ -1,0 +1,102 @@
+//! The persistent-memory API: `pmalloc`/`pfree`, `pflush`, and the
+//! `clflushopt`/`pcommit` extension.
+//!
+//! `pflush` is the paper's §3.1 write-emulation primitive: it writes back
+//! a cache line (`clflush`) and then injects a configurable delay for the
+//! slower NVM write. It is pessimistic — every write waits for the
+//! previous one. The `pflush_opt`/`pcommit` pair implements the §6
+//! "opportunities" design: flushes accumulate expected completion times
+//! and only the `pcommit` barrier stalls, discounting flushes that have
+//! already completed — which lets independent writes proceed in parallel.
+
+use quartz_memsim::Addr;
+use quartz_platform::time::{Duration, SimTime};
+use quartz_threadsim::ThreadCtx;
+
+use crate::error::QuartzError;
+use crate::runtime::Quartz;
+
+impl Quartz {
+    /// Allocates persistent memory. In two-memory mode this maps onto the
+    /// sibling socket's DRAM (`numa_alloc_onnode`, paper §3.3); in
+    /// PM-only mode all memory is persistent and the allocation is
+    /// node-local.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the virtual NVM node is out of memory.
+    pub fn pmalloc(&self, ctx: &mut ThreadCtx, bytes: u64) -> Result<Addr, QuartzError> {
+        ctx.try_alloc_on(self.nvm_node(), bytes)
+            .map_err(|e| QuartzError::PmallocFailed {
+                cause: e.to_string(),
+            })
+    }
+
+    /// Frees persistent memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid free.
+    pub fn pfree(&self, ctx: &mut ThreadCtx, addr: Addr) -> Result<(), QuartzError> {
+        ctx.free(addr).map_err(|e| QuartzError::PmallocFailed {
+            cause: e.to_string(),
+        })
+    }
+
+    /// Flushes a cache line to persistent memory and stalls for the
+    /// configured NVM write delay. Serializes with the previous write —
+    /// the pessimistic model of §3.1.
+    pub fn pflush(&self, ctx: &mut ThreadCtx, addr: Addr) {
+        ctx.flush(addr);
+        let delay = Duration::from_ns_f64(self.config().target.write_delay_ns);
+        ctx.spin(delay);
+        if let Some(pt) = self.state.lock().get_mut(&ctx.thread_id().0) {
+            pt.stats.pflush_delay += delay;
+            pt.stats.pflushes += 1;
+        }
+    }
+
+    /// `clflushopt`-style flush: writes the line back asynchronously and
+    /// records its expected NVM completion time; returns immediately.
+    /// Pair with [`Quartz::pcommit`].
+    pub fn pflush_opt(&self, ctx: &mut ThreadCtx, addr: Addr) {
+        let dram_done = ctx.flush_opt(addr);
+        let nvm_done = dram_done + Duration::from_ns_f64(self.config().target.write_delay_ns);
+        if let Some(pt) = self.state.lock().get_mut(&ctx.thread_id().0) {
+            pt.pending_flushes.push(nvm_done);
+            pt.stats.pflushes += 1;
+        }
+    }
+
+    /// `pcommit`-style barrier: stalls until every outstanding
+    /// [`Quartz::pflush_opt`] has reached NVM. Flushes that completed
+    /// while the program kept executing cost nothing — independent writes
+    /// overlap (paper §6).
+    pub fn pcommit(&self, ctx: &mut ThreadCtx) {
+        let latest: Option<SimTime> = {
+            let mut st = self.state.lock();
+            st.get_mut(&ctx.thread_id().0)
+                .map(|pt| pt.pending_flushes.drain(..).max())
+                .unwrap_or(None)
+        };
+        if let Some(done) = latest {
+            let wait = done.saturating_duration_since(ctx.now());
+            if !wait.is_zero() {
+                ctx.spin(wait);
+                if let Some(pt) = self.state.lock().get_mut(&ctx.thread_id().0) {
+                    pt.stats.pflush_delay += wait;
+                }
+            }
+        }
+    }
+
+    /// Number of flushes awaiting the next [`Quartz::pcommit`] on this
+    /// thread.
+    pub fn pending_flushes(&self, ctx: &ThreadCtx) -> usize {
+        self.state
+            .lock()
+            .get(&ctx.thread_id().0)
+            .map(|pt| pt.pending_flushes.len())
+            .unwrap_or(0)
+    }
+}

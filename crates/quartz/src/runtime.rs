@@ -1,0 +1,468 @@
+//! The emulator runtime: epoch management, monitor, hooks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use quartz_memsim::MemorySystem;
+use quartz_platform::kmod::KernelModule;
+use quartz_platform::pmu::bank::StandardCounters;
+use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::{NodeId, Platform, SocketId};
+use quartz_threadsim::{Engine, Hooks, ThreadCtx};
+
+use crate::config::{CounterAccess, LatencyModelKind, MemoryMode, QuartzConfig};
+use crate::error::QuartzError;
+use crate::model;
+use crate::stats::{EpochReason, EpochRecord, QuartzStats, ThreadStats};
+
+/// A counter snapshot at an epoch boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct Snap {
+    pub stalls: u64,
+    pub hits: u64,
+    pub miss_local: u64,
+    pub miss_remote: u64,
+    pub miss_all: u64,
+}
+
+impl Snap {
+    fn delta(self, earlier: Snap) -> Snap {
+        Snap {
+            stalls: self.stalls.saturating_sub(earlier.stalls),
+            hits: self.hits.saturating_sub(earlier.hits),
+            miss_local: self.miss_local.saturating_sub(earlier.miss_local),
+            miss_remote: self.miss_remote.saturating_sub(earlier.miss_remote),
+            miss_all: self.miss_all.saturating_sub(earlier.miss_all),
+        }
+    }
+
+    /// Total LLC misses, regardless of which counters the family exposes.
+    fn misses(self) -> u64 {
+        if self.miss_all > 0 {
+            self.miss_all
+        } else {
+            self.miss_local + self.miss_remote
+        }
+    }
+}
+
+pub(crate) struct PerThread {
+    pub counters: StandardCounters,
+    pub snap: Snap,
+    pub epoch_start: SimTime,
+    pub stats: ThreadStats,
+    /// Pending `clflushopt` NVM completion times, drained by `pcommit`.
+    pub pending_flushes: Vec<SimTime>,
+}
+
+/// The Quartz emulator (user-mode library + kernel module).
+///
+/// Construct with [`Quartz::new`], install into an engine with
+/// [`Quartz::attach`], and use the persistent-memory API
+/// ([`Quartz::pmalloc`], [`Quartz::pflush`], …) from workload code. See
+/// the [crate-level documentation](crate) for a complete example.
+pub struct Quartz {
+    pub(crate) config: QuartzConfig,
+    pub(crate) mem: Arc<MemorySystem>,
+    pub(crate) platform: Platform,
+    pub(crate) kmod: KernelModule,
+    /// Node hosting virtual NVM (`pmalloc` target).
+    pub(crate) nvm_node: NodeId,
+    /// Measured average local-DRAM latency (ns).
+    pub(crate) dram_local_ns: f64,
+    /// Measured average remote-DRAM latency (ns).
+    pub(crate) dram_remote_ns: f64,
+    /// `W` of Eq. 3 (DRAM / L3 latency ratio).
+    pub(crate) w_ratio: f64,
+    pub(crate) state: Mutex<HashMap<usize, PerThread>>,
+    pub(crate) init_time: Mutex<Duration>,
+    pub(crate) threads_registered: AtomicU64,
+    /// Per-epoch trace, populated when enabled (diagnostics; the paper's
+    /// statistics "provide useful feedback to the user" for epoch-size
+    /// tuning, and the trace is the finest-grained form of it).
+    pub(crate) trace: Mutex<Option<Vec<EpochRecord>>>,
+}
+
+impl Quartz {
+    /// Validates the configuration against the machine and builds the
+    /// emulator.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuartzError::TwoMemoryUnsupported`] on Sandy Bridge in
+    ///   two-memory mode (no local/remote miss split, paper §3.3),
+    /// * [`QuartzError::NoSiblingSocket`] without a second socket in
+    ///   two-memory mode,
+    /// * [`QuartzError::TargetFasterThanSubstrate`] if the requested NVM
+    ///   latency is below the DRAM the emulation runs on.
+    pub fn new(config: QuartzConfig, mem: Arc<MemorySystem>) -> Result<Arc<Self>, QuartzError> {
+        let platform = mem.platform().clone();
+        let params = platform.arch_params();
+        let (dram_local_ns, dram_remote_ns) = config.measured_dram_ns.unwrap_or((
+            params.local_dram_ns.avg_ns as f64,
+            params.remote_dram_ns.avg_ns as f64,
+        ));
+        let nvm_node = match config.memory_mode {
+            MemoryMode::PmOnly => platform.topology().node_of_socket(SocketId(0)),
+            MemoryMode::TwoMemory => {
+                if !params.has_local_remote_miss_split() {
+                    return Err(QuartzError::TwoMemoryUnsupported { arch: params.arch });
+                }
+                let sibling = platform
+                    .topology()
+                    .sibling_socket(SocketId(0))
+                    .ok_or(QuartzError::NoSiblingSocket)?;
+                platform.topology().node_of_socket(sibling)
+            }
+        };
+        let substrate_ns = match config.memory_mode {
+            MemoryMode::PmOnly => dram_local_ns,
+            MemoryMode::TwoMemory => dram_remote_ns,
+        };
+        if config.target.read_latency_ns < substrate_ns {
+            return Err(QuartzError::TargetFasterThanSubstrate {
+                requested_ns: config.target.read_latency_ns,
+                substrate_ns,
+            });
+        }
+        let kmod = platform.kernel_module();
+        Ok(Arc::new(Quartz {
+            w_ratio: params.w_ratio(),
+            config,
+            platform,
+            kmod,
+            nvm_node,
+            dram_local_ns,
+            dram_remote_ns,
+            mem,
+            state: Mutex::new(HashMap::new()),
+            init_time: Mutex::new(Duration::ZERO),
+            threads_registered: AtomicU64::new(0),
+            trace: Mutex::new(None),
+        }))
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &QuartzConfig {
+        &self.config
+    }
+
+    /// The node `pmalloc` allocates from.
+    pub fn nvm_node(&self) -> NodeId {
+        self.nvm_node
+    }
+
+    /// Installs the emulator into an engine: hooks, the monitor timer,
+    /// and DRAM bandwidth throttling. The equivalent of `LD_PRELOAD`ing
+    /// the library and loading the kernel module.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thermal-register programming failures.
+    pub fn attach(self: &Arc<Self>, engine: &Engine) -> Result<(), QuartzError> {
+        engine.set_hooks(Arc::clone(self) as Arc<dyn Hooks>);
+
+        // Monitor thread: periodically signal threads whose epoch
+        // exceeded the maximum epoch length (paper §3.1, Fig. 5 step 2).
+        let q = Arc::clone(self);
+        engine.add_timer(self.config.monitor_period, move |api| {
+            let st = q.state.lock();
+            for &tid in api.live_threads().to_vec().iter() {
+                if let Some(pt) = st.get(&tid.0) {
+                    let age = api.fire_time().saturating_duration_since(pt.epoch_start);
+                    if age > q.config.max_epoch {
+                        api.signal_thread(tid);
+                    }
+                }
+            }
+        });
+
+        // Bandwidth emulation: program the thermal registers (§2.1).
+        if let Some(bw) = self.config.target.bandwidth_gbps {
+            let peak = self.mem.config().node_peak_bw_gbps();
+            let register = model::throttle_register_for(bw, peak);
+            match self.config.memory_mode {
+                MemoryMode::PmOnly => {
+                    for s in 0..self.platform.topology().num_sockets() {
+                        self.kmod.set_dimm_throttle(SocketId(s), register)?;
+                    }
+                }
+                MemoryMode::TwoMemory => {
+                    // Only virtual NVM is throttled; local DRAM keeps
+                    // full bandwidth.
+                    self.kmod
+                        .set_dimm_throttle(SocketId(self.nvm_node.0), register)?;
+                }
+            }
+        }
+
+        if self.config.charge_init_cost {
+            *self.init_time.lock() = self
+                .platform
+                .cycles(self.platform.op_costs().lib_init_cycles);
+        }
+        Ok(())
+    }
+
+    /// Enables or disables per-epoch tracing. Enabling clears any
+    /// previous trace.
+    pub fn set_epoch_trace(&self, enabled: bool) {
+        *self.trace.lock() = enabled.then(Vec::new);
+    }
+
+    /// The epoch trace collected so far (empty if tracing is disabled).
+    pub fn epoch_trace(&self) -> Vec<EpochRecord> {
+        self.trace.lock().clone().unwrap_or_default()
+    }
+
+    /// A snapshot of aggregate emulator statistics.
+    pub fn stats(&self) -> QuartzStats {
+        let st = self.state.lock();
+        let mut totals = ThreadStats::default();
+        for pt in st.values() {
+            let s = &pt.stats;
+            totals.epochs_monitor += s.epochs_monitor;
+            totals.epochs_lock += s.epochs_lock;
+            totals.epochs_unlock += s.epochs_unlock;
+            totals.epochs_notify += s.epochs_notify;
+            totals.epochs_barrier += s.epochs_barrier;
+            totals.epochs_exit += s.epochs_exit;
+            totals.skipped_min_epoch += s.skipped_min_epoch;
+            totals.injected += s.injected;
+            totals.overhead += s.overhead;
+            totals.carried_overhead += s.carried_overhead;
+            totals.pflush_delay += s.pflush_delay;
+            totals.pflushes += s.pflushes;
+        }
+        QuartzStats {
+            threads: self.threads_registered.load(Ordering::Relaxed),
+            init_time: *self.init_time.lock(),
+            totals,
+        }
+    }
+
+    fn read_counters(&self, ctx: &mut ThreadCtx, counters: StandardCounters) -> Snap {
+        let read = |ctx: &mut ThreadCtx, slot: usize| -> u64 {
+            match self.config.counter_access {
+                CounterAccess::Rdpmc => ctx.rdpmc(slot),
+                CounterAccess::Papi => ctx.rdpmc_papi(slot),
+            }
+            .expect("counters programmed at registration")
+        };
+        let stalls = read(ctx, counters.stalls_l2_pending.slot);
+        let hits = read(ctx, counters.l3_hit.slot);
+        let miss_local = counters.l3_miss_local.map(|c| read(ctx, c.slot)).unwrap_or(0);
+        let miss_remote = counters
+            .l3_miss_remote
+            .map(|c| read(ctx, c.slot))
+            .unwrap_or(0);
+        let miss_all = counters.l3_miss_all.map(|c| read(ctx, c.slot)).unwrap_or(0);
+        Snap {
+            stalls,
+            hits,
+            miss_local,
+            miss_remote,
+            miss_all,
+        }
+    }
+
+    /// Computes the injected delay (ns) for one epoch's counter deltas.
+    pub(crate) fn compute_delay_ns(&self, d: Snap) -> f64 {
+        let nvm = self.config.target.read_latency_ns;
+        match (self.config.model, self.config.memory_mode) {
+            (LatencyModelKind::Simple, MemoryMode::PmOnly) => {
+                model::delay_simple_ns(d.misses(), self.dram_local_ns, nvm)
+            }
+            (LatencyModelKind::Simple, MemoryMode::TwoMemory) => {
+                model::delay_simple_ns(d.miss_remote, self.dram_remote_ns, nvm)
+            }
+            (LatencyModelKind::StallBased, mode) => {
+                let ldm_stall_cycles = model::stalls_from_counters(
+                    d.stalls as f64,
+                    d.hits as f64,
+                    d.misses() as f64,
+                    self.w_ratio,
+                );
+                let stall_ns = self
+                    .platform
+                    .frequency()
+                    .cycles_to_duration(ldm_stall_cycles.round() as u64)
+                    .as_ns_f64();
+                match mode {
+                    MemoryMode::PmOnly => {
+                        model::delay_stall_based_ns(stall_ns, self.dram_local_ns, nvm)
+                    }
+                    MemoryMode::TwoMemory => {
+                        let rem_ns = model::split_remote_stall_ns(
+                            stall_ns,
+                            d.miss_local,
+                            d.miss_remote,
+                            self.dram_local_ns,
+                            self.dram_remote_ns,
+                        );
+                        model::delay_stall_based_ns(rem_ns, self.dram_remote_ns, nvm)
+                    }
+                }
+            }
+        }
+    }
+
+    fn epoch_age(&self, ctx: &ThreadCtx) -> Option<Duration> {
+        let st = self.state.lock();
+        st.get(&ctx.thread_id().0)
+            .map(|pt| ctx.now().saturating_duration_since(pt.epoch_start))
+    }
+
+    /// Closes the current epoch: reads counters, evaluates the model,
+    /// amortizes overhead, injects the delay, and opens a new epoch
+    /// (paper Fig. 5 steps 3–6).
+    pub(crate) fn end_epoch(&self, ctx: &mut ThreadCtx, reason: EpochReason) {
+        let tid = ctx.thread_id().0;
+        let Some((counters, snap)) = self
+            .state
+            .lock()
+            .get(&tid)
+            .map(|pt| (pt.counters, pt.snap))
+        else {
+            return; // thread never registered (hooks disabled mid-run)
+        };
+
+        let t0 = ctx.now();
+        let cur = self.read_counters(ctx, counters);
+        ctx.charge(
+            self.platform
+                .cycles(self.platform.op_costs().epoch_compute_cycles),
+        );
+        let delay = Duration::from_ns_f64(self.compute_delay_ns(cur.delta(snap)));
+        let overhead = ctx.now().saturating_duration_since(t0);
+
+        // Amortize emulator overhead into the injected delay (§3.2):
+        // overhead already slowed the thread down, so it is deducted
+        // from the delay; any excess is carried into upcoming epochs.
+        let inject = {
+            let mut st = self.state.lock();
+            let Some(pt) = st.get_mut(&tid) else { return };
+            pt.snap = cur;
+            // The new epoch starts at the counter-read point, so the
+            // injected spin below counts toward the next epoch's age:
+            // the minimum-epoch check then gauges *emulated* time, and
+            // with phases longer than the minimum epoch both the
+            // lock-entry and lock-exit interpositions fire, keeping
+            // outside-the-lock delay outside the lock (§2.3).
+            pt.epoch_start = ctx.now();
+            pt.stats.overhead += overhead;
+            let carried = pt.stats.carried_overhead + overhead;
+            let inject = delay.saturating_sub(carried);
+            pt.stats.carried_overhead = carried.saturating_sub(delay);
+            match reason {
+                EpochReason::MonitorSignal => pt.stats.epochs_monitor += 1,
+                EpochReason::MutexLock => pt.stats.epochs_lock += 1,
+                EpochReason::MutexUnlock => pt.stats.epochs_unlock += 1,
+                EpochReason::CondNotify => pt.stats.epochs_notify += 1,
+                EpochReason::Barrier => pt.stats.epochs_barrier += 1,
+                EpochReason::ThreadExit => pt.stats.epochs_exit += 1,
+            }
+            if self.config.inject_delays && !inject.is_zero() {
+                pt.stats.injected += inject;
+            }
+            inject
+        };
+
+        if let Some(trace) = self.trace.lock().as_mut() {
+            let d = cur.delta(snap);
+            trace.push(EpochRecord {
+                thread: tid,
+                reason,
+                closed_at: t0,
+                stall_cycles: d.stalls,
+                misses: d.misses(),
+                computed_delay: delay,
+                injected: if self.config.inject_delays { inject } else { Duration::ZERO },
+            });
+        }
+
+        if self.config.inject_delays && !inject.is_zero() {
+            ctx.spin(inject);
+        }
+    }
+
+    /// Interposition helper shared by unlock/notify: close the epoch only
+    /// if it is older than the minimum epoch length (§3.1).
+    fn maybe_end_epoch(&self, ctx: &mut ThreadCtx, reason: EpochReason) {
+        match self.epoch_age(ctx) {
+            Some(age) if age >= self.config.min_epoch => self.end_epoch(ctx, reason),
+            Some(_) => {
+                if let Some(pt) = self.state.lock().get_mut(&ctx.thread_id().0) {
+                    pt.stats.skipped_min_epoch += 1;
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+impl Hooks for Quartz {
+    fn on_thread_start(&self, ctx: &mut ThreadCtx) {
+        // Registration with the monitor: 300k cycles (paper §3.2).
+        ctx.charge(
+            self.platform
+                .cycles(self.platform.op_costs().thread_register_cycles),
+        );
+        let counters = self.kmod.program_standard_counters(ctx.core());
+        let snap = self.read_counters(ctx, counters);
+        self.threads_registered.fetch_add(1, Ordering::Relaxed);
+        self.state.lock().insert(
+            ctx.thread_id().0,
+            PerThread {
+                counters,
+                snap,
+                epoch_start: ctx.now(),
+                stats: ThreadStats::default(),
+                pending_flushes: Vec::new(),
+            },
+        );
+    }
+
+    fn on_thread_exit(&self, ctx: &mut ThreadCtx) {
+        self.end_epoch(ctx, EpochReason::ThreadExit);
+    }
+
+    fn before_mutex_lock(&self, ctx: &mut ThreadCtx) {
+        if self.config.sync_interposition {
+            self.maybe_end_epoch(ctx, EpochReason::MutexLock);
+        }
+    }
+
+    fn before_mutex_unlock(&self, ctx: &mut ThreadCtx) {
+        if self.config.sync_interposition {
+            self.maybe_end_epoch(ctx, EpochReason::MutexUnlock);
+        }
+    }
+
+    fn before_cond_notify(&self, ctx: &mut ThreadCtx) {
+        if self.config.sync_interposition {
+            self.maybe_end_epoch(ctx, EpochReason::CondNotify);
+        }
+    }
+
+    fn before_barrier(&self, ctx: &mut ThreadCtx) {
+        if self.config.sync_interposition {
+            self.maybe_end_epoch(ctx, EpochReason::Barrier);
+        }
+    }
+
+    fn on_signal(&self, ctx: &mut ThreadCtx) {
+        self.maybe_end_epoch(ctx, EpochReason::MonitorSignal);
+    }
+}
+
+impl std::fmt::Debug for Quartz {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Quartz")
+            .field("config", &self.config)
+            .field("nvm_node", &self.nvm_node)
+            .finish_non_exhaustive()
+    }
+}

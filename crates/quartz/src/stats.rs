@@ -1,0 +1,197 @@
+//! Emulator statistics and tuning feedback.
+//!
+//! The paper augments Quartz with "specially designed statistics" that
+//! report whether the epoch-processing overhead was amortized entirely
+//! and whether adjusting the epoch size may improve accuracy (§3.2).
+
+use std::fmt;
+
+use quartz_platform::time::Duration;
+
+/// Why an epoch was closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EpochReason {
+    /// The monitor signalled the thread (max epoch exceeded).
+    MonitorSignal,
+    /// A mutex acquire interposition.
+    MutexLock,
+    /// A mutex release interposition.
+    MutexUnlock,
+    /// A condition-variable notify interposition.
+    CondNotify,
+    /// A barrier-entry interposition (OpenMP-style synchronization).
+    Barrier,
+    /// The thread exited.
+    ThreadExit,
+}
+
+/// Per-thread accounting, aggregated into [`QuartzStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Epochs closed by the monitor.
+    pub epochs_monitor: u64,
+    /// Epochs closed at mutex acquires.
+    pub epochs_lock: u64,
+    /// Epochs closed at mutex releases.
+    pub epochs_unlock: u64,
+    /// Epochs closed at condvar notifies.
+    pub epochs_notify: u64,
+    /// Epochs closed at barrier entries.
+    pub epochs_barrier: u64,
+    /// Epochs closed at thread exit.
+    pub epochs_exit: u64,
+    /// Interposition points skipped because the epoch was younger than
+    /// the minimum epoch length.
+    pub skipped_min_epoch: u64,
+    /// Total delay injected.
+    pub injected: Duration,
+    /// Total epoch-processing overhead (counter reads + model).
+    pub overhead: Duration,
+    /// Overhead not yet amortized against injected delays.
+    pub carried_overhead: Duration,
+    /// Delay injected through `pflush` write emulation.
+    pub pflush_delay: Duration,
+    /// Number of `pflush` calls.
+    pub pflushes: u64,
+}
+
+impl ThreadStats {
+    /// Total epochs closed.
+    pub fn epochs(&self) -> u64 {
+        self.epochs_monitor
+            + self.epochs_lock
+            + self.epochs_unlock
+            + self.epochs_notify
+            + self.epochs_barrier
+            + self.epochs_exit
+    }
+}
+
+/// One closed epoch, as recorded when tracing is enabled
+/// ([`crate::Quartz::set_epoch_trace`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// Thread the epoch belonged to.
+    pub thread: usize,
+    /// Why it closed.
+    pub reason: EpochReason,
+    /// Virtual instant the epoch closed (counter-read point).
+    pub closed_at: quartz_platform::time::SimTime,
+    /// Stall-cycle delta observed over the epoch.
+    pub stall_cycles: u64,
+    /// LLC-miss delta observed over the epoch.
+    pub misses: u64,
+    /// Delay the model computed.
+    pub computed_delay: Duration,
+    /// Delay actually injected after overhead amortization.
+    pub injected: Duration,
+}
+
+/// Aggregated emulator statistics for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuartzStats {
+    /// Threads registered with the monitor.
+    pub threads: u64,
+    /// Library initialization time (virtual; not charged to workload).
+    pub init_time: Duration,
+    /// Sum over threads.
+    pub totals: ThreadStats,
+}
+
+impl QuartzStats {
+    /// Whether every cycle of emulator overhead was hidden inside
+    /// injected delays. When `false`, the workload ran slower than the
+    /// model intended — the paper's feedback suggests increasing the
+    /// epoch size or reducing synchronization frequency.
+    pub fn overhead_fully_amortized(&self) -> bool {
+        self.totals.carried_overhead.is_zero()
+    }
+
+    /// Overhead as a fraction of injected delay (0 when nothing was
+    /// injected).
+    pub fn overhead_ratio(&self) -> f64 {
+        let injected = self.totals.injected.as_ns_f64();
+        if injected <= 0.0 {
+            return 0.0;
+        }
+        self.totals.overhead.as_ns_f64() / injected
+    }
+}
+
+impl fmt::Display for QuartzStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "quartz statistics:")?;
+        writeln!(f, "  threads registered : {}", self.threads)?;
+        writeln!(f, "  init time          : {}", self.init_time)?;
+        writeln!(
+            f,
+            "  epochs             : {} (monitor {}, lock {}, unlock {}, notify {}, barrier {}, exit {})",
+            self.totals.epochs(),
+            self.totals.epochs_monitor,
+            self.totals.epochs_lock,
+            self.totals.epochs_unlock,
+            self.totals.epochs_notify,
+            self.totals.epochs_barrier,
+            self.totals.epochs_exit,
+        )?;
+        writeln!(f, "  skipped (min epoch): {}", self.totals.skipped_min_epoch)?;
+        writeln!(f, "  injected delay     : {}", self.totals.injected)?;
+        writeln!(f, "  epoch overhead     : {}", self.totals.overhead)?;
+        writeln!(f, "  pflush delay       : {} ({} flushes)", self.totals.pflush_delay, self.totals.pflushes)?;
+        if self.overhead_fully_amortized() {
+            writeln!(f, "  overhead fully amortized into injected delays")?;
+        } else {
+            writeln!(
+                f,
+                "  WARNING: {} of overhead not amortized — consider a larger epoch",
+                self.totals.carried_overhead
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_totals() {
+        let t = ThreadStats {
+            epochs_monitor: 2,
+            epochs_lock: 2,
+            epochs_unlock: 3,
+            epochs_notify: 1,
+            epochs_exit: 1,
+            ..ThreadStats::default()
+        };
+        assert_eq!(t.epochs(), 9);
+    }
+
+    #[test]
+    fn amortization_flag() {
+        let mut s = QuartzStats::default();
+        assert!(s.overhead_fully_amortized());
+        s.totals.carried_overhead = Duration::from_ns(5);
+        assert!(!s.overhead_fully_amortized());
+    }
+
+    #[test]
+    fn overhead_ratio() {
+        let mut s = QuartzStats::default();
+        assert_eq!(s.overhead_ratio(), 0.0);
+        s.totals.injected = Duration::from_ns(1000);
+        s.totals.overhead = Duration::from_ns(40);
+        assert!((s.overhead_ratio() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_amortization() {
+        let s = QuartzStats::default();
+        let out = s.to_string();
+        assert!(out.contains("amortized"));
+        let mut s2 = s;
+        s2.totals.carried_overhead = Duration::from_ns(7);
+        assert!(s2.to_string().contains("WARNING"));
+    }
+}

@@ -1,0 +1,498 @@
+//! End-to-end emulator tests (the validation methodology of paper §4.3
+//! in miniature: Conf_1 = local memory + Quartz vs Conf_2 = physically
+//! remote memory, same workload).
+
+use std::sync::Arc;
+
+use quartz_memsim::{MemSimConfig, MemorySystem};
+use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::{Architecture, NodeId, Platform, PlatformConfig};
+use quartz_threadsim::{Engine, ThreadCtx};
+
+use crate::config::{LatencyModelKind, MemoryMode, NvmTarget, QuartzConfig};
+use crate::runtime::Quartz;
+use crate::QuartzError;
+
+fn machine(arch: Architecture, perfect: bool) -> Arc<MemorySystem> {
+    let mut pc = PlatformConfig::new(arch);
+    if perfect {
+        pc = pc.with_perfect_counters();
+    }
+    Arc::new(MemorySystem::new(
+        Platform::new(pc),
+        MemSimConfig::default().without_jitter(),
+    ))
+}
+
+/// Pointer-chases `accesses` lines on `node`; returns elapsed virtual ns.
+fn chase(ctx: &mut ThreadCtx, node: NodeId, accesses: u64) -> f64 {
+    let l3 = ctx.mem().config().l3.size_bytes;
+    let lines = 8 * l3 / 64;
+    let buf = ctx.alloc_on(node, lines * 64);
+    let mut idx = 1u64;
+    let mut next = || {
+        idx = (idx.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) % lines;
+        idx
+    };
+    for _ in 0..128 {
+        let i = next();
+        ctx.load(buf.offset_by(i * 64));
+    }
+    let t0 = ctx.now();
+    for _ in 0..accesses {
+        let i = next();
+        ctx.load(buf.offset_by(i * 64));
+    }
+    ctx.now().saturating_duration_since(t0).as_ns_f64()
+}
+
+#[test]
+fn emulated_local_matches_physical_remote() {
+    let arch = Architecture::IvyBridge;
+    let params = arch.params();
+
+    // Conf_2: run on remote memory, no emulator.
+    let conf2 = Engine::new(machine(arch, true));
+    let remote = Arc::new(parking_lot::Mutex::new(0.0));
+    let r = Arc::clone(&remote);
+    conf2.run(move |ctx| {
+        *r.lock() = chase(ctx, NodeId(1), 50_000);
+    });
+
+    // Conf_1: run on local memory under Quartz emulating remote latency.
+    let mem = machine(arch, true);
+    let conf1 = Engine::new(Arc::clone(&mem));
+    let target = NvmTarget::new(params.remote_dram_ns.avg_ns as f64);
+    let quartz = Quartz::new(
+        QuartzConfig::new(target).with_max_epoch(Duration::from_us(100)),
+        mem,
+    )
+    .unwrap();
+    quartz.attach(&conf1).unwrap();
+    let emulated = Arc::new(parking_lot::Mutex::new(0.0));
+    let e = Arc::clone(&emulated);
+    conf1.run(move |ctx| {
+        *e.lock() = chase(ctx, NodeId(0), 50_000);
+    });
+
+    let remote = *remote.lock();
+    let emulated = *emulated.lock();
+    let err = (emulated - remote).abs() / remote;
+    assert!(
+        err < 0.03,
+        "emulation error {:.2}% (emulated {emulated} vs remote {remote})",
+        err * 100.0
+    );
+}
+
+#[test]
+fn emulated_latency_tracks_target() {
+    // Fig. 12 in miniature: measured latency under emulation ≈ target.
+    let arch = Architecture::IvyBridge;
+    for target_ns in [200.0, 500.0, 1000.0] {
+        let mem = machine(arch, true);
+        let engine = Engine::new(Arc::clone(&mem));
+        let quartz = Quartz::new(
+            QuartzConfig::new(NvmTarget::new(target_ns)).with_max_epoch(Duration::from_us(100)),
+            mem,
+        )
+        .unwrap();
+        quartz.attach(&engine).unwrap();
+        let out = Arc::new(parking_lot::Mutex::new(0.0));
+        let o = Arc::clone(&out);
+        engine.run(move |ctx| {
+            let accesses = 50_000;
+            *o.lock() = chase(ctx, NodeId(0), accesses) / accesses as f64;
+        });
+        let measured = *out.lock();
+        let err = (measured - target_ns).abs() / target_ns;
+        assert!(
+            err < 0.05,
+            "target {target_ns} ns, measured {measured:.1} ns, err {:.2}%",
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn switched_off_injection_has_low_overhead() {
+    // §3.2: emulation with injection off ≈ no emulation at all.
+    let arch = Architecture::Haswell;
+    let base = {
+        let engine = Engine::new(machine(arch, true));
+        let out = Arc::new(parking_lot::Mutex::new(0.0));
+        let o = Arc::clone(&out);
+        engine.run(move |ctx| {
+            *o.lock() = chase(ctx, NodeId(0), 20_000);
+        });
+        let v = *out.lock();
+        v
+    };
+    let off = {
+        let mem = machine(arch, true);
+        let engine = Engine::new(Arc::clone(&mem));
+        let quartz = Quartz::new(
+            QuartzConfig::new(NvmTarget::new(500.0)).without_delay_injection(),
+            mem,
+        )
+        .unwrap();
+        quartz.attach(&engine).unwrap();
+        let out = Arc::new(parking_lot::Mutex::new(0.0));
+        let o = Arc::clone(&out);
+        engine.run(move |ctx| {
+            *o.lock() = chase(ctx, NodeId(0), 20_000);
+        });
+        let v = *out.lock();
+        v
+    };
+    let overhead = (off - base) / base;
+    assert!(
+        overhead < 0.04,
+        "switched-off emulation overhead {:.2}% exceeds the paper's 4%",
+        overhead * 100.0
+    );
+}
+
+#[test]
+fn simple_model_overinjects_under_mlp() {
+    // Fig. 2 / ablation: with 8 parallel chains, Eq. 1 injects ~8x too
+    // much; Eq. 2 stays accurate.
+    let arch = Architecture::IvyBridge;
+    let run = |model: LatencyModelKind| -> f64 {
+        let mem = machine(arch, true);
+        let engine = Engine::new(Arc::clone(&mem));
+        let quartz = Quartz::new(
+            QuartzConfig::new(NvmTarget::new(400.0))
+                .with_model(model)
+                .with_max_epoch(Duration::from_us(100)),
+            mem,
+        )
+        .unwrap();
+        quartz.attach(&engine).unwrap();
+        let out = Arc::new(parking_lot::Mutex::new(0.0));
+        let o = Arc::clone(&out);
+        engine.run(move |ctx| {
+            // 8 independent chains accessed as batches (MLP = 8).
+            let l3 = ctx.mem().config().l3.size_bytes;
+            let lines = 8 * l3 / 64;
+            let buf = ctx.alloc_on(NodeId(0), lines * 64);
+            let mut idxs = [0u64; 8];
+            for (k, v) in idxs.iter_mut().enumerate() {
+                *v = 1 + k as u64 * 7919;
+            }
+            let t0 = ctx.now();
+            let mut batch = [quartz_memsim::Addr(0); 8];
+            for _ in 0..20_000 {
+                for (k, v) in idxs.iter_mut().enumerate() {
+                    *v = (v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1 + k as u64))
+                        % lines;
+                    batch[k] = buf.offset_by(*v * 64);
+                }
+                ctx.load_batch(&batch);
+            }
+            *o.lock() = ctx.now().saturating_duration_since(t0).as_ns_f64();
+        });
+        let v = *out.lock();
+        v
+    };
+    let stall = run(LatencyModelKind::StallBased);
+    let simple = run(LatencyModelKind::Simple);
+    assert!(
+        simple > 2.0 * stall,
+        "simple model should grossly over-inject under MLP: simple {simple}, stall {stall}"
+    );
+}
+
+#[test]
+fn two_memory_mode_rejects_sandy_bridge() {
+    let mem = machine(Architecture::SandyBridge, true);
+    let err = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(300.0)).with_two_memory_mode(),
+        mem,
+    )
+    .unwrap_err();
+    assert!(matches!(err, QuartzError::TwoMemoryUnsupported { .. }));
+}
+
+#[test]
+fn target_below_substrate_rejected() {
+    let mem = machine(Architecture::Haswell, true);
+    let err = Quartz::new(QuartzConfig::new(NvmTarget::new(50.0)), mem).unwrap_err();
+    assert!(matches!(err, QuartzError::TargetFasterThanSubstrate { .. }));
+}
+
+#[test]
+fn two_memory_leaves_dram_untouched_and_slows_nvm() {
+    let arch = Architecture::Haswell;
+    let params = arch.params();
+    let mem = machine(arch, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(600.0))
+            .with_two_memory_mode()
+            .with_max_epoch(Duration::from_us(100)),
+        Arc::clone(&mem),
+    )
+    .unwrap();
+    assert_eq!(quartz.nvm_node(), NodeId(1));
+    quartz.attach(&engine).unwrap();
+    let out = Arc::new(parking_lot::Mutex::new((0.0, 0.0)));
+    let o = Arc::clone(&out);
+    let q = Arc::clone(&quartz);
+    engine.run(move |ctx| {
+        // Phase 1: DRAM-only chase.
+        let n = 50_000u64;
+        let dram_ns = chase(ctx, NodeId(0), n) / n as f64;
+        // Phase 2: NVM-only chase (pmalloc side).
+        let _ = &q;
+        let nvm_ns = chase(ctx, NodeId(1), n) / n as f64;
+        *o.lock() = (dram_ns, nvm_ns);
+    });
+    let (dram_ns, nvm_ns) = *out.lock();
+    // Local accesses keep (roughly) local latency. The epoch model may
+    // smear a small share of NVM delay over the boundary epochs.
+    assert!(
+        (dram_ns - params.local_dram_ns.avg_ns as f64).abs() < 25.0,
+        "local DRAM latency ~unchanged: {dram_ns}"
+    );
+    let err = (nvm_ns - 600.0).abs() / 600.0;
+    assert!(err < 0.08, "virtual NVM at ~600 ns: {nvm_ns} (err {err})");
+}
+
+#[test]
+fn bandwidth_target_programs_registers() {
+    let mem = machine(Architecture::SandyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(200.0).with_bandwidth_gbps(9.6)),
+        Arc::clone(&mem),
+    )
+    .unwrap();
+    quartz.attach(&engine).unwrap();
+    let thermal = mem.platform().thermal_view();
+    let frac = thermal.throttle_fraction(quartz_platform::SocketId(0), 0);
+    let peak = mem.config().node_peak_bw_gbps();
+    assert!(((frac * peak) - 9.6).abs() < 0.1, "throttled to ~9.6 GB/s");
+    engine.run(|_| {});
+}
+
+#[test]
+fn pflush_injects_write_delay() {
+    let mem = machine(Architecture::IvyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(300.0).with_write_delay_ns(450.0)),
+        mem,
+    )
+    .unwrap();
+    quartz.attach(&engine).unwrap();
+    let q = Arc::clone(&quartz);
+    let out = Arc::new(parking_lot::Mutex::new(0.0));
+    let o = Arc::clone(&out);
+    engine.run(move |ctx| {
+        let buf = q.pmalloc(ctx, 1 << 16).unwrap();
+        let t0 = ctx.now();
+        for i in 0..100u64 {
+            ctx.store(buf.offset_by(i * 64));
+            q.pflush(ctx, buf.offset_by(i * 64));
+        }
+        *o.lock() = ctx.now().saturating_duration_since(t0).as_ns_f64();
+    });
+    let elapsed = *out.lock();
+    // 100 serialized flushes at >= 450 ns each.
+    assert!(elapsed >= 100.0 * 450.0, "pflush serialized: {elapsed}");
+    let stats = quartz.stats();
+    assert_eq!(stats.totals.pflushes, 100);
+    assert!(stats.totals.pflush_delay >= Duration::from_ns(45_000));
+}
+
+#[test]
+fn pcommit_overlaps_independent_writes() {
+    let mem = machine(Architecture::IvyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(300.0).with_write_delay_ns(450.0)),
+        mem,
+    )
+    .unwrap();
+    quartz.attach(&engine).unwrap();
+    let q = Arc::clone(&quartz);
+    let out = Arc::new(parking_lot::Mutex::new(0.0));
+    let o = Arc::clone(&out);
+    engine.run(move |ctx| {
+        let buf = q.pmalloc(ctx, 1 << 16).unwrap();
+        let t0 = ctx.now();
+        for batch in 0..10u64 {
+            for i in 0..10u64 {
+                let a = buf.offset_by((batch * 10 + i) * 64);
+                ctx.store(a);
+                q.pflush_opt(ctx, a);
+            }
+            assert_eq!(q.pending_flushes(ctx), 10);
+            q.pcommit(ctx);
+            assert_eq!(q.pending_flushes(ctx), 0);
+        }
+        *o.lock() = ctx.now().saturating_duration_since(t0).as_ns_f64();
+    });
+    let elapsed = *out.lock();
+    // 100 writes, but only 10 barriers are serialized: way below the
+    // 100 * 450 ns of the pessimistic pflush path.
+    assert!(
+        elapsed < 100.0 * 450.0 * 0.5,
+        "pcommit batches overlap independent writes: {elapsed}"
+    );
+    assert!(elapsed >= 10.0 * 450.0, "each barrier still waits: {elapsed}");
+}
+
+#[test]
+fn stats_report_amortization() {
+    let mem = machine(Architecture::IvyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(400.0)).with_max_epoch(Duration::from_us(200)),
+        mem,
+    )
+    .unwrap();
+    quartz.attach(&engine).unwrap();
+    engine.run(move |ctx| {
+        chase(ctx, NodeId(0), 50_000);
+    });
+    let stats = quartz.stats();
+    assert!(stats.threads >= 1);
+    assert!(stats.totals.epochs() > 5, "epochs closed: {}", stats.totals.epochs());
+    assert!(stats.totals.injected > Duration::ZERO);
+    assert!(
+        stats.overhead_fully_amortized(),
+        "memory-bound run amortizes overhead: {stats}"
+    );
+    assert!(stats.init_time > Duration::ZERO);
+}
+
+#[test]
+fn counter_fidelity_produces_family_error_ordering() {
+    // With real (skewed) counters, Sandy Bridge errors exceed Ivy Bridge
+    // errors — the paper's Fig. 12 family ordering.
+    let measure = |arch: Architecture| -> f64 {
+        let mut worst: f64 = 0.0;
+        for seed in 0..3u64 {
+            let platform = Platform::new(PlatformConfig::new(arch).with_fidelity_seed(seed));
+            let mem = Arc::new(MemorySystem::new(
+                platform,
+                MemSimConfig::default().without_jitter(),
+            ));
+            let engine = Engine::new(Arc::clone(&mem));
+            let target = 1000.0;
+            let quartz = Quartz::new(
+                QuartzConfig::new(NvmTarget::new(target)).with_max_epoch(Duration::from_us(20)),
+                mem,
+            )
+            .unwrap();
+            quartz.attach(&engine).unwrap();
+            let out = Arc::new(parking_lot::Mutex::new(0.0));
+            let o = Arc::clone(&out);
+            engine.run(move |ctx| {
+                let n = 30_000u64;
+                *o.lock() = chase(ctx, NodeId(0), n) / n as f64;
+            });
+            let measured = *out.lock();
+            worst = worst.max((measured - target).abs() / target);
+        }
+        worst
+    };
+    let snb = measure(Architecture::SandyBridge);
+    let ivb = measure(Architecture::IvyBridge);
+    assert!(snb > ivb, "SNB worst error {snb} should exceed IVB {ivb}");
+    assert!(snb < 0.10, "SNB error stays in the paper's band: {snb}");
+    assert!(ivb < 0.025, "IVB error stays in the paper's band: {ivb}");
+}
+
+#[test]
+fn delay_propagates_through_locks() {
+    // Fig. 4/13 in miniature: two threads, critical sections only. With
+    // proper propagation the emulated completion time matches running on
+    // remote memory.
+    let arch = Architecture::IvyBridge;
+    let params = arch.params();
+    let cs_work = |ctx: &mut ThreadCtx, buf: quartz_memsim::Addr, idx: &mut u64, lines: u64| {
+        for _ in 0..50 {
+            *idx = (idx.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) % lines;
+            ctx.load(buf.offset_by(*idx * 64));
+        }
+    };
+    let run = |emulate: bool| -> f64 {
+        let mem = machine(arch, true);
+        let engine = Engine::new(Arc::clone(&mem));
+        let node = if emulate { NodeId(0) } else { NodeId(1) };
+        if emulate {
+            let quartz = Quartz::new(
+                QuartzConfig::new(NvmTarget::new(params.remote_dram_ns.avg_ns as f64))
+                    .with_max_epoch(Duration::from_ms(10))
+                    .with_min_epoch(Duration::from_us(10)),
+                Arc::clone(&mem),
+            )
+            .unwrap();
+            quartz.attach(&engine).unwrap();
+        }
+        let report = engine.run(move |ctx| {
+            let m = ctx.mutex_new();
+            let lines = 8 * ctx.mem().config().l3.size_bytes / 64;
+            let mut kids = Vec::new();
+            for k in 0..2u64 {
+                kids.push(ctx.spawn(move |c| {
+                    let buf = c.alloc_on(node, lines * 64);
+                    let mut idx = k * 13 + 1;
+                    for _ in 0..200 {
+                        c.mutex_lock(m);
+                        cs_work(c, buf, &mut idx, lines);
+                        c.mutex_unlock(m);
+                    }
+                }));
+            }
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        report.end_time.as_ns_f64()
+    };
+    let actual = run(false);
+    let emulated = run(true);
+    let err = (emulated - actual).abs() / actual;
+    assert!(
+        err < 0.05,
+        "multithreaded emulation error {:.2}% (emulated {emulated} vs actual {actual})",
+        err * 100.0
+    );
+}
+
+#[test]
+fn epoch_trace_records_each_epoch() {
+    let mem = machine(Architecture::IvyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(400.0)).with_max_epoch(Duration::from_us(50)),
+        mem,
+    )
+    .unwrap();
+    quartz.attach(&engine).unwrap();
+    quartz.set_epoch_trace(true);
+    engine.run(move |ctx| {
+        chase(ctx, NodeId(0), 10_000);
+    });
+    let trace = quartz.epoch_trace();
+    let stats = quartz.stats();
+    assert_eq!(trace.len() as u64, stats.totals.epochs(), "one record per epoch");
+    assert!(trace.len() > 5);
+    // Records are causally ordered per thread and consistent with totals.
+    let injected: Duration = trace.iter().map(|r| r.injected).sum();
+    assert_eq!(injected, stats.totals.injected);
+    for w in trace.windows(2) {
+        if w[0].thread == w[1].thread {
+            assert!(w[0].closed_at <= w[1].closed_at);
+        }
+    }
+    assert!(trace.iter().all(|r| r.computed_delay >= r.injected));
+    assert!(trace.iter().any(|r| r.misses > 0));
+    // Disabling clears.
+    quartz.set_epoch_trace(false);
+    assert!(quartz.epoch_trace().is_empty());
+}

@@ -1,0 +1,79 @@
+//! Delay propagation across threads (paper §2.3 / Fig. 4 / Fig. 13):
+//! runs the Multi-Threaded benchmark with and without the minimum-epoch
+//! interposition that injects accumulated delay *before* a lock release.
+//!
+//! Without propagation (minimum epoch = maximum epoch), each thread
+//! injects its delays independently and critical sections of different
+//! threads overlap in a way slower NVM would not allow — the paper
+//! reports up to 34% error from this. With propagation the emulated time
+//! tracks physically-slower memory closely.
+//!
+//! Run with: `cargo run --release --example multithreaded_emulation`
+
+use std::sync::Arc;
+
+use quartz::{NvmTarget, Quartz, QuartzConfig};
+use quartz_memsim::{MemSimConfig, MemorySystem};
+use quartz_platform::time::Duration;
+use quartz_platform::{Architecture, NodeId, Platform, PlatformConfig};
+use quartz_threadsim::Engine;
+use quartz_workloads::{run_multithreaded, MultiThreadedConfig};
+
+fn machine() -> Arc<MemorySystem> {
+    let platform = Platform::new(PlatformConfig::new(Architecture::IvyBridge));
+    Arc::new(MemorySystem::new(platform, MemSimConfig::default()))
+}
+
+fn bench(threads: usize, node: NodeId, emulation: Option<Option<Duration>>) -> f64 {
+    let mem = machine();
+    let engine = Engine::new(Arc::clone(&mem));
+    if let Some(min_epoch) = emulation {
+        let remote = mem.platform().arch_params().remote_dram_ns.avg_ns as f64;
+        let base = QuartzConfig::new(NvmTarget::new(remote)).with_max_epoch(Duration::from_ms(10));
+        let config = match min_epoch {
+            Some(min) => base.with_min_epoch(min),
+            None => base.without_sync_interposition(),
+        };
+        let quartz = Quartz::new(config, Arc::clone(&mem)).expect("valid config");
+        quartz.attach(&engine).expect("attach");
+    }
+    let out = Arc::new(parking_lot::Mutex::new(0.0));
+    let o = Arc::clone(&out);
+    engine.run(move |ctx| {
+        let cfg = MultiThreadedConfig::cs_only(threads, 500, node);
+        *o.lock() = run_multithreaded(ctx, &cfg).elapsed.as_ns_f64() / 1e6;
+    });
+    let v = *out.lock();
+    v
+}
+
+fn main() {
+    println!("Multi-Threaded benchmark, critical sections only, emulating remote-DRAM");
+    println!("latency on local memory vs. actually running on remote memory.");
+    println!();
+    println!(
+        "{:>8}  {:>12}  {:>16}  {:>18}",
+        "threads", "actual (ms)", "propagated (ms)", "no propagation"
+    );
+    for threads in [2usize, 4, 8] {
+        // Ground truth: physically remote memory, no emulator.
+        let actual = bench(threads, NodeId(1), None);
+        // Quartz with delay propagation (small minimum epoch).
+        let propagated = bench(threads, NodeId(0), Some(Some(Duration::from_us(100))));
+        // Quartz without sync interposition — the paper's light-blue
+        // "independent delays" line.
+        let independent = bench(threads, NodeId(0), Some(None));
+        println!(
+            "{:>8}  {:>12.2}  {:>9.2} ({:>4.1}%)  {:>11.2} ({:>5.1}%)",
+            threads,
+            actual,
+            propagated,
+            (propagated - actual) / actual * 100.0,
+            independent,
+            (independent - actual) / actual * 100.0,
+        );
+    }
+    println!();
+    println!("Propagated delays stay within a few percent; independent injection");
+    println!("underestimates more as thread count grows (paper: up to 34%).");
+}

@@ -1,0 +1,120 @@
+//! A crash-consistent write-ahead log on emulated persistent memory,
+//! comparing the paper's two write-emulation models:
+//!
+//! * `pflush` (§3.1): every cache-line write stalls for the full NVM
+//!   write latency — pessimistically serialized;
+//! * `clflushopt` + `pcommit` (§6): flushes accumulate and only the
+//!   commit barrier stalls, so the independent lines of one log record
+//!   drain in parallel.
+//!
+//! Run with: `cargo run --release --example persistent_log`
+
+use std::sync::Arc;
+
+use quartz::{NvmTarget, Quartz, QuartzConfig};
+use quartz_memsim::{Addr, MemSimConfig, MemorySystem};
+use quartz_platform::{Architecture, Platform, PlatformConfig};
+use quartz_threadsim::{Engine, ThreadCtx};
+
+/// Bytes per log record (4 cache lines of payload + 1 header line).
+const RECORD_LINES: u64 = 5;
+
+/// A minimal write-ahead log: append = write payload lines, persist
+/// them, then write + persist the header (commit point) — the standard
+/// ordering that makes torn records detectable after a crash.
+struct Wal {
+    base: Addr,
+    next_record: u64,
+    capacity: u64,
+}
+
+impl Wal {
+    fn create(ctx: &mut ThreadCtx, quartz: &Quartz, records: u64) -> Self {
+        let base = quartz
+            .pmalloc(ctx, records * RECORD_LINES * 64)
+            .expect("pmalloc WAL region");
+        Wal {
+            base,
+            next_record: 0,
+            capacity: records,
+        }
+    }
+
+    fn record_addr(&self, i: u64, line: u64) -> Addr {
+        self.base.offset_by((i * RECORD_LINES + line) * 64)
+    }
+
+    /// Append with serialized `pflush` per line.
+    fn append_pflush(&mut self, ctx: &mut ThreadCtx, quartz: &Quartz) {
+        let i = self.next_record % self.capacity;
+        // Payload lines first...
+        for line in 1..RECORD_LINES {
+            ctx.store(self.record_addr(i, line));
+            quartz.pflush(ctx, self.record_addr(i, line));
+        }
+        // ...then the commit header.
+        ctx.store(self.record_addr(i, 0));
+        quartz.pflush(ctx, self.record_addr(i, 0));
+        self.next_record += 1;
+    }
+
+    /// Append with `clflushopt` + `pcommit`: payload lines drain in
+    /// parallel; ordering against the header is kept by a barrier
+    /// between payload and header persists.
+    fn append_pcommit(&mut self, ctx: &mut ThreadCtx, quartz: &Quartz) {
+        let i = self.next_record % self.capacity;
+        for line in 1..RECORD_LINES {
+            ctx.store(self.record_addr(i, line));
+            quartz.pflush_opt(ctx, self.record_addr(i, line));
+        }
+        quartz.pcommit(ctx); // payload durable before the commit point
+        ctx.store(self.record_addr(i, 0));
+        quartz.pflush_opt(ctx, self.record_addr(i, 0));
+        quartz.pcommit(ctx);
+        self.next_record += 1;
+    }
+}
+
+fn run(appends: u64, use_pcommit: bool) -> f64 {
+    let platform = Platform::new(PlatformConfig::new(Architecture::IvyBridge));
+    let mem = Arc::new(MemorySystem::new(platform, MemSimConfig::default()));
+    let engine = Engine::new(Arc::clone(&mem));
+    // A PCM-like NVM: 300 ns reads, 500 ns per-line write tail.
+    let target = NvmTarget::new(300.0).with_write_delay_ns(500.0);
+    let quartz = Quartz::new(QuartzConfig::new(target), mem).expect("valid target");
+    quartz.attach(&engine).expect("attach");
+
+    let q = Arc::clone(&quartz);
+    let out = Arc::new(parking_lot::Mutex::new(0.0));
+    let o = Arc::clone(&out);
+    engine.run(move |ctx| {
+        let mut wal = Wal::create(ctx, &q, 4_096);
+        let t0 = ctx.now();
+        for _ in 0..appends {
+            if use_pcommit {
+                wal.append_pcommit(ctx, &q);
+            } else {
+                wal.append_pflush(ctx, &q);
+            }
+        }
+        *o.lock() = ctx.now().saturating_duration_since(t0).as_ns_f64();
+    });
+    let total_ns = *out.lock();
+    total_ns / appends as f64
+}
+
+fn main() {
+    let appends = 2_000;
+    println!("Write-ahead log appends on emulated NVM (500 ns line writes)");
+    println!("record = 4 payload lines + 1 header line, header persisted last");
+    println!();
+    let pflush_ns = run(appends, false);
+    let pcommit_ns = run(appends, true);
+    println!("  pflush  (serialized writes): {pflush_ns:>8.0} ns/append");
+    println!("  pcommit (parallel payload) : {pcommit_ns:>8.0} ns/append");
+    println!("  speedup                    : {:>8.2}x", pflush_ns / pcommit_ns);
+    println!();
+    println!("The pcommit model keeps the crash-consistency ordering (payload");
+    println!("before header) while letting the four payload lines drain in");
+    println!("parallel — the §6 'opportunities' design.");
+}

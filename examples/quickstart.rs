@@ -1,0 +1,45 @@
+//! Quickstart: emulate a 400 ns / 10 GB/s NVM and touch persistent
+//! memory from a workload thread.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use quartz::{NvmTarget, Quartz, QuartzConfig};
+use quartz_memsim::{MemSimConfig, MemorySystem};
+use quartz_platform::{Architecture, Platform, PlatformConfig};
+use quartz_threadsim::Engine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the simulated two-socket Ivy Bridge machine.
+    let platform = Platform::new(PlatformConfig::new(Architecture::IvyBridge));
+    let mem = Arc::new(MemorySystem::new(platform, MemSimConfig::default()));
+    let engine = Engine::new(Arc::clone(&mem));
+
+    // 2. Configure Quartz: a PCM-like NVM at 400 ns reads, 10 GB/s.
+    let target = NvmTarget::new(400.0).with_bandwidth_gbps(10.0);
+    let quartz = Quartz::new(QuartzConfig::new(target), mem)?;
+    quartz.attach(&engine)?;
+
+    // 3. Run an application. It allocates persistent memory with
+    //    pmalloc, writes records, and persists them with pflush.
+    let q = Arc::clone(&quartz);
+    let report = engine.run(move |ctx| {
+        let records = q.pmalloc(ctx, 64 * 1024).expect("pmalloc");
+        // Write and persist 256 64-byte records.
+        for i in 0..256u64 {
+            ctx.store(records.offset_by(i * 64));
+            q.pflush(ctx, records.offset_by(i * 64));
+        }
+        // Read them back (epoch-based latency emulation applies).
+        for i in 0..256u64 {
+            ctx.load(records.offset_by(i * 64));
+        }
+        q.pfree(ctx, records).expect("pfree");
+    });
+
+    println!("workload finished at t = {}", report.end_time);
+    println!();
+    println!("{}", quartz.stats());
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Data placement on a DRAM+NVM system (paper §3.3): the same PageRank
+//! computation with (a) everything in virtual NVM versus (b) the
+//! hot rank vectors placed in fast DRAM via `malloc` while the large
+//! graph structure stays in NVM via `pmalloc`.
+//!
+//! This is the design question the two-memory extension exists to answer:
+//! "how shall we design new applications to benefit from this memory
+//! arrangement and decide on the efficient data placement?"
+//!
+//! Run with: `cargo run --release --example two_memory_placement`
+
+use std::sync::Arc;
+
+use quartz::{NvmTarget, Quartz, QuartzConfig};
+use quartz_platform::time::Duration;
+use quartz_memsim::{MemSimConfig, MemorySystem};
+use quartz_platform::{Architecture, NodeId, Platform, PlatformConfig};
+use quartz_threadsim::Engine;
+use quartz_workloads::graph::Graph;
+use quartz_workloads::pagerank::{run_pagerank, PageRankConfig};
+
+fn pagerank_time(nvm_latency_ns: f64, ranks_in_dram: bool) -> f64 {
+    let platform = Platform::new(PlatformConfig::new(Architecture::Haswell));
+    let mem = Arc::new(MemorySystem::new(platform, MemSimConfig::default()));
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(nvm_latency_ns))
+            .with_two_memory_mode()
+            .with_max_epoch(Duration::from_us(100)),
+        mem,
+    )
+    .expect("valid two-memory config");
+    quartz.attach(&engine).expect("attach");
+    let nvm_node = quartz.nvm_node();
+
+    // Sized so the rank vectors spill out of the caches: placement of
+    // the gathered data then actually matters.
+    let graph = Graph::random(40_000, 560_000, 42);
+    let out = Arc::new(parking_lot::Mutex::new(0.0));
+    let o = Arc::clone(&out);
+    engine.run(move |ctx| {
+        let cfg = PageRankConfig {
+            structure_node: nvm_node,
+            rank_node: if ranks_in_dram { NodeId(0) } else { nvm_node },
+            max_iterations: 4,
+            ..PageRankConfig::default()
+        };
+        *o.lock() = run_pagerank(ctx, &graph, &cfg).elapsed.as_ns_f64() / 1e6;
+    });
+    let v = *out.lock();
+    v
+}
+
+fn main() {
+    println!("PageRank on a DRAM+NVM machine (4 power iterations, 40k vertices)");
+    println!(
+        "{:>12}  {:>16}  {:>16}  {:>8}",
+        "NVM lat(ns)", "all-in-NVM (ms)", "ranks-in-DRAM", "speedup"
+    );
+    for lat in [200.0, 400.0, 800.0, 1600.0] {
+        let all_nvm = pagerank_time(lat, false);
+        let placed = pagerank_time(lat, true);
+        println!(
+            "{:>12}  {:>16.2}  {:>16.2}  {:>7.2}x",
+            lat,
+            all_nvm,
+            placed,
+            all_nvm / placed
+        );
+    }
+    println!();
+    println!("Placing the randomly-gathered rank vectors in DRAM recovers most of");
+    println!("the performance: the sequential CSR sweeps hide NVM latency behind");
+    println!("the prefetcher, while the latency-bound gathers stay on fast memory.");
+}

@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: the full stack (platform → memsim →
+//! threadsim → quartz → workloads) exercised end-to-end through the
+//! paper's validation methodology.
+
+use std::sync::Arc;
+
+use quartz::{NvmTarget, Quartz, QuartzConfig};
+use quartz_bench::{error_pct, run_workload, MachineSpec};
+use quartz_platform::time::Duration;
+use quartz_platform::{Architecture, NodeId};
+use quartz_workloads::kvstore::{preload, run_kv_benchmark, KvBenchConfig, KvConfig, KvStore};
+use quartz_workloads::{
+    run_memlat, run_multilat, run_multithreaded, MemLatConfig, MultiLatConfig,
+    MultiThreadedConfig,
+};
+
+fn memlat_cfg(l3_bytes: u64, chains: usize, iterations: u64, node: NodeId) -> MemLatConfig {
+    MemLatConfig {
+        chains,
+        lines_per_chain: (8 * l3_bytes / 64) / chains as u64,
+        iterations,
+        node,
+        seed: 0xE2E,
+    }
+}
+
+#[test]
+fn conf1_memlat_matches_conf2_full_stack() {
+    let arch = Architecture::IvyBridge;
+    let remote = arch.params().remote_dram_ns.avg_ns as f64;
+
+    let mem = MachineSpec::new(arch).with_seed(1).build();
+    let l3 = mem.config().l3.size_bytes;
+    let (conf2, _) = run_workload(mem, None, move |ctx, _| {
+        run_memlat(ctx, &memlat_cfg(l3, 1, 25_000, NodeId(1))).latency_per_iteration_ns()
+    });
+
+    let mem = MachineSpec::new(arch).with_seed(1).build();
+    let qc = QuartzConfig::new(NvmTarget::new(remote)).with_max_epoch(Duration::from_us(20));
+    let (conf1, quartz) = run_workload(mem, Some(qc), move |ctx, _| {
+        run_memlat(ctx, &memlat_cfg(l3, 1, 25_000, NodeId(0))).latency_per_iteration_ns()
+    });
+
+    let err = error_pct(conf1, conf2);
+    assert!(err < 3.0, "full-stack memlat error {err:.2}% (conf1 {conf1}, conf2 {conf2})");
+    let stats = quartz.expect("attached").stats();
+    assert!(stats.totals.epochs() > 20, "epochs: {}", stats.totals.epochs());
+}
+
+#[test]
+fn multilat_two_memory_end_to_end() {
+    let arch = Architecture::Haswell;
+    let local = arch.params().local_dram_ns.avg_ns as f64;
+    let nvm_target = 500.0;
+    let mem = MachineSpec::new(arch).with_seed(2).build();
+    let qc = QuartzConfig::new(NvmTarget::new(nvm_target))
+        .with_two_memory_mode()
+        .with_max_epoch(Duration::from_us(20));
+    let (result, _) = run_workload(mem, Some(qc), move |ctx, _| {
+        run_multilat(
+            ctx,
+            &MultiLatConfig {
+                dram_elements: 10_000,
+                nvm_elements: 5_000,
+                dram_burst: 200,
+                nvm_burst: 100,
+                dram_node: NodeId(0),
+                nvm_node: NodeId(1),
+                seed: 3,
+            },
+        )
+    });
+    let err = result.error_vs_expected(local, nvm_target);
+    assert!(err < 0.05, "two-memory multilat error {:.2}%", err * 100.0);
+}
+
+#[test]
+fn multithreaded_propagation_end_to_end() {
+    let arch = Architecture::IvyBridge;
+    let remote = arch.params().remote_dram_ns.avg_ns as f64;
+    let cfg = MultiThreadedConfig::cs_only(4, 150, NodeId(1));
+
+    let mem = MachineSpec::new(arch).with_seed(3).build();
+    let (actual, _) = run_workload(mem, None, move |ctx, _| {
+        run_multithreaded(ctx, &cfg).elapsed.as_ns_f64()
+    });
+
+    let cfg1 = MultiThreadedConfig {
+        node: NodeId(0),
+        ..cfg
+    };
+    let mem = MachineSpec::new(arch).with_seed(3).build();
+    let qc = QuartzConfig::new(NvmTarget::new(remote))
+        .with_max_epoch(Duration::from_ms(10))
+        .with_min_epoch(Duration::from_us(10));
+    let (emulated, _) = run_workload(mem, Some(qc), move |ctx, _| {
+        run_multithreaded(ctx, &cfg1).elapsed.as_ns_f64()
+    });
+
+    let err = error_pct(emulated, actual);
+    assert!(err < 5.0, "propagation error {err:.2}% (emu {emulated}, actual {actual})");
+}
+
+#[test]
+fn kv_store_persistent_mode_end_to_end() {
+    let arch = Architecture::IvyBridge;
+    let mem = MachineSpec::new(arch).with_seed(4).build();
+    let qc = QuartzConfig::new(NvmTarget::new(400.0).with_write_delay_ns(500.0))
+        .with_two_memory_mode();
+    let (elapsed_ratio, quartz) = run_workload(mem, Some(qc), move |ctx, q| {
+        let q = q.expect("attached");
+        // Volatile store in DRAM vs persistent store in NVM with pflush.
+        let vol = Arc::new(KvStore::create(ctx, KvConfig::new(NodeId(0))));
+        let per = Arc::new(KvStore::create(
+            ctx,
+            KvConfig::new(q.nvm_node()).with_persistence(),
+        ));
+        let t0 = ctx.now();
+        for k in 0..500u64 {
+            vol.put(ctx, None, k, k);
+        }
+        let t1 = ctx.now();
+        for k in 0..500u64 {
+            per.put(ctx, Some(&q), k, k);
+        }
+        let t2 = ctx.now();
+        (t2.saturating_duration_since(t1).as_ns_f64())
+            / (t1.saturating_duration_since(t0).as_ns_f64())
+    });
+    // Each persistent put pays >= 2 pflushes of >= 500 ns: much slower.
+    assert!(
+        elapsed_ratio > 2.0,
+        "persistence costs real time: ratio {elapsed_ratio}"
+    );
+    let stats = quartz.expect("attached").stats();
+    assert!(stats.totals.pflushes >= 1_000, "pflushes: {}", stats.totals.pflushes);
+}
+
+#[test]
+fn kv_benchmark_under_emulation_is_deterministic() {
+    let run = || {
+        let mem = MachineSpec::new(Architecture::SandyBridge).with_seed(9).build();
+        let qc = QuartzConfig::new(NvmTarget::new(300.0));
+        let (ops, _) = run_workload(mem, Some(qc), |ctx, _| {
+            let store = Arc::new(KvStore::create(ctx, KvConfig::new(NodeId(0))));
+            preload(ctx, &store, None, 2_000);
+            let cfg = KvBenchConfig {
+                preload_keys: 2_000,
+                ops_per_thread: 1_000,
+                threads: 4,
+                ..KvBenchConfig::default()
+            };
+            let r = run_kv_benchmark(ctx, &store, None, &cfg);
+            (r.elapsed.as_ps(), r.gets, r.puts)
+        });
+        ops
+    };
+    assert_eq!(run(), run(), "bit-identical repeated runs");
+}
+
+#[test]
+fn bandwidth_and_latency_compose() {
+    // Throttled bandwidth and inflated latency can be emulated together;
+    // a latency-bound chase should see the latency, not the throttle.
+    let arch = Architecture::IvyBridge;
+    let mem = MachineSpec::new(arch).with_seed(5).build();
+    let l3 = mem.config().l3.size_bytes;
+    let qc = QuartzConfig::new(NvmTarget::new(400.0).with_bandwidth_gbps(5.0))
+        .with_max_epoch(Duration::from_us(20));
+    let (lat, _) = run_workload(mem, Some(qc), move |ctx, _| {
+        run_memlat(ctx, &memlat_cfg(l3, 1, 20_000, NodeId(0))).latency_per_iteration_ns()
+    });
+    let err = error_pct(lat, 400.0);
+    assert!(
+        err < 6.0,
+        "latency-bound chase unaffected by 5 GB/s throttle: {lat:.1} ns ({err:.2}%)"
+    );
+}

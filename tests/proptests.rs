@@ -1,0 +1,386 @@
+//! Property-based tests over the core data structures and model
+//! invariants (proptest).
+
+use proptest::prelude::*;
+
+use quartz::model;
+use quartz_memsim::cache::{Cache, Lookup};
+use quartz_memsim::{Addr, CacheGeometry, NumaAllocator};
+use quartz_platform::pmu::{EventKind, FidelityModel};
+use quartz_platform::time::{Duration, Frequency, SimTime};
+use quartz_platform::{Architecture, NodeId};
+use quartz_workloads::zipf::Zipf;
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Time arithmetic.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn time_add_sub_roundtrips(base in 0u64..1 << 50, delta in 0u64..1 << 40) {
+        let t = SimTime::from_ps(base);
+        let d = Duration::from_ps(delta);
+        prop_assert_eq!((t + d).duration_since(t), d);
+        prop_assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn cycle_conversion_is_nearly_inverse(mhz in 800u64..4_000, cycles in 0u64..1 << 40) {
+        let f = Frequency::from_mhz(mhz);
+        let back = f.duration_to_cycles(f.cycles_to_duration(cycles));
+        // Integer rounding may lose at most one cycle.
+        prop_assert!(back <= cycles && cycles - back <= 1);
+    }
+
+    #[test]
+    fn duration_from_f64_is_monotone(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Duration::from_ns_f64(lo) <= Duration::from_ns_f64(hi));
+    }
+
+    // ------------------------------------------------------------------
+    // Addresses.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn addr_node_encoding_roundtrips(node in 0usize..16, offset in 0u64..1 << 40) {
+        let a = Addr::on_node(NodeId(node), offset);
+        prop_assert_eq!(a.node(), NodeId(node));
+        prop_assert_eq!(a.offset(), offset);
+    }
+
+    #[test]
+    fn addr_line_base_is_aligned(node in 0usize..4, offset in 0u64..1 << 30) {
+        let a = Addr::on_node(NodeId(node), offset);
+        prop_assert_eq!(a.line_base().offset() % 64, 0);
+        prop_assert_eq!(a.line(), a.line_base().line());
+    }
+
+    // ------------------------------------------------------------------
+    // Cache invariants.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        ways in 1usize..8,
+        sets_log2 in 0u32..5,
+        accesses in proptest::collection::vec(0u64..1 << 16, 1..200),
+    ) {
+        let sets = 1u64 << sets_log2;
+        let size = sets * ways as u64 * 64;
+        let mut cache = Cache::new(CacheGeometry::new(size, ways));
+        let capacity = (sets as usize) * ways;
+        for off in accesses {
+            let a = Addr::on_node(NodeId(0), off * 64);
+            if cache.touch(a) == Lookup::Miss {
+                cache.fill(a, off % 3 == 0);
+            }
+            prop_assert!(cache.occupancy() <= capacity);
+            // A just-filled line is always present.
+            prop_assert!(cache.contains(a));
+        }
+    }
+
+    #[test]
+    fn cache_invalidate_removes_line(offsets in proptest::collection::vec(0u64..256, 1..50)) {
+        let mut cache = Cache::new(CacheGeometry::new(4 * 1024, 4));
+        for &off in &offsets {
+            let a = Addr::on_node(NodeId(0), off * 64);
+            cache.fill(a, false);
+            cache.invalidate(a);
+            prop_assert!(!cache.contains(a));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocator invariants.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn allocations_never_overlap(sizes in proptest::collection::vec(1u64..10_000, 1..40)) {
+        let alloc = NumaAllocator::new(1, 1 << 30, false);
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for bytes in sizes {
+            let a = alloc.alloc(NodeId(0), bytes).unwrap();
+            let start = a.offset();
+            for &(s, e) in &regions {
+                prop_assert!(start + bytes <= s || start >= e, "overlap");
+            }
+            regions.push((start, start + bytes));
+        }
+    }
+
+    #[test]
+    fn free_then_alloc_same_size_reuses(bytes in 64u64..100_000) {
+        let alloc = NumaAllocator::new(1, 1 << 30, false);
+        let a = alloc.alloc(NodeId(0), bytes).unwrap();
+        alloc.free(a).unwrap();
+        let b = alloc.alloc(NodeId(0), bytes).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    // ------------------------------------------------------------------
+    // Analytic model invariants.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn eq3_output_is_bounded_by_input_stalls(
+        stalls in 0.0f64..1e12,
+        hits in 0.0f64..1e9,
+        misses in 0.0f64..1e9,
+        w in 1.0f64..20.0,
+    ) {
+        let out = model::stalls_from_counters(stalls, hits, misses, w);
+        prop_assert!(out >= 0.0);
+        prop_assert!(out <= stalls * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn eq2_delay_is_nonnegative_and_linear_in_target(
+        stall_ns in 0.0f64..1e9,
+        dram in 50.0f64..200.0,
+        extra in 0.0f64..2_000.0,
+    ) {
+        let d1 = model::delay_stall_based_ns(stall_ns, dram, dram + extra);
+        prop_assert!(d1 >= 0.0);
+        let d2 = model::delay_stall_based_ns(stall_ns, dram, dram + 2.0 * extra);
+        prop_assert!(d2 >= d1);
+        // Below-substrate targets clamp to zero, never negative.
+        prop_assert_eq!(model::delay_stall_based_ns(stall_ns, dram, dram - 1.0), 0.0);
+    }
+
+    #[test]
+    fn stall_split_is_a_partition(
+        total in 0.0f64..1e9,
+        m_loc in 0u64..1_000_000,
+        m_rem in 0u64..1_000_000,
+        lat_loc in 50.0f64..150.0,
+        lat_rem in 150.0f64..300.0,
+    ) {
+        let rem = model::split_remote_stall_ns(total, m_loc, m_rem, lat_loc, lat_rem);
+        prop_assert!(rem >= 0.0);
+        prop_assert!(rem <= total * (1.0 + 1e-12));
+        // All-remote gets everything; all-local gets nothing.
+        if m_loc == 0 && m_rem > 0 {
+            prop_assert!((rem - total).abs() <= total * 1e-9 + 1e-9);
+        }
+        if m_rem == 0 {
+            prop_assert_eq!(rem, 0.0);
+        }
+    }
+
+    #[test]
+    fn throttle_register_is_monotone(peak in 1.0f64..100.0, t1 in 0.0f64..100.0, t2 in 0.0f64..100.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(
+            model::throttle_register_for(lo, peak) <= model::throttle_register_for(hi, peak)
+        );
+        prop_assert!(model::throttle_register_for(hi, peak) <= 0xFFF);
+        prop_assert!(model::throttle_register_for(lo, peak) >= 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Counter fidelity.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fidelity_skew_is_bounded(seed in 0u64..1 << 32, raw in 1u64..1 << 40) {
+        for arch in Architecture::ALL {
+            let params = arch.params();
+            let m = FidelityModel::new(params, seed);
+            let read = m.distort(EventKind::StallsL2Pending, raw) as f64;
+            let rel = (read - raw as f64).abs() / raw as f64;
+            // bias + ripple never exceeds 1.15x the amplitude.
+            prop_assert!(rel <= 1.2 * params.stall_counter_skew + 1.0 / raw as f64);
+        }
+    }
+
+    #[test]
+    fn fidelity_is_deterministic(seed in 0u64..1 << 32, raw in 0u64..1 << 40) {
+        let m = FidelityModel::new(Architecture::Haswell.params(), seed);
+        prop_assert_eq!(
+            m.distort(EventKind::L3Hit, raw),
+            m.distort(EventKind::L3Hit, raw)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Workload generators.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn zipf_stays_in_range(n in 1u64..100_000, theta in 0.0f64..0.99, seed in 0u64..1 << 32) {
+        let mut z = Zipf::new(n, theta, seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample() < n);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Model-based tests: the set-associative cache against a reference LRU.
+// ----------------------------------------------------------------------
+
+/// Reference model: per-set vectors in exact LRU order.
+#[derive(Default)]
+struct RefCache {
+    sets: u64,
+    ways: usize,
+    data: std::collections::HashMap<u64, Vec<(u64, bool)>>,
+}
+
+impl RefCache {
+    fn new(sets: u64, ways: usize) -> Self {
+        RefCache {
+            sets,
+            ways,
+            data: Default::default(),
+        }
+    }
+
+    fn set_of(&self, line: u64) -> u64 {
+        line % self.sets
+    }
+
+    fn touch(&mut self, line: u64, dirty: bool) -> bool {
+        let set = self.data.entry(self.set_of(line)).or_default();
+        if let Some(pos) = set.iter().position(|(l, _)| *l == line) {
+            let (l, d) = set.remove(pos);
+            set.push((l, d || dirty));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
+        let ways = self.ways;
+        let set = self.data.entry(self.set_of(line)).or_default();
+        if set.iter().any(|(l, _)| *l == line) {
+            return None;
+        }
+        let evicted = if set.len() >= ways {
+            Some(set.remove(0))
+        } else {
+            None
+        };
+        set.push((line, dirty));
+        evicted
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_reference_lru_model(
+        ways in 1usize..6,
+        sets_log2 in 0u32..4,
+        ops in proptest::collection::vec((0u64..128, proptest::bool::ANY), 1..300),
+    ) {
+        let sets = 1u64 << sets_log2;
+        let mut cache = Cache::new(CacheGeometry::new(sets * ways as u64 * 64, ways));
+        let mut model = RefCache::new(sets, ways);
+        for (lineno, dirty) in ops {
+            let a = Addr::on_node(NodeId(0), lineno * 64);
+            let line = a.line();
+            let hit_real = if dirty {
+                cache.touch_dirty(a) == Lookup::Hit
+            } else {
+                cache.touch(a) == Lookup::Hit
+            };
+            let hit_model = model.touch(line, dirty);
+            prop_assert_eq!(hit_real, hit_model, "hit/miss diverged on line {}", lineno);
+            if !hit_real {
+                let ev_real = cache.fill(a, dirty);
+                let ev_model = model.fill(line, dirty);
+                match (ev_real, ev_model) {
+                    (None, None) => {}
+                    (Some(r), Some(m)) => {
+                        prop_assert_eq!(r.line, m.0, "evicted different victims");
+                        prop_assert_eq!(r.dirty, m.1, "victim dirtiness diverged");
+                    }
+                    (r, m) => prop_assert!(false, "eviction mismatch: {:?} vs {:?}", r, m),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler: mutual exclusion and determinism under random workloads.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn mutex_never_admits_two_holders(
+        thread_work in proptest::collection::vec(
+            proptest::collection::vec(1u64..2_000, 1..12),
+            2..5,
+        ),
+    ) {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+        let mem = quartz_bench::MachineSpec::new(Architecture::IvyBridge)
+            .with_perfect_counters()
+            .build();
+        let engine = quartz_threadsim::Engine::new(mem);
+        let inside = Arc::new(AtomicBool::new(false));
+        let violations = Arc::new(AtomicU64::new(0));
+        let i2 = Arc::clone(&inside);
+        let v2 = Arc::clone(&violations);
+        engine.run(move |ctx| {
+            let m = ctx.mutex_new();
+            let mut kids = Vec::new();
+            for work in thread_work {
+                let inside = Arc::clone(&i2);
+                let violations = Arc::clone(&v2);
+                kids.push(ctx.spawn(move |c| {
+                    for ns in work {
+                        c.mutex_lock(m);
+                        if inside.swap(true, Ordering::SeqCst) {
+                            violations.fetch_add(1, Ordering::SeqCst);
+                        }
+                        c.compute_ns(ns as f64);
+                        inside.store(false, Ordering::SeqCst);
+                        c.mutex_unlock(m);
+                        c.compute_ns(7.0);
+                    }
+                }));
+            }
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        prop_assert_eq!(violations.load(std::sync::atomic::Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn simulation_end_time_is_deterministic(
+        seeds in proptest::collection::vec(0u64..1_000, 2..4),
+    ) {
+        let run = |seeds: Vec<u64>| {
+            let mem = quartz_bench::MachineSpec::new(Architecture::Haswell)
+                .with_seed(42)
+                .build();
+            let engine = quartz_threadsim::Engine::new(mem);
+            engine
+                .run(move |ctx| {
+                    let m = ctx.mutex_new();
+                    let mut kids = Vec::new();
+                    for s in seeds {
+                        kids.push(ctx.spawn(move |c| {
+                            let a = c.alloc_local(1 << 14);
+                            for k in 0..40u64 {
+                                c.mutex_lock(m);
+                                c.load(a.offset_by(((k * 31 + s) % 256) * 64));
+                                c.mutex_unlock(m);
+                            }
+                        }));
+                    }
+                    for k in kids {
+                        ctx.join(k);
+                    }
+                })
+                .end_time
+                .as_ps()
+        };
+        prop_assert_eq!(run(seeds.clone()), run(seeds));
+    }
+}
