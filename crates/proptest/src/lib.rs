@@ -1,0 +1,333 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build container cannot reach a crate registry, so the workspace
+//! provides the subset of proptest's surface its tests use:
+//!
+//! * the [`proptest!`] macro with `name(arg in strategy, ...)` bindings,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies over integers and floats,
+//! * [`collection::vec`], [`bool::ANY`], and tuple strategies.
+//!
+//! Generation is a deterministic SplitMix64 stream seeded from the test
+//! name and case index, so failures are reproducible run-to-run. There
+//! is no shrinking: the failing inputs are printed instead. The number
+//! of cases per property defaults to 64 and can be overridden with the
+//! `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and implementations for ranges & tuples.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates values of an output type from the deterministic RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: std::fmt::Debug;
+        /// Produces one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    let r = (rng.next_u64() as u128) % span;
+                    (self.start as u128 + r) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.next_unit() * (self.end - self.start);
+            // Guard against rounding onto the exclusive bound.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            Strategy::new_value(&((self.start as f64)..(self.end as f64)), rng) as f32
+        }
+    }
+
+    /// A strategy producing a constant value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s of `elem` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a strategy for vectors (`proptest::collection::vec`).
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::new_value(&self.size, rng);
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case driver.
+
+    /// SplitMix64 — deterministic, seedable, no external deps.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a raw seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Iterates the configured number of cases for one property.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        base_seed: u64,
+        case: u32,
+        cases: u32,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the named property.
+        pub fn new(name: &str) -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            // FNV-1a over the test name gives a stable per-test seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRunner {
+                base_seed: h,
+                case: 0,
+                cases,
+            }
+        }
+
+        /// The RNG for the next case, or `None` when done.
+        #[allow(clippy::should_implement_trait)]
+        pub fn next(&mut self) -> Option<(u32, TestRng)> {
+            if self.case >= self.cases {
+                return None;
+            }
+            let case = self.case;
+            self.case += 1;
+            Some((
+                case,
+                TestRng::from_seed(self.base_seed.wrapping_add(case as u64)),
+            ))
+        }
+    }
+}
+
+pub mod prelude {
+    //! `use proptest::prelude::*;` — re-exports the macros and traits.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the common proptest form:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in proptest::collection::vec(0u64..10, 1..5)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new(stringify!($name));
+                while let Some((case, mut rng)) = runner.next() {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                    // Describe the inputs up front: the body may consume
+                    // them, and there is no shrinker — the values are the
+                    // reproduction recipe.
+                    let mut case_desc = String::new();
+                    $(case_desc.push_str(&format!(
+                        "  {} = {:?}\n",
+                        stringify!($arg),
+                        &$arg
+                    ));)+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {} of {} failed with inputs:\n{}",
+                            case,
+                            stringify!($name),
+                            case_desc,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    // `proptest!`/`prop_assert!` are in textual macro scope here; only
+    // the RNG needs a path import.
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..10, y in 0.0f64..1.0, b in crate::bool::ANY) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in crate::collection::vec(0u64..3, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 3));
+        }
+
+        #[test]
+        fn tuples_compose(t in (0u32..4, crate::bool::ANY)) {
+            prop_assert!(t.0 < 4);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(42);
+        let mut b = TestRng::from_seed(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

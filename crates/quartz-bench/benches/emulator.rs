@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use quartz::{NvmTarget, Quartz, QuartzConfig};
+use quartz::{NvmTarget, QuartzConfig};
 use quartz_bench::{run_workload, MachineSpec};
 use quartz_platform::{Architecture, NodeId};
 use quartz_workloads::{run_memlat, MemLatConfig};

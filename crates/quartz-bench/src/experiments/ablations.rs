@@ -20,7 +20,12 @@ pub fn model(out_dir: &Path, quick: bool) {
     let remote = arch.params().remote_dram_ns.avg_ns as f64;
     let mut table = Table::new(
         "Ablation - Eq1 simple model vs Eq2 stall-based model",
-        &["chains", "conf2 ns/iter", "stall-based err %", "simple err %"],
+        &[
+            "chains",
+            "conf2 ns/iter",
+            "stall-based err %",
+            "simple err %",
+        ],
     );
     for chains in [1usize, 2, 4, 8] {
         let actual = conf2_memlat(arch, chains, iterations, 3).latency_per_iteration_ns();

@@ -21,7 +21,11 @@ use super::{emulate_remote_config, memlat_config};
 /// 12% of HP's hardware-based latency emulator on the Graph500 reference
 /// implementation; here the ground truth is physically remote DRAM).
 pub fn graph500(out_dir: &Path, quick: bool) {
-    let (n, m) = if quick { (20_000, 280_000) } else { (60_000, 850_000) };
+    let (n, m) = if quick {
+        (20_000, 280_000)
+    } else {
+        (60_000, 850_000)
+    };
     let graph = Graph::random(n, m, 500);
     let arch = Architecture::IvyBridge;
 
@@ -129,7 +133,12 @@ pub fn loaded_latency(out_dir: &Path, quick: bool) {
     let remote = arch.params().remote_dram_ns.avg_ns as f64;
     let mut table = Table::new(
         "Loaded latency: MemLat accuracy under concurrent STREAM load",
-        &["stream threads", "conf2 ns/iter", "conf1 ns/iter", "error %"],
+        &[
+            "stream threads",
+            "conf2 ns/iter",
+            "conf1 ns/iter",
+            "error %",
+        ],
     );
     for stream_threads in [0usize, 1, 2, 4] {
         let run = |emulate: bool| -> f64 {

@@ -19,7 +19,13 @@ pub fn run(out_dir: &Path, quick: bool) {
     let chains_sweep = [1usize, 2, 3, 4, 5, 8];
     let mut table = Table::new(
         "Fig 11 - MemLat emulation error vs concurrency degree",
-        &["family", "chains", "conf2 ns/iter", "conf1 ns/iter", "error %"],
+        &[
+            "family",
+            "chains",
+            "conf2 ns/iter",
+            "conf1 ns/iter",
+            "error %",
+        ],
     );
     for arch in Architecture::ALL {
         let remote = arch.params().remote_dram_ns.avg_ns as f64;
@@ -28,9 +34,7 @@ pub fn run(out_dir: &Path, quick: bool) {
             let mut conf1 = Vec::new();
             for t in 0..trials {
                 let seed = 1_000 * t + 7;
-                conf2.push(
-                    conf2_memlat(arch, chains, iterations, seed).latency_per_iteration_ns(),
-                );
+                conf2.push(conf2_memlat(arch, chains, iterations, seed).latency_per_iteration_ns());
                 conf1.push(
                     conf1_memlat(arch, chains, iterations, seed, remote, validation_epoch())
                         .latency_per_iteration_ns(),

@@ -20,17 +20,13 @@ pub fn run(out_dir: &Path, quick: bool) {
     let targets: &[f64] = if quick {
         &[200.0, 500.0, 1000.0]
     } else {
-        &[200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0]
+        &[
+            200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0,
+        ]
     };
     let mut table = Table::new(
         "Fig 12 - MemLat measured latency vs emulated NVM target",
-        &[
-            "family",
-            "target ns",
-            "measured ns",
-            "stddev",
-            "error %",
-        ],
+        &["family", "target ns", "measured ns", "stddev", "error %"],
     );
     let mut worst: Vec<(Architecture, f64)> = Vec::new();
     for arch in Architecture::ALL {

@@ -73,15 +73,28 @@ pub fn run(out_dir: &Path, quick: bool) {
     ];
     let mut table = Table::new(
         "Fig 13 - Multi-Threaded completion time vs minimum epoch",
-        &["family", "scenario", "threads", "line", "time ms", "error %"],
+        &[
+            "family", "scenario", "threads", "line", "time ms", "error %",
+        ],
     );
     for arch in archs {
         for with_compute in [false, true] {
-            let scenario = if with_compute { "with compute" } else { "cs only" };
+            let scenario = if with_compute {
+                "with compute"
+            } else {
+                "cs only"
+            };
             for &threads in &thread_counts {
                 let mut actual_ms = 0.0;
                 for (label, min_epoch) in min_epochs {
-                    let r = bench(arch, threads, critical_sections, with_compute, *min_epoch, 7);
+                    let r = bench(
+                        arch,
+                        threads,
+                        critical_sections,
+                        with_compute,
+                        *min_epoch,
+                        7,
+                    );
                     let ms = r.elapsed.as_ns_f64() / 1e6;
                     let err = if min_epoch.is_none() {
                         actual_ms = ms;

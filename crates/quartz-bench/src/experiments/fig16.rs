@@ -37,15 +37,11 @@ fn pagerank_ms(arch: Architecture, graph: Graph, target: Option<NvmTarget>, iter
     r.elapsed.as_ns_f64() / 1e6
 }
 
-fn kv_ops_per_sec(
-    arch: Architecture,
-    target: Option<NvmTarget>,
-    keys: u64,
-    ops: u64,
-) -> f64 {
+fn kv_ops_per_sec(arch: Architecture, target: Option<NvmTarget>, keys: u64, ops: u64) -> f64 {
     let mem = MachineSpec::new(arch).with_seed(17).build();
-    let qc = target
-        .map(|t| QuartzConfig::new(t).with_max_epoch(quartz_platform::time::Duration::from_us(100)));
+    let qc = target.map(|t| {
+        QuartzConfig::new(t).with_max_epoch(quartz_platform::time::Duration::from_us(100))
+    });
     let (r, _) = run_workload(mem, qc, move |ctx, _| {
         let store = Arc::new(KvStore::create(ctx, KvConfig::new(NodeId(0))));
         preload(ctx, &store, None, keys);
@@ -74,7 +70,11 @@ pub fn run(out_dir: &Path, quick: bool) {
     } else {
         (40_000, 560_000, 5)
     };
-    let (keys, ops) = if quick { (120_000, 1_500) } else { (250_000, 4_000) };
+    let (keys, ops) = if quick {
+        (120_000, 1_500)
+    } else {
+        (250_000, 4_000)
+    };
     let graph = Graph::random(n, m, 16);
 
     // ---- Latency sensitivity (bandwidth unthrottled) ----

@@ -21,7 +21,12 @@ pub fn run(out_dir: &Path, quick: bool) {
     };
     let mut table = Table::new(
         "Fig 8 - STREAM copy bandwidth vs thermal register (Sandy Bridge)",
-        &["register", "register/0xFFF", "bandwidth GB/s", "linear prediction"],
+        &[
+            "register",
+            "register/0xFFF",
+            "bandwidth GB/s",
+            "linear prediction",
+        ],
     );
     let arch = Architecture::SandyBridge;
     let mut peak_measured = 0.0f64;

@@ -2,6 +2,7 @@
 //! experiment index and EXPERIMENTS.md for paper-vs-measured results.
 
 pub mod ablations;
+pub mod contention;
 pub mod extensions;
 pub mod fig11;
 pub mod fig12;
@@ -25,7 +26,13 @@ use quartz_platform::{Architecture, NodeId};
 use quartz_workloads::{run_memlat, MemLatConfig, MemLatResult};
 
 /// MemLat sized for the scaled-down LLC: total footprint 8x the L3.
-pub fn memlat_config(mem: &MemorySystem, chains: usize, iterations: u64, node: NodeId, seed: u64) -> MemLatConfig {
+pub fn memlat_config(
+    mem: &MemorySystem,
+    chains: usize,
+    iterations: u64,
+    node: NodeId,
+    seed: u64,
+) -> MemLatConfig {
     let l3 = mem.config().l3.size_bytes;
     MemLatConfig {
         chains,
@@ -82,4 +89,3 @@ pub fn emulate_remote_config(arch: Architecture) -> QuartzConfig {
     let remote = arch.params().remote_dram_ns.avg_ns as f64;
     QuartzConfig::new(NvmTarget::new(remote)).with_max_epoch(validation_epoch())
 }
-

@@ -17,11 +17,7 @@ use quartz_workloads::{run_memlat, MemLatConfig};
 
 use super::memlat_config;
 
-fn memlat_time(
-    arch: Architecture,
-    config: Option<QuartzConfig>,
-    iterations: u64,
-) -> (f64, u64) {
+fn memlat_time(arch: Architecture, config: Option<QuartzConfig>, iterations: u64) -> (f64, u64) {
     let mem = MachineSpec::new(arch).with_seed(3).build();
     let m2 = Arc::clone(&mem);
     let (r, q) = run_workload(mem, config, move |ctx, _| {
@@ -54,11 +50,31 @@ pub fn run(out_dir: &Path, quick: bool) {
         "0.00".into(),
     ]);
     for (label, max_epoch, access) in [
-        ("off-mode, 1 ms epochs, rdpmc", Duration::from_ms(1), CounterAccess::Rdpmc),
-        ("off-mode, 0.1 ms epochs, rdpmc", Duration::from_us(100), CounterAccess::Rdpmc),
-        ("off-mode, 0.01 ms epochs, rdpmc", Duration::from_us(10), CounterAccess::Rdpmc),
-        ("off-mode, 0.1 ms epochs, PAPI", Duration::from_us(100), CounterAccess::Papi),
-        ("off-mode, 0.01 ms epochs, PAPI", Duration::from_us(10), CounterAccess::Papi),
+        (
+            "off-mode, 1 ms epochs, rdpmc",
+            Duration::from_ms(1),
+            CounterAccess::Rdpmc,
+        ),
+        (
+            "off-mode, 0.1 ms epochs, rdpmc",
+            Duration::from_us(100),
+            CounterAccess::Rdpmc,
+        ),
+        (
+            "off-mode, 0.01 ms epochs, rdpmc",
+            Duration::from_us(10),
+            CounterAccess::Rdpmc,
+        ),
+        (
+            "off-mode, 0.1 ms epochs, PAPI",
+            Duration::from_us(100),
+            CounterAccess::Papi,
+        ),
+        (
+            "off-mode, 0.01 ms epochs, PAPI",
+            Duration::from_us(10),
+            CounterAccess::Papi,
+        ),
     ] {
         let cfg = QuartzConfig::new(target)
             .with_max_epoch(max_epoch)

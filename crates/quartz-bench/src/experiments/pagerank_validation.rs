@@ -37,7 +37,11 @@ fn bench(arch: Architecture, graph: Graph, emulate: bool) -> PageRankResult {
 
 /// Runs the PageRank validation experiment.
 pub fn run(out_dir: &Path, quick: bool) {
-    let (n, m) = if quick { (3_000, 42_000) } else { (9_600, 137_000) };
+    let (n, m) = if quick {
+        (3_000, 42_000)
+    } else {
+        (9_600, 137_000)
+    };
     let graph = Graph::random(n, m, 2015);
     let arch = Architecture::SandyBridge;
 

@@ -24,7 +24,9 @@ pub fn run(out_dir: &Path) {
             table.row(&[
                 arch.to_string(),
                 label.to_string(),
-                ev.intel_name(arch).expect("standard set has names").to_string(),
+                ev.intel_name(arch)
+                    .expect("standard set has names")
+                    .to_string(),
             ]);
         }
     }

@@ -8,7 +8,8 @@
 //!
 //! Experiments: table1 table2 fig8 fig11 fig12 fig13 fig14 fig15
 //! pagerank_validation fig16 overhead ablation_model ablation_pcommit
-//! ablation_dvfs
+//! ablation_dvfs ablation_epoch graph500 parallel_pagerank
+//! loaded_latency contention
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -39,6 +40,7 @@ const ALL: &[&str] = &[
     "graph500",
     "parallel_pagerank",
     "loaded_latency",
+    "contention",
 ];
 
 fn main() {
@@ -98,6 +100,7 @@ fn main() {
                 experiments::extensions::parallel_pagerank(&opts.out_dir, opts.quick)
             }
             "loaded_latency" => experiments::extensions::loaded_latency(&opts.out_dir, opts.quick),
+            "contention" => experiments::contention::run(&opts.out_dir, opts.quick),
             _ => unreachable!("validated above"),
         }
         println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());

@@ -100,7 +100,11 @@ impl Table {
         let _ = writeln!(
             csv,
             "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -38,7 +38,9 @@ impl NumaAllocator {
         NumaAllocator {
             capacity,
             hugepages,
-            nodes: (0..nodes).map(|_| Mutex::new(NodeHeap::default())).collect(),
+            nodes: (0..nodes)
+                .map(|_| Mutex::new(NodeHeap::default()))
+                .collect(),
         }
     }
 

@@ -131,10 +131,7 @@ impl Cache {
             return None;
         }
         // Evict LRU.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            .expect("non-empty set");
+        let victim = set.iter_mut().min_by_key(|w| w.lru).expect("non-empty set");
         let evicted = Evicted {
             line: victim.line,
             dirty: victim.dirty,

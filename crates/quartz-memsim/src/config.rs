@@ -26,7 +26,10 @@ impl CacheGeometry {
             "size must divide into ways of 64-byte lines"
         );
         let sets = size_bytes / (ways as u64 * LINE_SIZE);
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         CacheGeometry { size_bytes, ways }
     }
 
@@ -214,7 +217,10 @@ mod tests {
 
     #[test]
     fn builder_helpers() {
-        let c = MemSimConfig::default().without_prefetch().without_jitter().with_seed(9);
+        let c = MemSimConfig::default()
+            .without_prefetch()
+            .without_jitter()
+            .with_seed(9);
         assert!(!c.prefetch.enabled);
         assert!(!c.jitter);
         assert_eq!(c.seed, 9);

@@ -139,11 +139,8 @@ impl MemorySystem {
             seq: 0,
             pf_buf: Vec::new(),
         };
-        let allocator = NumaAllocator::new(
-            topo.num_nodes(),
-            config.node_capacity,
-            config.tlb.hugepages,
-        );
+        let allocator =
+            NumaAllocator::new(topo.num_nodes(), config.node_capacity, config.tlb.hugepages);
         MemorySystem {
             platform,
             config,
@@ -200,7 +197,11 @@ impl MemorySystem {
     /// (§4.7). Dirty lines are dropped, not written back.
     pub fn invalidate_caches(&self) {
         let g = &mut *self.inner.lock();
-        for c in g.l1.iter_mut().chain(g.l2.iter_mut()).chain(g.l3.iter_mut()) {
+        for c in
+            g.l1.iter_mut()
+                .chain(g.l2.iter_mut())
+                .chain(g.l3.iter_mut())
+        {
             c.invalidate_all();
         }
         for t in &mut g.tlbs {
@@ -392,8 +393,7 @@ impl MemorySystem {
                 // in the requester's private caches.
                 self.fill_l3(g, socket, addr, true, now);
                 self.fill_l2_l1(g, core, addr, false, now);
-                let stall = extra
-                    + Duration::from_ns_f64(params.l3_ns * SNOOP_HITM_FACTOR);
+                let stall = extra + Duration::from_ns_f64(params.l3_ns * SNOOP_HITM_FACTOR);
                 let pf_owned = std::mem::take(&mut pf);
                 g.pf_buf = pf;
                 for line in pf_owned {
@@ -765,9 +765,7 @@ mod tests {
     fn batch_loads_overlap() {
         let m = mem(Architecture::IvyBridge);
         // 8 independent lines on different channels/sets.
-        let addrs: Vec<Addr> = (0..8)
-            .map(|_| m.alloc(NodeId(0), 4096).unwrap())
-            .collect();
+        let addrs: Vec<Addr> = (0..8).map(|_| m.alloc(NodeId(0), 4096).unwrap()).collect();
         let stall = m.load_batch(0, &addrs, SimTime::ZERO);
         // All 8 fit in 10 MSHRs: total stall ≈ one DRAM latency, not 8.
         let ns = stall.as_ns_f64();
@@ -779,9 +777,7 @@ mod tests {
     #[test]
     fn batch_beyond_mshrs_serializes_groups() {
         let m = mem(Architecture::IvyBridge);
-        let addrs: Vec<Addr> = (0..20)
-            .map(|_| m.alloc(NodeId(0), 4096).unwrap())
-            .collect();
+        let addrs: Vec<Addr> = (0..20).map(|_| m.alloc(NodeId(0), 4096).unwrap()).collect();
         let stall = m.load_batch(0, &addrs, SimTime::ZERO).as_ns_f64();
         // 20 misses / 10 MSHRs = 2 groups ≈ 2 latencies (plus TLB walks
         // and channel queueing).
@@ -907,7 +903,8 @@ mod tests {
         };
 
         let full = run(&m, SimTime::ZERO);
-        kmod.set_dimm_throttle(quartz_platform::SocketId(0), 0x200).unwrap();
+        kmod.set_dimm_throttle(quartz_platform::SocketId(0), 0x200)
+            .unwrap();
         m.invalidate_caches();
         let throttled = run(&m, SimTime::from_ms(100));
         assert!(
@@ -991,7 +988,10 @@ mod coherence_tests {
         let ns = r.stall.as_ns_f64();
         let params = m.platform().arch_params();
         assert!(ns > params.l3_ns, "snoop slower than L3 hit: {ns}");
-        assert!(ns < params.local_dram_ns.avg_ns as f64, "but faster than DRAM: {ns}");
+        assert!(
+            ns < params.local_dram_ns.avg_ns as f64,
+            "but faster than DRAM: {ns}"
+        );
     }
 
     #[test]

@@ -215,8 +215,12 @@ mod tests {
 
     #[test]
     fn miss_split_only_on_ivb_hsw() {
-        assert!(!Architecture::SandyBridge.params().has_local_remote_miss_split());
-        assert!(Architecture::IvyBridge.params().has_local_remote_miss_split());
+        assert!(!Architecture::SandyBridge
+            .params()
+            .has_local_remote_miss_split());
+        assert!(Architecture::IvyBridge
+            .params()
+            .has_local_remote_miss_split());
         assert!(Architecture::Haswell.params().has_local_remote_miss_split());
     }
 

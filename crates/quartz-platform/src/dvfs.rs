@@ -41,8 +41,14 @@ impl DvfsModel {
     /// Panics if `steps` is empty, any step is non-positive, or the period
     /// is zero.
     pub fn with_schedule(period: Duration, steps: Vec<f64>) -> Self {
-        assert!(!steps.is_empty(), "dvfs schedule must have at least one step");
-        assert!(steps.iter().all(|&s| s > 0.0), "dvfs multipliers must be positive");
+        assert!(
+            !steps.is_empty(),
+            "dvfs schedule must have at least one step"
+        );
+        assert!(
+            steps.iter().all(|&s| s > 0.0),
+            "dvfs multipliers must be positive"
+        );
         assert!(!period.is_zero(), "dvfs period must be non-zero");
         DvfsModel {
             enabled: AtomicBool::new(false),

@@ -4,7 +4,7 @@
 //! thermal-control registers through PCI config space and (2) programs
 //! the performance counters and enables direct user-mode `rdpmc` access
 //! (paper §3.1). This type is the only way to mint the
-//! [`PrivilegeToken`](crate::pci::PrivilegeToken) those operations need,
+//! [`crate::pci::PrivilegeToken`] those operations need,
 //! reproducing the user/kernel privilege boundary.
 
 use std::sync::Arc;
@@ -80,11 +80,7 @@ impl KernelModule {
     /// # Errors
     ///
     /// Fails if any event is unavailable on this family.
-    pub fn program_counters(
-        &self,
-        core: usize,
-        events: &[EventKind],
-    ) -> Result<(), PlatformError> {
+    pub fn program_counters(&self, core: usize, events: &[EventKind]) -> Result<(), PlatformError> {
         self.pmu.program_bank(CoreId(core), events)
     }
 
@@ -99,7 +95,8 @@ impl KernelModule {
     ///
     /// Fails if the value exceeds 12 bits or the socket does not exist.
     pub fn set_dimm_throttle(&self, socket: SocketId, value: u32) -> Result<(), PlatformError> {
-        self.thermal.set_throttle_socket(&self.token(), socket, value)
+        self.thermal
+            .set_throttle_socket(&self.token(), socket, value)
     }
 
     /// Sets the throttle on a single channel.
@@ -113,7 +110,8 @@ impl KernelModule {
         channel: usize,
         value: u32,
     ) -> Result<(), PlatformError> {
-        self.thermal.set_throttle(&self.token(), socket, channel, value)
+        self.thermal
+            .set_throttle(&self.token(), socket, channel, value)
     }
 
     /// Typed view of the thermal registers.
@@ -149,7 +147,12 @@ mod tests {
         let p = Platform::new(PlatformConfig::new(Architecture::Haswell));
         let sel = p.kernel_module().program_standard_counters(2);
         // Counter reads now succeed (value zero, nothing accumulated).
-        assert_eq!(p.pmu().rdpmc(CoreId(2), sel.stalls_l2_pending.slot).unwrap(), 0);
+        assert_eq!(
+            p.pmu()
+                .rdpmc(CoreId(2), sel.stalls_l2_pending.slot)
+                .unwrap(),
+            0
+        );
     }
 
     #[test]

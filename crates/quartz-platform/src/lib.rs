@@ -54,7 +54,7 @@ pub mod tsc;
 
 mod platform;
 
-pub use arch::{Architecture, ArchParams};
+pub use arch::{ArchParams, Architecture};
 pub use error::PlatformError;
 pub use platform::{OpCosts, Platform, PlatformConfig};
 pub use pmu::PmuState;

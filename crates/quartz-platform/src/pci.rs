@@ -143,8 +143,12 @@ mod tests {
     fn write_then_read() {
         let pci = PciConfigSpace::new(1);
         let t = token();
-        pci.write32(&t, SocketId(0), THRT_PWR_DIMM_BASE, 0x200).unwrap();
-        assert_eq!(pci.read32(&t, SocketId(0), THRT_PWR_DIMM_BASE).unwrap(), 0x200);
+        pci.write32(&t, SocketId(0), THRT_PWR_DIMM_BASE, 0x200)
+            .unwrap();
+        assert_eq!(
+            pci.read32(&t, SocketId(0), THRT_PWR_DIMM_BASE).unwrap(),
+            0x200
+        );
         assert_eq!(pci.throttle_value(SocketId(0), 0), Some(0x200));
     }
 
@@ -163,7 +167,8 @@ mod tests {
     fn read_write_registers_exist_but_are_separate() {
         let pci = PciConfigSpace::new(1);
         let t = token();
-        pci.write32(&t, SocketId(0), THRT_PWR_DIMM_READ_BASE, 0x100).unwrap();
+        pci.write32(&t, SocketId(0), THRT_PWR_DIMM_READ_BASE, 0x100)
+            .unwrap();
         // The combined register is untouched: writes to the read/write
         // registers exist but do not throttle (paper footnote 2).
         assert_eq!(pci.throttle_value(SocketId(0), 0), Some(0xFFF));

@@ -234,12 +234,16 @@ mod tests {
 
     #[test]
     fn perfect_counters_read_exact() {
-        let p = Platform::new(
-            PlatformConfig::new(Architecture::SandyBridge).with_perfect_counters(),
-        );
+        let p =
+            Platform::new(PlatformConfig::new(Architecture::SandyBridge).with_perfect_counters());
         let sel = p.kernel_module().program_standard_counters(0);
         p.pmu().add(0, RawEvent::StallCyclesL2Pending, 777);
-        assert_eq!(p.pmu().rdpmc(CoreId(0), sel.stalls_l2_pending.slot).unwrap(), 777);
+        assert_eq!(
+            p.pmu()
+                .rdpmc(CoreId(0), sel.stalls_l2_pending.slot)
+                .unwrap(),
+            777
+        );
     }
 
     #[test]

@@ -109,7 +109,11 @@ mod tests {
     #[test]
     fn reprogramming_clears_old_slots() {
         let mut bank = CounterBank::default();
-        bank.program(&[EventKind::StallsL2Pending, EventKind::L3Hit, EventKind::L3MissAll]);
+        bank.program(&[
+            EventKind::StallsL2Pending,
+            EventKind::L3Hit,
+            EventKind::L3MissAll,
+        ]);
         bank.program(&[EventKind::L3Hit]);
         assert_eq!(bank.event_at(0), Some(EventKind::L3Hit));
         assert_eq!(bank.event_at(1), None);

@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn unavailable_events_have_no_name() {
-        assert_eq!(EventKind::L3MissLocal.intel_name(Architecture::SandyBridge), None);
+        assert_eq!(
+            EventKind::L3MissLocal.intel_name(Architecture::SandyBridge),
+            None
+        );
         assert_eq!(EventKind::L3MissAll.intel_name(Architecture::Haswell), None);
     }
 

@@ -195,7 +195,10 @@ mod tests {
             let b = m.bias(EventKind::StallsL2Pending).abs();
             // Fixed component dominates: |fixed| >= 0.49 amp, run part
             // perturbs by at most 0.3 amp.
-            assert!(b >= 0.15 * p.stall_counter_skew, "seed {seed}: bias {b} too small");
+            assert!(
+                b >= 0.15 * p.stall_counter_skew,
+                "seed {seed}: bias {b} too small"
+            );
             assert!(b <= p.stall_counter_skew);
         }
     }
@@ -208,7 +211,10 @@ mod tests {
             .map(|seed| FidelityModel::new(p, seed).bias(EventKind::StallsL2Pending) > 0.0)
             .collect();
         let positives = signs.iter().filter(|&&b| b).count();
-        assert!(positives == 0 || positives == 20, "sign flips: {positives}/20");
+        assert!(
+            positives == 0 || positives == 20,
+            "sign flips: {positives}/20"
+        );
     }
 
     #[test]
@@ -219,7 +225,10 @@ mod tests {
         // accumulate spurious injection.
         let p = Architecture::IvyBridge.params();
         let m = FidelityModel::new(p, 5);
-        for (r1, r2) in [(10_000_000u64, 30_000_000u64), (4_000_000_000, 4_000_001_000)] {
+        for (r1, r2) in [
+            (10_000_000u64, 30_000_000u64),
+            (4_000_000_000, 4_000_001_000),
+        ] {
             let d = m.distort(EventKind::StallsL2Pending, r2) as f64
                 - m.distort(EventKind::StallsL2Pending, r1) as f64;
             let expect = (1.0 + m.bias(EventKind::StallsL2Pending)) * (r2 - r1) as f64;

@@ -34,7 +34,9 @@ impl PmuState {
         PmuState {
             arch,
             raw: (0..num_cores).map(|_| Default::default()).collect(),
-            banks: (0..num_cores).map(|_| Mutex::new(CounterBank::default())).collect(),
+            banks: (0..num_cores)
+                .map(|_| Mutex::new(CounterBank::default()))
+                .collect(),
             user_rdpmc: (0..num_cores).map(|_| AtomicBool::new(false)).collect(),
             fidelity: Mutex::new(fidelity),
         }
@@ -226,7 +228,8 @@ mod tests {
             1,
             FidelityModel::new(Architecture::SandyBridge.params(), 1234),
         );
-        p.program_bank(CoreId(0), &[EventKind::StallsL2Pending]).unwrap();
+        p.program_bank(CoreId(0), &[EventKind::StallsL2Pending])
+            .unwrap();
         p.set_user_rdpmc(CoreId(0), true);
         p.add(0, RawEvent::StallCyclesL2Pending, 1_000_000);
         let read = p.rdpmc(CoreId(0), 0).unwrap();

@@ -347,7 +347,8 @@ impl ThreadCtx {
     ///
     /// Panics if the node is out of memory or absent.
     pub fn alloc_on(&mut self, node: NodeId, bytes: u64) -> Addr {
-        self.try_alloc_on(node, bytes).expect("node allocation failed")
+        self.try_alloc_on(node, bytes)
+            .expect("node allocation failed")
     }
 
     /// Fallible allocation on an explicit node.
@@ -711,11 +712,7 @@ impl ThreadCtx {
 }
 
 /// Computes (yield deadline, next timer fire) for thread `id`.
-fn compute_caches(
-    st: &SchedState,
-    id: usize,
-    quantum: Duration,
-) -> (SimTime, SimTime) {
+fn compute_caches(st: &SchedState, id: usize, quantum: Duration) -> (SimTime, SimTime) {
     let min_other = st
         .threads
         .iter()
@@ -745,4 +742,3 @@ impl std::fmt::Debug for ThreadCtx {
             .finish_non_exhaustive()
     }
 }
-

@@ -111,7 +111,10 @@ fn delay_injected_before_unlock_propagates_to_waiter() {
         t_acq.as_ns_f64() >= 1_000_100.0,
         "waiter saw the injected delay: acquired at {t_acq}"
     );
-    assert!(report.end_time.as_ns_f64() >= 2_000_000.0, "both unlocks spun");
+    assert!(
+        report.end_time.as_ns_f64() >= 2_000_000.0,
+        "both unlocks spun"
+    );
 }
 
 #[test]
@@ -374,7 +377,10 @@ fn barrier_synchronizes_generations() {
         .max()
         .unwrap();
     for e in events.iter().filter(|e| e.0 == "after") {
-        assert!(e.2 >= max_before, "no thread passes before the slowest arrives");
+        assert!(
+            e.2 >= max_before,
+            "no thread passes before the slowest arrives"
+        );
     }
 }
 
@@ -400,7 +406,11 @@ fn barrier_reports_one_leader_per_generation() {
             ctx.join(k);
         }
     });
-    assert_eq!(leaders.load(Ordering::Relaxed), 5, "one leader per generation");
+    assert_eq!(
+        leaders.load(Ordering::Relaxed),
+        5,
+        "one leader per generation"
+    );
 }
 
 #[test]

@@ -57,12 +57,7 @@ impl Chain {
     ///
     /// Panics if `len < 2`, `len` exceeds `u32` range, or allocation
     /// fails.
-    pub fn build(
-        ctx: &mut ThreadCtx,
-        node: quartz_platform::NodeId,
-        len: u64,
-        seed: u64,
-    ) -> Self {
+    pub fn build(ctx: &mut ThreadCtx, node: quartz_platform::NodeId, len: u64, seed: u64) -> Self {
         assert!(len >= 2, "chain needs at least two elements");
         assert!(len <= u32::MAX as u64, "chain too long");
         let base = ctx.alloc_on(node, len * 64);
@@ -173,7 +168,10 @@ mod tests {
             let mut chain = Chain::build(ctx, NodeId(0), 256, 7);
             let mut seen = std::collections::HashSet::new();
             for _ in 0..256 {
-                assert!(seen.insert(chain.current_addr()), "revisit before cycle end");
+                assert!(
+                    seen.insert(chain.current_addr()),
+                    "revisit before cycle end"
+                );
                 chain.step(ctx);
             }
             // Back at the start.

@@ -209,9 +209,7 @@ impl KvStore {
             let leaf = &tree.nodes[*path.last().expect("non-empty path")];
             trace.loads.push(leaf.addr.offset_by(128)); // payload line
             match &leaf.kind {
-                NodeKind::Leaf { values } => {
-                    leaf.keys.binary_search(&key).ok().map(|i| values[i])
-                }
+                NodeKind::Leaf { values } => leaf.keys.binary_search(&key).ok().map(|i| values[i]),
                 NodeKind::Internal { .. } => unreachable!("descend ends at a leaf"),
             }
         };
@@ -605,7 +603,10 @@ mod tests {
             let cold = ctx.now().saturating_duration_since(t0).as_ns_f64();
             // A cold lookup of a depth-d tree costs ≥ d DRAM misses.
             let d = store.depth() as f64;
-            assert!(cold > (d - 1.0) * 87.0, "cold lookup {cold} ns at depth {d}");
+            assert!(
+                cold > (d - 1.0) * 87.0,
+                "cold lookup {cold} ns at depth {d}"
+            );
         });
     }
 }

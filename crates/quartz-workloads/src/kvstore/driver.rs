@@ -94,7 +94,10 @@ impl KvBenchResult {
 pub fn preload(ctx: &mut ThreadCtx, store: &KvStore, quartz: Option<&Quartz>, keys: u64) {
     let mut k = 1u64;
     for _ in 0..keys {
-        k = (k.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(3_037_000_493)) % keys.max(2);
+        k = (k
+            .wrapping_mul(2_862_933_555_777_941_757)
+            .wrapping_add(3_037_000_493))
+            % keys.max(2);
         store.put(ctx, quartz, k, k ^ 0xABCD);
     }
     // Ensure the keyspace is fully populated despite LCG collisions.
@@ -116,8 +119,9 @@ pub fn run_kv_benchmark(
 ) -> KvBenchResult {
     assert!(config.threads >= 1, "need at least one worker");
     let t0 = ctx.now();
-    let tallies: Arc<parking_lot::Mutex<(u64, u64, Duration, Duration)>> =
-        Arc::new(parking_lot::Mutex::new((0, 0, Duration::ZERO, Duration::ZERO)));
+    let tallies: Arc<parking_lot::Mutex<(u64, u64, Duration, Duration)>> = Arc::new(
+        parking_lot::Mutex::new((0, 0, Duration::ZERO, Duration::ZERO)),
+    );
     let mut kids = Vec::with_capacity(config.threads);
     for t in 0..config.threads {
         let store = Arc::clone(store);

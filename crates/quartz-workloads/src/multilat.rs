@@ -82,7 +82,10 @@ impl MultiLatResult {
 ///
 /// Panics if any burst length is zero or allocation fails.
 pub fn run_multilat(ctx: &mut ThreadCtx, config: &MultiLatConfig) -> MultiLatResult {
-    assert!(config.dram_burst > 0 && config.nvm_burst > 0, "bursts must be positive");
+    assert!(
+        config.dram_burst > 0 && config.nvm_burst > 0,
+        "bursts must be positive"
+    );
     // The chains wrap around if the element counts exceed the chain
     // length; size them to one visit per element when possible.
     let dram_lines = config.dram_elements.clamp(2, 1 << 22);

@@ -70,10 +70,7 @@ pub struct MultiThreadedResult {
 /// # Panics
 ///
 /// Panics if `threads` is zero or allocation fails.
-pub fn run_multithreaded(
-    ctx: &mut ThreadCtx,
-    config: &MultiThreadedConfig,
-) -> MultiThreadedResult {
+pub fn run_multithreaded(ctx: &mut ThreadCtx, config: &MultiThreadedConfig) -> MultiThreadedResult {
     assert!(config.threads >= 1, "need at least one thread");
     let m = ctx.mutex_new();
     let t0 = ctx.now();

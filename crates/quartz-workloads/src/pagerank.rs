@@ -90,14 +90,14 @@ pub fn run_pagerank(ctx: &mut ThreadCtx, graph: &Graph, config: &PageRankConfig)
     let mut batch = Vec::with_capacity(GATHER_BATCH);
     while iterations < config.max_iterations && delta > config.tolerance {
         // Contribution of dangling nodes redistributed uniformly.
-        let dangling: f64 = (0..n)
-            .filter(|&v| out_deg[v] == 0)
-            .map(|v| src[v])
-            .sum();
+        let dangling: f64 = (0..n).filter(|&v| out_deg[v] == 0).map(|v| src[v]).sum();
         let base = (1.0 - config.damping) / n as f64 + config.damping * dangling / n as f64;
 
         let mut last_row_line = u64::MAX;
         let mut last_col_line = u64::MAX;
+        // `v` indexes four parallel arrays plus the simulated address
+        // space; an iterator over `dst` alone would obscure that.
+        #[allow(clippy::needless_range_loop)]
         for v in 0..n {
             // Sequential row_ptr read (new cache line only).
             let rl = sim.row_ptr_addr(v as u64).line();
@@ -187,7 +187,11 @@ mod tests {
     fn converges_before_cap() {
         let g = Graph::random(300, 3_000, 9);
         let r = run(g, PageRankConfig::default());
-        assert!(r.iterations < 64, "converged in {} iterations", r.iterations);
+        assert!(
+            r.iterations < 64,
+            "converged in {} iterations",
+            r.iterations
+        );
         assert!(r.final_delta <= 1e-7);
     }
 

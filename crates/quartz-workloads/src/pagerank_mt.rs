@@ -98,8 +98,7 @@ pub fn run_pagerank_parallel(
                     } else {
                         let d: f64 = dangling.iter().map(|&v| st.src[v]).sum();
                         (
-                            (1.0 - cfg.damping) / graph.n as f64
-                                + cfg.damping * d / graph.n as f64,
+                            (1.0 - cfg.damping) / graph.n as f64 + cfg.damping * d / graph.n as f64,
                             false,
                         )
                     }
@@ -158,15 +157,12 @@ pub fn run_pagerank_parallel(
                 // End of iteration: rendezvous; the leader reduces.
                 if c.barrier_wait(barrier) {
                     let mut st = shared.lock();
-                    let delta: f64 = (0..graph.n)
-                        .map(|v| (st.dst[v] - st.src[v]).abs())
-                        .sum();
+                    let delta: f64 = (0..graph.n).map(|v| (st.dst[v] - st.src[v]).abs()).sum();
                     let st = &mut *st;
                     std::mem::swap(&mut st.src, &mut st.dst);
                     st.delta = delta;
                     st.iterations += 1;
-                    st.done =
-                        st.iterations >= cfg.max_iterations || delta <= cfg.tolerance;
+                    st.done = st.iterations >= cfg.max_iterations || delta <= cfg.tolerance;
                 }
                 // Wait for the reduction before the next iteration.
                 c.barrier_wait(barrier);
@@ -190,7 +186,7 @@ pub fn run_pagerank_parallel(
 mod tests {
     use super::*;
     use quartz_memsim::{MemSimConfig, MemorySystem};
-    use quartz_platform::{Architecture, NodeId, Platform, PlatformConfig};
+    use quartz_platform::{Architecture, Platform, PlatformConfig};
     use quartz_threadsim::Engine;
 
     use crate::pagerank::run_pagerank;

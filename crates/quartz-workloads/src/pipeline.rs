@@ -152,6 +152,9 @@ mod tests {
         let per_item = r.elapsed.as_ns_f64() / 200.0;
         // 80 chase steps at ~90 ns.
         assert!(per_item > 80.0 * 80.0, "producer-bound: {per_item} ns/item");
-        assert!(per_item < 80.0 * 90.0 * 1.5, "consumer overlapped: {per_item}");
+        assert!(
+            per_item < 80.0 * 90.0 * 1.5,
+            "consumer overlapped: {per_item}"
+        );
     }
 }

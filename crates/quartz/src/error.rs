@@ -45,7 +45,10 @@ impl fmt::Display for QuartzError {
                 "two-memory mode requires local/remote miss counters, unavailable on {arch}"
             ),
             QuartzError::NoSiblingSocket => {
-                write!(f, "two-memory mode requires a sibling socket for virtual NVM")
+                write!(
+                    f,
+                    "two-memory mode requires a sibling socket for virtual NVM"
+                )
             }
             QuartzError::TargetFasterThanSubstrate {
                 requested_ns,

@@ -75,6 +75,7 @@ pub mod config;
 pub mod error;
 pub mod model;
 pub mod pmem;
+pub(crate) mod registry;
 pub mod runtime;
 pub mod stats;
 

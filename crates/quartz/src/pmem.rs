@@ -8,9 +8,15 @@
 //! "opportunities" design: flushes accumulate expected completion times
 //! and only the `pcommit` barrier stalls, discounting flushes that have
 //! already completed — which lets independent writes proceed in parallel.
+//!
+//! Each primitive goes through the calling thread's `crate::registry`
+//! slot and acquires the slot's owner lock **at most once** per call; the
+//! seed's global `Mutex<HashMap>` needed up to two acquisitions (plus a
+//! hash each) and could lose `pflush_delay` attribution when the second
+//! lookup raced a lookup failure after `ctx.spin`.
 
 use quartz_memsim::Addr;
-use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::time::Duration;
 use quartz_threadsim::ThreadCtx;
 
 use crate::error::QuartzError;
@@ -46,14 +52,19 @@ impl Quartz {
     /// Flushes a cache line to persistent memory and stalls for the
     /// configured NVM write delay. Serializes with the previous write —
     /// the pessimistic model of §3.1.
+    ///
+    /// Accounting is attributed *before* the spin under a single slot-lock
+    /// acquisition, so a monitor signal delivered during the spin cannot
+    /// observe a flush whose delay was charged but not recorded.
     pub fn pflush(&self, ctx: &mut ThreadCtx, addr: Addr) {
         ctx.flush(addr);
         let delay = Duration::from_ns_f64(self.config().target.write_delay_ns);
-        ctx.spin(delay);
-        if let Some(pt) = self.state.lock().get_mut(&ctx.thread_id().0) {
-            pt.stats.pflush_delay += delay;
-            pt.stats.pflushes += 1;
+        if let Some(slot) = self.slot_of(ctx) {
+            let mut owner = slot.lock_owner();
+            owner.stats.pflush_delay += delay;
+            owner.stats.pflushes += 1;
         }
+        ctx.spin(delay);
     }
 
     /// `clflushopt`-style flush: writes the line back asynchronously and
@@ -62,9 +73,10 @@ impl Quartz {
     pub fn pflush_opt(&self, ctx: &mut ThreadCtx, addr: Addr) {
         let dram_done = ctx.flush_opt(addr);
         let nvm_done = dram_done + Duration::from_ns_f64(self.config().target.write_delay_ns);
-        if let Some(pt) = self.state.lock().get_mut(&ctx.thread_id().0) {
-            pt.pending_flushes.push(nvm_done);
-            pt.stats.pflushes += 1;
+        if let Some(slot) = self.slot_of(ctx) {
+            let mut owner = slot.lock_owner();
+            owner.pending_flushes.push(nvm_done);
+            owner.stats.pflushes += 1;
         }
     }
 
@@ -72,31 +84,36 @@ impl Quartz {
     /// [`Quartz::pflush_opt`] has reached NVM. Flushes that completed
     /// while the program kept executing cost nothing — independent writes
     /// overlap (paper §6).
+    ///
+    /// Drains the pending set, computes the residual wait, and attributes
+    /// it to `pflush_delay` in **one** slot-lock acquisition before
+    /// spinning; the seed re-looked-up the thread after the spin and
+    /// silently dropped the attribution if that second lookup failed.
     pub fn pcommit(&self, ctx: &mut ThreadCtx) {
-        let latest: Option<SimTime> = {
-            let mut st = self.state.lock();
-            st.get_mut(&ctx.thread_id().0)
-                .map(|pt| pt.pending_flushes.drain(..).max())
-                .unwrap_or(None)
+        let Some(slot) = self.slot_of(ctx) else {
+            return;
         };
-        if let Some(done) = latest {
-            let wait = done.saturating_duration_since(ctx.now());
+        let wait = {
+            let mut owner = slot.lock_owner();
+            let latest = owner.pending_flushes.drain(..).max();
+            let wait = latest
+                .map(|done| done.saturating_duration_since(ctx.now()))
+                .unwrap_or(Duration::ZERO);
             if !wait.is_zero() {
-                ctx.spin(wait);
-                if let Some(pt) = self.state.lock().get_mut(&ctx.thread_id().0) {
-                    pt.stats.pflush_delay += wait;
-                }
+                owner.stats.pflush_delay += wait;
             }
+            wait
+        };
+        if !wait.is_zero() {
+            ctx.spin(wait);
         }
     }
 
     /// Number of flushes awaiting the next [`Quartz::pcommit`] on this
     /// thread.
     pub fn pending_flushes(&self, ctx: &ThreadCtx) -> usize {
-        self.state
-            .lock()
-            .get(&ctx.thread_id().0)
-            .map(|pt| pt.pending_flushes.len())
+        self.slot_of(ctx)
+            .map(|slot| slot.lock_owner().pending_flushes.len())
             .unwrap_or(0)
     }
 }

@@ -1,20 +1,19 @@
 //! The emulator runtime: epoch management, monitor, hooks.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use quartz_memsim::MemorySystem;
 use quartz_platform::kmod::KernelModule;
 use quartz_platform::pmu::bank::StandardCounters;
-use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::time::Duration;
 use quartz_platform::{NodeId, Platform, SocketId};
 use quartz_threadsim::{Engine, Hooks, ThreadCtx};
 
 use crate::config::{CounterAccess, LatencyModelKind, MemoryMode, QuartzConfig};
 use crate::error::QuartzError;
 use crate::model;
+use crate::registry::{SlotRegistry, ThreadSlot};
 use crate::stats::{EpochReason, EpochRecord, QuartzStats, ThreadStats};
 
 /// A counter snapshot at an epoch boundary.
@@ -28,7 +27,7 @@ pub(crate) struct Snap {
 }
 
 impl Snap {
-    fn delta(self, earlier: Snap) -> Snap {
+    pub(crate) fn delta(self, earlier: Snap) -> Snap {
         Snap {
             stalls: self.stalls.saturating_sub(earlier.stalls),
             hits: self.hits.saturating_sub(earlier.hits),
@@ -39,22 +38,13 @@ impl Snap {
     }
 
     /// Total LLC misses, regardless of which counters the family exposes.
-    fn misses(self) -> u64 {
+    pub(crate) fn misses(self) -> u64 {
         if self.miss_all > 0 {
             self.miss_all
         } else {
             self.miss_local + self.miss_remote
         }
     }
-}
-
-pub(crate) struct PerThread {
-    pub counters: StandardCounters,
-    pub snap: Snap,
-    pub epoch_start: SimTime,
-    pub stats: ThreadStats,
-    /// Pending `clflushopt` NVM completion times, drained by `pcommit`.
-    pub pending_flushes: Vec<SimTime>,
 }
 
 /// The Quartz emulator (user-mode library + kernel module).
@@ -76,9 +66,9 @@ pub struct Quartz {
     pub(crate) dram_remote_ns: f64,
     /// `W` of Eq. 3 (DRAM / L3 latency ratio).
     pub(crate) w_ratio: f64,
-    pub(crate) state: Mutex<HashMap<usize, PerThread>>,
+    /// Sharded per-thread emulator state (see [`crate::registry`]).
+    pub(crate) registry: SlotRegistry,
     pub(crate) init_time: Mutex<Duration>,
-    pub(crate) threads_registered: AtomicU64,
     /// Per-epoch trace, populated when enabled (diagnostics; the paper's
     /// statistics "provide useful feedback to the user" for epoch-size
     /// tuning, and the trace is the finest-grained form of it).
@@ -128,6 +118,7 @@ impl Quartz {
             });
         }
         let kmod = platform.kernel_module();
+        let num_cores = platform.topology().num_cores();
         Ok(Arc::new(Quartz {
             w_ratio: params.w_ratio(),
             config,
@@ -137,9 +128,8 @@ impl Quartz {
             dram_local_ns,
             dram_remote_ns,
             mem,
-            state: Mutex::new(HashMap::new()),
+            registry: SlotRegistry::with_capacity(num_cores),
             init_time: Mutex::new(Duration::ZERO),
-            threads_registered: AtomicU64::new(0),
             trace: Mutex::new(None),
         }))
     }
@@ -166,15 +156,20 @@ impl Quartz {
 
         // Monitor thread: periodically signal threads whose epoch
         // exceeded the maximum epoch length (paper §3.1, Fig. 5 step 2).
+        // The age scan reads each slot's atomic `epoch_start` — no
+        // per-thread lock — and signalling happens after the registry
+        // read guard is dropped, so the monitor never serializes the
+        // interposition hot path.
         let q = Arc::clone(self);
         engine.add_timer(self.config.monitor_period, move |api| {
-            let st = q.state.lock();
-            for &tid in api.live_threads().to_vec().iter() {
-                if let Some(pt) = st.get(&tid.0) {
-                    let age = api.fire_time().saturating_duration_since(pt.epoch_start);
-                    if age > q.config.max_epoch {
-                        api.signal_thread(tid);
-                    }
+            let live = api.live_threads().to_vec();
+            let tids: Vec<usize> = live.iter().map(|t| t.0).collect();
+            let starts = q.registry.epoch_starts(&tids); // guard dropped inside
+            for (tid, start) in live.into_iter().zip(starts) {
+                let Some(start) = start else { continue };
+                let age = api.fire_time().saturating_duration_since(start);
+                if age > q.config.max_epoch {
+                    api.signal_thread(tid);
                 }
             }
         });
@@ -218,11 +213,17 @@ impl Quartz {
     }
 
     /// A snapshot of aggregate emulator statistics.
+    ///
+    /// Slot locks are taken one at a time (never while holding the
+    /// registry guard), so aggregation can run concurrently with the
+    /// workload without stalling more than one thread's hot path.
     pub fn stats(&self) -> QuartzStats {
-        let st = self.state.lock();
         let mut totals = ThreadStats::default();
-        for pt in st.values() {
-            let s = &pt.stats;
+        for slot in self.registry.snapshot() {
+            let s = {
+                let owner = slot.lock_owner();
+                owner.stats.clone()
+            };
             totals.epochs_monitor += s.epochs_monitor;
             totals.epochs_lock += s.epochs_lock;
             totals.epochs_unlock += s.epochs_unlock;
@@ -235,12 +236,32 @@ impl Quartz {
             totals.carried_overhead += s.carried_overhead;
             totals.pflush_delay += s.pflush_delay;
             totals.pflushes += s.pflushes;
+            // Host-side lock telemetry lives in slot atomics (it is
+            // written outside the owner lock).
+            totals.lock_wait_ns += slot.lock_wait_ns();
+            totals.lock_acquisitions += slot.lock_acquisitions();
         }
         QuartzStats {
-            threads: self.threads_registered.load(Ordering::Relaxed),
+            threads: self.registry.registered(),
             init_time: *self.init_time.lock(),
             totals,
         }
+    }
+
+    /// Per-thread statistics keyed by thread id, in registration order
+    /// (feedback for epoch-size tuning and contention diagnosis).
+    pub fn per_thread_stats(&self) -> Vec<ThreadStats> {
+        let mut slots = self.registry.snapshot();
+        slots.sort_by_key(|s| s.slot);
+        slots
+            .iter()
+            .map(|slot| {
+                let mut s = slot.lock_owner().stats.clone();
+                s.lock_wait_ns = slot.lock_wait_ns();
+                s.lock_acquisitions = slot.lock_acquisitions();
+                s
+            })
+            .collect()
     }
 
     fn read_counters(&self, ctx: &mut ThreadCtx, counters: StandardCounters) -> Snap {
@@ -253,7 +274,10 @@ impl Quartz {
         };
         let stalls = read(ctx, counters.stalls_l2_pending.slot);
         let hits = read(ctx, counters.l3_hit.slot);
-        let miss_local = counters.l3_miss_local.map(|c| read(ctx, c.slot)).unwrap_or(0);
+        let miss_local = counters
+            .l3_miss_local
+            .map(|c| read(ctx, c.slot))
+            .unwrap_or(0);
         let miss_remote = counters
             .l3_miss_remote
             .map(|c| read(ctx, c.slot))
@@ -309,96 +333,120 @@ impl Quartz {
         }
     }
 
-    fn epoch_age(&self, ctx: &ThreadCtx) -> Option<Duration> {
-        let st = self.state.lock();
-        st.get(&ctx.thread_id().0)
-            .map(|pt| ctx.now().saturating_duration_since(pt.epoch_start))
+    /// The calling thread's slot handle.
+    pub(crate) fn slot_of(&self, ctx: &ThreadCtx) -> Option<Arc<ThreadSlot>> {
+        self.registry.get(ctx.thread_id().0)
     }
 
     /// Closes the current epoch: reads counters, evaluates the model,
     /// amortizes overhead, injects the delay, and opens a new epoch
     /// (paper Fig. 5 steps 3–6).
     pub(crate) fn end_epoch(&self, ctx: &mut ThreadCtx, reason: EpochReason) {
-        let tid = ctx.thread_id().0;
-        let Some((counters, snap)) = self
-            .state
-            .lock()
-            .get(&tid)
-            .map(|pt| (pt.counters, pt.snap))
-        else {
+        let Some(slot) = self.slot_of(ctx) else {
             return; // thread never registered (hooks disabled mid-run)
         };
+        self.end_epoch_on(&slot, ctx, reason, |_| {});
+    }
+
+    /// The epoch-close critical section, parameterized over a midpoint
+    /// probe invoked between the counter read and the state update.
+    ///
+    /// The probe exists so tests can prove the section is a **single
+    /// acquisition**: the seed's implementation dropped the state lock
+    /// at exactly this point (check-then-act), letting a concurrent
+    /// close charge the same counter delta twice. Here `owner` is held
+    /// across the whole read-compute-update sequence, so the window is
+    /// structurally gone. Production callers pass a no-op that inlines
+    /// away.
+    pub(crate) fn end_epoch_on(
+        &self,
+        slot: &ThreadSlot,
+        ctx: &mut ThreadCtx,
+        reason: EpochReason,
+        midpoint: impl FnOnce(&ThreadSlot),
+    ) {
+        // The one-and-only shared-state acquisition for this event.
+        let mut owner = slot.lock_owner();
 
         let t0 = ctx.now();
-        let cur = self.read_counters(ctx, counters);
+        let cur = self.read_counters(ctx, owner.counters);
         ctx.charge(
             self.platform
                 .cycles(self.platform.op_costs().epoch_compute_cycles),
         );
-        let delay = Duration::from_ns_f64(self.compute_delay_ns(cur.delta(snap)));
+        // Compute the delta exactly once; it feeds both the delay model
+        // and the trace record below (the seed recomputed it against an
+        // already-overwritten `snap`, so the trace could log a different
+        // delta than the one charged).
+        let d = cur.delta(owner.snap);
+        midpoint(slot);
+        let delay = Duration::from_ns_f64(self.compute_delay_ns(d));
         let overhead = ctx.now().saturating_duration_since(t0);
 
         // Amortize emulator overhead into the injected delay (§3.2):
         // overhead already slowed the thread down, so it is deducted
         // from the delay; any excess is carried into upcoming epochs.
-        let inject = {
-            let mut st = self.state.lock();
-            let Some(pt) = st.get_mut(&tid) else { return };
-            pt.snap = cur;
-            // The new epoch starts at the counter-read point, so the
-            // injected spin below counts toward the next epoch's age:
-            // the minimum-epoch check then gauges *emulated* time, and
-            // with phases longer than the minimum epoch both the
-            // lock-entry and lock-exit interpositions fire, keeping
-            // outside-the-lock delay outside the lock (§2.3).
-            pt.epoch_start = ctx.now();
-            pt.stats.overhead += overhead;
-            let carried = pt.stats.carried_overhead + overhead;
-            let inject = delay.saturating_sub(carried);
-            pt.stats.carried_overhead = carried.saturating_sub(delay);
-            match reason {
-                EpochReason::MonitorSignal => pt.stats.epochs_monitor += 1,
-                EpochReason::MutexLock => pt.stats.epochs_lock += 1,
-                EpochReason::MutexUnlock => pt.stats.epochs_unlock += 1,
-                EpochReason::CondNotify => pt.stats.epochs_notify += 1,
-                EpochReason::Barrier => pt.stats.epochs_barrier += 1,
-                EpochReason::ThreadExit => pt.stats.epochs_exit += 1,
-            }
-            if self.config.inject_delays && !inject.is_zero() {
-                pt.stats.injected += inject;
-            }
+        owner.snap = cur;
+        // The new epoch starts at the counter-read point, so the
+        // injected spin below counts toward the next epoch's age:
+        // the minimum-epoch check then gauges *emulated* time, and
+        // with phases longer than the minimum epoch both the
+        // lock-entry and lock-exit interpositions fire, keeping
+        // outside-the-lock delay outside the lock (§2.3).
+        slot.set_epoch_start(ctx.now());
+        owner.stats.overhead += overhead;
+        let carried = owner.stats.carried_overhead + overhead;
+        let inject = delay.saturating_sub(carried);
+        owner.stats.carried_overhead = carried.saturating_sub(delay);
+        match reason {
+            EpochReason::MonitorSignal => owner.stats.epochs_monitor += 1,
+            EpochReason::MutexLock => owner.stats.epochs_lock += 1,
+            EpochReason::MutexUnlock => owner.stats.epochs_unlock += 1,
+            EpochReason::CondNotify => owner.stats.epochs_notify += 1,
+            EpochReason::Barrier => owner.stats.epochs_barrier += 1,
+            EpochReason::ThreadExit => owner.stats.epochs_exit += 1,
+        }
+        let injected = if self.config.inject_delays && !inject.is_zero() {
+            owner.stats.injected += inject;
             inject
+        } else {
+            Duration::ZERO
         };
+        drop(owner); // critical section ends before tracing and spinning
 
         if let Some(trace) = self.trace.lock().as_mut() {
-            let d = cur.delta(snap);
             trace.push(EpochRecord {
-                thread: tid,
+                thread: ctx.thread_id().0,
                 reason,
                 closed_at: t0,
                 stall_cycles: d.stalls,
                 misses: d.misses(),
                 computed_delay: delay,
-                injected: if self.config.inject_delays { inject } else { Duration::ZERO },
+                injected,
             });
         }
 
-        if self.config.inject_delays && !inject.is_zero() {
-            ctx.spin(inject);
+        if !injected.is_zero() {
+            ctx.spin(injected);
         }
     }
 
     /// Interposition helper shared by unlock/notify: close the epoch only
     /// if it is older than the minimum epoch length (§3.1).
+    ///
+    /// The age check reads the slot's atomic `epoch_start` — no lock —
+    /// and the close (or the skip accounting) then acquires the slot
+    /// lock exactly once. The seed's separate `epoch_age` lock +
+    /// `end_epoch` relock (and its re-check race) are gone.
     fn maybe_end_epoch(&self, ctx: &mut ThreadCtx, reason: EpochReason) {
-        match self.epoch_age(ctx) {
-            Some(age) if age >= self.config.min_epoch => self.end_epoch(ctx, reason),
-            Some(_) => {
-                if let Some(pt) = self.state.lock().get_mut(&ctx.thread_id().0) {
-                    pt.stats.skipped_min_epoch += 1;
-                }
-            }
-            None => {}
+        let Some(slot) = self.slot_of(ctx) else {
+            return;
+        };
+        let age = ctx.now().saturating_duration_since(slot.epoch_start());
+        if age >= self.config.min_epoch {
+            self.end_epoch_on(&slot, ctx, reason, |_| {});
+        } else {
+            slot.lock_owner().stats.skipped_min_epoch += 1;
         }
     }
 }
@@ -412,17 +460,8 @@ impl Hooks for Quartz {
         );
         let counters = self.kmod.program_standard_counters(ctx.core());
         let snap = self.read_counters(ctx, counters);
-        self.threads_registered.fetch_add(1, Ordering::Relaxed);
-        self.state.lock().insert(
-            ctx.thread_id().0,
-            PerThread {
-                counters,
-                snap,
-                epoch_start: ctx.now(),
-                stats: ThreadStats::default(),
-                pending_flushes: Vec::new(),
-            },
-        );
+        self.registry
+            .register(ctx.thread_id().0, counters, snap, ctx.now());
     }
 
     fn on_thread_exit(&self, ctx: &mut ThreadCtx) {

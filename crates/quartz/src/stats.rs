@@ -53,6 +53,13 @@ pub struct ThreadStats {
     pub pflush_delay: Duration,
     /// Number of `pflush` calls.
     pub pflushes: u64,
+    /// Host-side nanoseconds spent *waiting* to acquire this thread's
+    /// slot lock (contention with aggregation/diagnostics). Pure
+    /// emulator-implementation telemetry — not virtual time.
+    pub lock_wait_ns: u64,
+    /// Slot-lock acquisitions (one per interposition event that touched
+    /// shared per-thread state).
+    pub lock_acquisitions: u64,
 }
 
 impl ThreadStats {
@@ -134,10 +141,23 @@ impl fmt::Display for QuartzStats {
             self.totals.epochs_barrier,
             self.totals.epochs_exit,
         )?;
-        writeln!(f, "  skipped (min epoch): {}", self.totals.skipped_min_epoch)?;
+        writeln!(
+            f,
+            "  skipped (min epoch): {}",
+            self.totals.skipped_min_epoch
+        )?;
         writeln!(f, "  injected delay     : {}", self.totals.injected)?;
         writeln!(f, "  epoch overhead     : {}", self.totals.overhead)?;
-        writeln!(f, "  pflush delay       : {} ({} flushes)", self.totals.pflush_delay, self.totals.pflushes)?;
+        writeln!(
+            f,
+            "  pflush delay       : {} ({} flushes)",
+            self.totals.pflush_delay, self.totals.pflushes
+        )?;
+        writeln!(
+            f,
+            "  state lock (host)  : {} acquisitions, {} ns waited",
+            self.totals.lock_acquisitions, self.totals.lock_wait_ns
+        )?;
         if self.overhead_fully_amortized() {
             writeln!(f, "  overhead fully amortized into injected delays")?;
         } else {

@@ -5,11 +5,11 @@
 use std::sync::Arc;
 
 use quartz_memsim::{MemSimConfig, MemorySystem};
-use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::time::Duration;
 use quartz_platform::{Architecture, NodeId, Platform, PlatformConfig};
 use quartz_threadsim::{Engine, ThreadCtx};
 
-use crate::config::{LatencyModelKind, MemoryMode, NvmTarget, QuartzConfig};
+use crate::config::{LatencyModelKind, NvmTarget, QuartzConfig};
 use crate::runtime::Quartz;
 use crate::QuartzError;
 
@@ -184,7 +184,9 @@ fn simple_model_overinjects_under_mlp() {
             let mut batch = [quartz_memsim::Addr(0); 8];
             for _ in 0..20_000 {
                 for (k, v) in idxs.iter_mut().enumerate() {
-                    *v = (v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1 + k as u64))
+                    *v = (v
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1 + k as u64))
                         % lines;
                     batch[k] = buf.offset_by(*v * 64);
                 }
@@ -341,7 +343,10 @@ fn pcommit_overlaps_independent_writes() {
         elapsed < 100.0 * 450.0 * 0.5,
         "pcommit batches overlap independent writes: {elapsed}"
     );
-    assert!(elapsed >= 10.0 * 450.0, "each barrier still waits: {elapsed}");
+    assert!(
+        elapsed >= 10.0 * 450.0,
+        "each barrier still waits: {elapsed}"
+    );
 }
 
 #[test]
@@ -359,7 +364,11 @@ fn stats_report_amortization() {
     });
     let stats = quartz.stats();
     assert!(stats.threads >= 1);
-    assert!(stats.totals.epochs() > 5, "epochs closed: {}", stats.totals.epochs());
+    assert!(
+        stats.totals.epochs() > 5,
+        "epochs closed: {}",
+        stats.totals.epochs()
+    );
     assert!(stats.totals.injected > Duration::ZERO);
     assert!(
         stats.overhead_fully_amortized(),
@@ -480,7 +489,11 @@ fn epoch_trace_records_each_epoch() {
     });
     let trace = quartz.epoch_trace();
     let stats = quartz.stats();
-    assert_eq!(trace.len() as u64, stats.totals.epochs(), "one record per epoch");
+    assert_eq!(
+        trace.len() as u64,
+        stats.totals.epochs(),
+        "one record per epoch"
+    );
     assert!(trace.len() > 5);
     // Records are causally ordered per thread and consistent with totals.
     let injected: Duration = trace.iter().map(|r| r.injected).sum();
@@ -495,4 +508,211 @@ fn epoch_trace_records_each_epoch() {
     // Disabling clears.
     quartz.set_epoch_trace(false);
     assert!(quartz.epoch_trace().is_empty());
+}
+
+/// Regression test for the seed's epoch-close race.
+///
+/// The seed's `end_epoch` was check-then-act across two lock
+/// acquisitions: it read the counters and computed the delta under one
+/// acquisition, dropped the state lock, then re-acquired it to overwrite
+/// `snap` and charge the stats. A monitor-signalled close slipping into
+/// that window would compute its delta against the *same* stale `snap`
+/// and charge the epoch's counters twice. The rewritten
+/// `end_epoch_on` holds the slot's owner lock across the whole
+/// read-compute-update sequence, and its `midpoint` probe runs exactly
+/// where the seed dropped the lock — so this test fails on the old
+/// double-acquisition logic (the probe could lock) and passes on the new.
+#[test]
+fn end_epoch_holds_slot_lock_across_read_and_update() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    use crate::stats::EpochReason;
+
+    let mem = machine(Architecture::IvyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(400.0)).with_max_epoch(Duration::from_us(100)),
+        mem,
+    )
+    .unwrap();
+    quartz.attach(&engine).unwrap();
+    let q = Arc::clone(&quartz);
+    let probes = Arc::new(AtomicU32::new(0));
+    let p = Arc::clone(&probes);
+    engine.run(move |ctx| {
+        chase(ctx, NodeId(0), 2_000);
+        let slot = q.slot_of(ctx).expect("thread registered at start");
+        for _ in 0..3 {
+            chase(ctx, NodeId(0), 500);
+            q.end_epoch_on(&slot, ctx, EpochReason::MutexUnlock, |s| {
+                // A concurrent close (the seed's race partner) would have
+                // to acquire the owner lock right here — it must fail.
+                assert!(
+                    s.try_lock_owner().is_none(),
+                    "owner lock must be held across the counter-read/state-update window"
+                );
+                p.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(
+        probes.load(Ordering::SeqCst),
+        3,
+        "probe ran inside each close"
+    );
+}
+
+/// Under a synchronization storm with monitor pressure, every epoch is
+/// charged exactly once: the per-thread stats tile the aggregate totals
+/// and the trace tiles the injected-delay accounting.
+#[test]
+fn storm_accounting_has_no_double_charges() {
+    let mem = machine(Architecture::IvyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(500.0))
+            .with_max_epoch(Duration::from_us(20)) // heavy monitor pressure
+            .with_min_epoch(Duration::from_us(2)),
+        mem,
+    )
+    .unwrap();
+    quartz.attach(&engine).unwrap();
+    quartz.set_epoch_trace(true);
+    engine.run(move |ctx| {
+        let m = ctx.mutex_new();
+        let lines = 8 * ctx.mem().config().l3.size_bytes / 64;
+        let mut kids = Vec::new();
+        for k in 0..4u64 {
+            kids.push(ctx.spawn(move |c| {
+                let buf = c.alloc_on(NodeId(0), lines * 64);
+                let mut idx = k * 31 + 1;
+                for _ in 0..100 {
+                    c.mutex_lock(m);
+                    for _ in 0..20 {
+                        idx = (idx.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) % lines;
+                        c.load(buf.offset_by(idx * 64));
+                    }
+                    c.mutex_unlock(m);
+                }
+            }));
+        }
+        for kid in kids {
+            ctx.join(kid);
+        }
+    });
+    let stats = quartz.stats();
+    let per = quartz.per_thread_stats();
+    let trace = quartz.epoch_trace();
+
+    // 1 main + 4 workers registered; one stats entry each.
+    assert_eq!(stats.threads, 5);
+    assert_eq!(per.len(), 5);
+    // Per-thread stats sum exactly to the aggregate: an epoch charged
+    // twice (the seed's race) would break this tiling.
+    let injected: Duration = per.iter().map(|t| t.injected).sum();
+    assert_eq!(injected, stats.totals.injected);
+    let epochs: u64 = per.iter().map(|t| t.epochs()).sum();
+    assert_eq!(epochs, stats.totals.epochs());
+    let skipped: u64 = per.iter().map(|t| t.skipped_min_epoch).sum();
+    assert_eq!(skipped, stats.totals.skipped_min_epoch);
+    // The trace is one record per close, and its injected sum matches.
+    assert_eq!(trace.len() as u64, stats.totals.epochs());
+    let traced: Duration = trace.iter().map(|r| r.injected).sum();
+    assert_eq!(traced, stats.totals.injected);
+    // The storm did exercise both monitor and unlock closes.
+    assert!(stats.totals.epochs_unlock > 0, "{stats}");
+    assert!(stats.totals.epochs_monitor > 0, "{stats}");
+    // Host-side slot-lock telemetry: one acquisition per charged event,
+    // never zero once epochs closed.
+    assert!(stats.totals.lock_acquisitions >= stats.totals.epochs());
+    assert!(per.iter().all(|t| t.lock_acquisitions > 0));
+}
+
+mod snap_properties {
+    //! Property tests for the counter-snapshot arithmetic the epoch
+    //! accounting is built on.
+
+    use proptest::prelude::*;
+
+    use crate::runtime::Snap;
+
+    /// Builds cumulative (monotone) snapshots from per-interval
+    /// increments, in either counter family: `split` architectures
+    /// expose local/remote miss counters, the others one `miss_all`.
+    fn cumulative(incs: &[(u64, u64, u64, u64)], split: bool) -> Vec<Snap> {
+        let mut snaps = vec![Snap::default()];
+        let mut acc = Snap::default();
+        for &(stalls, hits, m1, m2) in incs {
+            acc.stalls += stalls;
+            acc.hits += hits;
+            if split {
+                acc.miss_local += m1;
+                acc.miss_remote += m2;
+            } else {
+                acc.miss_all += m1 + m2;
+            }
+            snaps.push(acc);
+        }
+        snaps
+    }
+
+    proptest! {
+        /// However the closes interleave (any partition of the counter
+        /// timeline into epochs), the per-epoch deltas tile the total:
+        /// nothing is charged twice, nothing is lost, and `misses()` is
+        /// additive in both counter families.
+        #[test]
+        fn snap_deltas_tile_under_interleaved_closes(
+            incs in proptest::collection::vec(
+                (0u64..1000, 0u64..1000, 0u64..1000, 0u64..1000),
+                1..24,
+            ),
+            cuts in proptest::collection::vec(proptest::bool::ANY, 0..24),
+            split in proptest::bool::ANY,
+        ) {
+            let snaps = cumulative(&incs, split);
+            let total = snaps[snaps.len() - 1].delta(snaps[0]);
+
+            // Walk the timeline, closing an epoch wherever `cuts` says
+            // so (and always at the end), exactly as `end_epoch_on`
+            // advances `snap = cur` at each close.
+            let mut snap = snaps[0];
+            let mut charged = Snap::default();
+            let mut charged_misses = 0u64;
+            for (i, cur) in snaps.iter().enumerate().skip(1) {
+                let close_here =
+                    i == snaps.len() - 1 || cuts.get(i - 1).copied().unwrap_or(false);
+                if close_here {
+                    let d = cur.delta(snap);
+                    // Monotone counters: deltas never go negative
+                    // (saturating_sub must never actually saturate).
+                    prop_assert!(cur.stalls >= snap.stalls);
+                    prop_assert_eq!(d.stalls, cur.stalls - snap.stalls);
+                    charged.stalls += d.stalls;
+                    charged.hits += d.hits;
+                    charged.miss_local += d.miss_local;
+                    charged.miss_remote += d.miss_remote;
+                    charged.miss_all += d.miss_all;
+                    charged_misses += d.misses();
+                    snap = *cur; // epoch boundary: cur becomes the base
+                }
+            }
+            prop_assert_eq!(charged, total, "epoch deltas must tile the counter timeline");
+            prop_assert_eq!(charged_misses, total.misses(), "misses() additive per family");
+        }
+
+        /// `misses()` prefers the unified counter when the architecture
+        /// provides one and falls back to the local/remote split.
+        #[test]
+        fn misses_prefers_unified_counter(
+            all in 1u64..10_000,
+            local in 0u64..10_000,
+            remote in 0u64..10_000,
+        ) {
+            let unified = Snap { miss_all: all, miss_local: local, miss_remote: remote, ..Snap::default() };
+            prop_assert_eq!(unified.misses(), all);
+            let split = Snap { miss_local: local, miss_remote: remote, ..Snap::default() };
+            prop_assert_eq!(split.misses(), local + remote);
+        }
+    }
 }

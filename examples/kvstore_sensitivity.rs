@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use quartz::{NvmTarget, Quartz, QuartzConfig};
-use quartz_platform::time::Duration;
 use quartz_memsim::{MemSimConfig, MemorySystem};
+use quartz_platform::time::Duration;
 use quartz_platform::{Architecture, Platform, PlatformConfig};
 use quartz_threadsim::Engine;
 use quartz_workloads::kvstore::{preload, run_kv_benchmark, KvBenchConfig, KvConfig, KvStore};
@@ -49,16 +49,14 @@ fn throughput_at(nvm_latency_ns: f64) -> f64 {
 
 fn main() {
     println!("NVM read latency sweep — 4-thread put/get mix (50/50), zipf 0.9");
-    println!("{:>12}  {:>14}  {:>10}", "latency(ns)", "throughput", "relative");
+    println!(
+        "{:>12}  {:>14}  {:>10}",
+        "latency(ns)", "throughput", "relative"
+    );
     let baseline = throughput_at(100.0);
     for lat in [100.0, 200.0, 300.0, 500.0, 1000.0, 2000.0] {
         let t = throughput_at(lat);
-        println!(
-            "{:>12}  {:>11.0}/s  {:>9.2}x",
-            lat,
-            t,
-            t / baseline
-        );
+        println!("{:>12}  {:>11.0}/s  {:>9.2}x", lat, t, t / baseline);
     }
     println!();
     println!("Expect the paper's shape: mild drop at 2x DRAM latency, ~5x collapse at 2 us.");

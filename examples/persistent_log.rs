@@ -112,7 +112,10 @@ fn main() {
     let pcommit_ns = run(appends, true);
     println!("  pflush  (serialized writes): {pflush_ns:>8.0} ns/append");
     println!("  pcommit (parallel payload) : {pcommit_ns:>8.0} ns/append");
-    println!("  speedup                    : {:>8.2}x", pflush_ns / pcommit_ns);
+    println!(
+        "  speedup                    : {:>8.2}x",
+        pflush_ns / pcommit_ns
+    );
     println!();
     println!("The pcommit model keeps the crash-consistency ordering (payload");
     println!("before header) while letting the four payload lines drain in");

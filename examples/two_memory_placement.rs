@@ -12,8 +12,8 @@
 use std::sync::Arc;
 
 use quartz::{NvmTarget, Quartz, QuartzConfig};
-use quartz_platform::time::Duration;
 use quartz_memsim::{MemSimConfig, MemorySystem};
+use quartz_platform::time::Duration;
 use quartz_platform::{Architecture, NodeId, Platform, PlatformConfig};
 use quartz_threadsim::Engine;
 use quartz_workloads::graph::Graph;

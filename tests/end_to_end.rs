@@ -4,14 +4,13 @@
 
 use std::sync::Arc;
 
-use quartz::{NvmTarget, Quartz, QuartzConfig};
+use quartz::{NvmTarget, QuartzConfig};
 use quartz_bench::{error_pct, run_workload, MachineSpec};
 use quartz_platform::time::Duration;
 use quartz_platform::{Architecture, NodeId};
 use quartz_workloads::kvstore::{preload, run_kv_benchmark, KvBenchConfig, KvConfig, KvStore};
 use quartz_workloads::{
-    run_memlat, run_multilat, run_multithreaded, MemLatConfig, MultiLatConfig,
-    MultiThreadedConfig,
+    run_memlat, run_multilat, run_multithreaded, MemLatConfig, MultiLatConfig, MultiThreadedConfig,
 };
 
 fn memlat_cfg(l3_bytes: u64, chains: usize, iterations: u64, node: NodeId) -> MemLatConfig {
@@ -42,9 +41,16 @@ fn conf1_memlat_matches_conf2_full_stack() {
     });
 
     let err = error_pct(conf1, conf2);
-    assert!(err < 3.0, "full-stack memlat error {err:.2}% (conf1 {conf1}, conf2 {conf2})");
+    assert!(
+        err < 3.0,
+        "full-stack memlat error {err:.2}% (conf1 {conf1}, conf2 {conf2})"
+    );
     let stats = quartz.expect("attached").stats();
-    assert!(stats.totals.epochs() > 20, "epochs: {}", stats.totals.epochs());
+    assert!(
+        stats.totals.epochs() > 20,
+        "epochs: {}",
+        stats.totals.epochs()
+    );
 }
 
 #[test]
@@ -98,15 +104,18 @@ fn multithreaded_propagation_end_to_end() {
     });
 
     let err = error_pct(emulated, actual);
-    assert!(err < 5.0, "propagation error {err:.2}% (emu {emulated}, actual {actual})");
+    assert!(
+        err < 5.0,
+        "propagation error {err:.2}% (emu {emulated}, actual {actual})"
+    );
 }
 
 #[test]
 fn kv_store_persistent_mode_end_to_end() {
     let arch = Architecture::IvyBridge;
     let mem = MachineSpec::new(arch).with_seed(4).build();
-    let qc = QuartzConfig::new(NvmTarget::new(400.0).with_write_delay_ns(500.0))
-        .with_two_memory_mode();
+    let qc =
+        QuartzConfig::new(NvmTarget::new(400.0).with_write_delay_ns(500.0)).with_two_memory_mode();
     let (elapsed_ratio, quartz) = run_workload(mem, Some(qc), move |ctx, q| {
         let q = q.expect("attached");
         // Volatile store in DRAM vs persistent store in NVM with pflush.
@@ -133,13 +142,19 @@ fn kv_store_persistent_mode_end_to_end() {
         "persistence costs real time: ratio {elapsed_ratio}"
     );
     let stats = quartz.expect("attached").stats();
-    assert!(stats.totals.pflushes >= 1_000, "pflushes: {}", stats.totals.pflushes);
+    assert!(
+        stats.totals.pflushes >= 1_000,
+        "pflushes: {}",
+        stats.totals.pflushes
+    );
 }
 
 #[test]
 fn kv_benchmark_under_emulation_is_deterministic() {
     let run = || {
-        let mem = MachineSpec::new(Architecture::SandyBridge).with_seed(9).build();
+        let mem = MachineSpec::new(Architecture::SandyBridge)
+            .with_seed(9)
+            .build();
         let qc = QuartzConfig::new(NvmTarget::new(300.0));
         let (ops, _) = run_workload(mem, Some(qc), |ctx, _| {
             let store = Arc::new(KvStore::create(ctx, KvConfig::new(NodeId(0))));
