@@ -1,0 +1,176 @@
+//! The `Experiment` trait — the contract between the registry, the
+//! grid runner, and the reporting layer.
+//!
+//! An experiment is a named, self-describing unit that maps an
+//! execution context ([`ExpCtx`]: quick flag, worker budget) to an
+//! [`ExpReport`] (tables, free-form notes, exported emulator
+//! statistics). Experiments never print or touch the filesystem —
+//! the harness renders, saves, and indexes their reports, which is what
+//! makes `repro` output byte-identical at any `--jobs` count.
+
+use parking_lot::Mutex;
+
+use crate::grid::{run_grid, PointTiming, Pt};
+use crate::report::Table;
+
+/// A reproduced table/figure/study from the paper (or beyond it).
+pub trait Experiment: Sync {
+    /// Unique CLI name (`repro <name>`).
+    fn name(&self) -> &'static str;
+
+    /// One-line summary shown by `repro --list`.
+    fn description(&self) -> &'static str;
+
+    /// Which part of the paper the experiment reproduces (e.g.
+    /// `"§4.4 Fig. 11"`), or `"beyond the paper"` study references.
+    fn paper_ref(&self) -> &'static str;
+
+    /// Whether the experiment's tables contain only virtual-time (and
+    /// therefore seed-deterministic) quantities. Host-timing studies
+    /// (e.g. `contention`) return `false`: their numbers vary run to
+    /// run, so they are excluded from the byte-identical guarantee and
+    /// always evaluated serially.
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    /// Runs the experiment and returns its report.
+    fn run(&self, ctx: &ExpCtx) -> ExpReport;
+}
+
+/// Execution context handed to [`Experiment::run`].
+pub struct ExpCtx {
+    quick: bool,
+    jobs: usize,
+    timings: Mutex<Vec<PointTiming>>,
+}
+
+impl ExpCtx {
+    /// Creates a context with the given quick flag and worker budget.
+    pub fn new(quick: bool, jobs: usize) -> Self {
+        ExpCtx {
+            quick,
+            jobs: jobs.max(1),
+            timings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether the scaled-down quick parameters should be used.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// The worker budget (`--jobs`).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Evaluates `f` over the experiment's declared sweep on the worker
+    /// pool and returns the results in declaration order (see
+    /// [`run_grid`]). Per-point wall times are recorded for the run
+    /// manifest.
+    pub fn grid<T, R, F>(&self, points: Vec<Pt<T>>, f: F) -> Vec<R>
+    where
+        T: Send + Sync,
+        R: Send,
+        F: Fn(&Pt<T>) -> R + Sync,
+    {
+        let (results, timings) = run_grid(self.jobs, points, f);
+        self.timings.lock().extend(timings);
+        results
+    }
+
+    /// Like [`ExpCtx::grid`] but always serial, for host-timing
+    /// measurements that concurrency would perturb.
+    pub fn grid_serial<T, R, F>(&self, points: Vec<Pt<T>>, f: F) -> Vec<R>
+    where
+        T: Send + Sync,
+        R: Send,
+        F: Fn(&Pt<T>) -> R + Sync,
+    {
+        let (results, timings) = run_grid(1, points, f);
+        self.timings.lock().extend(timings);
+        results
+    }
+
+    /// Drains the per-point wall times recorded so far (harness use).
+    pub fn take_timings(&self) -> Vec<PointTiming> {
+        std::mem::take(&mut self.timings.lock())
+    }
+}
+
+/// What an experiment produced: rendered by the harness to the console,
+/// CSV files, and the per-experiment JSON row file.
+#[derive(Default)]
+pub struct ExpReport {
+    /// Result tables, printed and saved in order.
+    pub tables: Vec<Table>,
+    /// Free-form commentary lines printed after the tables (paper
+    /// comparisons, findings).
+    pub notes: Vec<String>,
+    /// Labelled emulator statistics exported as JSON fragments
+    /// (`QuartzStats::to_json*` output), embedded in the experiment's
+    /// JSON row file.
+    pub stats: Vec<(String, String)>,
+}
+
+impl ExpReport {
+    /// Report with a single table.
+    pub fn with_table(table: Table) -> Self {
+        ExpReport {
+            tables: vec![table],
+            ..ExpReport::default()
+        }
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds a commentary line.
+    pub fn note(&mut self, line: impl Into<String>) -> &mut Self {
+        self.notes.push(line.into());
+        self
+    }
+
+    /// Adds a labelled emulator-statistics JSON fragment.
+    pub fn stat(&mut self, label: impl Into<String>, json: String) -> &mut Self {
+        self.stats.push((label.into(), json));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_records_grid_timings() {
+        let ctx = ExpCtx::new(true, 4);
+        assert!(ctx.quick());
+        assert_eq!(ctx.jobs(), 4);
+        let pts = vec![Pt::new("a", 1, 10u64), Pt::new("b", 2, 20u64)];
+        let out = ctx.grid(pts, |p| p.data + p.seed);
+        assert_eq!(out, vec![11, 22]);
+        let timings = ctx.take_timings();
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].label, "a");
+        assert!(ctx.take_timings().is_empty());
+    }
+
+    #[test]
+    fn jobs_floor_is_one() {
+        assert_eq!(ExpCtx::new(false, 0).jobs(), 1);
+    }
+
+    #[test]
+    fn report_builders() {
+        let mut r = ExpReport::with_table(Table::new("T", &["a"]));
+        r.note("n").stat("s", "{}".into());
+        assert_eq!(r.tables.len(), 1);
+        assert_eq!(r.notes, vec!["n".to_string()]);
+        assert_eq!(r.stats[0].0, "s");
+    }
+}

@@ -1,75 +1,140 @@
 //! Ablation studies for the design choices DESIGN.md calls out.
 
-use std::path::Path;
 use std::sync::Arc;
 
 use quartz::{LatencyModelKind, NvmTarget, QuartzConfig};
-use quartz_bench::report::{f, Table};
-use quartz_bench::{error_pct, run_workload, MachineSpec};
 use quartz_platform::{Architecture, NodeId};
-use quartz_workloads::{run_memlat, MemLatConfig};
 
-use super::{conf2_memlat, memlat_config, validation_epoch};
+use super::{validation_epoch, MemLatSpec};
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::grid::Pt;
+use crate::report::{f, Table};
+use crate::{error_pct, run_workload, MachineSpec};
 
 /// Eq. 1 (simple) vs Eq. 2/3 (stall-based): the simple model ignores
 /// memory-level parallelism and over-injects in proportion to the
 /// concurrency degree (the paper's Fig. 2 argument).
-pub fn model(out_dir: &Path, quick: bool) {
-    let iterations = if quick { 5_000 } else { 15_000 };
-    let arch = Architecture::IvyBridge;
-    let remote = arch.params().remote_dram_ns.avg_ns as f64;
-    let mut table = Table::new(
-        "Ablation - Eq1 simple model vs Eq2 stall-based model",
-        &[
-            "chains",
-            "conf2 ns/iter",
-            "stall-based err %",
-            "simple err %",
-        ],
-    );
-    for chains in [1usize, 2, 4, 8] {
-        let actual = conf2_memlat(arch, chains, iterations, 3).latency_per_iteration_ns();
-        let mut measured = Vec::new();
-        for kind in [LatencyModelKind::StallBased, LatencyModelKind::Simple] {
-            let mem = MachineSpec::new(arch).with_seed(3).build();
-            let qc = QuartzConfig::new(NvmTarget::new(remote))
-                .with_model(kind)
-                .with_max_epoch(validation_epoch());
-            let m2 = Arc::clone(&mem);
-            let (r, _) = run_workload(mem, Some(qc), move |ctx, _| {
-                let cfg = MemLatConfig {
-                    seed: 42,
-                    ..memlat_config(&m2, chains, iterations, NodeId(0), 0)
-                };
-                run_memlat(ctx, &cfg)
-            });
-            measured.push(r.latency_per_iteration_ns());
-        }
-        table.row(&[
-            chains.to_string(),
-            f(actual, 1),
-            f(error_pct(measured[0], actual), 2),
-            f(error_pct(measured[1], actual), 2),
-        ]);
+pub struct AblationModel;
+
+impl Experiment for AblationModel {
+    fn name(&self) -> &'static str {
+        "ablation_model"
     }
-    print!("{}", table.render());
-    println!("(expected: simple model error grows ~linearly with the concurrency degree)");
-    let _ = table.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "Eq.1 simple latency model vs Eq.2 stall-based model"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§3.1 Fig. 2 (ablation)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let iterations = if ctx.quick() { 5_000 } else { 15_000 };
+        let arch = Architecture::IvyBridge;
+        let remote = arch.params().remote_dram_ns.avg_ns as f64;
+        let chains_sweep = [1usize, 2, 4, 8];
+
+        // A/B ablation: jitter disabled so the model difference is the
+        // only variable (see `MachineSpec::with_no_jitter`).
+        let spec = |chains: usize, quartz: Option<QuartzConfig>, wseed: u64| MemLatSpec {
+            arch,
+            chains,
+            iterations,
+            node: if quartz.is_some() {
+                NodeId(0)
+            } else {
+                NodeId(1)
+            },
+            machine_seed: 3,
+            workload_seed: wseed,
+            quartz,
+            no_jitter: true,
+        };
+        // Sweep: chains × {actual, stall-based, simple}.
+        let mut points = Vec::new();
+        for &chains in &chains_sweep {
+            points.push(Pt::new(
+                format!("actual/c{chains}"),
+                3,
+                spec(chains, None, 3),
+            ));
+            for kind in [LatencyModelKind::StallBased, LatencyModelKind::Simple] {
+                let qc = QuartzConfig::new(NvmTarget::new(remote))
+                    .with_model(kind)
+                    .with_max_epoch(validation_epoch());
+                points.push(Pt::new(
+                    format!("{kind:?}/c{chains}"),
+                    3,
+                    spec(chains, Some(qc), 42),
+                ));
+            }
+        }
+        let lats = ctx.grid(points, |p| p.data.eval().latency_per_iteration_ns());
+
+        let mut table = Table::new(
+            "Ablation - Eq1 simple model vs Eq2 stall-based model",
+            &[
+                "chains",
+                "conf2 ns/iter",
+                "stall-based err %",
+                "simple err %",
+            ],
+        );
+        for (i, &chains) in chains_sweep.iter().enumerate() {
+            let actual = lats[3 * i];
+            table.row(&[
+                chains.to_string(),
+                f(actual, 1),
+                f(error_pct(lats[3 * i + 1], actual), 2),
+                f(error_pct(lats[3 * i + 2], actual), 2),
+            ]);
+        }
+        let mut report = ExpReport::with_table(table);
+        report.note("(expected: simple model error grows ~linearly with the concurrency degree)");
+        report
+    }
 }
 
 /// Pessimistic serialized `pflush` vs the §6 `clflushopt`/`pcommit`
 /// accumulate-and-drain model for batched independent writes.
-pub fn pcommit(out_dir: &Path, quick: bool) {
-    let writes: u64 = if quick { 2_000 } else { 10_000 };
-    let arch = Architecture::IvyBridge;
-    let mut table = Table::new(
-        "Ablation - pflush (serialized) vs clflushopt+pcommit (overlapped)",
-        &["batch size", "pflush ms", "pcommit ms", "speedup"],
-    );
-    for batch in [1u64, 4, 8, 16] {
-        let mut times = Vec::new();
-        for use_pcommit in [false, true] {
-            let mem = MachineSpec::new(arch).with_seed(9).build();
+pub struct AblationPcommit;
+
+impl Experiment for AblationPcommit {
+    fn name(&self) -> &'static str {
+        "ablation_pcommit"
+    }
+
+    fn description(&self) -> &'static str {
+        "serialized pflush vs overlapped clflushopt+pcommit persistence"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§6 (ablation)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let writes: u64 = if ctx.quick() { 2_000 } else { 10_000 };
+        let arch = Architecture::IvyBridge;
+        let batches = [1u64, 4, 8, 16];
+
+        // Sweep: batch × {pflush, pcommit}.
+        let mut points = Vec::new();
+        for &batch in &batches {
+            for use_pcommit in [false, true] {
+                points.push(Pt::new(
+                    format!(
+                        "{}/b{batch}",
+                        if use_pcommit { "pcommit" } else { "pflush" }
+                    ),
+                    9,
+                    (batch, use_pcommit),
+                ));
+            }
+        }
+        let times = ctx.grid(points, |p| {
+            let (batch, use_pcommit) = p.data;
+            let mem = MachineSpec::new(arch).with_seed(p.seed).build();
             let qc = QuartzConfig::new(NvmTarget::new(300.0).with_write_delay_ns(450.0));
             let (ns, _) = run_workload(mem, Some(qc), move |ctx, q| {
                 let q = q.expect("quartz attached");
@@ -94,93 +159,172 @@ pub fn pcommit(out_dir: &Path, quick: bool) {
                 }
                 ctx.now().saturating_duration_since(t0).as_ns_f64()
             });
-            times.push(ns / 1e6);
+            ns / 1e6
+        });
+
+        let mut table = Table::new(
+            "Ablation - pflush (serialized) vs clflushopt+pcommit (overlapped)",
+            &["batch size", "pflush ms", "pcommit ms", "speedup"],
+        );
+        for (i, &batch) in batches.iter().enumerate() {
+            let (serial, overlapped) = (times[2 * i], times[2 * i + 1]);
+            table.row(&[
+                batch.to_string(),
+                f(serial, 2),
+                f(overlapped, 2),
+                format!("{:.2}x", serial / overlapped),
+            ]);
         }
-        table.row(&[
-            batch.to_string(),
-            f(times[0], 2),
-            f(times[1], 2),
-            format!("{:.2}x", times[0] / times[1]),
-        ]);
+        let mut report = ExpReport::with_table(table);
+        report.note("(expected: pcommit speedup approaches the batch size for independent writes)");
+        report
     }
-    print!("{}", table.render());
-    println!("(expected: pcommit speedup approaches the batch size for independent writes)");
-    let _ = table.save_csv(out_dir);
 }
 
 /// Maximum-epoch sweep (the paper's §4.4 footnote 4: "the accuracy
 /// degrades with larger epoch size, e.g., 100 ms, while 1 ms and 10 ms
 /// epochs support a good accuracy").
-pub fn epoch_sweep(out_dir: &Path, quick: bool) {
-    let iterations: u64 = if quick { 200_000 } else { 600_000 };
-    let arch = Architecture::IvyBridge;
-    let target = 400.0;
-    let mut table = Table::new(
-        "Ablation - accuracy vs maximum epoch size",
-        &["max epoch ms", "epochs in run", "measured ns", "error %"],
-    );
-    for max_epoch_us in [20u64, 100, 1_000, 10_000, 50_000] {
-        let mem = MachineSpec::new(arch).with_seed(4).build();
-        let m2 = Arc::clone(&mem);
-        let qc = QuartzConfig::new(NvmTarget::new(target))
-            .with_max_epoch(quartz_platform::time::Duration::from_us(max_epoch_us));
-        let (r, q) = run_workload(mem, Some(qc), move |ctx, _| {
-            let cfg = MemLatConfig {
-                seed: 0xE90C,
-                ..memlat_config(&m2, 1, iterations, NodeId(0), 0)
-            };
-            run_memlat(ctx, &cfg)
-        });
-        let measured = r.latency_per_iteration_ns();
-        let epochs = q.map(|q| q.stats().totals.epochs()).unwrap_or(0);
-        table.row(&[
-            f(max_epoch_us as f64 / 1_000.0, 2),
-            epochs.to_string(),
-            f(measured, 1),
-            f(error_pct(measured, target), 2),
-        ]);
+pub struct AblationEpoch;
+
+impl Experiment for AblationEpoch {
+    fn name(&self) -> &'static str {
+        "ablation_epoch"
     }
-    print!("{}", table.render());
-    println!("(paper fn.4: small epochs accurate, accuracy degrades as the epoch grows");
-    println!(" toward the run length — the final epoch's delay lands after the");
-    println!(" measurement window closes)");
-    let _ = table.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "emulation accuracy vs maximum epoch size"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.4 fn.4 (ablation)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let iterations: u64 = if ctx.quick() { 200_000 } else { 600_000 };
+        let arch = Architecture::IvyBridge;
+        let target = 400.0;
+        let epochs_us = [20u64, 100, 1_000, 10_000, 50_000];
+
+        let points: Vec<Pt<MemLatSpec>> = epochs_us
+            .iter()
+            .map(|&max_epoch_us| {
+                let qc = QuartzConfig::new(NvmTarget::new(target))
+                    .with_max_epoch(quartz_platform::time::Duration::from_us(max_epoch_us));
+                Pt::new(
+                    format!("epoch{max_epoch_us}us"),
+                    4,
+                    MemLatSpec {
+                        arch,
+                        chains: 1,
+                        iterations,
+                        node: NodeId(0),
+                        machine_seed: 4,
+                        workload_seed: 0xE90C,
+                        quartz: Some(qc),
+                        no_jitter: false,
+                    },
+                )
+            })
+            .collect();
+        let results = ctx.grid(points, |p| {
+            let (r, stats) = p.data.eval_with_stats();
+            (
+                r.latency_per_iteration_ns(),
+                stats.as_ref().map(|s| s.totals.epochs()).unwrap_or(0),
+                stats.map(|s| s.to_json()),
+            )
+        });
+
+        let mut table = Table::new(
+            "Ablation - accuracy vs maximum epoch size",
+            &["max epoch ms", "epochs in run", "measured ns", "error %"],
+        );
+        let mut report = ExpReport::default();
+        for (&max_epoch_us, (measured, epochs, stats)) in epochs_us.iter().zip(&results) {
+            table.row(&[
+                f(max_epoch_us as f64 / 1_000.0, 2),
+                epochs.to_string(),
+                f(*measured, 1),
+                f(error_pct(*measured, target), 2),
+            ]);
+            if let Some(json) = stats {
+                report.stat(format!("epoch{max_epoch_us}us"), json.clone());
+            }
+        }
+        report.table(table);
+        report
+            .note("(paper fn.4: small epochs accurate, accuracy degrades as the epoch grows")
+            .note(" toward the run length — the final epoch's delay lands after the")
+            .note(" measurement window closes)");
+        report
+    }
 }
 
 /// DVFS enabled vs disabled: with DVFS on, the cycles/ns relationship
 /// the model depends on breaks and emulation error grows (§6 explains
 /// why the paper disables DVFS).
-pub fn dvfs(out_dir: &Path, quick: bool) {
-    let iterations = if quick { 8_000 } else { 20_000 };
-    let arch = Architecture::Haswell;
-    let target = 500.0;
-    let mut table = Table::new(
-        "Ablation - DVFS enabled vs disabled during emulation",
-        &["dvfs", "target ns", "measured ns", "error %"],
-    );
-    for enabled in [false, true] {
-        let mem = MachineSpec::new(arch).with_seed(11).build();
-        mem.platform().dvfs().set_enabled(enabled);
-        let qc = QuartzConfig::new(NvmTarget::new(target)).with_max_epoch(validation_epoch());
-        let m2 = Arc::clone(&mem);
-        let (r, _) = run_workload(mem, Some(qc), move |ctx, _| {
-            // Mix memory with compute so frequency scaling has a
-            // compute share to distort.
-            let cfg = MemLatConfig {
-                seed: 5,
-                ..memlat_config(&m2, 1, iterations, NodeId(0), 0)
-            };
-            run_memlat(ctx, &cfg)
-        });
-        let measured = r.latency_per_iteration_ns();
-        table.row(&[
-            if enabled { "on" } else { "off" }.into(),
-            f(target, 0),
-            f(measured, 1),
-            f(error_pct(measured, target), 2),
-        ]);
+pub struct AblationDvfs;
+
+impl Experiment for AblationDvfs {
+    fn name(&self) -> &'static str {
+        "ablation_dvfs"
     }
-    print!("{}", table.render());
-    println!("(expected: larger error with DVFS on — the paper disables it)");
-    let _ = table.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "emulation error with DVFS enabled vs disabled"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§6 (ablation)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let iterations = if ctx.quick() { 8_000 } else { 20_000 };
+        let arch = Architecture::Haswell;
+        let target = 500.0;
+
+        let points: Vec<Pt<bool>> = [false, true]
+            .into_iter()
+            .map(|enabled| {
+                Pt::new(
+                    format!("dvfs_{}", if enabled { "on" } else { "off" }),
+                    11,
+                    enabled,
+                )
+            })
+            .collect();
+        let measured = ctx.grid(points, |p| {
+            let enabled = p.data;
+            let mem = MachineSpec::new(arch).with_seed(p.seed).build();
+            mem.platform().dvfs().set_enabled(enabled);
+            let qc = QuartzConfig::new(NvmTarget::new(target)).with_max_epoch(validation_epoch());
+            let m2 = Arc::clone(&mem);
+            let (r, _) = run_workload(mem, Some(qc), move |ctx, _| {
+                // Mix memory with compute so frequency scaling has a
+                // compute share to distort.
+                let cfg = quartz_workloads::MemLatConfig {
+                    seed: 5,
+                    ..super::memlat_config(&m2, 1, iterations, NodeId(0), 0)
+                };
+                quartz_workloads::run_memlat(ctx, &cfg)
+            });
+            r.latency_per_iteration_ns()
+        });
+
+        let mut table = Table::new(
+            "Ablation - DVFS enabled vs disabled during emulation",
+            &["dvfs", "target ns", "measured ns", "error %"],
+        );
+        for (enabled, m) in [false, true].into_iter().zip(&measured) {
+            table.row(&[
+                if enabled { "on" } else { "off" }.into(),
+                f(target, 0),
+                f(*m, 1),
+                f(error_pct(*m, target), 2),
+            ]);
+        }
+        let mut report = ExpReport::with_table(table);
+        report.note("(expected: larger error with DVFS on — the paper disables it)");
+        report
+    }
 }

@@ -19,7 +19,6 @@
 
 use std::collections::HashMap;
 use std::hint::black_box;
-use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -27,10 +26,12 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 use quartz::{NvmTarget, QuartzConfig};
-use quartz_bench::report::{f, Table};
-use quartz_bench::{run_workload, MachineSpec};
 use quartz_platform::time::Duration;
 use quartz_platform::{Architecture, NodeId};
+
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::report::{f, Table};
+use crate::{run_workload, MachineSpec};
 
 /// Part 1: a lock/unlock storm under the real emulator. Returns
 /// `(host_ns_per_event, events, lock_wait_ns, epochs)` where an "event"
@@ -221,77 +222,99 @@ fn sharded_discipline(nthreads: usize, events: u64, monitor: bool) -> f64 {
     elapsed / (nthreads as u64 * events) as f64
 }
 
-/// Runs the contention study.
-pub fn run(out_dir: &Path, quick: bool) {
-    // Part 1: the real emulator under a synchronization storm.
-    let rounds = if quick { 150 } else { 600 };
-    let mut storm = Table::new(
-        "Contention (1) — emulated unlock storm, host-side slot-lock telemetry",
-        &[
-            "sim threads",
-            "monitor",
-            "events",
-            "host ns/event",
-            "lock wait ns",
-            "epochs",
-        ],
-    );
-    for threads in [1u64, 2, 4, 8] {
-        for pressure in [false, true] {
-            let (ns_per_event, events, wait_ns, epochs) = emulated_storm(threads, rounds, pressure);
-            storm.row(&[
-                threads.to_string(),
-                if pressure {
-                    "20 µs epochs"
-                } else {
-                    "10 ms epochs"
-                }
-                .into(),
-                events.to_string(),
-                f(ns_per_event, 1),
-                wait_ns.to_string(),
-                epochs.to_string(),
-            ]);
-        }
-    }
-    print!("{}", storm.render());
-    println!("(the monitor's age scan is lock-free: monitor pressure multiplies epochs");
-    println!(" but must not grow per-event cost or slot-lock wait)");
-    let _ = storm.save_csv(out_dir);
+/// Runs the contention study. Host-timed (wall-clock `Instant` around
+/// real OS threads), so it is the one experiment excluded from the
+/// byte-identical determinism contract; it always evaluates serially.
+pub struct Contention;
 
-    // Part 2: seed vs sharded locking discipline on real OS threads.
-    let events = if quick { 40_000 } else { 200_000 };
-    let mut ab = Table::new(
-        "Contention (2) — per-event host ns, global Mutex<HashMap> (seed) vs sharded slots",
-        &[
-            "os threads",
-            "monitor",
-            "seed ns/event",
-            "sharded ns/event",
-            "speedup",
-        ],
-    );
-    let mut speedup_at_8 = 0.0;
-    for nthreads in [1usize, 2, 4, 8, 16] {
-        for monitor in [false, true] {
-            let seed = seed_discipline(nthreads, events, monitor);
-            let sharded = sharded_discipline(nthreads, events, monitor);
-            let speedup = seed / sharded.max(f64::MIN_POSITIVE);
-            if nthreads == 8 && monitor {
-                speedup_at_8 = speedup;
-            }
-            ab.row(&[
-                nthreads.to_string(),
-                if monitor { "yes" } else { "no" }.into(),
-                f(seed, 1),
-                f(sharded, 1),
-                f(speedup, 2),
-            ]);
-        }
+impl Experiment for Contention {
+    fn name(&self) -> &'static str {
+        "contention"
     }
-    print!("{}", ab.render());
-    println!(
-        "(sharding pays off where it matters: {speedup_at_8:.1}x per-event at 8 threads under monitor pressure)"
-    );
-    let _ = ab.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "interposition hot-path contention: emulated storm + locking-discipline A/B"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§3.2 (extension)"
+    }
+
+    fn deterministic(&self) -> bool {
+        false
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        // Part 1: the real emulator under a synchronization storm.
+        let rounds = if ctx.quick() { 150 } else { 600 };
+        let mut storm = Table::new(
+            "Contention (1) — emulated unlock storm, host-side slot-lock telemetry",
+            &[
+                "sim threads",
+                "monitor",
+                "events",
+                "host ns/event",
+                "lock wait ns",
+                "epochs",
+            ],
+        );
+        for threads in [1u64, 2, 4, 8] {
+            for pressure in [false, true] {
+                let (ns_per_event, events, wait_ns, epochs) =
+                    emulated_storm(threads, rounds, pressure);
+                storm.row(&[
+                    threads.to_string(),
+                    if pressure {
+                        "20 µs epochs"
+                    } else {
+                        "10 ms epochs"
+                    }
+                    .into(),
+                    events.to_string(),
+                    f(ns_per_event, 1),
+                    wait_ns.to_string(),
+                    epochs.to_string(),
+                ]);
+            }
+        }
+        // Part 2: seed vs sharded locking discipline on real OS threads.
+        let events = if ctx.quick() { 40_000 } else { 200_000 };
+        let mut ab = Table::new(
+            "Contention (2) — per-event host ns, global Mutex<HashMap> (seed) vs sharded slots",
+            &[
+                "os threads",
+                "monitor",
+                "seed ns/event",
+                "sharded ns/event",
+                "speedup",
+            ],
+        );
+        let mut speedup_at_8 = 0.0;
+        for nthreads in [1usize, 2, 4, 8, 16] {
+            for monitor in [false, true] {
+                let seed = seed_discipline(nthreads, events, monitor);
+                let sharded = sharded_discipline(nthreads, events, monitor);
+                let speedup = seed / sharded.max(f64::MIN_POSITIVE);
+                if nthreads == 8 && monitor {
+                    speedup_at_8 = speedup;
+                }
+                ab.row(&[
+                    nthreads.to_string(),
+                    if monitor { "yes" } else { "no" }.into(),
+                    f(seed, 1),
+                    f(sharded, 1),
+                    f(speedup, 2),
+                ]);
+            }
+        }
+        let mut report = ExpReport::default();
+        report.table(storm).table(ab);
+        report
+        .note("(the monitor's age scan is lock-free: monitor pressure multiplies epochs")
+        .note(" but must not grow per-event cost or slot-lock wait)")
+        .note(format!(
+            "(sharding pays off where it matters: {speedup_at_8:.1}x per-event at 8 threads under monitor pressure)"
+        ));
+        report
+    }
 }

@@ -1,12 +1,9 @@
 //! Experiments beyond the paper's evaluation section, covering its §6/§7
 //! discussion items.
 
-use std::path::Path;
 use std::sync::Arc;
 
 use quartz::{NvmTarget, QuartzConfig};
-use quartz_bench::report::{f, Table};
-use quartz_bench::{error_pct, run_workload, MachineSpec};
 use quartz_platform::time::Duration;
 use quartz_platform::{Architecture, NodeId};
 use quartz_workloads::bfs::run_bfs;
@@ -16,133 +13,201 @@ use quartz_workloads::pagerank_mt::run_pagerank_parallel;
 use quartz_workloads::{run_memlat, run_stream_copy, MemLatConfig, StreamConfig};
 
 use super::{emulate_remote_config, memlat_config};
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::grid::Pt;
+use crate::report::{f, Table};
+use crate::{error_pct, run_workload, MachineSpec};
 
 /// Graph500-style BFS validation (the paper's §7 reports Quartz within
 /// 12% of HP's hardware-based latency emulator on the Graph500 reference
 /// implementation; here the ground truth is physically remote DRAM).
-pub fn graph500(out_dir: &Path, quick: bool) {
-    let (n, m) = if quick {
-        (20_000, 280_000)
-    } else {
-        (60_000, 850_000)
-    };
-    let graph = Graph::random(n, m, 500);
-    let arch = Architecture::IvyBridge;
+pub struct Graph500;
 
-    let g2 = graph.clone();
-    let mem = MachineSpec::new(arch).with_seed(60).build();
-    let (conf2, _) = run_workload(mem, None, move |ctx, _| {
-        run_bfs(ctx, &g2, 0, NodeId(1), NodeId(1))
-    });
+impl Experiment for Graph500 {
+    fn name(&self) -> &'static str {
+        "graph500"
+    }
 
-    let mem = MachineSpec::new(arch).with_seed(60).build();
-    let (conf1, _) = run_workload(mem, Some(emulate_remote_config(arch)), move |ctx, _| {
-        run_bfs(ctx, &graph, 0, NodeId(0), NodeId(0))
-    });
+    fn description(&self) -> &'static str {
+        "Graph500-style BFS Conf_1 vs Conf_2 validation"
+    }
 
-    let mut table = Table::new(
-        "Graph500-style BFS validation (Ivy Bridge)",
-        &["config", "time ms", "MTEPS", "vertices reached"],
-    );
-    table.row(&[
-        "Conf_2 (remote, no emu)".into(),
-        f(conf2.elapsed.as_ns_f64() / 1e6, 2),
-        f(conf2.teps() / 1e6, 1),
-        conf2.vertices_reached.to_string(),
-    ]);
-    table.row(&[
-        "Conf_1 (local + Quartz)".into(),
-        f(conf1.elapsed.as_ns_f64() / 1e6, 2),
-        f(conf1.teps() / 1e6, 1),
-        conf1.vertices_reached.to_string(),
-    ]);
-    print!("{}", table.render());
-    let err = error_pct(conf1.elapsed.as_ns_f64(), conf2.elapsed.as_ns_f64());
-    println!("emulation error: {err:.2}% (paper §7: within 12% of HP's hardware emulator)");
-    assert_eq!(conf1.vertices_reached, conf2.vertices_reached);
-    let _ = table.save_csv(out_dir);
+    fn paper_ref(&self) -> &'static str {
+        "§7 (extension)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let (n, m) = if ctx.quick() {
+            (20_000, 280_000)
+        } else {
+            (60_000, 850_000)
+        };
+        let graph = Graph::random(n, m, 500);
+        let arch = Architecture::IvyBridge;
+
+        let points = vec![
+            Pt::new("conf2", 60, (graph.clone(), false)),
+            Pt::new("conf1", 60, (graph, true)),
+        ];
+        let mut results = ctx.grid(points, |p| {
+            let (graph, emulate) = (p.data.0.clone(), p.data.1);
+            let mem = MachineSpec::new(arch).with_seed(p.seed).build();
+            let node = if emulate { NodeId(0) } else { NodeId(1) };
+            let qc = emulate.then(|| emulate_remote_config(arch));
+            let (r, _) = run_workload(mem, qc, move |ctx, _| run_bfs(ctx, &graph, 0, node, node));
+            r
+        });
+        let conf1 = results.pop().expect("conf1");
+        let conf2 = results.pop().expect("conf2");
+
+        let mut table = Table::new(
+            "Graph500-style BFS validation (Ivy Bridge)",
+            &["config", "time ms", "MTEPS", "vertices reached"],
+        );
+        table.row(&[
+            "Conf_2 (remote, no emu)".into(),
+            f(conf2.elapsed.as_ns_f64() / 1e6, 2),
+            f(conf2.teps() / 1e6, 1),
+            conf2.vertices_reached.to_string(),
+        ]);
+        table.row(&[
+            "Conf_1 (local + Quartz)".into(),
+            f(conf1.elapsed.as_ns_f64() / 1e6, 2),
+            f(conf1.teps() / 1e6, 1),
+            conf1.vertices_reached.to_string(),
+        ]);
+        let err = error_pct(conf1.elapsed.as_ns_f64(), conf2.elapsed.as_ns_f64());
+        // The emulator must not perturb the traversal itself.
+        assert_eq!(conf1.vertices_reached, conf2.vertices_reached);
+        let mut report = ExpReport::with_table(table);
+        report.note(format!(
+            "emulation error: {err:.2}% (paper §7: within 12% of HP's hardware emulator)"
+        ));
+        report
+    }
 }
 
 /// Barrier-synchronized parallel PageRank under emulation (§7's OpenMP
 /// extension): emulated completion time must track the physically
 /// slower run even though delays propagate through barriers, not locks.
-pub fn parallel_pagerank(out_dir: &Path, quick: bool) {
-    let (n, m, iters) = if quick {
-        (20_000, 280_000, 3)
-    } else {
-        (40_000, 560_000, 5)
-    };
-    let graph = Graph::random(n, m, 77);
-    let arch = Architecture::IvyBridge;
-    let mut table = Table::new(
-        "Parallel PageRank under emulation (barrier propagation)",
-        &["threads", "conf2 ms", "conf1 ms", "error %"],
-    );
-    for threads in [1usize, 2, 4] {
-        let g2 = graph.clone();
-        let mem = MachineSpec::new(arch).with_seed(61).build();
-        let (conf2, _) = run_workload(mem, None, move |ctx, _| {
-            run_pagerank_parallel(
-                ctx,
-                &g2,
-                &PageRankConfig {
-                    structure_node: NodeId(1),
-                    rank_node: NodeId(1),
-                    max_iterations: iters,
-                    tolerance: 0.0,
-                    ..PageRankConfig::default()
-                },
-                threads,
-            )
-            .elapsed
-            .as_ns_f64()
-        });
-        let g1 = graph.clone();
-        let mem = MachineSpec::new(arch).with_seed(61).build();
-        let (conf1, _) = run_workload(mem, Some(emulate_remote_config(arch)), move |ctx, _| {
-            run_pagerank_parallel(
-                ctx,
-                &g1,
-                &PageRankConfig {
-                    max_iterations: iters,
-                    tolerance: 0.0,
-                    ..PageRankConfig::default()
-                },
-                threads,
-            )
-            .elapsed
-            .as_ns_f64()
-        });
-        table.row(&[
-            threads.to_string(),
-            f(conf2 / 1e6, 2),
-            f(conf1 / 1e6, 2),
-            f(error_pct(conf1, conf2), 2),
-        ]);
+pub struct ParallelPagerank;
+
+impl Experiment for ParallelPagerank {
+    fn name(&self) -> &'static str {
+        "parallel_pagerank"
     }
-    print!("{}", table.render());
-    let _ = table.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "barrier-synchronized parallel PageRank under emulation"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§7 (extension)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let (n, m, iters) = if ctx.quick() {
+            (20_000, 280_000, 3)
+        } else {
+            (40_000, 560_000, 5)
+        };
+        let graph = Graph::random(n, m, 77);
+        let arch = Architecture::IvyBridge;
+        let thread_counts = [1usize, 2, 4];
+
+        // Sweep: threads × {conf2, conf1}.
+        let mut points = Vec::new();
+        for &threads in &thread_counts {
+            for emulate in [false, true] {
+                points.push(Pt::new(
+                    format!("{}/n{threads}", if emulate { "conf1" } else { "conf2" }),
+                    61,
+                    (graph.clone(), threads, emulate),
+                ));
+            }
+        }
+        let results = ctx.grid(points, |p| {
+            let (graph, threads, emulate) = (p.data.0.clone(), p.data.1, p.data.2);
+            let mem = MachineSpec::new(arch).with_seed(p.seed).build();
+            let node = if emulate { NodeId(0) } else { NodeId(1) };
+            let qc = emulate.then(|| emulate_remote_config(arch));
+            let (ns, _) = run_workload(mem, qc, move |ctx, _| {
+                run_pagerank_parallel(
+                    ctx,
+                    &graph,
+                    &PageRankConfig {
+                        structure_node: node,
+                        rank_node: node,
+                        max_iterations: iters,
+                        tolerance: 0.0,
+                        ..PageRankConfig::default()
+                    },
+                    threads,
+                )
+                .elapsed
+                .as_ns_f64()
+            });
+            ns
+        });
+
+        let mut table = Table::new(
+            "Parallel PageRank under emulation (barrier propagation)",
+            &["threads", "conf2 ms", "conf1 ms", "error %"],
+        );
+        for (i, &threads) in thread_counts.iter().enumerate() {
+            let (conf2, conf1) = (results[2 * i], results[2 * i + 1]);
+            table.row(&[
+                threads.to_string(),
+                f(conf2 / 1e6, 2),
+                f(conf1 / 1e6, 2),
+                f(error_pct(conf1, conf2), 2),
+            ]);
+        }
+        ExpReport::with_table(table)
+    }
 }
 
 /// Loaded-latency study (§6 "a memory workload dynamically affects
 /// measured memory latency"): MemLat accuracy while STREAM threads
 /// saturate the same node's bandwidth.
-pub fn loaded_latency(out_dir: &Path, quick: bool) {
-    let iterations = if quick { 10_000 } else { 25_000 };
-    let arch = Architecture::IvyBridge;
-    let remote = arch.params().remote_dram_ns.avg_ns as f64;
-    let mut table = Table::new(
-        "Loaded latency: MemLat accuracy under concurrent STREAM load",
-        &[
-            "stream threads",
-            "conf2 ns/iter",
-            "conf1 ns/iter",
-            "error %",
-        ],
-    );
-    for stream_threads in [0usize, 1, 2, 4] {
-        let run = |emulate: bool| -> f64 {
-            let mem = MachineSpec::new(arch).with_seed(62).build();
+pub struct LoadedLatency;
+
+impl Experiment for LoadedLatency {
+    fn name(&self) -> &'static str {
+        "loaded_latency"
+    }
+
+    fn description(&self) -> &'static str {
+        "MemLat accuracy under concurrent STREAM bandwidth load"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§6 (extension)"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let iterations = if ctx.quick() { 10_000 } else { 25_000 };
+        let arch = Architecture::IvyBridge;
+        let remote = arch.params().remote_dram_ns.avg_ns as f64;
+        let stream_counts = [0usize, 1, 2, 4];
+
+        // Sweep: stream threads × {conf2, conf1}.
+        let mut points = Vec::new();
+        for &stream_threads in &stream_counts {
+            for emulate in [false, true] {
+                points.push(Pt::new(
+                    format!(
+                        "{}/s{stream_threads}",
+                        if emulate { "conf1" } else { "conf2" }
+                    ),
+                    62,
+                    (stream_threads, emulate),
+                ));
+            }
+        }
+        let results = ctx.grid(points, |p| {
+            let (stream_threads, emulate) = p.data;
+            let mem = MachineSpec::new(arch).with_seed(p.seed).build();
             let m2 = Arc::clone(&mem);
             let node = if emulate { NodeId(0) } else { NodeId(1) };
             let qc = emulate.then(|| {
@@ -176,22 +241,34 @@ pub fn loaded_latency(out_dir: &Path, quick: bool) {
                 r.latency_per_iteration_ns()
             });
             lat
-        };
-        let conf2 = run(false);
-        let conf1 = run(true);
-        table.row(&[
-            stream_threads.to_string(),
-            f(conf2, 1),
-            f(conf1, 1),
-            f(error_pct(conf1, conf2), 2),
-        ]);
+        });
+
+        let mut table = Table::new(
+            "Loaded latency: MemLat accuracy under concurrent STREAM load",
+            &[
+                "stream threads",
+                "conf2 ns/iter",
+                "conf1 ns/iter",
+                "error %",
+            ],
+        );
+        for (i, &stream_threads) in stream_counts.iter().enumerate() {
+            let (conf2, conf1) = (results[2 * i], results[2 * i + 1]);
+            table.row(&[
+                stream_threads.to_string(),
+                f(conf2, 1),
+                f(conf1, 1),
+                f(error_pct(conf1, conf2), 2),
+            ]);
+        }
+        let mut report = ExpReport::with_table(table);
+        report
+            .note("Finding: the paper's §6 concern is real — under load the measured stall")
+            .note("time includes queueing delay, which Eq. 2 scales by the NVM/DRAM latency")
+            .note("ratio even though queueing would not scale that way on real NVM, so the")
+            .note("emulator over-injects as utilization grows. The paper leaves this open")
+            .note("(\"we plan to explore this issue in more detail\"), and this experiment")
+            .note("quantifies it.");
+        report
     }
-    print!("{}", table.render());
-    println!("Finding: the paper's §6 concern is real — under load the measured stall");
-    println!("time includes queueing delay, which Eq. 2 scales by the NVM/DRAM latency");
-    println!("ratio even though queueing would not scale that way on real NVM, so the");
-    println!("emulator over-injects as utilization grows. The paper leaves this open");
-    println!("(\"we plan to explore this issue in more detail\"), and this experiment");
-    println!("quantifies it.");
-    let _ = table.save_csv(out_dir);
 }

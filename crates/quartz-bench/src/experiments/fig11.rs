@@ -4,54 +4,84 @@
 //!
 //! Paper result: 0.2% – 4% across chains ∈ {1, 2, 3, 4, 5, 8}.
 
-use std::path::Path;
-
-use quartz_bench::report::{f, Table};
-use quartz_bench::{error_pct, mean};
 use quartz_platform::Architecture;
 
 use super::{conf1_memlat, conf2_memlat, validation_epoch};
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::report::{f, Table};
+use crate::{error_pct, mean};
 
 /// Runs the MLP validation sweep.
-pub fn run(out_dir: &Path, quick: bool) {
-    let trials = if quick { 2 } else { 5 };
-    let iterations = if quick { 15_000 } else { 40_000 };
-    let chains_sweep = [1usize, 2, 3, 4, 5, 8];
-    let mut table = Table::new(
-        "Fig 11 - MemLat emulation error vs concurrency degree",
-        &[
-            "family",
-            "chains",
-            "conf2 ns/iter",
-            "conf1 ns/iter",
-            "error %",
-        ],
-    );
-    for arch in Architecture::ALL {
-        let remote = arch.params().remote_dram_ns.avg_ns as f64;
-        for &chains in &chains_sweep {
-            let mut conf2 = Vec::new();
-            let mut conf1 = Vec::new();
-            for t in 0..trials {
-                let seed = 1_000 * t + 7;
-                conf2.push(conf2_memlat(arch, chains, iterations, seed).latency_per_iteration_ns());
-                conf1.push(
-                    conf1_memlat(arch, chains, iterations, seed, remote, validation_epoch())
-                        .latency_per_iteration_ns(),
-                );
-            }
-            let c2 = mean(&conf2);
-            let c1 = mean(&conf1);
-            table.row(&[
-                arch.to_string(),
-                chains.to_string(),
-                f(c2, 1),
-                f(c1, 1),
-                f(error_pct(c1, c2), 2),
-            ]);
-        }
+pub struct Fig11;
+
+impl Experiment for Fig11 {
+    fn name(&self) -> &'static str {
+        "fig11"
     }
-    print!("{}", table.render());
-    println!("(paper: 0.2%-4% across all chain counts and families)");
-    let _ = table.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "MemLat emulation error vs concurrency degree"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.4 Fig. 11"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let trials = if ctx.quick() { 2 } else { 5 };
+        let iterations = if ctx.quick() { 15_000 } else { 40_000 };
+        let chains_sweep = [1usize, 2, 3, 4, 5, 8];
+
+        // Sweep: arch × chains × trial × {conf2, conf1}.
+        let mut points = Vec::new();
+        for arch in Architecture::ALL {
+            let remote = arch.params().remote_dram_ns.avg_ns as f64;
+            for &chains in &chains_sweep {
+                for t in 0..trials {
+                    let seed = 1_000 * t + 7;
+                    points.push(conf2_memlat(arch, chains, iterations, seed));
+                    points.push(conf1_memlat(
+                        arch,
+                        chains,
+                        iterations,
+                        seed,
+                        remote,
+                        validation_epoch(),
+                    ));
+                }
+            }
+        }
+        let lats = ctx.grid(points, |p| p.data.eval().latency_per_iteration_ns());
+
+        let mut table = Table::new(
+            "Fig 11 - MemLat emulation error vs concurrency degree",
+            &[
+                "family",
+                "chains",
+                "conf2 ns/iter",
+                "conf1 ns/iter",
+                "error %",
+            ],
+        );
+        let mut it = lats.chunks(2 * trials as usize);
+        for arch in Architecture::ALL {
+            for &chains in &chains_sweep {
+                let group = it.next().expect("group per (arch, chains)");
+                let conf2: Vec<f64> = group.iter().step_by(2).copied().collect();
+                let conf1: Vec<f64> = group.iter().skip(1).step_by(2).copied().collect();
+                let c2 = mean(&conf2);
+                let c1 = mean(&conf1);
+                table.row(&[
+                    arch.to_string(),
+                    chains.to_string(),
+                    f(c2, 1),
+                    f(c1, 1),
+                    f(error_pct(c1, c2), 2),
+                ]);
+            }
+        }
+        let mut report = ExpReport::with_table(table);
+        report.note("(paper: 0.2%-4% across all chain counts and families)");
+        report
+    }
 }

@@ -10,111 +10,162 @@
 //! simulated testbed uses fewer iterations at identical per-section work
 //! (cs_dur = 100 chase iterations), recorded in EXPERIMENTS.md.
 
-use std::path::Path;
-
 use quartz::{NvmTarget, QuartzConfig};
-use quartz_bench::report::{f, Table};
-use quartz_bench::{run_workload, signed_error_pct, MachineSpec};
 use quartz_platform::time::Duration;
 use quartz_platform::{Architecture, NodeId};
-use quartz_workloads::{run_multithreaded, MultiThreadedConfig, MultiThreadedResult};
+use quartz_workloads::{run_multithreaded, MultiThreadedConfig};
 
-fn bench(
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::grid::Pt;
+use crate::report::{f, Table};
+use crate::{run_workload, signed_error_pct, MachineSpec};
+
+/// One Fig. 13 grid point: family, scenario, thread count, and the
+/// epoch line being measured.
+#[derive(Clone, Debug)]
+pub struct Fig13Point {
     arch: Architecture,
     threads: usize,
     critical_sections: u64,
     with_compute: bool,
+    /// `None` → no emulation (ground truth on remote memory);
+    /// `Some(None)` → static epochs only (no propagation);
+    /// `Some(Some(min))` → propagation with the given minimum epoch.
     emulate_min_epoch: Option<Option<Duration>>,
-    seed: u64,
-) -> MultiThreadedResult {
-    let mem = MachineSpec::new(arch).with_seed(seed).build();
-    let node = if emulate_min_epoch.is_some() {
-        NodeId(0)
-    } else {
-        NodeId(1)
-    };
-    let quartz_config = emulate_min_epoch.map(|min| {
-        let remote = arch.params().remote_dram_ns.avg_ns as f64;
-        let base = QuartzConfig::new(NvmTarget::new(remote)).with_max_epoch(Duration::from_ms(10));
-        match min {
-            Some(min) => base.with_min_epoch(min),
-            // The no-propagation ablation: static epochs only (Fig. 3).
-            None => base.without_sync_interposition(),
-        }
-    });
-    let (r, _) = run_workload(mem, quartz_config, move |ctx, _| {
-        let base = if with_compute {
-            MultiThreadedConfig::with_compute(threads, critical_sections, node)
+}
+
+impl Fig13Point {
+    fn eval(&self, seed: u64) -> f64 {
+        let mem = MachineSpec::new(self.arch).with_seed(seed).build();
+        let node = if self.emulate_min_epoch.is_some() {
+            NodeId(0)
         } else {
-            MultiThreadedConfig::cs_only(threads, critical_sections, node)
+            NodeId(1)
         };
-        run_multithreaded(
-            ctx,
-            &MultiThreadedConfig {
-                seed: seed.wrapping_mul(31).wrapping_add(base.seed),
-                ..base
-            },
-        )
-    });
-    r
+        let quartz_config = self.emulate_min_epoch.map(|min| {
+            let remote = self.arch.params().remote_dram_ns.avg_ns as f64;
+            let base =
+                QuartzConfig::new(NvmTarget::new(remote)).with_max_epoch(Duration::from_ms(10));
+            match min {
+                Some(min) => base.with_min_epoch(min),
+                // The no-propagation ablation: static epochs only (Fig. 3).
+                None => base.without_sync_interposition(),
+            }
+        });
+        let (threads, critical_sections, with_compute) =
+            (self.threads, self.critical_sections, self.with_compute);
+        let (r, _) = run_workload(mem, quartz_config, move |ctx, _| {
+            let base = if with_compute {
+                MultiThreadedConfig::with_compute(threads, critical_sections, node)
+            } else {
+                MultiThreadedConfig::cs_only(threads, critical_sections, node)
+            };
+            run_multithreaded(
+                ctx,
+                &MultiThreadedConfig {
+                    seed: seed.wrapping_mul(31).wrapping_add(base.seed),
+                    ..base
+                },
+            )
+        });
+        r.elapsed.as_ns_f64() / 1e6
+    }
 }
 
 /// Runs the multithreaded-propagation validation.
-pub fn run(out_dir: &Path, quick: bool) {
-    let critical_sections = if quick { 200 } else { 1_000 };
-    let archs = [Architecture::SandyBridge, Architecture::IvyBridge];
-    let thread_counts = [2usize, 4, 8];
-    let min_epochs: &[(&str, Option<Option<Duration>>)] = &[
-        ("actual (no emu)", None),
-        ("min 0.01 ms", Some(Some(Duration::from_us(10)))),
-        ("min 0.1 ms", Some(Some(Duration::from_us(100)))),
-        ("min 1 ms", Some(Some(Duration::from_ms(1)))),
-        ("no propagation", Some(None)),
-    ];
-    let mut table = Table::new(
-        "Fig 13 - Multi-Threaded completion time vs minimum epoch",
-        &[
-            "family", "scenario", "threads", "line", "time ms", "error %",
-        ],
-    );
-    for arch in archs {
-        for with_compute in [false, true] {
-            let scenario = if with_compute {
-                "with compute"
-            } else {
-                "cs only"
-            };
-            for &threads in &thread_counts {
-                let mut actual_ms = 0.0;
-                for (label, min_epoch) in min_epochs {
-                    let r = bench(
-                        arch,
-                        threads,
-                        critical_sections,
-                        with_compute,
-                        *min_epoch,
-                        7,
-                    );
-                    let ms = r.elapsed.as_ns_f64() / 1e6;
-                    let err = if min_epoch.is_none() {
-                        actual_ms = ms;
-                        0.0
-                    } else {
-                        signed_error_pct(ms, actual_ms)
-                    };
-                    table.row(&[
-                        arch.to_string(),
-                        scenario.to_string(),
-                        threads.to_string(),
-                        label.to_string(),
-                        f(ms, 2),
-                        f(err, 2),
-                    ]);
+pub struct Fig13;
+
+impl Experiment for Fig13 {
+    fn name(&self) -> &'static str {
+        "fig13"
+    }
+
+    fn description(&self) -> &'static str {
+        "Multi-Threaded completion time vs minimum epoch (delay propagation)"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.5 Fig. 13"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let critical_sections = if ctx.quick() { 200 } else { 1_000 };
+        let archs = [Architecture::SandyBridge, Architecture::IvyBridge];
+        let thread_counts = [2usize, 4, 8];
+        let min_epochs: &[(&str, Option<Option<Duration>>)] = &[
+            ("actual (no emu)", None),
+            ("min 0.01 ms", Some(Some(Duration::from_us(10)))),
+            ("min 0.1 ms", Some(Some(Duration::from_us(100)))),
+            ("min 1 ms", Some(Some(Duration::from_ms(1)))),
+            ("no propagation", Some(None)),
+        ];
+
+        // Sweep: arch × scenario × threads × line. The "actual" line
+        // leads each group so assembly can compute errors against it.
+        let mut points = Vec::new();
+        for arch in archs {
+            for with_compute in [false, true] {
+                for &threads in &thread_counts {
+                    for (label, min_epoch) in min_epochs {
+                        points.push(Pt::new(
+                            format!(
+                                "{arch}/{}/n{threads}/{label}",
+                                if with_compute { "compute" } else { "cs" }
+                            ),
+                            7,
+                            Fig13Point {
+                                arch,
+                                threads,
+                                critical_sections,
+                                with_compute,
+                                emulate_min_epoch: *min_epoch,
+                            },
+                        ));
+                    }
                 }
             }
         }
+        let times = ctx.grid(points, |p| p.data.eval(p.seed));
+
+        let mut table = Table::new(
+            "Fig 13 - Multi-Threaded completion time vs minimum epoch",
+            &[
+                "family", "scenario", "threads", "line", "time ms", "error %",
+            ],
+        );
+        let mut it = times.chunks(min_epochs.len());
+        for arch in archs {
+            for with_compute in [false, true] {
+                let scenario = if with_compute {
+                    "with compute"
+                } else {
+                    "cs only"
+                };
+                for &threads in &thread_counts {
+                    let group = it.next().expect("group per (arch, scenario, threads)");
+                    let actual_ms = group[0];
+                    for ((label, min_epoch), &ms) in min_epochs.iter().zip(group) {
+                        let err = if min_epoch.is_none() {
+                            0.0
+                        } else {
+                            signed_error_pct(ms, actual_ms)
+                        };
+                        table.row(&[
+                            arch.to_string(),
+                            scenario.to_string(),
+                            threads.to_string(),
+                            label.to_string(),
+                            f(ms, 2),
+                            f(err, 2),
+                        ]);
+                    }
+                }
+            }
+        }
+        let mut report = ExpReport::with_table(table);
+        report.note(
+            "(paper: <3% error with propagation; up to -34% without, worsening with threads)",
+        );
+        report
     }
-    print!("{}", table.render());
-    println!("(paper: <3% error with propagation; up to -34% without, worsening with threads)");
-    let _ = table.save_csv(out_dir);
 }

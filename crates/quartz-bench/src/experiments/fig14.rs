@@ -12,78 +12,142 @@
 //! 200–200,000; the simulated testbed scales both by 1000x, preserving
 //! the burst:array ratios.
 
-use std::path::Path;
-use std::sync::Arc;
-
 use quartz::{NvmTarget, QuartzConfig};
-use quartz_bench::report::{f, Table};
-use quartz_bench::{mean, run_workload, MachineSpec};
 use quartz_platform::{Architecture, NodeId};
 use quartz_workloads::{run_multilat, MultiLatConfig};
 
 use super::validation_epoch;
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::grid::Pt;
+use crate::report::{f, Table};
+use crate::{mean, run_workload, MachineSpec};
+
+/// One two-memory grid point.
+#[derive(Clone, Debug)]
+struct Fig14Point {
+    arch: Architecture,
+    dram_elements: u64,
+    nvm_elements: u64,
+    burst: u64,
+    nvm_lat: f64,
+    trial: u64,
+}
+
+impl Fig14Point {
+    /// Returns the emulation error (percent) for this point.
+    fn eval(&self) -> f64 {
+        let local = self.arch.params().local_dram_ns.avg_ns as f64;
+        let mem = MachineSpec::new(self.arch)
+            .with_seed(200 + self.trial)
+            .build();
+        let qc = QuartzConfig::new(NvmTarget::new(self.nvm_lat))
+            .with_two_memory_mode()
+            .with_max_epoch(validation_epoch());
+        let (dram_n, nvm_n, burst, trial) = (
+            self.dram_elements,
+            self.nvm_elements,
+            self.burst,
+            self.trial,
+        );
+        let (r, _) = run_workload(mem, Some(qc), move |ctx, _| {
+            run_multilat(
+                ctx,
+                &MultiLatConfig {
+                    dram_elements: dram_n,
+                    nvm_elements: nvm_n,
+                    dram_burst: burst,
+                    nvm_burst: (burst / 2).max(1),
+                    dram_node: NodeId(0),
+                    nvm_node: NodeId(1),
+                    seed: 900 + trial,
+                },
+            )
+        });
+        r.error_vs_expected(local, self.nvm_lat) * 100.0
+    }
+}
 
 /// Runs the two-memory validation sweep.
-pub fn run(out_dir: &Path, quick: bool) {
-    let trials = if quick { 1 } else { 3 };
-    let scale = if quick { 5_000u64 } else { 10_000 };
-    let configs = [(scale, scale, "10M:10M"), (2 * scale, scale, "20M:10M")];
-    let bursts: &[(u64, &str)] = &[
-        (2_000, "pattern-1"),
-        (200, "pattern-2"),
-        (20, "pattern-3"),
-        (2, "pattern-4"),
-    ];
-    let latencies: &[f64] = if quick {
-        &[200.0, 400.0, 700.0]
-    } else {
-        &[200.0, 300.0, 400.0, 500.0, 600.0, 700.0]
-    };
-    let mut table = Table::new(
-        "Fig 14 - MultiLat DRAM+NVM emulation error",
-        &["family", "config", "pattern", "nvm ns", "avg error %"],
-    );
-    for arch in [Architecture::IvyBridge, Architecture::Haswell] {
-        let local = arch.params().local_dram_ns.avg_ns as f64;
-        for &(dram_n, nvm_n, cfg_label) in &configs {
-            for &(burst, pat_label) in bursts {
-                for &nvm_lat in latencies {
-                    let mut errors = Vec::new();
-                    for t in 0..trials {
-                        let mem = MachineSpec::new(arch).with_seed(200 + t).build();
-                        let qc = QuartzConfig::new(NvmTarget::new(nvm_lat))
-                            .with_two_memory_mode()
-                            .with_max_epoch(validation_epoch());
-                        let m2 = Arc::clone(&mem);
-                        let (r, _) = run_workload(mem, Some(qc), move |ctx, _| {
-                            let _ = &m2;
-                            run_multilat(
-                                ctx,
-                                &MultiLatConfig {
+pub struct Fig14;
+
+impl Experiment for Fig14 {
+    fn name(&self) -> &'static str {
+        "fig14"
+    }
+
+    fn description(&self) -> &'static str {
+        "MultiLat DRAM+NVM two-memory emulation error across interleavings"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.6 Fig. 14"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let trials = if ctx.quick() { 1 } else { 3 };
+        let scale = if ctx.quick() { 5_000u64 } else { 10_000 };
+        let configs = [(scale, scale, "10M:10M"), (2 * scale, scale, "20M:10M")];
+        let bursts: &[(u64, &str)] = &[
+            (2_000, "pattern-1"),
+            (200, "pattern-2"),
+            (20, "pattern-3"),
+            (2, "pattern-4"),
+        ];
+        let latencies: &[f64] = if ctx.quick() {
+            &[200.0, 400.0, 700.0]
+        } else {
+            &[200.0, 300.0, 400.0, 500.0, 600.0, 700.0]
+        };
+
+        // Sweep: arch × config × pattern × latency × trial.
+        let mut points = Vec::new();
+        for arch in [Architecture::IvyBridge, Architecture::Haswell] {
+            for &(dram_n, nvm_n, cfg_label) in &configs {
+                for &(burst, pat_label) in bursts {
+                    for &nvm_lat in latencies {
+                        for trial in 0..trials {
+                            points.push(Pt::new(
+                                format!("{arch}/{cfg_label}/{pat_label}/nvm{nvm_lat:.0}/t{trial}"),
+                                200 + trial,
+                                Fig14Point {
+                                    arch,
                                     dram_elements: dram_n,
                                     nvm_elements: nvm_n,
-                                    dram_burst: burst,
-                                    nvm_burst: (burst / 2).max(1),
-                                    dram_node: NodeId(0),
-                                    nvm_node: NodeId(1),
-                                    seed: 900 + t,
+                                    burst,
+                                    nvm_lat,
+                                    trial,
                                 },
-                            )
-                        });
-                        errors.push(r.error_vs_expected(local, nvm_lat) * 100.0);
+                            ));
+                        }
                     }
-                    table.row(&[
-                        arch.to_string(),
-                        cfg_label.to_string(),
-                        pat_label.to_string(),
-                        f(nvm_lat, 0),
-                        f(mean(&errors), 2),
-                    ]);
                 }
             }
         }
+        let errors = ctx.grid(points, |p| p.data.eval());
+
+        let mut table = Table::new(
+            "Fig 14 - MultiLat DRAM+NVM emulation error",
+            &["family", "config", "pattern", "nvm ns", "avg error %"],
+        );
+        let mut it = errors.chunks(trials as usize);
+        for arch in [Architecture::IvyBridge, Architecture::Haswell] {
+            for &(_, _, cfg_label) in &configs {
+                for &(_, pat_label) in bursts {
+                    for &nvm_lat in latencies {
+                        let group = it.next().expect("group per sweep cell");
+                        table.row(&[
+                            arch.to_string(),
+                            cfg_label.to_string(),
+                            pat_label.to_string(),
+                            f(nvm_lat, 0),
+                            f(mean(group), 2),
+                        ]);
+                    }
+                }
+            }
+        }
+        let mut report = ExpReport::with_table(table);
+        report.note("(paper: average errors below 1.2% across patterns and configurations)");
+        report
     }
-    print!("{}", table.render());
-    println!("(paper: average errors below 1.2% across patterns and configurations)");
-    let _ = table.save_csv(out_dir);
 }

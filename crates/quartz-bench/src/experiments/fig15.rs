@@ -5,100 +5,150 @@
 //!
 //! Paper result: 2% – 8% across 1, 2, 4, 8 threads.
 
-use std::path::Path;
 use std::sync::Arc;
-
-use quartz_bench::report::{f, Table};
-use quartz_bench::{error_pct, run_workload, MachineSpec};
-use quartz_platform::{Architecture, NodeId};
-use quartz_workloads::kvstore::{preload, run_kv_benchmark, KvBenchConfig, KvConfig, KvStore};
 
 use quartz::{NvmTarget, QuartzConfig};
 use quartz_platform::time::Duration;
+use quartz_platform::{Architecture, NodeId};
+use quartz_workloads::kvstore::{preload, run_kv_benchmark, KvBenchConfig, KvConfig, KvStore};
 
-fn bench(arch: Architecture, threads: usize, emulate: bool, ops: u64, keys: u64) -> (f64, f64) {
-    let mem = MachineSpec::new(arch).with_seed(55).build();
-    let node = if emulate { NodeId(0) } else { NodeId(1) };
-    // Epochs sized so per-epoch delay dwarfs the epoch-processing cost
-    // (the paper's own tuning guidance, §3.2): with 20 us epochs the put
-    // phase cannot amortize its overhead and throughput drops ~7%.
-    let qc = emulate.then(|| {
-        let remote = arch.params().remote_dram_ns.avg_ns as f64;
-        QuartzConfig::new(NvmTarget::new(remote)).with_max_epoch(Duration::from_us(100))
-    });
-    // MassTree's benchmark times a put phase and a get phase separately;
-    // that also keeps epoch delays attributed to the phase whose stalls
-    // produced them.
-    let (r, _) = run_workload(mem, qc, move |ctx, _| {
-        let store = Arc::new(KvStore::create(ctx, KvConfig::new(node)));
-        preload(ctx, &store, None, keys);
-        let base = KvBenchConfig {
-            preload_keys: keys,
-            ops_per_thread: ops,
-            threads,
-            ..KvBenchConfig::default()
-        };
-        // Invalidate caches so both configurations start cold (paper
-        // §4.7 footnote).
-        ctx.mem().invalidate_caches();
-        let puts = run_kv_benchmark(
-            ctx,
-            &store,
-            None,
-            &KvBenchConfig {
-                get_fraction: 0.0,
-                ..base
-            },
-        );
-        ctx.mem().invalidate_caches();
-        let gets = run_kv_benchmark(
-            ctx,
-            &store,
-            None,
-            &KvBenchConfig {
-                get_fraction: 1.0,
-                ..base
-            },
-        );
-        (puts.ops_per_sec(), gets.ops_per_sec())
-    });
-    r
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::grid::Pt;
+use crate::report::{f, Table};
+use crate::{error_pct, run_workload, MachineSpec};
+
+/// One KV-store run: thread count and whether Quartz emulates.
+#[derive(Clone, Copy, Debug)]
+struct KvPoint {
+    threads: usize,
+    emulate: bool,
+    ops: u64,
+    keys: u64,
+}
+
+impl KvPoint {
+    /// Returns `(puts/s, gets/s)`.
+    fn eval(&self, arch: Architecture, seed: u64) -> (f64, f64) {
+        let mem = MachineSpec::new(arch).with_seed(seed).build();
+        let node = if self.emulate { NodeId(0) } else { NodeId(1) };
+        // Epochs sized so per-epoch delay dwarfs the epoch-processing cost
+        // (the paper's own tuning guidance, §3.2): with 20 us epochs the put
+        // phase cannot amortize its overhead and throughput drops ~7%.
+        let qc = self.emulate.then(|| {
+            let remote = arch.params().remote_dram_ns.avg_ns as f64;
+            QuartzConfig::new(NvmTarget::new(remote)).with_max_epoch(Duration::from_us(100))
+        });
+        let (threads, ops, keys) = (self.threads, self.ops, self.keys);
+        // MassTree's benchmark times a put phase and a get phase separately;
+        // that also keeps epoch delays attributed to the phase whose stalls
+        // produced them.
+        let (r, _) = run_workload(mem, qc, move |ctx, _| {
+            let store = Arc::new(KvStore::create(ctx, KvConfig::new(node)));
+            preload(ctx, &store, None, keys);
+            let base = KvBenchConfig {
+                preload_keys: keys,
+                ops_per_thread: ops,
+                threads,
+                ..KvBenchConfig::default()
+            };
+            // Invalidate caches so both configurations start cold (paper
+            // §4.7 footnote).
+            ctx.mem().invalidate_caches();
+            let puts = run_kv_benchmark(
+                ctx,
+                &store,
+                None,
+                &KvBenchConfig {
+                    get_fraction: 0.0,
+                    ..base
+                },
+            );
+            ctx.mem().invalidate_caches();
+            let gets = run_kv_benchmark(
+                ctx,
+                &store,
+                None,
+                &KvBenchConfig {
+                    get_fraction: 1.0,
+                    ..base
+                },
+            );
+            (puts.ops_per_sec(), gets.ops_per_sec())
+        });
+        r
+    }
 }
 
 /// Runs the KV-store validation.
-pub fn run(out_dir: &Path, quick: bool) {
-    // The tree must be several times the LLC so traversals miss, as the
-    // paper's 140M-key MassTree does: ~250k keys build a ~5 MB tree over
-    // the 2 MB simulated L3.
-    let keys = if quick { 120_000 } else { 250_000 };
-    let ops = if quick { 4_000 } else { 10_000 };
-    let arch = Architecture::SandyBridge;
-    let mut table = Table::new(
-        "Fig 15 - KV store (MassTree stand-in) validation errors",
-        &[
-            "threads",
-            "conf2 puts/s",
-            "conf1 puts/s",
-            "put err %",
-            "conf2 gets/s",
-            "conf1 gets/s",
-            "get err %",
-        ],
-    );
-    for threads in [1usize, 2, 4, 8] {
-        let (p2, g2) = bench(arch, threads, false, ops, keys);
-        let (p1, g1) = bench(arch, threads, true, ops, keys);
-        table.row(&[
-            threads.to_string(),
-            f(p2, 0),
-            f(p1, 0),
-            f(error_pct(p1, p2), 2),
-            f(g2, 0),
-            f(g1, 0),
-            f(error_pct(g1, g2), 2),
-        ]);
+pub struct Fig15;
+
+impl Experiment for Fig15 {
+    fn name(&self) -> &'static str {
+        "fig15"
     }
-    print!("{}", table.render());
-    println!("(paper: 2%-8% on Sandy Bridge across 1/2/4/8 threads)");
-    let _ = table.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "KV store (MassTree stand-in) put/get validation errors"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.7 Fig. 15"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        // The tree must be several times the LLC so traversals miss, as the
+        // paper's 140M-key MassTree does: ~250k keys build a ~5 MB tree over
+        // the 2 MB simulated L3.
+        let keys = if ctx.quick() { 120_000 } else { 250_000 };
+        let ops = if ctx.quick() { 4_000 } else { 10_000 };
+        let arch = Architecture::SandyBridge;
+        let thread_counts = [1usize, 2, 4, 8];
+
+        // Sweep: threads × {conf2, conf1}.
+        let mut points = Vec::new();
+        for &threads in &thread_counts {
+            for emulate in [false, true] {
+                points.push(Pt::new(
+                    format!("{}/n{threads}", if emulate { "conf1" } else { "conf2" }),
+                    55,
+                    KvPoint {
+                        threads,
+                        emulate,
+                        ops,
+                        keys,
+                    },
+                ));
+            }
+        }
+        let results = ctx.grid(points, |p| p.data.eval(arch, p.seed));
+
+        let mut table = Table::new(
+            "Fig 15 - KV store (MassTree stand-in) validation errors",
+            &[
+                "threads",
+                "conf2 puts/s",
+                "conf1 puts/s",
+                "put err %",
+                "conf2 gets/s",
+                "conf1 gets/s",
+                "get err %",
+            ],
+        );
+        for (i, &threads) in thread_counts.iter().enumerate() {
+            let (p2, g2) = results[2 * i];
+            let (p1, g1) = results[2 * i + 1];
+            table.row(&[
+                threads.to_string(),
+                f(p2, 0),
+                f(p1, 0),
+                f(error_pct(p1, p2), 2),
+                f(g2, 0),
+                f(g1, 0),
+                f(error_pct(g1, g2), 2),
+            ]);
+        }
+        let mut report = ExpReport::with_table(table);
+        report.note("(paper: 2%-8% on Sandy Bridge across 1/2/4/8 threads)");
+        report
+    }
 }

@@ -8,139 +8,219 @@
 //! * bandwidth: both applications are insensitive until the knee —
 //!   ~3 GB/s for PageRank, ~1.5 GB/s for the KV store.
 
-use std::path::Path;
 use std::sync::Arc;
 
 use quartz::{NvmTarget, QuartzConfig};
-use quartz_bench::report::{f, Table};
-use quartz_bench::{run_workload, MachineSpec};
 use quartz_platform::{Architecture, NodeId};
 use quartz_workloads::graph::Graph;
 use quartz_workloads::kvstore::{preload, run_kv_benchmark, KvBenchConfig, KvConfig, KvStore};
 use quartz_workloads::pagerank::{run_pagerank, PageRankConfig};
 
 use super::validation_epoch;
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::grid::Pt;
+use crate::report::{f, Table};
+use crate::{run_workload, MachineSpec};
 
-fn pagerank_ms(arch: Architecture, graph: Graph, target: Option<NvmTarget>, iters: u32) -> f64 {
-    let mem = MachineSpec::new(arch).with_seed(16).build();
-    let qc = target.map(|t| QuartzConfig::new(t).with_max_epoch(validation_epoch()));
-    let (r, _) = run_workload(mem, qc, move |ctx, _| {
-        run_pagerank(
-            ctx,
-            &graph,
-            &PageRankConfig {
-                max_iterations: iters,
-                ..PageRankConfig::default()
-            },
-        )
-    });
-    r.elapsed.as_ns_f64() / 1e6
+/// One sensitivity point: which workload, under which NVM target
+/// (`None` = DRAM baseline).
+#[derive(Clone)]
+enum SensPoint {
+    /// PageRank completion time (ms).
+    Pagerank {
+        /// The shared input graph.
+        graph: Graph,
+        /// Emulated NVM target, if any.
+        target: Option<NvmTarget>,
+        /// PageRank iterations.
+        iters: u32,
+    },
+    /// KV-store mixed-workload throughput (ops/s).
+    Kv {
+        /// Emulated NVM target, if any.
+        target: Option<NvmTarget>,
+        /// Preloaded keys.
+        keys: u64,
+        /// Operations per thread.
+        ops: u64,
+    },
 }
 
-fn kv_ops_per_sec(arch: Architecture, target: Option<NvmTarget>, keys: u64, ops: u64) -> f64 {
-    let mem = MachineSpec::new(arch).with_seed(17).build();
-    let qc = target.map(|t| {
-        QuartzConfig::new(t).with_max_epoch(quartz_platform::time::Duration::from_us(100))
-    });
-    let (r, _) = run_workload(mem, qc, move |ctx, _| {
-        let store = Arc::new(KvStore::create(ctx, KvConfig::new(NodeId(0))));
-        preload(ctx, &store, None, keys);
-        ctx.mem().invalidate_caches();
-        let cfg = KvBenchConfig {
-            preload_keys: keys,
-            ops_per_thread: ops,
-            threads: 4,
-            get_fraction: 0.5,
-            ..KvBenchConfig::default()
-        };
-        run_kv_benchmark(ctx, &store, None, &cfg)
-    });
-    r.ops_per_sec()
+impl SensPoint {
+    fn eval(&self, arch: Architecture) -> f64 {
+        match self {
+            SensPoint::Pagerank {
+                graph,
+                target,
+                iters,
+            } => {
+                let mem = MachineSpec::new(arch).with_seed(16).build();
+                let qc = (*target).map(|t| QuartzConfig::new(t).with_max_epoch(validation_epoch()));
+                let (graph, iters) = (graph.clone(), *iters);
+                let (r, _) = run_workload(mem, qc, move |ctx, _| {
+                    run_pagerank(
+                        ctx,
+                        &graph,
+                        &PageRankConfig {
+                            max_iterations: iters,
+                            ..PageRankConfig::default()
+                        },
+                    )
+                });
+                r.elapsed.as_ns_f64() / 1e6
+            }
+            SensPoint::Kv { target, keys, ops } => {
+                let mem = MachineSpec::new(arch).with_seed(17).build();
+                let qc = (*target).map(|t| {
+                    QuartzConfig::new(t)
+                        .with_max_epoch(quartz_platform::time::Duration::from_us(100))
+                });
+                let (keys, ops) = (*keys, *ops);
+                let (r, _) = run_workload(mem, qc, move |ctx, _| {
+                    let store = Arc::new(KvStore::create(ctx, KvConfig::new(NodeId(0))));
+                    preload(ctx, &store, None, keys);
+                    ctx.mem().invalidate_caches();
+                    let cfg = KvBenchConfig {
+                        preload_keys: keys,
+                        ops_per_thread: ops,
+                        threads: 4,
+                        get_fraction: 0.5,
+                        ..KvBenchConfig::default()
+                    };
+                    run_kv_benchmark(ctx, &store, None, &cfg)
+                });
+                r.ops_per_sec()
+            }
+        }
+    }
 }
 
 /// Runs the sensitivity study.
-pub fn run(out_dir: &Path, quick: bool) {
-    let arch = Architecture::SandyBridge;
-    // The graph is sized so the rank vectors plus CSR arrays contend for
-    // the LLC (~80% of it), giving the partially-cached gather mix that
-    // makes the paper's PageRank flat at low NVM latencies yet >5x slower
-    // at 2 us.
-    let (n, m, iters) = if quick {
-        (40_000, 560_000, 3)
-    } else {
-        (40_000, 560_000, 5)
-    };
-    let (keys, ops) = if quick {
-        (120_000, 1_500)
-    } else {
-        (250_000, 4_000)
-    };
-    let graph = Graph::random(n, m, 16);
+pub struct Fig16;
 
-    // ---- Latency sensitivity (bandwidth unthrottled) ----
-    let latencies: &[f64] = if quick {
-        &[200.0, 500.0, 2_000.0]
-    } else {
-        &[100.0, 200.0, 300.0, 500.0, 1_000.0, 1_500.0, 2_000.0]
-    };
-    let mut lat_table = Table::new(
-        "Fig 16 a,c - latency sensitivity (Sandy Bridge)",
-        &[
-            "nvm ns",
-            "pagerank ms",
-            "pagerank slowdown",
-            "kv ops/s",
-            "kv throughput vs dram",
-        ],
-    );
-    let pr_base = pagerank_ms(arch, graph.clone(), None, iters);
-    let kv_base = kv_ops_per_sec(arch, None, keys, ops);
-    for &lat in latencies {
-        let target = NvmTarget::new(lat.max(100.0));
-        let pr = pagerank_ms(arch, graph.clone(), Some(target), iters);
-        let kv = kv_ops_per_sec(arch, Some(target), keys, ops);
-        lat_table.row(&[
-            f(lat, 0),
-            f(pr, 1),
-            format!("{:.2}x", pr / pr_base),
-            f(kv, 0),
-            format!("{:.2}x", kv / kv_base),
-        ]);
+impl Experiment for Fig16 {
+    fn name(&self) -> &'static str {
+        "fig16"
     }
-    print!("{}", lat_table.render());
-    println!("(paper: ~unchanged at 200 ns for PageRank, -15% for MassTree; >5x by 2 us)");
-    let _ = lat_table.save_csv(out_dir);
 
-    // ---- Bandwidth sensitivity (latency at DRAM level) ----
-    let local = arch.params().local_dram_ns.avg_ns as f64;
-    let bandwidths: &[f64] = if quick {
-        &[10.0, 3.0, 1.0]
-    } else {
-        &[20.0, 10.0, 5.0, 3.0, 2.0, 1.5, 1.0, 0.5]
-    };
-    let mut bw_table = Table::new(
-        "Fig 16 b,d - bandwidth sensitivity (Sandy Bridge)",
-        &[
-            "nvm GB/s",
-            "pagerank ms",
-            "pagerank slowdown",
-            "kv ops/s",
-            "kv throughput vs full",
-        ],
-    );
-    for &bw in bandwidths {
-        let target = NvmTarget::new(local).with_bandwidth_gbps(bw);
-        let pr = pagerank_ms(arch, graph.clone(), Some(target), iters);
-        let kv = kv_ops_per_sec(arch, Some(target), keys, ops);
-        bw_table.row(&[
-            f(bw, 1),
-            f(pr, 1),
-            format!("{:.2}x", pr / pr_base),
-            f(kv, 0),
-            format!("{:.2}x", kv / kv_base),
-        ]);
+    fn description(&self) -> &'static str {
+        "PageRank/KV-store sensitivity to NVM latency and bandwidth"
     }
-    print!("{}", bw_table.render());
-    println!("(paper: insensitive until ~3 GB/s for PageRank, ~1.5 GB/s for MassTree)");
-    let _ = bw_table.save_csv(out_dir);
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.8 Fig. 16"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let arch = Architecture::SandyBridge;
+        // The graph is sized so the rank vectors plus CSR arrays contend for
+        // the LLC (~80% of it), giving the partially-cached gather mix that
+        // makes the paper's PageRank flat at low NVM latencies yet >5x slower
+        // at 2 us.
+        let (n, m, iters) = if ctx.quick() {
+            (40_000, 560_000, 3)
+        } else {
+            (40_000, 560_000, 5)
+        };
+        let (keys, ops) = if ctx.quick() {
+            (120_000, 1_500)
+        } else {
+            (250_000, 4_000)
+        };
+        let graph = Graph::random(n, m, 16);
+
+        let latencies: &[f64] = if ctx.quick() {
+            &[200.0, 500.0, 2_000.0]
+        } else {
+            &[100.0, 200.0, 300.0, 500.0, 1_000.0, 1_500.0, 2_000.0]
+        };
+        let local = arch.params().local_dram_ns.avg_ns as f64;
+        let bandwidths: &[f64] = if ctx.quick() {
+            &[10.0, 3.0, 1.0]
+        } else {
+            &[20.0, 10.0, 5.0, 3.0, 2.0, 1.5, 1.0, 0.5]
+        };
+
+        // Sweep: the DRAM baselines lead, then (pagerank, kv) per
+        // latency, then per bandwidth.
+        let pr = |target: Option<NvmTarget>, label: String| {
+            Pt::new(
+                label,
+                16,
+                SensPoint::Pagerank {
+                    graph: graph.clone(),
+                    target,
+                    iters,
+                },
+            )
+        };
+        let kv = |target: Option<NvmTarget>, label: String| {
+            Pt::new(label, 17, SensPoint::Kv { target, keys, ops })
+        };
+        let mut points = vec![pr(None, "pagerank/dram".into()), kv(None, "kv/dram".into())];
+        for &lat in latencies {
+            let target = NvmTarget::new(lat.max(100.0));
+            points.push(pr(Some(target), format!("pagerank/lat{lat:.0}")));
+            points.push(kv(Some(target), format!("kv/lat{lat:.0}")));
+        }
+        for &bw in bandwidths {
+            let target = NvmTarget::new(local).with_bandwidth_gbps(bw);
+            points.push(pr(Some(target), format!("pagerank/bw{bw:.1}")));
+            points.push(kv(Some(target), format!("kv/bw{bw:.1}")));
+        }
+        let results = ctx.grid(points, |p| p.data.eval(arch));
+
+        let (pr_base, kv_base) = (results[0], results[1]);
+        let mut lat_table = Table::new(
+            "Fig 16 a,c - latency sensitivity (Sandy Bridge)",
+            &[
+                "nvm ns",
+                "pagerank ms",
+                "pagerank slowdown",
+                "kv ops/s",
+                "kv throughput vs dram",
+            ],
+        );
+        for (i, &lat) in latencies.iter().enumerate() {
+            let pr = results[2 + 2 * i];
+            let kv = results[2 + 2 * i + 1];
+            lat_table.row(&[
+                f(lat, 0),
+                f(pr, 1),
+                format!("{:.2}x", pr / pr_base),
+                f(kv, 0),
+                format!("{:.2}x", kv / kv_base),
+            ]);
+        }
+
+        let off = 2 + 2 * latencies.len();
+        let mut bw_table = Table::new(
+            "Fig 16 b,d - bandwidth sensitivity (Sandy Bridge)",
+            &[
+                "nvm GB/s",
+                "pagerank ms",
+                "pagerank slowdown",
+                "kv ops/s",
+                "kv throughput vs full",
+            ],
+        );
+        for (i, &bw) in bandwidths.iter().enumerate() {
+            let pr = results[off + 2 * i];
+            let kv = results[off + 2 * i + 1];
+            bw_table.row(&[
+                f(bw, 1),
+                f(pr, 1),
+                format!("{:.2}x", pr / pr_base),
+                f(kv, 0),
+                format!("{:.2}x", kv / kv_base),
+            ]);
+        }
+
+        let mut report = ExpReport::default();
+        report.table(lat_table).table(bw_table);
+        report
+            .note("(paper: ~unchanged at 200 ns for PageRank, -15% for MassTree; >5x by 2 us)")
+            .note("(paper: insensitive until ~3 GB/s for PageRank, ~1.5 GB/s for MassTree)");
+        report
+    }
 }

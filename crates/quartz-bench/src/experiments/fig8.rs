@@ -2,62 +2,89 @@
 //! the measured bandwidth must rise linearly with the 12-bit register
 //! until the application's attainable maximum.
 
-use std::path::Path;
-
-use quartz_bench::report::{f, Table};
-use quartz_bench::{run_workload, MachineSpec};
 use quartz_platform::{Architecture, NodeId, SocketId};
 use quartz_workloads::{run_stream_copy, StreamConfig};
 
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::grid::Pt;
+use crate::report::{f, Table};
+use crate::{run_workload, MachineSpec};
+
 /// Sweeps the throttle register and measures STREAM copy bandwidth.
-pub fn run(out_dir: &Path, quick: bool) {
-    let lines = if quick { 10_000 } else { 40_000 };
-    let registers: &[u32] = if quick {
-        &[0x100, 0x400, 0x800, 0xC00, 0xFFF]
-    } else {
-        &[
-            0x080, 0x100, 0x200, 0x300, 0x400, 0x600, 0x800, 0xA00, 0xC00, 0xE00, 0xFFF,
-        ]
-    };
-    let mut table = Table::new(
-        "Fig 8 - STREAM copy bandwidth vs thermal register (Sandy Bridge)",
-        &[
-            "register",
-            "register/0xFFF",
-            "bandwidth GB/s",
-            "linear prediction",
-        ],
-    );
-    let arch = Architecture::SandyBridge;
-    let mut peak_measured = 0.0f64;
-    for &reg in registers {
-        let mem = MachineSpec::new(arch).with_seed(8).build();
-        mem.platform()
-            .kernel_module()
-            .set_dimm_throttle(SocketId(0), reg)
-            .expect("throttle");
-        let node_peak = mem.config().node_peak_bw_gbps();
-        let (bw, _) = run_workload(mem, None, move |ctx, _| {
-            run_stream_copy(
-                ctx,
-                &StreamConfig {
-                    threads: 4,
-                    lines_per_thread: lines,
-                    node: NodeId(0),
-                },
-            )
-            .bandwidth_gbps()
-        });
-        peak_measured = peak_measured.max(bw);
-        let frac = reg as f64 / 0xFFF as f64;
-        table.row(&[
-            format!("{reg:#05x}"),
-            f(frac, 3),
-            f(bw, 2),
-            f(node_peak * frac, 2),
-        ]);
+pub struct Fig8;
+
+impl Experiment for Fig8 {
+    fn name(&self) -> &'static str {
+        "fig8"
     }
-    print!("{}", table.render());
-    println!("(paper: linear in the register value until the attainable maximum)");
-    let _ = table.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "STREAM copy bandwidth vs DRAM thermal-throttle register"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§3.4 Fig. 8"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let lines = if ctx.quick() { 10_000 } else { 40_000 };
+        let registers: &[u32] = if ctx.quick() {
+            &[0x100, 0x400, 0x800, 0xC00, 0xFFF]
+        } else {
+            &[
+                0x080, 0x100, 0x200, 0x300, 0x400, 0x600, 0x800, 0xA00, 0xC00, 0xE00, 0xFFF,
+            ]
+        };
+        let arch = Architecture::SandyBridge;
+
+        let points: Vec<Pt<u32>> = registers
+            .iter()
+            .map(|&reg| Pt::new(format!("reg{reg:#05x}"), 8, reg))
+            .collect();
+        // Each point builds its own machine, programs the register, and
+        // measures; returns (bandwidth, node peak).
+        let results = ctx.grid(points, |p| {
+            let reg = p.data;
+            let mem = MachineSpec::new(arch).with_seed(p.seed).build();
+            mem.platform()
+                .kernel_module()
+                .set_dimm_throttle(SocketId(0), reg)
+                .expect("throttle");
+            let node_peak = mem.config().node_peak_bw_gbps();
+            let (bw, _) = run_workload(mem, None, move |ctx, _| {
+                run_stream_copy(
+                    ctx,
+                    &StreamConfig {
+                        threads: 4,
+                        lines_per_thread: lines,
+                        node: NodeId(0),
+                    },
+                )
+                .bandwidth_gbps()
+            });
+            (bw, node_peak)
+        });
+
+        let mut table = Table::new(
+            "Fig 8 - STREAM copy bandwidth vs thermal register (Sandy Bridge)",
+            &[
+                "register",
+                "register/0xFFF",
+                "bandwidth GB/s",
+                "linear prediction",
+            ],
+        );
+        for (&reg, &(bw, node_peak)) in registers.iter().zip(&results) {
+            let frac = reg as f64 / 0xFFF as f64;
+            table.row(&[
+                format!("{reg:#05x}"),
+                f(frac, 3),
+                f(bw, 2),
+                f(node_peak * frac, 2),
+            ]);
+        }
+        let mut report = ExpReport::with_table(table);
+        report.note("(paper: linear in the register value until the attainable maximum)");
+        report
+    }
 }

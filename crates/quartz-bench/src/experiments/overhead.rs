@@ -5,91 +5,120 @@
 //! reads); the PAPI path costs ≈ 30,000 cycles per epoch (~8x); for most
 //! experiments the epoch-creation overhead stays under 4%.
 
-use std::path::Path;
-use std::sync::Arc;
-
 use quartz::{CounterAccess, NvmTarget, QuartzConfig};
-use quartz_bench::report::{f, Table};
-use quartz_bench::{run_workload, signed_error_pct, MachineSpec};
 use quartz_platform::time::Duration;
 use quartz_platform::{Architecture, NodeId};
-use quartz_workloads::{run_memlat, MemLatConfig};
 
-use super::memlat_config;
-
-fn memlat_time(arch: Architecture, config: Option<QuartzConfig>, iterations: u64) -> (f64, u64) {
-    let mem = MachineSpec::new(arch).with_seed(3).build();
-    let m2 = Arc::clone(&mem);
-    let (r, q) = run_workload(mem, config, move |ctx, _| {
-        let cfg = MemLatConfig {
-            seed: 0xBEEF,
-            ..memlat_config(&m2, 1, iterations, NodeId(0), 0)
-        };
-        run_memlat(ctx, &cfg)
-    });
-    let epochs = q.map(|q| q.stats().totals.epochs()).unwrap_or(0);
-    (r.elapsed.as_ns_f64(), epochs)
-}
+use super::MemLatSpec;
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::grid::Pt;
+use crate::report::{f, Table};
+use crate::signed_error_pct;
 
 /// Runs the overhead study.
-pub fn run(out_dir: &Path, quick: bool) {
-    let iterations = if quick { 10_000 } else { 40_000 };
-    let arch = Architecture::IvyBridge;
-    let target = NvmTarget::new(400.0);
+pub struct Overhead;
 
-    let (base_ns, _) = memlat_time(arch, None, iterations);
-
-    let mut table = Table::new(
-        "Emulator overhead (switched-off delay injection, Ivy Bridge)",
-        &["configuration", "time ms", "epochs", "overhead %"],
-    );
-    table.row(&[
-        "no emulation".into(),
-        f(base_ns / 1e6, 3),
-        "0".into(),
-        "0.00".into(),
-    ]);
-    for (label, max_epoch, access) in [
-        (
-            "off-mode, 1 ms epochs, rdpmc",
-            Duration::from_ms(1),
-            CounterAccess::Rdpmc,
-        ),
-        (
-            "off-mode, 0.1 ms epochs, rdpmc",
-            Duration::from_us(100),
-            CounterAccess::Rdpmc,
-        ),
-        (
-            "off-mode, 0.01 ms epochs, rdpmc",
-            Duration::from_us(10),
-            CounterAccess::Rdpmc,
-        ),
-        (
-            "off-mode, 0.1 ms epochs, PAPI",
-            Duration::from_us(100),
-            CounterAccess::Papi,
-        ),
-        (
-            "off-mode, 0.01 ms epochs, PAPI",
-            Duration::from_us(10),
-            CounterAccess::Papi,
-        ),
-    ] {
-        let cfg = QuartzConfig::new(target)
-            .with_max_epoch(max_epoch)
-            .with_counter_access(access)
-            .without_delay_injection();
-        let (ns, epochs) = memlat_time(arch, Some(cfg), iterations);
-        table.row(&[
-            label.into(),
-            f(ns / 1e6, 3),
-            epochs.to_string(),
-            f(signed_error_pct(ns, base_ns), 2),
-        ]);
+impl Experiment for Overhead {
+    fn name(&self) -> &'static str {
+        "overhead"
     }
-    print!("{}", table.render());
-    println!("(paper: overhead <4% at sane epochs; PAPI ~8x costlier per epoch,");
-    println!(" hard to amortize at small epochs)");
-    let _ = table.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "emulator overhead in switched-off delay-injection mode"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§3.2"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let iterations = if ctx.quick() { 10_000 } else { 40_000 };
+        let arch = Architecture::IvyBridge;
+        let target = NvmTarget::new(400.0);
+
+        let configs: &[(&str, Duration, CounterAccess)] = &[
+            (
+                "off-mode, 1 ms epochs, rdpmc",
+                Duration::from_ms(1),
+                CounterAccess::Rdpmc,
+            ),
+            (
+                "off-mode, 0.1 ms epochs, rdpmc",
+                Duration::from_us(100),
+                CounterAccess::Rdpmc,
+            ),
+            (
+                "off-mode, 0.01 ms epochs, rdpmc",
+                Duration::from_us(10),
+                CounterAccess::Rdpmc,
+            ),
+            (
+                "off-mode, 0.1 ms epochs, PAPI",
+                Duration::from_us(100),
+                CounterAccess::Papi,
+            ),
+            (
+                "off-mode, 0.01 ms epochs, PAPI",
+                Duration::from_us(10),
+                CounterAccess::Papi,
+            ),
+        ];
+
+        // Sweep: the no-emulation baseline, then every off-mode config.
+        let spec = |quartz: Option<QuartzConfig>| MemLatSpec {
+            arch,
+            chains: 1,
+            iterations,
+            node: NodeId(0),
+            machine_seed: 3,
+            workload_seed: 0xBEEF,
+            quartz,
+            no_jitter: false,
+        };
+        let mut points = vec![Pt::new("no emulation", 3, spec(None))];
+        for (label, max_epoch, access) in configs {
+            let qc = QuartzConfig::new(target)
+                .with_max_epoch(*max_epoch)
+                .with_counter_access(*access)
+                .without_delay_injection();
+            points.push(Pt::new(label.to_string(), 3, spec(Some(qc))));
+        }
+        let results = ctx.grid(points, |p| {
+            let (r, stats) = p.data.eval_with_stats();
+            (
+                r.elapsed.as_ns_f64(),
+                stats.as_ref().map(|s| s.totals.epochs()).unwrap_or(0),
+                stats.map(|s| s.to_json()),
+            )
+        });
+
+        let base_ns = results[0].0;
+        let mut table = Table::new(
+            "Emulator overhead (switched-off delay injection, Ivy Bridge)",
+            &["configuration", "time ms", "epochs", "overhead %"],
+        );
+        table.row(&[
+            "no emulation".into(),
+            f(base_ns / 1e6, 3),
+            "0".into(),
+            "0.00".into(),
+        ]);
+        let mut report = ExpReport::default();
+        for ((label, _, _), (ns, epochs, stats)) in configs.iter().zip(results.iter().skip(1)) {
+            table.row(&[
+                (*label).into(),
+                f(ns / 1e6, 3),
+                epochs.to_string(),
+                f(signed_error_pct(*ns, base_ns), 2),
+            ]);
+            if let Some(json) = stats {
+                report.stat(*label, json.clone());
+            }
+        }
+        report.table(table);
+        report
+            .note("(paper: overhead <4% at sane epochs; PAPI ~8x costlier per epoch,")
+            .note(" hard to amortize at small epochs)");
+        report
+    }
 }

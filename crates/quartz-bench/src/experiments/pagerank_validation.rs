@@ -7,15 +7,15 @@
 //! iterations; the simulated testbed uses a generator graph with the
 //! same average degree at 1/500 scale.
 
-use std::path::Path;
-
-use quartz_bench::report::{f, Table};
-use quartz_bench::{error_pct, run_workload, MachineSpec};
 use quartz_platform::{Architecture, NodeId};
 use quartz_workloads::graph::Graph;
 use quartz_workloads::pagerank::{run_pagerank, PageRankConfig, PageRankResult};
 
 use super::emulate_remote_config;
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::grid::Pt;
+use crate::report::{f, Table};
+use crate::{error_pct, run_workload, MachineSpec};
 
 fn bench(arch: Architecture, graph: Graph, emulate: bool) -> PageRankResult {
     let mem = MachineSpec::new(arch).with_seed(77).build();
@@ -36,39 +36,60 @@ fn bench(arch: Architecture, graph: Graph, emulate: bool) -> PageRankResult {
 }
 
 /// Runs the PageRank validation experiment.
-pub fn run(out_dir: &Path, quick: bool) {
-    let (n, m) = if quick {
-        (3_000, 42_000)
-    } else {
-        (9_600, 137_000)
-    };
-    let graph = Graph::random(n, m, 2015);
-    let arch = Architecture::SandyBridge;
+pub struct PagerankValidation;
 
-    let conf2 = bench(arch, graph.clone(), false);
-    let conf1 = bench(arch, graph, true);
+impl Experiment for PagerankValidation {
+    fn name(&self) -> &'static str {
+        "pagerank_validation"
+    }
 
-    let mut table = Table::new(
-        "PageRank validation (Sandy Bridge)",
-        &["config", "time ms", "iterations", "final delta"],
-    );
-    table.row(&[
-        "Conf_2 (remote, no emu)".into(),
-        f(conf2.elapsed.as_ns_f64() / 1e6, 2),
-        conf2.iterations.to_string(),
-        format!("{:.3e}", conf2.final_delta),
-    ]);
-    table.row(&[
-        "Conf_1 (local + Quartz)".into(),
-        f(conf1.elapsed.as_ns_f64() / 1e6, 2),
-        conf1.iterations.to_string(),
-        format!("{:.3e}", conf1.final_delta),
-    ]);
-    print!("{}", table.render());
-    let err = error_pct(conf1.elapsed.as_ns_f64(), conf2.elapsed.as_ns_f64());
-    println!("emulation error: {err:.2}% (paper: 2.9%)");
-    // Both runs compute identical ranks — the emulator does not perturb
-    // results, only timing.
-    assert_eq!(conf1.iterations, conf2.iterations);
-    let _ = table.save_csv(out_dir);
+    fn description(&self) -> &'static str {
+        "single-threaded PageRank Conf_1 vs Conf_2 completion time"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.7"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let (n, m) = if ctx.quick() {
+            (3_000, 42_000)
+        } else {
+            (9_600, 137_000)
+        };
+        let graph = Graph::random(n, m, 2015);
+        let arch = Architecture::SandyBridge;
+
+        let points = vec![
+            Pt::new("conf2", 77, (graph.clone(), false)),
+            Pt::new("conf1", 77, (graph, true)),
+        ];
+        let mut results = ctx.grid(points, |p| bench(arch, p.data.0.clone(), p.data.1));
+        let conf1 = results.pop().expect("conf1");
+        let conf2 = results.pop().expect("conf2");
+
+        let mut table = Table::new(
+            "PageRank validation (Sandy Bridge)",
+            &["config", "time ms", "iterations", "final delta"],
+        );
+        table.row(&[
+            "Conf_2 (remote, no emu)".into(),
+            f(conf2.elapsed.as_ns_f64() / 1e6, 2),
+            conf2.iterations.to_string(),
+            format!("{:.3e}", conf2.final_delta),
+        ]);
+        table.row(&[
+            "Conf_1 (local + Quartz)".into(),
+            f(conf1.elapsed.as_ns_f64() / 1e6, 2),
+            conf1.iterations.to_string(),
+            format!("{:.3e}", conf1.final_delta),
+        ]);
+        let err = error_pct(conf1.elapsed.as_ns_f64(), conf2.elapsed.as_ns_f64());
+        // Both runs compute identical ranks — the emulator does not perturb
+        // results, only timing.
+        assert_eq!(conf1.iterations, conf2.iterations);
+        let mut report = ExpReport::with_table(table);
+        report.note(format!("emulation error: {err:.2}% (paper: 2.9%)"));
+        report
+    }
 }

@@ -1,35 +1,50 @@
 //! Table 1 — performance events per processor family.
 
-use std::path::Path;
-
-use quartz_bench::report::Table;
 use quartz_platform::pmu::events::{standard_event_set, EventKind};
 use quartz_platform::Architecture;
 
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::report::Table;
+
 /// Prints the event set the kernel module programs per family.
-pub fn run(out_dir: &Path) {
-    let mut table = Table::new(
-        "Table 1 - performance events per processor family",
-        &["family", "quantity", "intel event"],
-    );
-    for arch in Architecture::ALL {
-        for ev in standard_event_set(arch) {
-            let label = match ev {
-                EventKind::StallsL2Pending => "L2_stalls",
-                EventKind::L3Hit => "L3_hit",
-                EventKind::L3MissLocal => "L3_miss_local",
-                EventKind::L3MissRemote => "L3_miss_remote",
-                EventKind::L3MissAll => "L3_miss",
-            };
-            table.row(&[
-                arch.to_string(),
-                label.to_string(),
-                ev.intel_name(arch)
-                    .expect("standard set has names")
-                    .to_string(),
-            ]);
-        }
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn name(&self) -> &'static str {
+        "table1"
     }
-    print!("{}", table.render());
-    let _ = table.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "performance events programmed per processor family"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§3.1 Table 1"
+    }
+
+    fn run(&self, _ctx: &ExpCtx) -> ExpReport {
+        let mut table = Table::new(
+            "Table 1 - performance events per processor family",
+            &["family", "quantity", "intel event"],
+        );
+        for arch in Architecture::ALL {
+            for ev in standard_event_set(arch) {
+                let label = match ev {
+                    EventKind::StallsL2Pending => "L2_stalls",
+                    EventKind::L3Hit => "L3_hit",
+                    EventKind::L3MissLocal => "L3_miss_local",
+                    EventKind::L3MissRemote => "L3_miss_remote",
+                    EventKind::L3MissAll => "L3_miss",
+                };
+                table.row(&[
+                    arch.to_string(),
+                    label.to_string(),
+                    ev.intel_name(arch)
+                        .expect("standard set has names")
+                        .to_string(),
+                ]);
+            }
+        }
+        ExpReport::with_table(table)
+    }
 }

@@ -1,64 +1,93 @@
 //! Table 2 — measured local/remote DRAM access latencies (min/avg/max)
 //! on the three testbeds, measured with the MemLat pointer chase.
 
-use std::path::Path;
-use std::sync::Arc;
-
-use quartz_bench::report::{f, Table};
-use quartz_bench::{run_workload, MachineSpec};
 use quartz_platform::{Architecture, NodeId};
-use quartz_workloads::{run_memlat, MemLatConfig};
 
-use super::memlat_config;
+use super::MemLatSpec;
+use crate::exp::{ExpCtx, ExpReport, Experiment};
+use crate::grid::Pt;
+use crate::report::{f, Table};
 
 /// Measures and prints the Table 2 latency bands.
-pub fn run(out_dir: &Path, quick: bool) {
-    let trials = if quick { 3 } else { 10 };
-    let iters = if quick { 5_000 } else { 20_000 };
-    let mut table = Table::new(
-        "Table 2 - measured memory access latencies (ns)",
-        &[
-            "family",
-            "min local",
-            "avg local",
-            "max local",
-            "min remote",
-            "avg remote",
-            "max remote",
-        ],
-    );
-    for arch in Architecture::ALL {
-        let mut bands = Vec::new();
-        for node in [NodeId(0), NodeId(1)] {
-            let mut samples = Vec::new();
-            for t in 0..trials {
-                let mem = MachineSpec::new(arch).with_seed(100 + t).build();
-                let m2 = Arc::clone(&mem);
-                let (r, _) = run_workload(mem, None, move |ctx, _| {
-                    let cfg = MemLatConfig {
-                        seed: 0x7AB1 + t,
-                        ..memlat_config(&m2, 1, iters, node, 0)
-                    };
-                    run_memlat(ctx, &cfg)
-                });
-                samples.push(r.latency_per_iteration_ns());
-            }
-            let min = samples.iter().cloned().fold(f64::MAX, f64::min);
-            let max = samples.iter().cloned().fold(f64::MIN, f64::max);
-            let avg = quartz_bench::mean(&samples);
-            bands.push((min, avg, max));
-        }
-        table.row(&[
-            arch.to_string(),
-            f(bands[0].0, 1),
-            f(bands[0].1, 1),
-            f(bands[0].2, 1),
-            f(bands[1].0, 1),
-            f(bands[1].1, 1),
-            f(bands[1].2, 1),
-        ]);
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn name(&self) -> &'static str {
+        "table2"
     }
-    print!("{}", table.render());
-    println!("(paper: SNB 97/97/98 & 158/163/165; IVB 87/87/87 & 172/176/185; HSW 120/120/120 & 174/175/175)");
-    let _ = table.save_csv(out_dir);
+
+    fn description(&self) -> &'static str {
+        "local/remote DRAM latency bands on the three testbeds"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4.1 Table 2"
+    }
+
+    fn run(&self, ctx: &ExpCtx) -> ExpReport {
+        let trials = if ctx.quick() { 3 } else { 10 };
+        let iters = if ctx.quick() { 5_000 } else { 20_000 };
+
+        // Sweep: arch × node × trial, in declaration order.
+        let mut points = Vec::new();
+        for arch in Architecture::ALL {
+            for node in [NodeId(0), NodeId(1)] {
+                for t in 0..trials {
+                    let seed = 100 + t;
+                    points.push(Pt::new(
+                        format!("{arch}/node{}/t{t}", node.0),
+                        seed,
+                        MemLatSpec {
+                            arch,
+                            chains: 1,
+                            iterations: iters,
+                            node,
+                            machine_seed: seed,
+                            workload_seed: 0x7AB1 + t,
+                            quartz: None,
+                            no_jitter: false,
+                        },
+                    ));
+                }
+            }
+        }
+        let samples = ctx.grid(points, |p| p.data.eval().latency_per_iteration_ns());
+
+        let mut table = Table::new(
+            "Table 2 - measured memory access latencies (ns)",
+            &[
+                "family",
+                "min local",
+                "avg local",
+                "max local",
+                "min remote",
+                "avg remote",
+                "max remote",
+            ],
+        );
+        let t = trials as usize;
+        for (a, arch) in Architecture::ALL.into_iter().enumerate() {
+            let mut bands = Vec::new();
+            for node in 0..2usize {
+                let group = &samples[(a * 2 + node) * t..(a * 2 + node + 1) * t];
+                let min = group.iter().cloned().fold(f64::MAX, f64::min);
+                let max = group.iter().cloned().fold(f64::MIN, f64::max);
+                bands.push((min, crate::mean(group), max));
+            }
+            table.row(&[
+                arch.to_string(),
+                f(bands[0].0, 1),
+                f(bands[0].1, 1),
+                f(bands[0].2, 1),
+                f(bands[1].0, 1),
+                f(bands[1].1, 1),
+                f(bands[1].2, 1),
+            ]);
+        }
+        let mut report = ExpReport::with_table(table);
+        report.note(
+            "(paper: SNB 97/97/98 & 158/163/165; IVB 87/87/87 & 172/176/185; HSW 120/120/120 & 174/175/175)",
+        );
+        report
+    }
 }

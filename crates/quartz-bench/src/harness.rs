@@ -1,0 +1,190 @@
+//! The run driver: registry → grid runner → reporting.
+//!
+//! [`run_experiments`] executes a resolved experiment selection
+//! sequentially (each experiment parallelizes its own sweep through
+//! [`crate::exp::ExpCtx::grid`]), renders every report to the given
+//! writer, saves CSV plus per-experiment JSON rows under the output
+//! directory, and finishes with `manifest.json` and a slowest-first
+//! wall-time summary.
+//!
+//! Output determinism contract: everything written to the console,
+//! the CSVs, and the `<name>.json` row files depends only on seeds and
+//! experiment parameters — never on `--jobs` or the host — except for
+//! experiments whose [`Experiment::deterministic`] is `false` (host
+//! timing studies) and the wall-time figures, which are confined to the
+//! manifest and the summary table.
+
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::exp::{ExpCtx, Experiment};
+use crate::json::Json;
+use crate::manifest::{ExperimentRecord, Manifest};
+
+/// How a `repro` run should execute.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Use scaled-down quick parameters.
+    pub quick: bool,
+    /// Directory for CSV, JSON rows, and the manifest.
+    pub out_dir: PathBuf,
+    /// Worker budget per experiment grid (defaults to the host's
+    /// available parallelism).
+    pub jobs: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            quick: false,
+            out_dir: PathBuf::from("results"),
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Runs `selection` under `opts`, streaming human output to `out`.
+/// Returns the manifest (already saved to `out_dir/manifest.json`).
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer or the output directory.
+pub fn run_experiments(
+    selection: &[&dyn Experiment],
+    opts: &RunOptions,
+    out: &mut dyn Write,
+) -> io::Result<Manifest> {
+    let mut manifest = Manifest::new(opts.quick, opts.jobs);
+    for &exp in selection {
+        let mut record = ExperimentRecord::begin(exp);
+        writeln!(out, "=== {} — {} ===", exp.name(), exp.paper_ref())?;
+        let ctx = ExpCtx::new(opts.quick, opts.jobs);
+        let t0 = Instant::now();
+        let report = exp.run(&ctx);
+        record.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        record.points = ctx.take_timings();
+
+        for table in &report.tables {
+            write!(out, "{}", table.render())?;
+            table.save_csv(&opts.out_dir)?;
+            record.tables.push(table.slug());
+        }
+        for note in &report.notes {
+            writeln!(out, "{note}")?;
+        }
+
+        // Per-experiment JSON rows: the machine-readable twin of the
+        // console tables plus exported emulator statistics. No wall
+        // times and no job count — byte-identical across runs.
+        let mut row = Json::obj(vec![
+            ("experiment", Json::str(exp.name())),
+            ("paper_ref", Json::str(exp.paper_ref())),
+            ("description", Json::str(exp.description())),
+            ("quick", Json::Bool(opts.quick)),
+            ("deterministic", Json::Bool(exp.deterministic())),
+            (
+                "tables",
+                Json::Arr(report.tables.iter().map(|t| t.to_json()).collect()),
+            ),
+            (
+                "notes",
+                Json::Arr(report.notes.iter().map(|n| Json::str(n.clone())).collect()),
+            ),
+        ]);
+        if !report.stats.is_empty() {
+            row.push(
+                "quartz_stats",
+                Json::Obj(
+                    report
+                        .stats
+                        .iter()
+                        .map(|(label, json)| (label.clone(), Json::Raw(json.clone())))
+                        .collect(),
+                ),
+            );
+        }
+        std::fs::create_dir_all(&opts.out_dir)?;
+        std::fs::write(
+            opts.out_dir.join(format!("{}.json", exp.name())),
+            row.render() + "\n",
+        )?;
+
+        writeln!(out, "[{} took {:.1}s]\n", exp.name(), record.wall_ms / 1e3)?;
+        manifest.experiments.push(record);
+    }
+
+    if selection.len() > 1 {
+        write!(out, "{}", manifest.summary_table().render())?;
+    }
+    let path = manifest.save(&opts.out_dir)?;
+    writeln!(out, "manifest: {}", path.display())?;
+    Ok(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::ExpReport;
+    use crate::report::Table;
+
+    struct Demo;
+    impl Experiment for Demo {
+        fn name(&self) -> &'static str {
+            "demo"
+        }
+        fn description(&self) -> &'static str {
+            "a test-only experiment"
+        }
+        fn paper_ref(&self) -> &'static str {
+            "§0"
+        }
+        fn run(&self, ctx: &ExpCtx) -> ExpReport {
+            use crate::grid::Pt;
+            let pts = vec![Pt::new("p0", 1, 2u64), Pt::new("p1", 2, 3u64)];
+            let vals = ctx.grid(pts, |p| p.data * p.seed);
+            let mut t = Table::new("Demo harness table", &["v"]);
+            for v in vals {
+                t.row(&[v.to_string()]);
+            }
+            let mut r = ExpReport::with_table(t);
+            r.note("a note").stat("run", "{\"k\":1}".into());
+            r
+        }
+    }
+
+    #[test]
+    fn harness_renders_saves_and_records() {
+        let dir = std::env::temp_dir().join("quartz_bench_harness_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            quick: true,
+            out_dir: dir.clone(),
+            jobs: 2,
+        };
+        let mut buf = Vec::new();
+        let m = run_experiments(&[&Demo], &opts, &mut buf).unwrap();
+        let console = String::from_utf8(buf).unwrap();
+        assert!(console.contains("=== demo — §0 ==="));
+        assert!(console.contains("Demo harness table"));
+        assert!(console.contains("a note"));
+        assert!(console.contains("manifest:"));
+        // Single experiment: no summary table.
+        assert!(!console.contains("Run summary"));
+
+        assert_eq!(m.experiments.len(), 1);
+        assert_eq!(m.experiments[0].points.len(), 2);
+        assert_eq!(m.experiments[0].seeds(), vec![1, 2]);
+        assert_eq!(m.experiments[0].tables, vec!["demo_harness_table"]);
+
+        let rows = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        assert!(rows.contains("\"experiment\":\"demo\""));
+        assert!(rows.contains("\"rows\":[{\"v\":\"2\"},{\"v\":\"6\"}]"));
+        assert!(rows.contains("\"quartz_stats\":{\"run\":{\"k\":1}}"));
+        assert!(!rows.contains("wall_ms"), "row files carry no wall times");
+        assert!(dir.join("demo_harness_table.csv").exists());
+        assert!(dir.join("manifest.json").exists());
+    }
+}

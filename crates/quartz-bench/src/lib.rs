@@ -9,6 +9,16 @@
 //!
 //! [`run_workload`] wraps the engine plumbing so experiments read as
 //! plain functions from configuration to measurement.
+//!
+//! The harness proper is layered on top (see DESIGN.md §10):
+//!
+//! * [`exp`] — the [`exp::Experiment`] trait and execution context;
+//! * [`registry`] — the experiment inventory behind `repro --list`;
+//! * [`grid`] — the deterministic parallel grid runner (`--jobs`);
+//! * [`report`] / [`json`] / [`manifest`] — console tables, CSV,
+//!   per-experiment JSON rows, and `results/manifest.json`;
+//! * [`harness`] — the driver gluing the layers together;
+//! * [`experiments`] — the reproduced tables/figures/studies.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,6 +31,13 @@ use quartz_memsim::{MemSimConfig, MemorySystem};
 use quartz_platform::{Architecture, Platform, PlatformConfig};
 use quartz_threadsim::{Engine, ThreadCtx};
 
+pub mod exp;
+pub mod experiments;
+pub mod grid;
+pub mod harness;
+pub mod json;
+pub mod manifest;
+pub mod registry;
 pub mod report;
 
 /// How a machine should be built for an experiment.
@@ -56,6 +73,14 @@ impl MachineSpec {
     /// Uses exact counters.
     pub fn with_perfect_counters(mut self) -> Self {
         self.perfect_counters = true;
+        self
+    }
+
+    /// Disables DRAM latency jitter — every access sees the band's
+    /// average latency, making A/B comparisons (ablations, golden
+    /// determinism tests) exact instead of statistical.
+    pub fn with_no_jitter(mut self) -> Self {
+        self.no_jitter = true;
         self
     }
 
@@ -155,6 +180,15 @@ mod tests {
         assert_eq!(error_pct(110.0, 100.0), 10.0);
         assert_eq!(signed_error_pct(90.0, 100.0), -10.0);
         assert_eq!(error_pct(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn no_jitter_builder_sets_flag() {
+        let spec = MachineSpec::new(Architecture::Haswell).with_no_jitter();
+        assert!(spec.no_jitter);
+        assert!(!MachineSpec::new(Architecture::Haswell).no_jitter);
+        // Builds a working machine.
+        let _ = spec.build();
     }
 
     #[test]

@@ -2,107 +2,99 @@
 //! evaluation section (§4) on the simulated testbed.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] <experiment>...
+//! repro [--quick] [--out DIR] [--jobs N] [--filter SUBSTR] <experiment>...
 //! repro all
+//! repro --list
 //! ```
 //!
-//! Experiments: table1 table2 fig8 fig11 fig12 fig13 fig14 fig15
-//! pagerank_validation fig16 overhead ablation_model ablation_pcommit
-//! ablation_dvfs ablation_epoch graph500 parallel_pagerank
-//! loaded_latency contention
+//! The experiment set lives in `quartz_bench::registry`; `--list` prints
+//! it. Selection, the parallel grid runner, and result/manifest writing
+//! all live in the library so they stay testable — this binary is only
+//! argument parsing.
 
 use std::path::PathBuf;
-use std::time::Instant;
 
-mod experiments;
+use quartz_bench::harness::{run_experiments, RunOptions};
+use quartz_bench::registry;
 
-struct Options {
-    quick: bool,
-    out_dir: PathBuf,
+fn usage() {
+    println!(
+        "usage: repro [--quick] [--out DIR] [--jobs N] [--filter SUBSTR] <experiment>... | all"
+    );
+    println!("       repro --list");
+    println!(
+        "experiments: {}",
+        registry::all()
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 }
 
-const ALL: &[&str] = &[
-    "table1",
-    "table2",
-    "fig8",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "fig15",
-    "pagerank_validation",
-    "fig16",
-    "overhead",
-    "ablation_model",
-    "ablation_pcommit",
-    "ablation_dvfs",
-    "ablation_epoch",
-    "graph500",
-    "parallel_pagerank",
-    "loaded_latency",
-    "contention",
-];
-
 fn main() {
-    let mut quick = false;
-    let mut out_dir = PathBuf::from("results");
-    let mut chosen: Vec<String> = Vec::new();
+    let mut opts = RunOptions::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut filter: Option<String> = None;
+    let mut list = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
+            "--quick" => opts.quick = true,
+            "--list" => list = true,
             "--out" => {
-                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                opts.out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a directory");
                     std::process::exit(2);
                 }));
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--jobs needs a number");
+                    std::process::exit(2);
+                });
+                opts.jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs needs a number, got '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--filter" => {
+                filter = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--filter needs a substring");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--quick] [--out DIR] <experiment>... | all");
-                println!("experiments: {}", ALL.join(" "));
+                usage();
                 return;
             }
-            "all" => chosen.extend(ALL.iter().map(|s| s.to_string())),
-            other if ALL.contains(&other) => chosen.push(other.to_string()),
-            other => {
-                eprintln!("unknown experiment '{other}'; known: {}", ALL.join(" "));
-                std::process::exit(2);
-            }
+            other => names.push(other.to_string()),
         }
     }
-    if chosen.is_empty() {
-        chosen.extend(ALL.iter().map(|s| s.to_string()));
-    }
-    let opts = Options { quick, out_dir };
-    for name in chosen {
-        let t0 = Instant::now();
-        println!("=== {name} ===");
-        match name.as_str() {
-            "table1" => experiments::table1::run(&opts.out_dir),
-            "table2" => experiments::table2::run(&opts.out_dir, opts.quick),
-            "fig8" => experiments::fig8::run(&opts.out_dir, opts.quick),
-            "fig11" => experiments::fig11::run(&opts.out_dir, opts.quick),
-            "fig12" => experiments::fig12::run(&opts.out_dir, opts.quick),
-            "fig13" => experiments::fig13::run(&opts.out_dir, opts.quick),
-            "fig14" => experiments::fig14::run(&opts.out_dir, opts.quick),
-            "fig15" => experiments::fig15::run(&opts.out_dir, opts.quick),
-            "pagerank_validation" => {
-                experiments::pagerank_validation::run(&opts.out_dir, opts.quick)
-            }
-            "fig16" => experiments::fig16::run(&opts.out_dir, opts.quick),
-            "overhead" => experiments::overhead::run(&opts.out_dir, opts.quick),
-            "ablation_model" => experiments::ablations::model(&opts.out_dir, opts.quick),
-            "ablation_pcommit" => experiments::ablations::pcommit(&opts.out_dir, opts.quick),
-            "ablation_dvfs" => experiments::ablations::dvfs(&opts.out_dir, opts.quick),
-            "ablation_epoch" => experiments::ablations::epoch_sweep(&opts.out_dir, opts.quick),
-            "graph500" => experiments::extensions::graph500(&opts.out_dir, opts.quick),
-            "parallel_pagerank" => {
-                experiments::extensions::parallel_pagerank(&opts.out_dir, opts.quick)
-            }
-            "loaded_latency" => experiments::extensions::loaded_latency(&opts.out_dir, opts.quick),
-            "contention" => experiments::contention::run(&opts.out_dir, opts.quick),
-            _ => unreachable!("validated above"),
+    if list {
+        for e in registry::all() {
+            println!("{:<22} {:<16} {}", e.name(), e.paper_ref(), e.description());
         }
-        println!("[{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+        return;
+    }
+    let selection = match registry::select(&names, filter.as_deref()) {
+        Ok(sel) => sel,
+        Err(err) => {
+            eprintln!("{err}");
+            eprintln!(
+                "known: {}",
+                registry::all()
+                    .iter()
+                    .map(|e| e.name())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    if let Err(err) = run_experiments(&selection, &opts, &mut stdout.lock()) {
+        eprintln!("repro: {err}");
+        std::process::exit(1);
     }
 }

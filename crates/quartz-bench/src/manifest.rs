@@ -1,0 +1,257 @@
+//! Structured run provenance: `results/manifest.json`.
+//!
+//! Every `repro` invocation records what ran (experiment names, paper
+//! references, seeds per grid point), how (quick flag, `--jobs`, host
+//! parallelism), and how long it took (wall-time per point and per
+//! experiment) — the repo's machine-readable perf trajectory. Wall
+//! times live **only** here and on the console; the per-experiment row
+//! files stay byte-identical across hosts and job counts.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::exp::Experiment;
+use crate::grid::PointTiming;
+use crate::json::Json;
+use crate::report::{f, Table};
+
+/// Provenance of one executed experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentRecord {
+    /// Registered name.
+    pub name: String,
+    /// Paper reference (`§4.4 Fig. 11` style).
+    pub paper_ref: String,
+    /// Whether the experiment's outputs are seed-deterministic (see
+    /// [`Experiment::deterministic`]).
+    pub deterministic: bool,
+    /// Wall milliseconds for the whole experiment.
+    pub wall_ms: f64,
+    /// Per-grid-point labels, seeds, and wall times.
+    pub points: Vec<PointTiming>,
+    /// CSV/JSON-row base names (slugs) the experiment saved.
+    pub tables: Vec<String>,
+}
+
+impl ExperimentRecord {
+    /// Starts a record for `exp` (wall time and points filled later).
+    pub fn begin(exp: &dyn Experiment) -> Self {
+        ExperimentRecord {
+            name: exp.name().to_string(),
+            paper_ref: exp.paper_ref().to_string(),
+            deterministic: exp.deterministic(),
+            wall_ms: 0.0,
+            points: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// The distinct seeds used by this experiment's grid points, in
+    /// first-use order.
+    pub fn seeds(&self) -> Vec<u64> {
+        let mut seeds = Vec::new();
+        for p in &self.points {
+            if !seeds.contains(&p.seed) {
+                seeds.push(p.seed);
+            }
+        }
+        seeds
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name.clone())),
+            ("paper_ref", Json::str(self.paper_ref.clone())),
+            ("deterministic", Json::Bool(self.deterministic)),
+            ("wall_ms", Json::Num(round3(self.wall_ms))),
+            (
+                "seeds",
+                Json::Arr(self.seeds().iter().map(|&s| Json::Int(s as i64)).collect()),
+            ),
+            (
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("label", Json::str(p.label.clone())),
+                                ("seed", Json::Int(p.seed as i64)),
+                                ("wall_ms", Json::Num(round3(p.wall_ms))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "tables",
+                Json::Arr(self.tables.iter().map(|t| Json::str(t.clone())).collect()),
+            ),
+        ])
+    }
+}
+
+/// The structured record of one `repro` run.
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// Whether `--quick` was in effect.
+    pub quick: bool,
+    /// The `--jobs` worker budget used.
+    pub jobs: usize,
+    /// `std::thread::available_parallelism` on the host.
+    pub host_parallelism: usize,
+    /// Executed experiments, in run order.
+    pub experiments: Vec<ExperimentRecord>,
+}
+
+impl Manifest {
+    /// Creates an empty manifest for a run configuration.
+    pub fn new(quick: bool, jobs: usize) -> Self {
+        Manifest {
+            quick,
+            jobs,
+            host_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Total wall milliseconds across all experiments.
+    pub fn total_wall_ms(&self) -> f64 {
+        self.experiments.iter().map(|e| e.wall_ms).sum()
+    }
+
+    /// The manifest as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Int(1)),
+            ("quick", Json::Bool(self.quick)),
+            ("jobs", Json::Int(self.jobs as i64)),
+            ("host_parallelism", Json::Int(self.host_parallelism as i64)),
+            ("total_wall_ms", Json::Num(round3(self.total_wall_ms()))),
+            (
+                "experiments",
+                Json::Arr(self.experiments.iter().map(|e| e.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Writes `manifest.json` under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join("manifest.json");
+        fs::write(&path, self.to_json().render() + "\n")?;
+        Ok(path)
+    }
+
+    /// A console summary table, slowest experiments first — the
+    /// baseline future perf PRs are measured against.
+    pub fn summary_table(&self) -> Table {
+        let mut by_time: Vec<&ExperimentRecord> = self.experiments.iter().collect();
+        by_time.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
+        let mut t = Table::new(
+            "Run summary (slowest first)",
+            &["experiment", "wall s", "points", "share %"],
+        );
+        let total = self.total_wall_ms().max(f64::MIN_POSITIVE);
+        for e in by_time {
+            t.row(&[
+                e.name.clone(),
+                f(e.wall_ms / 1e3, 2),
+                e.points.len().to_string(),
+                f(e.wall_ms / total * 100.0, 1),
+            ]);
+        }
+        t
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, wall_ms: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            name: name.into(),
+            paper_ref: "§4".into(),
+            deterministic: true,
+            wall_ms,
+            points: vec![
+                PointTiming {
+                    label: "a".into(),
+                    seed: 7,
+                    wall_ms: wall_ms / 2.0,
+                },
+                PointTiming {
+                    label: "b".into(),
+                    seed: 7,
+                    wall_ms: wall_ms / 2.0,
+                },
+            ],
+            tables: vec!["slug".into()],
+        }
+    }
+
+    #[test]
+    fn seeds_dedupe_in_order() {
+        let mut r = record("x", 2.0);
+        r.points.push(PointTiming {
+            label: "c".into(),
+            seed: 3,
+            wall_ms: 1.0,
+        });
+        assert_eq!(r.seeds(), vec![7, 3]);
+    }
+
+    #[test]
+    fn manifest_json_has_required_fields() {
+        let mut m = Manifest::new(true, 4);
+        m.experiments.push(record("fig8", 10.0));
+        let j = m.to_json().render();
+        for key in [
+            "\"schema\":1",
+            "\"quick\":true",
+            "\"jobs\":4",
+            "\"host_parallelism\":",
+            "\"total_wall_ms\":10",
+            "\"name\":\"fig8\"",
+            "\"seeds\":[7]",
+            "\"points\":[{\"label\":\"a\"",
+            "\"tables\":[\"slug\"]",
+            "\"deterministic\":true",
+        ] {
+            assert!(j.contains(key), "manifest missing {key}: {j}");
+        }
+    }
+
+    #[test]
+    fn save_writes_parseable_nonempty_file() {
+        let dir = std::env::temp_dir().join("quartz_bench_manifest_test");
+        let mut m = Manifest::new(false, 1);
+        m.experiments.push(record("t", 1.0));
+        let path = m.save(&dir).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+        assert!(body.contains("\"experiments\":[{"));
+    }
+
+    #[test]
+    fn summary_sorts_slowest_first() {
+        let mut m = Manifest::new(false, 1);
+        m.experiments.push(record("fast", 1.0));
+        m.experiments.push(record("slow", 9.0));
+        let t = m.summary_table();
+        assert_eq!(t.rows()[0][0], "slow");
+        assert_eq!(t.rows()[1][0], "fast");
+    }
+}

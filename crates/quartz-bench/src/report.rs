@@ -1,9 +1,12 @@
-//! Plain-text tables and CSV output for the experiment results.
+//! Plain-text tables, CSV, and JSON-row output for the experiment
+//! results.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::json::Json;
 
 /// A simple column-aligned results table that can also be saved as CSV.
 #[derive(Clone, Debug, Default)]
@@ -44,6 +47,57 @@ impl Table {
         self.rows.len()
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column names.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The filesystem slug derived from the title (CSV/JSON base name).
+    pub fn slug(&self) -> String {
+        self.title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect()
+    }
+
+    /// The table as a JSON object: `{"title", "header", "rows"}` where
+    /// each row is an object keyed by column name — the machine-readable
+    /// twin of the CSV, embedded in the per-experiment row file.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::Obj(
+                    self.header
+                        .iter()
+                        .zip(row)
+                        .map(|(h, c)| (h.clone(), Json::str(c.clone())))
+                        .collect(),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            ("title", Json::str(self.title.clone())),
+            (
+                "header",
+                Json::Arr(self.header.iter().map(|h| Json::str(h.clone())).collect()),
+            ),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+
     /// Whether the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
@@ -82,13 +136,7 @@ impl Table {
     /// Propagates I/O failures.
     pub fn save_csv(&self, dir: &Path) -> io::Result<PathBuf> {
         fs::create_dir_all(dir)?;
-        let slug: String = self
-            .title
-            .to_lowercase()
-            .chars()
-            .map(|c| if c.is_alphanumeric() { c } else { '_' })
-            .collect();
-        let path = dir.join(format!("{slug}.csv"));
+        let path = dir.join(format!("{}.csv", self.slug()));
         let mut csv = String::new();
         let esc = |s: &str| -> String {
             if s.contains(',') || s.contains('"') {
@@ -159,5 +207,25 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn accessors_and_slug() {
+        let mut t = Table::new("Fig 9, demo", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        assert_eq!(t.title(), "Fig 9, demo");
+        assert_eq!(t.header(), ["a", "b"]);
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.slug(), "fig_9__demo");
+    }
+
+    #[test]
+    fn json_rows_keyed_by_header() {
+        let mut t = Table::new("J", &["x", "y"]);
+        t.row(&["1".into(), "two".into()]);
+        assert_eq!(
+            t.to_json().render(),
+            "{\"title\":\"J\",\"header\":[\"x\",\"y\"],\"rows\":[{\"x\":\"1\",\"y\":\"two\"}]}"
+        );
     }
 }

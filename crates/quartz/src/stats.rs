@@ -72,6 +72,41 @@ impl ThreadStats {
             + self.epochs_barrier
             + self.epochs_exit
     }
+
+    /// Renders the per-thread accounting as a JSON object.
+    ///
+    /// The encoding is hand-rolled (the workspace vendors no serde):
+    /// every field is a JSON number; virtual durations are exported as
+    /// exact integer picoseconds (`*_ps` keys). The output is
+    /// deterministic — keys in declaration order, no whitespace
+    /// variation — so structured runs can be byte-compared across hosts
+    /// and job counts.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"epochs\":{},\"epochs_monitor\":{},\"epochs_lock\":{},",
+                "\"epochs_unlock\":{},\"epochs_notify\":{},\"epochs_barrier\":{},",
+                "\"epochs_exit\":{},\"skipped_min_epoch\":{},\"injected_ps\":{},",
+                "\"overhead_ps\":{},\"carried_overhead_ps\":{},\"pflush_delay_ps\":{},",
+                "\"pflushes\":{},\"lock_wait_ns\":{},\"lock_acquisitions\":{}}}"
+            ),
+            self.epochs(),
+            self.epochs_monitor,
+            self.epochs_lock,
+            self.epochs_unlock,
+            self.epochs_notify,
+            self.epochs_barrier,
+            self.epochs_exit,
+            self.skipped_min_epoch,
+            self.injected.as_ps(),
+            self.overhead.as_ps(),
+            self.carried_overhead.as_ps(),
+            self.pflush_delay.as_ps(),
+            self.pflushes,
+            self.lock_wait_ns,
+            self.lock_acquisitions,
+        )
+    }
 }
 
 /// One closed epoch, as recorded when tracing is enabled
@@ -122,6 +157,40 @@ impl QuartzStats {
             return 0.0;
         }
         self.totals.overhead.as_ns_f64() / injected
+    }
+
+    /// Renders the aggregated statistics as a JSON object (see
+    /// [`ThreadStats::to_json`] for the encoding rules). `totals` nests
+    /// the per-thread aggregate; `per_thread`, when provided, nests one
+    /// object per registered thread in registration order — pass the
+    /// result of [`crate::Quartz::per_thread_stats`] to export the full
+    /// breakdown, or an empty slice to omit it.
+    pub fn to_json_with(&self, per_thread: &[ThreadStats]) -> String {
+        let mut out = format!(
+            "{{\"threads\":{},\"init_time_ps\":{},\"overhead_fully_amortized\":{},\"totals\":{}",
+            self.threads,
+            self.init_time.as_ps(),
+            self.overhead_fully_amortized(),
+            self.totals.to_json(),
+        );
+        if !per_thread.is_empty() {
+            out.push_str(",\"per_thread\":[");
+            for (i, t) in per_thread.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&t.to_json());
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the aggregated statistics as a JSON object without the
+    /// per-thread breakdown.
+    pub fn to_json(&self) -> String {
+        self.to_json_with(&[])
     }
 }
 
@@ -203,6 +272,45 @@ mod tests {
         s.totals.injected = Duration::from_ns(1000);
         s.totals.overhead = Duration::from_ns(40);
         assert!((s.overhead_ratio() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thread_stats_json_exports_every_field() {
+        let t = ThreadStats {
+            epochs_monitor: 1,
+            epochs_lock: 2,
+            injected: Duration::from_ns(3),
+            pflushes: 4,
+            lock_acquisitions: 5,
+            ..ThreadStats::default()
+        };
+        let j = t.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"epochs\":3"));
+        assert!(j.contains("\"epochs_monitor\":1"));
+        assert!(j.contains("\"injected_ps\":3000"));
+        assert!(j.contains("\"pflushes\":4"));
+        assert!(j.contains("\"lock_acquisitions\":5"));
+        // Deterministic encoding: same value, same bytes.
+        assert_eq!(j, t.clone().to_json());
+    }
+
+    #[test]
+    fn quartz_stats_json_nests_totals_and_threads() {
+        let mut s = QuartzStats {
+            threads: 2,
+            ..QuartzStats::default()
+        };
+        s.totals.epochs_exit = 2;
+        let flat = s.to_json();
+        assert!(flat.contains("\"threads\":2"));
+        assert!(flat.contains("\"totals\":{"));
+        assert!(flat.contains("\"overhead_fully_amortized\":true"));
+        assert!(!flat.contains("per_thread"));
+        let per = vec![ThreadStats::default(), ThreadStats::default()];
+        let nested = s.to_json_with(&per);
+        assert!(nested.contains("\"per_thread\":[{"));
+        assert_eq!(nested.matches("\"lock_wait_ns\"").count(), 3);
     }
 
     #[test]

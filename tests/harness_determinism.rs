@@ -1,0 +1,115 @@
+//! Golden tests for the repro harness determinism contract and the CLI.
+//!
+//! * a quick run of a representative grid experiment must produce
+//!   byte-identical console output, CSVs, and JSON row files at
+//!   `--jobs 1` and `--jobs 8`;
+//! * `repro --list` must cover the whole registry;
+//! * unknown experiment names must exit with status 2.
+
+use std::path::Path;
+use std::process::Command;
+
+use quartz_bench::harness::{run_experiments, RunOptions};
+use quartz_bench::registry;
+
+/// Runs one quick experiment at the given job count, returning the
+/// console output (wall-time and manifest lines stripped — those are the
+/// only host-dependent parts) plus every result file as (name, bytes).
+fn golden_run(name: &str, jobs: usize, dir: &Path) -> (String, Vec<(String, Vec<u8>)>) {
+    let _ = std::fs::remove_dir_all(dir);
+    let exp = registry::find(name).expect("registered");
+    let opts = RunOptions {
+        quick: true,
+        out_dir: dir.to_path_buf(),
+        jobs,
+    };
+    let mut buf = Vec::new();
+    run_experiments(&[exp], &opts, &mut buf).unwrap();
+    let console: String = String::from_utf8(buf)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.starts_with('[') && !l.starts_with("manifest:"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().into_string().unwrap(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        // manifest.json records wall times and the job count by design.
+        .filter(|(name, _)| name != "manifest.json")
+        .collect();
+    files.sort();
+    (console, files)
+}
+
+#[test]
+fn jobs_1_and_jobs_8_are_byte_identical() {
+    let base = std::env::temp_dir().join("quartz_bench_golden");
+    let (console1, files1) = golden_run("ablation_pcommit", 1, &base.join("j1"));
+    let (console8, files8) = golden_run("ablation_pcommit", 8, &base.join("j8"));
+    assert_eq!(
+        console1, console8,
+        "console output must not depend on --jobs"
+    );
+    assert!(!files1.is_empty(), "expected CSV + JSON row outputs");
+    assert_eq!(files1.len(), files8.len());
+    for ((n1, b1), (n8, b8)) in files1.iter().zip(&files8) {
+        assert_eq!(n1, n8);
+        assert_eq!(b1, b8, "{n1} differs between --jobs 1 and --jobs 8");
+    }
+}
+
+#[test]
+fn repeated_serial_runs_are_byte_identical() {
+    let base = std::env::temp_dir().join("quartz_bench_golden_repeat");
+    let (c1, f1) = golden_run("ablation_pcommit", 1, &base.join("a"));
+    let (c2, f2) = golden_run("ablation_pcommit", 1, &base.join("b"));
+    assert_eq!(c1, c2);
+    assert_eq!(f1, f2);
+}
+
+#[test]
+fn cli_list_covers_the_whole_registry() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--list")
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for exp in registry::all() {
+        assert!(
+            stdout
+                .lines()
+                .any(|l| l.split_whitespace().next() == Some(exp.name())),
+            "--list is missing {}",
+            exp.name()
+        );
+    }
+    assert_eq!(stdout.lines().count(), registry::all().len());
+}
+
+#[test]
+fn cli_unknown_experiment_exits_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("fig99")
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("fig99"));
+}
+
+#[test]
+fn cli_bad_jobs_value_exits_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--jobs", "many", "table1"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+}
