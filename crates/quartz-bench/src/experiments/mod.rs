@@ -10,6 +10,7 @@
 
 pub mod ablations;
 pub mod contention;
+pub mod crash;
 pub mod extensions;
 pub mod fig11;
 pub mod fig12;

@@ -9,8 +9,8 @@
 
 use crate::exp::Experiment;
 use crate::experiments::{
-    ablations, contention, extensions, fig11, fig12, fig13, fig14, fig15, fig16, fig8, overhead,
-    pagerank_validation, table1, table2,
+    ablations, contention, crash, extensions, fig11, fig12, fig13, fig14, fig15, fig16, fig8,
+    overhead, pagerank_validation, table1, table2,
 };
 
 /// Every registered experiment, in canonical `repro all` order.
@@ -34,6 +34,8 @@ static REGISTRY: &[&dyn Experiment] = &[
     &extensions::ParallelPagerank,
     &extensions::LoadedLatency,
     &contention::Contention,
+    &crash::CrashSweep,
+    &crash::CrashCost,
 ];
 
 /// All registered experiments in canonical order.
@@ -150,6 +152,8 @@ mod tests {
             "parallel_pagerank",
             "loaded_latency",
             "contention",
+            "crash_sweep",
+            "crash_cost",
         ];
         let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
         assert_eq!(names, expected);
@@ -230,11 +234,15 @@ mod tests {
     }
 
     #[test]
-    fn only_contention_is_host_timed() {
+    fn only_host_timed_experiments_opt_out_of_determinism() {
+        // `contention` and `crash_cost` measure wall-clock `Instant`
+        // spans around real host work; everything else (including
+        // `crash_sweep`) must uphold the byte-identical contract.
+        let host_timed = ["contention", "crash_cost"];
         for e in all() {
             assert_eq!(
                 e.deterministic(),
-                e.name() != "contention",
+                !host_timed.contains(&e.name()),
                 "{} determinism flag",
                 e.name()
             );

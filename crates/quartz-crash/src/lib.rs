@@ -1,0 +1,39 @@
+//! Crash-consistency checking for the Quartz reproduction.
+//!
+//! The paper's emulator models the *performance* of the
+//! `clflush`/`clflushopt`/`pcommit` persistence path (§3.1, §6); this
+//! crate adds its *semantics*: which 64 B lines would actually survive
+//! a power failure at any instant, and whether a recoverable data
+//! structure really recovers from exactly that surviving state.
+//!
+//! Three layers:
+//!
+//! 1. [`PersistTracker`] — a [`quartz_memsim::persist::PersistObserver`]
+//!    implementation recording every store, write-back, and emulator
+//!    persistence primitive into a per-line state machine
+//!    (`DirtyInCache → InWPQ → Durable`) plus a word-granular shadow
+//!    memory, yielding an immutable [`PersistTrace`];
+//! 2. [`CrashPlan`] — the deterministic crash injector: one tracked
+//!    execution, then a crash-point set built from the trace's own
+//!    labelled candidates (flush edges, `pflush_opt`…`pcommit`
+//!    windows, lock hand-offs) plus a seeded random grid. Same seed ⇒
+//!    byte-identical durable images at every point;
+//! 3. [`CrashRun::check`] — the recovery checker: materializes the
+//!    durable image at each crash point, runs the caller's recovery +
+//!    invariant verifier against it, and cross-checks the
+//!    torn/reordered-line oracle (program claims of persistence the
+//!    image contradicts).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod plan;
+pub mod pmem;
+pub mod tracker;
+
+pub use plan::{CrashOutcome, CrashPlan, CrashRun};
+pub use pmem::Pmem;
+pub use tracker::{
+    CrashCandidate, DurableImage, LineState, PersistCounters, PersistTrace, PersistTracker,
+    ViolatedClaim,
+};

@@ -1,0 +1,82 @@
+//! A word-granular persistent-memory façade over the tracker.
+//!
+//! The simulator models timing only — no data bytes. [`Pmem`] pairs
+//! every simulated access with a shadow update in the
+//! [`PersistTracker`], giving recoverable workloads real values to
+//! write, flush, crash, and recover:
+//!
+//! * [`Pmem::write_u64`] updates the shadow *then* performs the
+//!   simulated store, so a write-back triggered by that store snapshots
+//!   the new value;
+//! * [`Pmem::read_u64`] charges the simulated load and returns the
+//!   program-view (volatile) value;
+//! * the flush/commit helpers delegate to the emulator's persistence
+//!   primitives ([`Quartz::pflush`] etc.), which the tracker observes;
+//! * [`Pmem::claim_persisted`] feeds the torn/reordered-line oracle:
+//!   the program asserts "these words are durable now", and the checker
+//!   flags every crash point where the durable image disagrees.
+
+use std::sync::Arc;
+
+use quartz::Quartz;
+use quartz_memsim::Addr;
+use quartz_threadsim::ThreadCtx;
+
+use crate::tracker::PersistTracker;
+
+/// Word-granular persistent memory bound to one tracker and one
+/// emulator instance.
+#[derive(Clone)]
+pub struct Pmem {
+    tracker: Arc<PersistTracker>,
+    quartz: Arc<Quartz>,
+}
+
+impl Pmem {
+    /// A façade over `tracker` using `quartz`'s persistence primitives.
+    pub fn new(tracker: Arc<PersistTracker>, quartz: Arc<Quartz>) -> Self {
+        Pmem { tracker, quartz }
+    }
+
+    /// The underlying tracker.
+    pub fn tracker(&self) -> &Arc<PersistTracker> {
+        &self.tracker
+    }
+
+    /// Writes a 64-bit word: shadow first, then the simulated store.
+    pub fn write_u64(&self, ctx: &mut ThreadCtx, addr: Addr, value: u64) {
+        self.tracker.write_word(addr, value);
+        ctx.store(addr);
+    }
+
+    /// Reads a 64-bit word (program view; charges the simulated load).
+    pub fn read_u64(&self, ctx: &mut ThreadCtx, addr: Addr) -> u64 {
+        ctx.load(addr);
+        self.tracker.read_word(addr)
+    }
+
+    /// Pessimistic `pflush` of the line containing `addr` (§3.1).
+    pub fn flush(&self, ctx: &mut ThreadCtx, addr: Addr) {
+        self.quartz.pflush(ctx, addr);
+    }
+
+    /// `pflush_opt` of the line containing `addr` (§6).
+    pub fn flush_opt(&self, ctx: &mut ThreadCtx, addr: Addr) {
+        self.quartz.pflush_opt(ctx, addr);
+    }
+
+    /// `pcommit` barrier draining outstanding optimised flushes (§6).
+    pub fn commit(&self, ctx: &mut ThreadCtx) {
+        self.quartz.pcommit(ctx);
+    }
+
+    /// Asserts that each `(addr, value)` pair is durable as of now.
+    /// Recorded for the oracle; never affects timing.
+    pub fn claim_persisted(&self, ctx: &ThreadCtx, entries: &[(Addr, u64)]) {
+        let entries = entries
+            .iter()
+            .map(|&(a, v)| (a.0 - a.0 % crate::tracker::WORD_SIZE, v))
+            .collect();
+        self.tracker.claim(ctx.now(), entries);
+    }
+}

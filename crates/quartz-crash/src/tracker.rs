@@ -1,0 +1,648 @@
+//! The persistence-state tracker: a [`PersistObserver`] that records
+//! every event changing a cache line's persistence state, plus the
+//! offline trace it produces.
+//!
+//! # State machine
+//!
+//! Per 64 B line, derived from the event log at any instant `T`:
+//!
+//! ```text
+//!  store ───────────► DirtyInCache
+//!  writeback init ──► InWPQ          (initiated ≤ T < completes_at)
+//!  transfer done ───► Durable        (completes_at ≤ T)
+//! ```
+//!
+//! A later store re-dirties a durable line; the durable *content* stays
+//! whatever the latest completed write-back carried. The cache-level
+//! write-back events (explicit flushes, streaming stores, natural dirty
+//! L3 evictions) are the sole durability authority; the emulator's
+//! `pflush`/`pflush_opt`/`pcommit` reports are recorded as *crash-point
+//! anchors* so sweeps deterministically include the §6
+//! `pflush_opt`…`pcommit` window and flush edges.
+//!
+//! # Determinism
+//!
+//! All recorded times are virtual sim-times; the event log is ordered
+//! by the engine's deterministic schedule. Two runs with the same seed
+//! produce identical traces, so [`PersistTrace::image_at`] is a pure
+//! function of (seed, crash time).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use quartz_memsim::persist::{PersistObserver, WritebackCause};
+use quartz_memsim::Addr;
+use quartz_platform::time::SimTime;
+
+/// Bytes per tracked word (the shadow memory's granularity).
+pub const WORD_SIZE: u64 = 8;
+
+/// Bytes per cache line.
+pub const LINE_SIZE: u64 = 64;
+
+/// A cache line's persistence state at some instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineState {
+    /// Stored to, but no write-back has been initiated since.
+    DirtyInCache,
+    /// A write-back is in the memory controller's write-pending queue.
+    InWpq,
+    /// The latest write-back has completed; the line would survive a
+    /// power failure.
+    Durable,
+}
+
+/// Counts of lines in each persistence state at a crash instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistCounters {
+    /// Lines whose newest data exists only in the cache domain.
+    pub dirty: u64,
+    /// Lines with a write-back in flight.
+    pub in_wpq: u64,
+    /// Lines whose newest write-back has completed.
+    pub durable: u64,
+}
+
+/// One program assertion that a set of words is persisted.
+#[derive(Clone, Debug)]
+pub struct Claim {
+    /// Virtual instant the program made the claim.
+    pub at: SimTime,
+    /// `(word address, value)` pairs the program believes durable.
+    pub entries: Vec<(u64, u64)>,
+}
+
+/// One word of a claim the durable image contradicts: the program
+/// observed an un-persisted store as "persisted".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViolatedClaim {
+    /// When the program made the claim.
+    pub claimed_at: SimTime,
+    /// The word address.
+    pub addr: u64,
+    /// What the program claimed is durable there.
+    pub claimed: u64,
+    /// What actually survives the crash.
+    pub durable: u64,
+    /// The containing line's state at the crash instant.
+    pub state: Option<LineState>,
+}
+
+/// A labelled instant worth crashing at (flush edges, commit windows,
+/// lock hand-offs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashCandidate {
+    /// The instant.
+    pub at: SimTime,
+    /// Why this instant is interesting (`post_flush`, `opt_window`,
+    /// `pre_commit`, `post_commit`, `lock_handoff`, …).
+    pub label: &'static str,
+}
+
+#[derive(Clone, Debug)]
+struct StoreEvent {
+    at: SimTime,
+    line: u64,
+}
+
+#[derive(Clone, Debug)]
+struct WbEvent {
+    initiated: SimTime,
+    durable_at: SimTime,
+    line: u64,
+    #[allow(dead_code)]
+    cause: WritebackCause,
+    /// Snapshot of the line's words at initiation (the data the
+    /// write-back carries to memory).
+    content: Vec<(u64, u64)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// The program's current view of memory: word address -> value.
+    shadow: BTreeMap<u64, u64>,
+    stores: Vec<StoreEvent>,
+    writebacks: Vec<WbEvent>,
+    claims: Vec<Claim>,
+    candidates: Vec<CrashCandidate>,
+    /// Times the caches were invalidated without write-back: dirty
+    /// state before these instants is lost.
+    invalidations: Vec<SimTime>,
+    last_now: SimTime,
+    events: u64,
+}
+
+/// Records persistence events during a run. Install on the memory
+/// system via `MemorySystem::set_persist_observer` and convert to a
+/// [`PersistTrace`] with [`PersistTracker::finish`] once the run ends.
+#[derive(Default)]
+pub struct PersistTracker {
+    inner: Mutex<Inner>,
+}
+
+impl PersistTracker {
+    /// A fresh tracker.
+    pub fn new() -> Arc<Self> {
+        Arc::new(PersistTracker::default())
+    }
+
+    /// Updates the program-view shadow memory (call *before* the
+    /// simulated store so a write-back triggered by that store sees the
+    /// new value).
+    pub fn write_word(&self, addr: Addr, value: u64) {
+        let word = addr.0 - addr.0 % WORD_SIZE;
+        self.inner.lock().shadow.insert(word, value);
+    }
+
+    /// The program's current (volatile) view of a word.
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        let word = addr.0 - addr.0 % WORD_SIZE;
+        self.inner.lock().shadow.get(&word).copied().unwrap_or(0)
+    }
+
+    /// Records a program claim that `entries` are durable as of `at`.
+    pub fn claim(&self, at: SimTime, entries: Vec<(u64, u64)>) {
+        let mut g = self.inner.lock();
+        g.last_now = g.last_now.max(at);
+        g.claims.push(Claim { at, entries });
+    }
+
+    /// Records a labelled crash candidate (used by the lock-hand-off
+    /// hook and available to workloads for custom anchors).
+    pub fn candidate(&self, at: SimTime, label: &'static str) {
+        let mut g = self.inner.lock();
+        g.last_now = g.last_now.max(at);
+        g.candidates.push(CrashCandidate { at, label });
+    }
+
+    /// Consumes the recorded events into an immutable trace covering
+    /// `[SimTime::ZERO, end]`.
+    pub fn finish(&self, end: SimTime) -> PersistTrace {
+        let mut g = self.inner.lock();
+        let inner = std::mem::take(&mut *g);
+        let mut candidates = inner.candidates;
+        candidates.retain(|c| c.at <= end);
+        candidates.sort_by_key(|c| (c.at, c.label));
+        candidates.dedup();
+        PersistTrace {
+            stores: inner.stores,
+            writebacks: inner.writebacks,
+            claims: inner.claims,
+            candidates,
+            invalidations: inner.invalidations,
+            end,
+            events: inner.events,
+        }
+    }
+
+    /// Number of events recorded so far (tracking-overhead telemetry).
+    pub fn events(&self) -> u64 {
+        self.inner.lock().events
+    }
+
+    fn snapshot_line(shadow: &BTreeMap<u64, u64>, line: u64) -> Vec<(u64, u64)> {
+        let base = line * LINE_SIZE;
+        shadow
+            .range(base..base + LINE_SIZE)
+            .map(|(&w, &v)| (w, v))
+            .collect()
+    }
+}
+
+impl PersistObserver for PersistTracker {
+    fn store_dirtied(&self, _core: usize, line: u64, now: SimTime) {
+        let mut g = self.inner.lock();
+        g.last_now = g.last_now.max(now);
+        g.events += 1;
+        g.stores.push(StoreEvent { at: now, line });
+    }
+
+    fn writeback(
+        &self,
+        line: u64,
+        cause: WritebackCause,
+        initiated: SimTime,
+        completes_at: SimTime,
+    ) {
+        let mut g = self.inner.lock();
+        g.last_now = g.last_now.max(completes_at);
+        g.events += 1;
+        let content = Self::snapshot_line(&g.shadow, line);
+        g.writebacks.push(WbEvent {
+            initiated,
+            durable_at: completes_at,
+            line,
+            cause,
+            content,
+        });
+    }
+
+    fn clean_flush(&self, _line: u64, now: SimTime) {
+        let mut g = self.inner.lock();
+        g.last_now = g.last_now.max(now);
+        g.events += 1;
+    }
+
+    fn caches_invalidated(&self) {
+        let mut g = self.inner.lock();
+        g.events += 1;
+        let at = g.last_now;
+        g.invalidations.push(at);
+    }
+
+    fn nvm_flush(&self, _line: u64, initiated: SimTime, durable_at: SimTime) {
+        let mut g = self.inner.lock();
+        g.last_now = g.last_now.max(durable_at);
+        g.events += 1;
+        g.candidates.push(CrashCandidate {
+            at: initiated,
+            label: "pre_flush",
+        });
+        g.candidates.push(CrashCandidate {
+            at: durable_at,
+            label: "post_flush",
+        });
+    }
+
+    fn nvm_flush_opt(&self, _line: u64, now: SimTime, nvm_done: SimTime) {
+        let mut g = self.inner.lock();
+        g.last_now = g.last_now.max(now);
+        g.events += 1;
+        g.candidates.push(CrashCandidate {
+            at: now,
+            label: "opt_window",
+        });
+        g.candidates.push(CrashCandidate {
+            at: nvm_done,
+            label: "opt_done",
+        });
+    }
+
+    fn nvm_commit(&self, now: SimTime, done_at: SimTime) {
+        let mut g = self.inner.lock();
+        g.last_now = g.last_now.max(done_at);
+        g.events += 1;
+        g.candidates.push(CrashCandidate {
+            at: now,
+            label: "pre_commit",
+        });
+        g.candidates.push(CrashCandidate {
+            at: done_at,
+            label: "post_commit",
+        });
+    }
+}
+
+/// The immutable event log of one run, queryable at any crash instant.
+pub struct PersistTrace {
+    stores: Vec<StoreEvent>,
+    writebacks: Vec<WbEvent>,
+    claims: Vec<Claim>,
+    candidates: Vec<CrashCandidate>,
+    invalidations: Vec<SimTime>,
+    end: SimTime,
+    events: u64,
+}
+
+/// The post-crash memory: exactly the words the completed write-backs
+/// made durable by the crash instant.
+#[derive(Clone, Debug)]
+pub struct DurableImage {
+    at: SimTime,
+    words: BTreeMap<u64, u64>,
+    counters: PersistCounters,
+}
+
+impl DurableImage {
+    /// The crash instant this image reflects.
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// The durable value of a word (never-persisted memory reads 0).
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        let word = addr.0 - addr.0 % WORD_SIZE;
+        self.words.get(&word).copied().unwrap_or(0)
+    }
+
+    /// Line-state counts at the crash instant.
+    pub fn counters(&self) -> PersistCounters {
+        self.counters
+    }
+
+    /// Deterministic FNV-1a fingerprint of the durable word set: equal
+    /// seeds must yield equal fingerprints at every crash point.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (&w, &v) in &self.words {
+            for b in w.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Number of durable words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing is durable.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+impl PersistTrace {
+    /// The run's end instant.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// Total events recorded (tracking-overhead telemetry).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The labelled crash candidates, sorted by time (deduped).
+    pub fn candidates(&self) -> &[CrashCandidate] {
+        &self.candidates
+    }
+
+    /// The durable memory image had power failed at `at`.
+    pub fn image_at(&self, at: SimTime) -> DurableImage {
+        let mut words = BTreeMap::new();
+        // Latest completed write-back per line decides content; the
+        // log is in engine order, so later entries overwrite earlier
+        // ones at equal times.
+        let mut best: BTreeMap<u64, &WbEvent> = BTreeMap::new();
+        for wb in &self.writebacks {
+            if wb.durable_at <= at {
+                let replace = match best.get(&wb.line) {
+                    Some(cur) => wb.durable_at >= cur.durable_at,
+                    None => true,
+                };
+                if replace {
+                    best.insert(wb.line, wb);
+                }
+            }
+        }
+        for wb in best.values() {
+            for &(w, v) in &wb.content {
+                words.insert(w, v);
+            }
+        }
+        DurableImage {
+            at,
+            words,
+            counters: self.counters_at(at),
+        }
+    }
+
+    /// Per-line state at `at` (None: the line was never stored to by
+    /// then).
+    pub fn line_state_at(&self, line: u64, at: SimTime) -> Option<LineState> {
+        let mut last_store: Option<SimTime> = None;
+        for s in &self.stores {
+            if s.line == line && s.at <= at {
+                last_store = Some(last_store.map_or(s.at, |p| p.max(s.at)));
+            }
+        }
+        let mut last_wb: Option<&WbEvent> = None;
+        for wb in &self.writebacks {
+            if wb.line == line && wb.initiated <= at {
+                let replace = match last_wb {
+                    Some(cur) => wb.initiated >= cur.initiated,
+                    None => true,
+                };
+                if replace {
+                    last_wb = Some(wb);
+                }
+            }
+        }
+        // A cache invalidation drops dirty lines without write-back:
+        // stores before the last invalidation no longer count as dirty.
+        let last_inval = self
+            .invalidations
+            .iter()
+            .filter(|&&t| t <= at)
+            .max()
+            .copied();
+        if let (Some(st), Some(inv)) = (last_store, last_inval) {
+            if st <= inv {
+                last_store = None;
+            }
+        }
+        match (last_store, last_wb) {
+            (None, None) => None,
+            (Some(_), None) => Some(LineState::DirtyInCache),
+            (store, Some(wb)) => {
+                if store.is_some_and(|s| s > wb.initiated) {
+                    // Re-dirtied after the latest write-back: the
+                    // newest data lives only in the cache domain (even
+                    // if older data is durable underneath).
+                    Some(LineState::DirtyInCache)
+                } else if wb.durable_at <= at {
+                    Some(LineState::Durable)
+                } else {
+                    Some(LineState::InWpq)
+                }
+            }
+        }
+    }
+
+    /// Line-state counts at `at`.
+    pub fn counters_at(&self, at: SimTime) -> PersistCounters {
+        let mut lines: Vec<u64> = self
+            .stores
+            .iter()
+            .map(|s| s.line)
+            .chain(self.writebacks.iter().map(|w| w.line))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let mut c = PersistCounters::default();
+        for line in lines {
+            match self.line_state_at(line, at) {
+                Some(LineState::DirtyInCache) => c.dirty += 1,
+                Some(LineState::InWpq) => c.in_wpq += 1,
+                Some(LineState::Durable) => c.durable += 1,
+                None => {}
+            }
+        }
+        c
+    }
+
+    /// The torn/reordered-line oracle: every claim made by `at` that
+    /// was false *at the instant it was made* — i.e. stores the
+    /// program observed as "persisted" that had not actually reached
+    /// the persistence domain. Each claim is checked against the
+    /// durable image at its own claim time (a claim describes "now",
+    /// so a later legitimate overwrite of the same word does not
+    /// retroactively falsify it); a crash at `at` exposes every lie
+    /// told by then.
+    pub fn violated_claims_at(&self, at: SimTime) -> Vec<ViolatedClaim> {
+        let mut out = Vec::new();
+        let mut cached: Option<(SimTime, DurableImage)> = None;
+        for claim in &self.claims {
+            if claim.at > at {
+                continue;
+            }
+            let image = match &cached {
+                Some((t, img)) if *t == claim.at => img,
+                _ => {
+                    cached = Some((claim.at, self.image_at(claim.at)));
+                    &cached.as_ref().expect("just set").1
+                }
+            };
+            for &(w, claimed) in &claim.entries {
+                let durable = image.read_u64(Addr(w));
+                if durable != claimed {
+                    out.push(ViolatedClaim {
+                        claimed_at: claim.at,
+                        addr: w,
+                        claimed,
+                        durable,
+                        state: self.line_state_at(w / LINE_SIZE, claim.at),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_ns(ns)
+    }
+
+    /// Builds a trace by hand: store word 0 = 7 at 10, write back
+    /// (init 20, durable 50); store word 64 = 9 at 30, never flushed.
+    fn demo_trace() -> PersistTrace {
+        let tr = PersistTracker::new();
+        tr.write_word(Addr(0), 7);
+        tr.store_dirtied(0, 0, t(10));
+        tr.writeback(0, WritebackCause::Flush, t(20), t(50));
+        tr.write_word(Addr(64), 9);
+        tr.store_dirtied(0, 1, t(30));
+        tr.claim(t(60), vec![(0, 7), (64, 9)]);
+        tr.finish(t(100))
+    }
+
+    #[test]
+    fn state_machine_transitions() {
+        let trace = demo_trace();
+        assert_eq!(trace.line_state_at(0, t(5)), None);
+        assert_eq!(trace.line_state_at(0, t(15)), Some(LineState::DirtyInCache));
+        assert_eq!(trace.line_state_at(0, t(30)), Some(LineState::InWpq));
+        assert_eq!(trace.line_state_at(0, t(50)), Some(LineState::Durable));
+        assert_eq!(trace.line_state_at(1, t(40)), Some(LineState::DirtyInCache));
+        assert_eq!(
+            trace.counters_at(t(40)),
+            PersistCounters {
+                dirty: 1,
+                in_wpq: 1,
+                durable: 0
+            }
+        );
+        assert_eq!(
+            trace.counters_at(t(60)),
+            PersistCounters {
+                dirty: 1,
+                in_wpq: 0,
+                durable: 1
+            }
+        );
+    }
+
+    #[test]
+    fn image_contains_only_completed_writebacks() {
+        let trace = demo_trace();
+        let early = trace.image_at(t(40));
+        assert_eq!(early.read_u64(Addr(0)), 0, "in WPQ: not durable yet");
+        assert!(early.is_empty());
+        let late = trace.image_at(t(50));
+        assert_eq!(late.read_u64(Addr(0)), 7);
+        assert_eq!(late.read_u64(Addr(64)), 0, "never flushed");
+        assert_eq!(late.len(), 1);
+    }
+
+    #[test]
+    fn oracle_flags_claims_about_unflushed_words() {
+        let trace = demo_trace();
+        // Before the claim: nothing to flag.
+        assert!(trace.violated_claims_at(t(55)).is_empty());
+        // After: word 64 was claimed durable but never written back.
+        let v = trace.violated_claims_at(t(80));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].addr, 64);
+        assert_eq!(v[0].claimed, 9);
+        assert_eq!(v[0].durable, 0);
+        assert_eq!(v[0].state, Some(LineState::DirtyInCache));
+    }
+
+    #[test]
+    fn later_writeback_wins_the_image() {
+        let tr = PersistTracker::new();
+        tr.write_word(Addr(0), 1);
+        tr.store_dirtied(0, 0, t(10));
+        tr.writeback(0, WritebackCause::Flush, t(20), t(30));
+        tr.write_word(Addr(0), 2);
+        tr.store_dirtied(0, 0, t(40));
+        tr.writeback(0, WritebackCause::Eviction, t(50), t(60));
+        let trace = tr.finish(t(100));
+        assert_eq!(trace.image_at(t(35)).read_u64(Addr(0)), 1);
+        assert_eq!(trace.image_at(t(60)).read_u64(Addr(0)), 2);
+        // Re-dirtied line reports dirty even though old data is durable.
+        assert_eq!(trace.line_state_at(0, t(45)), Some(LineState::DirtyInCache));
+    }
+
+    #[test]
+    fn invalidation_drops_dirty_state() {
+        let tr = PersistTracker::new();
+        tr.write_word(Addr(0), 1);
+        tr.store_dirtied(0, 0, t(10));
+        tr.caches_invalidated(); // at last_now = 10
+        let trace = tr.finish(t(100));
+        assert_eq!(trace.line_state_at(0, t(20)), None);
+        assert_eq!(trace.counters_at(t(20)), PersistCounters::default());
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_deduped() {
+        let tr = PersistTracker::new();
+        tr.nvm_commit(t(50), t(70));
+        tr.nvm_flush(0, t(10), t(40));
+        tr.nvm_flush(0, t(10), t(40)); // duplicate
+        tr.nvm_flush_opt(1, t(45), t(90));
+        tr.candidate(t(200), "too_late");
+        let trace = tr.finish(t(100));
+        let labels: Vec<_> = trace.candidates().iter().map(|c| (c.at, c.label)).collect();
+        assert_eq!(
+            labels,
+            vec![
+                (t(10), "pre_flush"),
+                (t(40), "post_flush"),
+                (t(45), "opt_window"),
+                (t(50), "pre_commit"),
+                (t(70), "post_commit"),
+                (t(90), "opt_done"),
+            ]
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let trace = demo_trace();
+        let a = trace.image_at(t(50)).fingerprint();
+        let b = trace.image_at(t(40)).fingerprint();
+        assert_ne!(a, b);
+        assert_eq!(a, trace.image_at(t(55)).fingerprint());
+    }
+}

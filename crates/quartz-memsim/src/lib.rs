@@ -40,6 +40,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod error;
+pub mod persist;
 pub mod prefetch;
 pub mod stats;
 pub mod system;
@@ -49,5 +50,6 @@ pub use addr::Addr;
 pub use alloc::NumaAllocator;
 pub use config::{CacheGeometry, MemSimConfig, PrefetchConfig, TlbConfig};
 pub use error::MemSimError;
+pub use persist::{NoopObserver, PersistObserver, WritebackCause};
 pub use stats::MemStats;
 pub use system::{AccessResult, MemorySystem, ServiceLevel};

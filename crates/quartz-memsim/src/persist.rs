@@ -1,0 +1,146 @@
+//! Persistence-domain observation hooks.
+//!
+//! The simulator models *when* stores reach memory; persistent-memory
+//! software additionally cares *which* cache lines would survive a
+//! power failure at any instant. [`PersistObserver`] is a pluggable
+//! tap on every event that changes a line's persistence state:
+//!
+//! * a store dirties a line in the cache domain (`DirtyInCache`);
+//! * a write-back — explicit (`clflush`/`clflushopt`), streaming
+//!   (`movnt`), or a natural dirty L3 eviction — moves it into the
+//!   memory controller's write-pending queue (`InWPQ`) at the instant
+//!   the write-back is initiated;
+//! * the DRAM transfer completing (`completes_at`) makes it `Durable`.
+//!
+//! The emulator layer (`quartz::pmem`) additionally reports its
+//! `pflush`/`pflush_opt`/`pcommit` calls through the `nvm_*` callbacks
+//! so a tracker can anchor crash points to the persistence primitives
+//! the *program* executed (e.g. "inside a `pflush_opt`…`pcommit`
+//! window", paper §6) — those callbacks are diagnostic anchors; the
+//! cache-level write-back events remain the sole durability authority.
+//!
+//! # Locking contract
+//!
+//! Callbacks are invoked synchronously at the simulation point, with
+//! the [`crate::MemorySystem`] internal lock held. Observers must not
+//! call back into the memory system and should do no blocking work;
+//! record the event and return.
+
+use quartz_platform::time::SimTime;
+
+/// Why a cache line was written back to memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WritebackCause {
+    /// Natural dirty eviction from the shared L3.
+    Eviction,
+    /// Synchronous `clflush` (the emulator's `pflush` path).
+    Flush,
+    /// Asynchronous `clflushopt` (the `pflush_opt` path).
+    FlushOpt,
+    /// Non-temporal streaming store that bypassed the caches.
+    Streaming,
+}
+
+impl WritebackCause {
+    /// Short lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WritebackCause::Eviction => "eviction",
+            WritebackCause::Flush => "flush",
+            WritebackCause::FlushOpt => "flush_opt",
+            WritebackCause::Streaming => "streaming",
+        }
+    }
+}
+
+/// Tap on the events that change a cache line's persistence state.
+///
+/// Every method has a no-op default so observers implement only what
+/// they need. `line` arguments are cache-line indices
+/// (`Addr::line()`, i.e. raw address / 64).
+pub trait PersistObserver: Send + Sync {
+    /// A store made `line` dirty in `core`'s private cache domain.
+    fn store_dirtied(&self, core: usize, line: u64, now: SimTime) {
+        let _ = (core, line, now);
+    }
+
+    /// A write-back of `line` was initiated at `initiated` and its
+    /// DRAM transfer completes (the line becomes durable) at
+    /// `completes_at`.
+    fn writeback(
+        &self,
+        line: u64,
+        cause: WritebackCause,
+        initiated: SimTime,
+        completes_at: SimTime,
+    ) {
+        let _ = (line, cause, initiated, completes_at);
+    }
+
+    /// A `clflush`/`clflushopt` found `line` clean (nothing written
+    /// back).
+    fn clean_flush(&self, line: u64, now: SimTime) {
+        let _ = (line, now);
+    }
+
+    /// All caches were invalidated *without* write-back (§4.7 trial
+    /// reset): every line still dirty in the cache domain is lost.
+    fn caches_invalidated(&self) {}
+
+    /// The emulator executed a pessimistic `pflush` of `line`:
+    /// initiated at `initiated`, modelled NVM-durable by `durable_at`
+    /// (the spin the caller performs ends then).
+    fn nvm_flush(&self, line: u64, initiated: SimTime, durable_at: SimTime) {
+        let _ = (line, initiated, durable_at);
+    }
+
+    /// The emulator executed a `pflush_opt` of `line` at `now`; the
+    /// modelled NVM write completes at `nvm_done` (drained by a later
+    /// `pcommit`).
+    fn nvm_flush_opt(&self, line: u64, now: SimTime, nvm_done: SimTime) {
+        let _ = (line, now, nvm_done);
+    }
+
+    /// The emulator executed `pcommit` at `now`, draining pending
+    /// optimised flushes until `done_at`.
+    fn nvm_commit(&self, now: SimTime, done_at: SimTime) {
+        let _ = (now, done_at);
+    }
+}
+
+/// The do-nothing observer (useful in tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl PersistObserver for NoopObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let causes = [
+            WritebackCause::Eviction,
+            WritebackCause::Flush,
+            WritebackCause::FlushOpt,
+            WritebackCause::Streaming,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for c in causes {
+            assert!(seen.insert(c.label()));
+        }
+    }
+
+    #[test]
+    fn defaults_are_noops() {
+        let o = NoopObserver;
+        o.store_dirtied(0, 1, SimTime::ZERO);
+        o.writeback(1, WritebackCause::Flush, SimTime::ZERO, SimTime::ZERO);
+        o.clean_flush(1, SimTime::ZERO);
+        o.caches_invalidated();
+        o.nvm_flush(1, SimTime::ZERO, SimTime::ZERO);
+        o.nvm_flush_opt(1, SimTime::ZERO, SimTime::ZERO);
+        o.nvm_commit(SimTime::ZERO, SimTime::ZERO);
+    }
+}

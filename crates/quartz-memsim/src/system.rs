@@ -7,6 +7,7 @@
 //! discrete-event thread scheduler stays in charge of time.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use quartz_platform::pmu::RawEvent;
@@ -19,6 +20,7 @@ use crate::cache::{Cache, Lookup};
 use crate::config::MemSimConfig;
 use crate::dram::DramChannels;
 use crate::error::MemSimError;
+use crate::persist::{PersistObserver, WritebackCause};
 use crate::prefetch::Prefetcher;
 use crate::stats::MemStats;
 use crate::tlb::Tlb;
@@ -85,6 +87,10 @@ struct Inner {
     seq: u64,
     /// Scratch buffer for prefetch candidates.
     pf_buf: Vec<u64>,
+    /// Optional persistence-event tap (see [`crate::persist`]).
+    /// Callbacks run with this lock held: observers must not call
+    /// back into the memory system.
+    observer: Option<Arc<dyn PersistObserver>>,
 }
 
 /// The simulated memory system of one machine.
@@ -138,6 +144,7 @@ impl MemorySystem {
             stats: MemStats::new(topo.num_nodes()),
             seq: 0,
             pf_buf: Vec::new(),
+            observer: None,
         };
         let allocator =
             NumaAllocator::new(topo.num_nodes(), config.node_capacity, config.tlb.hugepages);
@@ -187,6 +194,19 @@ impl MemorySystem {
         self.inner.lock().stats.clone()
     }
 
+    /// Installs (or removes, with `None`) the persistence-event
+    /// observer. Callbacks are delivered synchronously at the
+    /// simulation point with the internal lock held — observers must
+    /// not call back into this memory system (see [`crate::persist`]).
+    pub fn set_persist_observer(&self, observer: Option<Arc<dyn PersistObserver>>) {
+        self.inner.lock().observer = observer;
+    }
+
+    /// The currently installed persistence observer, if any.
+    pub fn persist_observer(&self) -> Option<Arc<dyn PersistObserver>> {
+        self.inner.lock().observer.clone()
+    }
+
     /// Zeroes ground-truth statistics.
     pub fn reset_stats(&self) {
         self.inner.lock().stats.reset();
@@ -215,6 +235,9 @@ impl MemorySystem {
         g.dirty_owner.clear();
         for q in g.rfo.iter_mut().chain(g.wc.iter_mut()) {
             q.clear();
+        }
+        if let Some(obs) = g.observer.clone() {
+            obs.caches_invalidated();
         }
     }
 
@@ -514,9 +537,12 @@ impl MemorySystem {
                 let victim = Addr(ev.line * LINE_SIZE);
                 let node = victim.node();
                 if node.0 < self.platform.topology().num_nodes() {
-                    g.channels.reserve(node, ev.line, now);
+                    let t = g.channels.reserve(node, ev.line, now);
                     g.stats.writebacks += 1;
                     g.stats.node_bytes[node.0] += LINE_SIZE;
+                    if let Some(obs) = g.observer.clone() {
+                        obs.writeback(ev.line, WritebackCause::Eviction, now, t.completes_at);
+                    }
                 }
             }
         }
@@ -545,6 +571,9 @@ impl MemorySystem {
             }
         }
         g.dirty_owner.insert(addr.line(), core);
+        if let Some(obs) = g.observer.clone() {
+            obs.store_dirtied(core, addr.line(), now);
+        }
         if g.l1[core].touch_dirty(addr) == Lookup::Hit {
             return cost;
         }
@@ -603,6 +632,9 @@ impl MemorySystem {
         let t = g.channels.reserve(node, addr.line(), now);
         g.stats.stream_stores += 1;
         g.stats.node_bytes[node.0] += LINE_SIZE;
+        if let Some(obs) = g.observer.clone() {
+            obs.writeback(addr.line(), WritebackCause::Streaming, now, t.completes_at);
+        }
         g.wc[core].push_back(t.completes_at);
         if g.wc[core].len() > WC_BUFFERS {
             let oldest = g.wc[core].pop_front().expect("non-empty");
@@ -627,8 +659,14 @@ impl MemorySystem {
             let t = g.channels.reserve(node, addr.line(), now);
             g.stats.writebacks += 1;
             g.stats.node_bytes[node.0] += LINE_SIZE;
+            if let Some(obs) = g.observer.clone() {
+                obs.writeback(addr.line(), WritebackCause::Flush, now, t.completes_at);
+            }
             t.queue_wait + t.transfer_time + Duration::from_ns_f64(FLUSH_ACCEPT_NS)
         } else {
+            if let Some(obs) = g.observer.clone() {
+                obs.clean_flush(addr.line(), now);
+            }
             Duration::from_ns_f64(FLUSH_BASE_NS)
         }
     }
@@ -645,8 +683,14 @@ impl MemorySystem {
             let t = g.channels.reserve(node, addr.line(), now);
             g.stats.writebacks += 1;
             g.stats.node_bytes[node.0] += LINE_SIZE;
+            if let Some(obs) = g.observer.clone() {
+                obs.writeback(addr.line(), WritebackCause::FlushOpt, now, t.completes_at);
+            }
             (Duration::from_ns_f64(1.0), t.completes_at)
         } else {
+            if let Some(obs) = g.observer.clone() {
+                obs.clean_flush(addr.line(), now);
+            }
             (Duration::from_ns_f64(1.0), now)
         }
     }
@@ -921,6 +965,67 @@ mod tests {
         m.invalidate_caches();
         let r = m.load(0, a, SimTime::from_ns(10_000));
         assert_eq!(r.served, ServiceLevel::DramLocal);
+    }
+
+    #[test]
+    fn persist_observer_sees_store_flush_and_clean_flush() {
+        use crate::persist::{PersistObserver, WritebackCause};
+
+        #[derive(Default)]
+        struct Rec {
+            events: Mutex<Vec<String>>,
+        }
+        impl PersistObserver for Rec {
+            fn store_dirtied(&self, core: usize, line: u64, _now: SimTime) {
+                self.events.lock().push(format!("store c{core} l{line}"));
+            }
+            fn writeback(
+                &self,
+                line: u64,
+                cause: WritebackCause,
+                initiated: SimTime,
+                completes_at: SimTime,
+            ) {
+                assert!(completes_at > initiated, "writeback must take time");
+                self.events
+                    .lock()
+                    .push(format!("wb {} l{line}", cause.label()));
+            }
+            fn clean_flush(&self, line: u64, _now: SimTime) {
+                self.events.lock().push(format!("clean l{line}"));
+            }
+            fn caches_invalidated(&self) {
+                self.events.lock().push("inval".into());
+            }
+        }
+
+        let m = mem(Architecture::IvyBridge);
+        let rec = Arc::new(Rec::default());
+        m.set_persist_observer(Some(rec.clone()));
+        assert!(m.persist_observer().is_some());
+        let a = m.alloc(NodeId(0), 4096).unwrap();
+        let line = a.line();
+        m.store(0, a, SimTime::ZERO);
+        m.flush(0, a, SimTime::from_ns(100));
+        // Line is gone: a second flush is clean.
+        m.flush(0, a, SimTime::from_ns(200));
+        m.store_stream(0, a, SimTime::from_ns(300));
+        m.invalidate_caches();
+        let events = rec.events.lock().clone();
+        assert_eq!(
+            events,
+            vec![
+                format!("store c0 l{line}"),
+                format!("wb flush l{line}"),
+                format!("clean l{line}"),
+                format!("wb streaming l{line}"),
+                "inval".to_string(),
+            ]
+        );
+        // Uninstall: no further events.
+        m.set_persist_observer(None);
+        m.store(0, a, SimTime::from_ns(400));
+        assert_eq!(rec.events.lock().len(), events.len());
     }
 
     #[test]

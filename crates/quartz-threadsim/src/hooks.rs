@@ -66,3 +66,61 @@ pub trait Hooks: Send + Sync {
 pub struct NoHooks;
 
 impl Hooks for NoHooks {}
+
+/// Fans every hook callback out to several hook sets, in order.
+///
+/// The engine holds exactly one `Arc<dyn Hooks>`; when two observers
+/// need the interposition stream — the emulator *and* a
+/// crash-consistency recorder, say — wrap them in a `FanoutHooks`.
+/// Order matters and is preserved: the first set's callback runs to
+/// completion (including any epoch close and delay injection it
+/// performs) before the second set sees the event, so downstream
+/// recorders observe the post-emulation virtual time.
+pub struct FanoutHooks {
+    hooks: Vec<std::sync::Arc<dyn Hooks>>,
+}
+
+impl FanoutHooks {
+    /// A fan-out over `hooks`, invoked in the given order.
+    pub fn new(hooks: Vec<std::sync::Arc<dyn Hooks>>) -> Self {
+        FanoutHooks { hooks }
+    }
+}
+
+impl Hooks for FanoutHooks {
+    fn on_thread_start(&self, ctx: &mut ThreadCtx) {
+        for h in &self.hooks {
+            h.on_thread_start(ctx);
+        }
+    }
+    fn on_thread_exit(&self, ctx: &mut ThreadCtx) {
+        for h in &self.hooks {
+            h.on_thread_exit(ctx);
+        }
+    }
+    fn before_mutex_lock(&self, ctx: &mut ThreadCtx) {
+        for h in &self.hooks {
+            h.before_mutex_lock(ctx);
+        }
+    }
+    fn before_mutex_unlock(&self, ctx: &mut ThreadCtx) {
+        for h in &self.hooks {
+            h.before_mutex_unlock(ctx);
+        }
+    }
+    fn before_cond_notify(&self, ctx: &mut ThreadCtx) {
+        for h in &self.hooks {
+            h.before_cond_notify(ctx);
+        }
+    }
+    fn before_barrier(&self, ctx: &mut ThreadCtx) {
+        for h in &self.hooks {
+            h.before_barrier(ctx);
+        }
+    }
+    fn on_signal(&self, ctx: &mut ThreadCtx) {
+        for h in &self.hooks {
+            h.on_signal(ctx);
+        }
+    }
+}

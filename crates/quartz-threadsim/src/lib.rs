@@ -51,7 +51,7 @@ pub mod timer;
 
 pub use ctx::ThreadCtx;
 pub use engine::{Engine, RunReport, ThreadId};
-pub use hooks::Hooks;
+pub use hooks::{FanoutHooks, Hooks, NoHooks};
 pub use timer::TimerApi;
 
 /// Identifies a simulated mutex.

@@ -10,6 +10,10 @@
 
 pub mod btree;
 pub mod driver;
+pub mod undo_log;
 
 pub use btree::{KvConfig, KvStore};
 pub use driver::{preload, run_kv_benchmark, KvBenchConfig, KvBenchResult};
+pub use undo_log::{
+    check_undo_log, golden_prefix, run_undo_log, UndoLogKv, UndoLogSpec, UndoVariant,
+};

@@ -27,7 +27,10 @@
 //! * [`pagerank_mt`] — barrier-synchronized parallel PageRank exercising
 //!   the OpenMP-style primitives the paper's §7 plans to support,
 //! * [`pipeline`] — a condvar producer/consumer exercising notify-path
-//!   delay propagation.
+//!   delay propagation,
+//! * [`kvstore::undo_log`] — a recoverable undo-log KV table (correct
+//!   protocol plus two seeded ordering bugs) serving as the reference
+//!   workload for the `quartz-crash` consistency checker.
 //!
 //! Every workload issues its memory traffic through a
 //! [`quartz_threadsim::ThreadCtx`], so the same binary runs unmodified in

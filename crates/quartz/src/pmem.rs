@@ -16,11 +16,28 @@
 //! lookup raced a lookup failure after `ctx.spin`.
 
 use quartz_memsim::Addr;
-use quartz_platform::time::Duration;
+use quartz_platform::time::{Duration, SimTime};
 use quartz_threadsim::ThreadCtx;
 
 use crate::error::QuartzError;
 use crate::runtime::Quartz;
+
+/// Inserts `(line, done)` into the pending-flush set, updating the
+/// entry in place when the line is already pending and keeping the
+/// *later* expected completion — which preserves `pcommit`'s
+/// max-completion semantics exactly. Because every insert goes through
+/// this merge, the set is per-line unique by construction: repeated
+/// `pflush_opt` of the same line within one commit window can no longer
+/// grow the vec unboundedly.
+fn merge_pending(pending: &mut Vec<(u64, SimTime)>, line: u64, done: SimTime) {
+    if let Some(slot) = pending.iter_mut().find(|(l, _)| *l == line) {
+        if done > slot.1 {
+            slot.1 = done;
+        }
+    } else {
+        pending.push((line, done));
+    }
+}
 
 impl Quartz {
     /// Allocates persistent memory. In two-memory mode this maps onto the
@@ -57,6 +74,7 @@ impl Quartz {
     /// acquisition, so a monitor signal delivered during the spin cannot
     /// observe a flush whose delay was charged but not recorded.
     pub fn pflush(&self, ctx: &mut ThreadCtx, addr: Addr) {
+        let t0 = ctx.now();
         ctx.flush(addr);
         let delay = Duration::from_ns_f64(self.config().target.write_delay_ns);
         if let Some(slot) = self.slot_of(ctx) {
@@ -65,6 +83,9 @@ impl Quartz {
             owner.stats.pflushes += 1;
         }
         ctx.spin(delay);
+        if let Some(obs) = self.mem.persist_observer() {
+            obs.nvm_flush(addr.line(), t0, ctx.now());
+        }
     }
 
     /// `clflushopt`-style flush: writes the line back asynchronously and
@@ -75,8 +96,11 @@ impl Quartz {
         let nvm_done = dram_done + Duration::from_ns_f64(self.config().target.write_delay_ns);
         if let Some(slot) = self.slot_of(ctx) {
             let mut owner = slot.lock_owner();
-            owner.pending_flushes.push(nvm_done);
+            merge_pending(&mut owner.pending_flushes, addr.line(), nvm_done);
             owner.stats.pflushes += 1;
+        }
+        if let Some(obs) = self.mem.persist_observer() {
+            obs.nvm_flush_opt(addr.line(), ctx.now(), nvm_done);
         }
     }
 
@@ -95,7 +119,7 @@ impl Quartz {
         };
         let wait = {
             let mut owner = slot.lock_owner();
-            let latest = owner.pending_flushes.drain(..).max();
+            let latest = owner.pending_flushes.drain(..).map(|(_, done)| done).max();
             let wait = latest
                 .map(|done| done.saturating_duration_since(ctx.now()))
                 .unwrap_or(Duration::ZERO);
@@ -104,16 +128,44 @@ impl Quartz {
             }
             wait
         };
+        let t0 = ctx.now();
         if !wait.is_zero() {
             ctx.spin(wait);
         }
+        if let Some(obs) = self.mem.persist_observer() {
+            obs.nvm_commit(t0, ctx.now());
+        }
     }
 
-    /// Number of flushes awaiting the next [`Quartz::pcommit`] on this
-    /// thread.
+    /// Number of *distinct cache lines* awaiting the next
+    /// [`Quartz::pcommit`] on this thread (repeated `pflush_opt` of one
+    /// line counts once).
     pub fn pending_flushes(&self, ctx: &ThreadCtx) -> usize {
         self.slot_of(ctx)
             .map(|slot| slot.lock_owner().pending_flushes.len())
             .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_pending_dedupes_by_line_keeping_max_completion() {
+        let mut pending = Vec::new();
+        merge_pending(&mut pending, 7, SimTime::from_ns(100));
+        merge_pending(&mut pending, 9, SimTime::from_ns(50));
+        // Re-flush of line 7 with a *later* completion updates in place.
+        merge_pending(&mut pending, 7, SimTime::from_ns(300));
+        // Re-flush with an *earlier* completion must not shrink the wait.
+        merge_pending(&mut pending, 7, SimTime::from_ns(200));
+        assert_eq!(
+            pending,
+            vec![(7, SimTime::from_ns(300)), (9, SimTime::from_ns(50))]
+        );
+        // pcommit's max over the set is unchanged by the dedupe.
+        let max = pending.iter().map(|&(_, d)| d).max().unwrap();
+        assert_eq!(max, SimTime::from_ns(300));
     }
 }

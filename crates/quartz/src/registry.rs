@@ -48,8 +48,12 @@ pub(crate) struct SlotOwner {
     pub snap: Snap,
     /// Per-thread accounting.
     pub stats: ThreadStats,
-    /// Pending `clflushopt` NVM completion times, drained by `pcommit`.
-    pub pending_flushes: Vec<SimTime>,
+    /// Pending `clflushopt` NVM completions, drained by `pcommit`:
+    /// `(cache line, expected NVM completion time)`. Keyed by line so a
+    /// repeated `pflush_opt` of the same line within one window updates
+    /// in place instead of growing the vec unboundedly; `pcommit` keeps
+    /// the max completion time either way.
+    pub pending_flushes: Vec<(u64, SimTime)>,
 }
 
 /// One thread's emulator state: atomics the monitor may read without

@@ -236,6 +236,9 @@ impl Quartz {
             totals.carried_overhead += s.carried_overhead;
             totals.pflush_delay += s.pflush_delay;
             totals.pflushes += s.pflushes;
+            totals.lines_dirty += s.lines_dirty;
+            totals.lines_in_wpq += s.lines_in_wpq;
+            totals.lines_durable += s.lines_durable;
             // Host-side lock telemetry lives in slot atomics (it is
             // written outside the owner lock).
             totals.lock_wait_ns += slot.lock_wait_ns();

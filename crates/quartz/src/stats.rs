@@ -60,6 +60,15 @@ pub struct ThreadStats {
     /// Slot-lock acquisitions (one per interposition event that touched
     /// shared per-thread state).
     pub lock_acquisitions: u64,
+    /// Cache lines still dirty in the cache domain at the reporting
+    /// instant (filled by crash-consistency runs; 0 otherwise).
+    pub lines_dirty: u64,
+    /// Cache lines with a write-back in the write-pending queue at the
+    /// reporting instant.
+    pub lines_in_wpq: u64,
+    /// Cache lines durable (write-back completed) at the reporting
+    /// instant.
+    pub lines_durable: u64,
 }
 
 impl ThreadStats {
@@ -88,7 +97,8 @@ impl ThreadStats {
                 "\"epochs_unlock\":{},\"epochs_notify\":{},\"epochs_barrier\":{},",
                 "\"epochs_exit\":{},\"skipped_min_epoch\":{},\"injected_ps\":{},",
                 "\"overhead_ps\":{},\"carried_overhead_ps\":{},\"pflush_delay_ps\":{},",
-                "\"pflushes\":{},\"lock_wait_ns\":{},\"lock_acquisitions\":{}}}"
+                "\"pflushes\":{},\"lock_wait_ns\":{},\"lock_acquisitions\":{},",
+                "\"lines_dirty\":{},\"lines_in_wpq\":{},\"lines_durable\":{}}}"
             ),
             self.epochs(),
             self.epochs_monitor,
@@ -105,6 +115,9 @@ impl ThreadStats {
             self.pflushes,
             self.lock_wait_ns,
             self.lock_acquisitions,
+            self.lines_dirty,
+            self.lines_in_wpq,
+            self.lines_durable,
         )
     }
 }

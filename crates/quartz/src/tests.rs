@@ -350,6 +350,42 @@ fn pcommit_overlaps_independent_writes() {
 }
 
 #[test]
+fn repeated_pflush_opt_of_one_line_does_not_grow_pending_set() {
+    let mem = machine(Architecture::IvyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(300.0).with_write_delay_ns(450.0)),
+        mem,
+    )
+    .unwrap();
+    quartz.attach(&engine).unwrap();
+    let q = Arc::clone(&quartz);
+    engine.run(move |ctx| {
+        let buf = q.pmalloc(ctx, 4096).unwrap();
+        // Hammer the same line: the pending set must stay at one entry
+        // (the seed grew it by one per call within a commit window).
+        for _ in 0..1_000 {
+            ctx.store(buf);
+            q.pflush_opt(ctx, buf);
+        }
+        assert_eq!(q.pending_flushes(ctx), 1, "per-line dedupe");
+        // A second line makes two.
+        ctx.store(buf.offset_by(64));
+        q.pflush_opt(ctx, buf.offset_by(64));
+        assert_eq!(q.pending_flushes(ctx), 2);
+        let before = ctx.now();
+        q.pcommit(ctx);
+        // Max-completion semantics survive: the barrier still waits for
+        // the most recent flush's NVM completion.
+        assert!(
+            ctx.now().saturating_duration_since(before) >= Duration::from_ns(400),
+            "pcommit still waits for the latest completion"
+        );
+        assert_eq!(q.pending_flushes(ctx), 0);
+    });
+}
+
+#[test]
 fn stats_report_amortization() {
     let mem = machine(Architecture::IvyBridge, true);
     let engine = Engine::new(Arc::clone(&mem));

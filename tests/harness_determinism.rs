@@ -66,6 +66,32 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
 }
 
 #[test]
+fn crash_sweep_is_byte_identical_at_any_jobs_count() {
+    // The crash-consistency sweep must uphold the determinism
+    // contract: same seed => byte-identical durable-line fingerprints,
+    // recovery verdicts, and JSON rows regardless of worker count.
+    assert!(
+        registry::find("crash_sweep")
+            .expect("registered")
+            .deterministic(),
+        "crash_sweep must advertise determinism"
+    );
+    let base = std::env::temp_dir().join("quartz_bench_golden_crash");
+    let (console1, files1) = golden_run("crash_sweep", 1, &base.join("j1"));
+    let (console8, files8) = golden_run("crash_sweep", 8, &base.join("j8"));
+    assert_eq!(console1, console8);
+    assert!(
+        console1.contains("false_negatives=0 false_positives=0"),
+        "the sweep verdict line must report a clean checker:\n{console1}"
+    );
+    assert_eq!(files1.len(), files8.len());
+    for ((n1, b1), (n8, b8)) in files1.iter().zip(&files8) {
+        assert_eq!(n1, n8);
+        assert_eq!(b1, b8, "{n1} differs between --jobs 1 and --jobs 8");
+    }
+}
+
+#[test]
 fn repeated_serial_runs_are_byte_identical() {
     let base = std::env::temp_dir().join("quartz_bench_golden_repeat");
     let (c1, f1) = golden_run("ablation_pcommit", 1, &base.join("a"));

@@ -351,6 +351,73 @@ proptest! {
         prop_assert_eq!(violations.load(std::sync::atomic::Ordering::SeqCst), 0);
     }
 
+    // ------------------------------------------------------------------
+    // Persistence primitives: the §6 ordering invariant.
+    // ------------------------------------------------------------------
+
+    /// For ANY store trace, making it durable with pessimistic
+    /// `pflush` (spin per flush) must cost at least as much virtual
+    /// time as the `pflush_opt`…`pcommit` pair (announce, overlap,
+    /// drain once), and both must cost a strictly positive amount.
+    /// Bonus dedupe property: the pending-flush set never exceeds the
+    /// number of distinct lines and is fully drained by `pcommit`.
+    #[test]
+    fn pessimistic_flush_never_beats_opt_commit(
+        lines in proptest::collection::vec(0u64..64, 1..32),
+    ) {
+        use quartz::{NvmTarget, QuartzConfig};
+
+        let run = |optimized: bool, lines: Vec<u64>| -> (u64, usize, usize) {
+            let mem = quartz_bench::MachineSpec::new(Architecture::IvyBridge)
+                .with_perfect_counters()
+                .with_no_jitter()
+                .build();
+            // A huge epoch keeps the monitor out of the measurement.
+            let cfg = QuartzConfig::new(NvmTarget::new(300.0).with_write_delay_ns(450.0))
+                .with_max_epoch(Duration::from_ms(100));
+            let (out, _) = quartz_bench::run_workload(mem, Some(cfg), move |ctx, q| {
+                let q = q.expect("quartz attached");
+                let buf = q.pmalloc(ctx, 64 * 64).expect("pmalloc");
+                let t0 = ctx.now();
+                let mut pending_peak = 0usize;
+                for &l in &lines {
+                    let a = buf.offset_by(l * 64);
+                    ctx.store(a);
+                    if optimized {
+                        q.pflush_opt(ctx, a);
+                        pending_peak = pending_peak.max(q.pending_flushes(ctx));
+                    } else {
+                        q.pflush(ctx, a);
+                    }
+                }
+                if optimized {
+                    q.pcommit(ctx);
+                }
+                (
+                    ctx.now().duration_since(t0).as_ps(),
+                    pending_peak,
+                    q.pending_flushes(ctx),
+                )
+            });
+            out
+        };
+
+        let distinct = lines.iter().collect::<std::collections::HashSet<_>>().len();
+        let (pessimistic_ps, _, _) = run(false, lines.clone());
+        let (opt_ps, pending_peak, pending_after) = run(true, lines);
+        prop_assert!(pessimistic_ps > 0 && opt_ps > 0);
+        prop_assert!(
+            pessimistic_ps >= opt_ps,
+            "pflush trace ({pessimistic_ps} ps) must not be cheaper than \
+             pflush_opt+pcommit ({opt_ps} ps)"
+        );
+        prop_assert!(
+            pending_peak <= distinct,
+            "pending flushes ({pending_peak}) exceeded distinct lines ({distinct})"
+        );
+        prop_assert_eq!(pending_after, 0, "pcommit must drain the pending set");
+    }
+
     #[test]
     fn simulation_end_time_is_deterministic(
         seeds in proptest::collection::vec(0u64..1_000, 2..4),
