@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod contention;
 pub mod crash;
 pub mod extensions;
+pub mod faults;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

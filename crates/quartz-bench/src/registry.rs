@@ -9,8 +9,8 @@
 
 use crate::exp::Experiment;
 use crate::experiments::{
-    ablations, contention, crash, extensions, fig11, fig12, fig13, fig14, fig15, fig16, fig8,
-    overhead, pagerank_validation, table1, table2,
+    ablations, contention, crash, extensions, faults, fig11, fig12, fig13, fig14, fig15, fig16,
+    fig8, overhead, pagerank_validation, table1, table2,
 };
 
 /// Every registered experiment, in canonical `repro all` order.
@@ -36,6 +36,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &contention::Contention,
     &crash::CrashSweep,
     &crash::CrashCost,
+    &faults::FaultMatrix,
 ];
 
 /// All registered experiments in canonical order.
@@ -154,6 +155,7 @@ mod tests {
             "contention",
             "crash_sweep",
             "crash_cost",
+            "fault_matrix",
         ];
         let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
         assert_eq!(names, expected);

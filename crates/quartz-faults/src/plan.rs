@@ -1,0 +1,221 @@
+//! Declarative fault plans and the canonical fault classes.
+
+use quartz_platform::pmu::COUNTER_MASK;
+use quartz_platform::time::Duration;
+
+/// A declarative description of how hard each platform seam misbehaves.
+///
+/// All rates are per-consultation probabilities in `[0, 1]`; the
+/// decisions themselves are derived deterministically from `seed` (see
+/// [`PlanInjector`](crate::PlanInjector)). The default plan — also
+/// [`FaultPlan::none`] — perturbs nothing and is indistinguishable from
+/// having no injector installed at all.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision in this plan.
+    pub seed: u64,
+    /// Probability that an `rdpmc` read fails transiently (the runtime
+    /// retries with backoff and eventually falls back to its previous
+    /// snapshot).
+    pub pmu_read_error_rate: f64,
+    /// Park every PMU counter this many counts below the 48-bit wrap
+    /// point, so counters wrap early in the run instead of after hours.
+    pub pmu_counter_park_below: Option<u64>,
+    /// Probability that a `THRT_PWR_DIMM` write is silently dropped.
+    pub thermal_drop_rate: f64,
+    /// Probability that a `THRT_PWR_DIMM` write sticks with a perturbed
+    /// value (low bits flipped, masked to the 12-bit register).
+    pub thermal_perturb_rate: f64,
+    /// Constant cross-socket TSC skew: socket `s` reads `s × skew`
+    /// cycles ahead of socket 0 (negative values lag).
+    pub tsc_skew_cycles: i64,
+    /// Probability that an epoch-timer firing is lost entirely.
+    pub timer_drop_rate: f64,
+    /// Probability that a firing pushes the *next* one late.
+    pub timer_late_rate: f64,
+    /// How late a [`timer_late_rate`](Self::timer_late_rate) slip is.
+    pub timer_late_extra: Duration,
+    /// The first N topology reads report one core fewer than exist
+    /// (a stale snapshot from before a core came online).
+    pub stale_topology_reports: u32,
+}
+
+impl FaultPlan {
+    /// The empty plan: installs cleanly, perturbs nothing.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            pmu_read_error_rate: 0.0,
+            pmu_counter_park_below: None,
+            thermal_drop_rate: 0.0,
+            thermal_perturb_rate: 0.0,
+            tsc_skew_cycles: 0,
+            timer_drop_rate: 0.0,
+            timer_late_rate: 0.0,
+            timer_late_extra: Duration::ZERO,
+            stale_topology_reports: 0,
+        }
+    }
+
+    /// Whether this plan can perturb anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.pmu_read_error_rate <= 0.0
+            && self.pmu_counter_park_below.is_none()
+            && self.thermal_drop_rate <= 0.0
+            && self.thermal_perturb_rate <= 0.0
+            && self.tsc_skew_cycles == 0
+            && self.timer_drop_rate <= 0.0
+            && self.timer_late_rate <= 0.0
+            && self.stale_topology_reports == 0
+    }
+
+    /// Sets the decision seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The canonical single-fault scenarios of the `fault_matrix`
+/// experiment, each with a declared bound on how far the emulated
+/// virtual timeline may drift from a fault-free run of the same seed.
+///
+/// The bounds encode the *degradation contract*: wrap-aware delta math
+/// and constant TSC skew must be fully absorbed (zero drift on a
+/// deterministic machine); retry/fallback paths may cost bounded extra
+/// overhead; lost monitor firings only delay epoch closes and stay
+/// within the timer bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// No faults: the control row — must be byte-identical to no
+    /// injector at all.
+    None,
+    /// PMU counters parked just below 2^48 so they wrap mid-run.
+    CounterWrap,
+    /// Transient `rdpmc` read failures (retry-with-backoff path).
+    PmuTransient,
+    /// `THRT_PWR_DIMM` writes dropped or perturbed (readback-verify
+    /// path).
+    ThermalFlaky,
+    /// Constant cross-socket TSC skew.
+    TscSkew,
+    /// Epoch-timer firings dropped or slipped late.
+    TimerFlaky,
+    /// Stale topology snapshots rejecting live cores at registration.
+    StaleTopology,
+    /// Everything at once, at elevated rates (the soak scenario).
+    Storm,
+}
+
+impl FaultClass {
+    /// Every class, control first — the `fault_matrix` row order.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::None,
+        FaultClass::CounterWrap,
+        FaultClass::PmuTransient,
+        FaultClass::ThermalFlaky,
+        FaultClass::TscSkew,
+        FaultClass::TimerFlaky,
+        FaultClass::StaleTopology,
+        FaultClass::Storm,
+    ];
+
+    /// Stable snake_case name (JSON keys, output filenames).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::None => "none",
+            FaultClass::CounterWrap => "counter_wrap",
+            FaultClass::PmuTransient => "pmu_transient",
+            FaultClass::ThermalFlaky => "thermal_flaky",
+            FaultClass::TscSkew => "tsc_skew",
+            FaultClass::TimerFlaky => "timer_flaky",
+            FaultClass::StaleTopology => "stale_topology",
+            FaultClass::Storm => "storm",
+        }
+    }
+
+    /// Maximum tolerated virtual-timeline drift (percent, relative to
+    /// the fault-free run of the same seed on a deterministic machine).
+    pub fn error_bound_pct(self) -> f64 {
+        match self {
+            // Control: nothing may move at all.
+            FaultClass::None => 0.0,
+            // Wrap math and constant skew are absorbed exactly; the
+            // tiny allowance covers f64 noise only.
+            FaultClass::CounterWrap | FaultClass::TscSkew => 0.1,
+            // One extra counter-programming round per stale read.
+            FaultClass::StaleTopology => 1.0,
+            // Retry backoff charges fold into amortized overhead.
+            FaultClass::PmuTransient => 5.0,
+            // Perturbed throttle values shift effective bandwidth by at
+            // most the perturbation magnitude (linear model).
+            FaultClass::ThermalFlaky => 5.0,
+            // Lost firings delay epoch closes by up to one period.
+            FaultClass::TimerFlaky => 10.0,
+            FaultClass::Storm => 15.0,
+        }
+    }
+
+    /// The canonical plan for this class, seeded.
+    pub fn plan(self, seed: u64) -> FaultPlan {
+        let base = FaultPlan::none().with_seed(seed);
+        match self {
+            FaultClass::None => base,
+            FaultClass::CounterWrap => FaultPlan {
+                // Park within one short epoch's worth of counts below
+                // the wrap point so every counter wraps mid-run.
+                pmu_counter_park_below: Some(50_000),
+                ..base
+            },
+            FaultClass::PmuTransient => FaultPlan {
+                pmu_read_error_rate: 0.05,
+                ..base
+            },
+            FaultClass::ThermalFlaky => FaultPlan {
+                thermal_drop_rate: 0.3,
+                thermal_perturb_rate: 0.3,
+                ..base
+            },
+            FaultClass::TscSkew => FaultPlan {
+                tsc_skew_cycles: 1_000_000,
+                ..base
+            },
+            FaultClass::TimerFlaky => FaultPlan {
+                timer_drop_rate: 0.25,
+                timer_late_rate: 0.25,
+                timer_late_extra: Duration::from_us(50),
+                ..base
+            },
+            FaultClass::StaleTopology => FaultPlan {
+                stale_topology_reports: 2,
+                ..base
+            },
+            FaultClass::Storm => FaultPlan {
+                pmu_read_error_rate: 0.05,
+                pmu_counter_park_below: Some(50_000),
+                thermal_drop_rate: 0.3,
+                thermal_perturb_rate: 0.3,
+                tsc_skew_cycles: 1_000_000,
+                timer_drop_rate: 0.25,
+                timer_late_rate: 0.25,
+                timer_late_extra: Duration::from_us(50),
+                stale_topology_reports: 2,
+                ..base
+            },
+        }
+    }
+}
+
+/// The additive counter offset that parks a counter `park_below` counts
+/// under the 48-bit wrap point (what
+/// [`pmu_counter_park_below`](FaultPlan::pmu_counter_park_below)
+/// translates to at the seam).
+pub(crate) fn park_offset(park_below: u64) -> u64 {
+    COUNTER_MASK - (park_below & COUNTER_MASK)
+}

@@ -53,6 +53,29 @@ pub enum PlatformError {
         /// The rejected value.
         value: u32,
     },
+    /// A transient `rdpmc` failure injected at the platform seam:
+    /// the read returned garbage / faulted and should be retried.
+    TransientPmuRead {
+        /// Core the read targeted.
+        core: CoreId,
+        /// Counter slot index.
+        index: usize,
+    },
+    /// A `THRT_PWR_DIMM` write did not stick (readback-verify failed
+    /// after the configured retry budget).
+    ThermalWriteFailed {
+        /// Socket addressed.
+        socket: SocketId,
+        /// Channel index addressed.
+        channel: usize,
+    },
+    /// A topology read returned stale data that excludes a live core.
+    StaleTopology {
+        /// The core count the stale read reported.
+        observed_cores: usize,
+        /// The core the caller was trying to use.
+        core: CoreId,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -78,6 +101,24 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::ThrottleValueOutOfRange { value } => {
                 write!(f, "throttle value {value} exceeds 12-bit register range")
+            }
+            PlatformError::TransientPmuRead { core, index } => {
+                write!(f, "transient rdpmc failure on {core} counter {index}")
+            }
+            PlatformError::ThermalWriteFailed { socket, channel } => {
+                write!(
+                    f,
+                    "thermal write to {socket} channel {channel} did not stick"
+                )
+            }
+            PlatformError::StaleTopology {
+                observed_cores,
+                core,
+            } => {
+                write!(
+                    f,
+                    "stale topology reports {observed_cores} cores, excludes {core}"
+                )
             }
         }
     }
@@ -107,6 +148,18 @@ mod tests {
                 channel: 9,
             },
             PlatformError::ThrottleValueOutOfRange { value: 5000 },
+            PlatformError::TransientPmuRead {
+                core: CoreId(2),
+                index: 1,
+            },
+            PlatformError::ThermalWriteFailed {
+                socket: SocketId(0),
+                channel: 2,
+            },
+            PlatformError::StaleTopology {
+                observed_cores: 8,
+                core: CoreId(12),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crate::arch::Architecture;
 use crate::error::PlatformError;
+use crate::faults::FaultCell;
 use crate::pci::{PciConfigSpace, PrivilegeToken};
 use crate::pmu::bank::{CounterSelection, StandardCounters};
 use crate::pmu::events::{standard_event_set, EventKind};
@@ -25,6 +26,7 @@ pub struct KernelModule {
     pmu: Arc<PmuState>,
     thermal: ThermalControl,
     topology: Topology,
+    faults: FaultCell,
 }
 
 impl KernelModule {
@@ -33,12 +35,24 @@ impl KernelModule {
         pmu: Arc<PmuState>,
         pci: Arc<PciConfigSpace>,
         topology: Topology,
+        faults: FaultCell,
     ) -> Self {
         KernelModule {
             arch,
             pmu,
             thermal: ThermalControl::new(pci),
             topology,
+            faults,
+        }
+    }
+
+    /// The core count a topology read observes right now — equal to the
+    /// true count unless an installed injector serves a stale snapshot.
+    pub fn observed_num_cores(&self) -> usize {
+        let true_cores = self.topology.num_cores();
+        match self.faults.get() {
+            Some(inj) => inj.observed_num_cores(true_cores),
+            None => true_cores,
         }
     }
 
@@ -73,6 +87,31 @@ impl KernelModule {
             l3_miss_remote: sel(EventKind::L3MissRemote),
             l3_miss_all: sel(EventKind::L3MissAll),
         }
+    }
+
+    /// Fallible variant of [`KernelModule::program_standard_counters`]
+    /// that trusts the (possibly stale) topology snapshot instead of the
+    /// hardware: registration on a core the snapshot excludes fails with
+    /// [`PlatformError::StaleTopology`]. Callers retry after a refresh,
+    /// or fall back to the panicking variant once they decide to trust
+    /// the hardware over the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a stale topology read excludes `core`, or if `core` is
+    /// genuinely out of range.
+    pub fn try_program_standard_counters(
+        &self,
+        core: usize,
+    ) -> Result<StandardCounters, PlatformError> {
+        let observed = self.observed_num_cores();
+        if core >= observed {
+            return Err(PlatformError::StaleTopology {
+                observed_cores: observed,
+                core: CoreId(core),
+            });
+        }
+        Ok(self.program_standard_counters(core))
     }
 
     /// Programs an explicit event list on `core` (advanced use).
@@ -153,6 +192,38 @@ mod tests {
                 .unwrap(),
             0
         );
+    }
+
+    #[test]
+    fn stale_topology_rejects_live_cores() {
+        use crate::faults::FaultInjector;
+
+        struct Stale;
+        impl FaultInjector for Stale {
+            fn observed_num_cores(&self, _true_cores: usize) -> usize {
+                2
+            }
+        }
+
+        let p = Platform::new(PlatformConfig::new(Architecture::Haswell).with_cores_per_socket(2));
+        let kmod = p.kernel_module();
+        assert_eq!(kmod.observed_num_cores(), 4);
+        assert!(kmod.try_program_standard_counters(3).is_ok());
+
+        p.install_fault_injector(std::sync::Arc::new(Stale));
+        assert_eq!(kmod.observed_num_cores(), 2);
+        let err = kmod.try_program_standard_counters(3).unwrap_err();
+        assert!(matches!(
+            err,
+            PlatformError::StaleTopology {
+                observed_cores: 2,
+                core: CoreId(3)
+            }
+        ));
+        // Cores inside the stale snapshot still register fine.
+        assert!(kmod.try_program_standard_counters(1).is_ok());
+        p.clear_fault_injector();
+        assert!(kmod.try_program_standard_counters(3).is_ok());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod arch;
 pub mod dvfs;
 pub mod error;
+pub mod faults;
 pub mod kmod;
 pub mod pci;
 pub mod pmu;
@@ -56,6 +57,7 @@ mod platform;
 
 pub use arch::{ArchParams, Architecture};
 pub use error::PlatformError;
+pub use faults::{FaultCell, FaultInjector, ThermalWriteFault, TimerFault};
 pub use platform::{OpCosts, Platform, PlatformConfig};
 pub use pmu::PmuState;
 pub use time::{Duration, SimTime};

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 
 use crate::error::PlatformError;
+use crate::faults::FaultCell;
 use crate::topology::SocketId;
 
 /// Config-space offset of `THRT_PWR_DIMM_0`; channels 1 and 2 follow at
@@ -47,6 +48,7 @@ pub struct PrivilegeToken(pub(crate) ());
 pub struct PciConfigSpace {
     sockets: usize,
     regs: Mutex<HashMap<(usize, u16), u32>>,
+    faults: FaultCell,
 }
 
 impl PciConfigSpace {
@@ -65,7 +67,19 @@ impl PciConfigSpace {
         PciConfigSpace {
             sockets,
             regs: Mutex::new(regs),
+            faults: FaultCell::new(),
         }
+    }
+
+    /// Shares the platform-wide fault cell (called once at build time,
+    /// before the space is published behind an `Arc`).
+    pub(crate) fn set_fault_cell(&mut self, cell: FaultCell) {
+        self.faults = cell;
+    }
+
+    /// The fault cell consulted by the thermal-register path.
+    pub(crate) fn fault_cell(&self) -> &FaultCell {
+        &self.faults
     }
 
     /// Number of sockets (IMC devices).

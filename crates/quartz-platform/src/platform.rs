@@ -4,11 +4,12 @@ use std::sync::Arc;
 
 use crate::arch::{ArchParams, Architecture};
 use crate::dvfs::DvfsModel;
+use crate::faults::{FaultCell, FaultInjector};
 use crate::kmod::KernelModule;
 use crate::pci::PciConfigSpace;
 use crate::pmu::{FidelityModel, PmuState};
-use crate::time::{Duration, Frequency};
-use crate::topology::Topology;
+use crate::time::{Duration, Frequency, SimTime};
+use crate::topology::{CoreId, Topology};
 use crate::tsc::Tsc;
 
 /// Cycle costs of the software operations the paper quantifies in §3.2.
@@ -109,6 +110,7 @@ struct PlatformInner {
     dvfs: DvfsModel,
     tsc: Tsc,
     op_costs: OpCosts,
+    faults: FaultCell,
 }
 
 /// A cheaply-cloneable handle to the simulated machine.
@@ -136,7 +138,13 @@ impl Platform {
             FidelityModel::new(params, config.fidelity_seed)
         };
         let pmu = Arc::new(PmuState::new(params, topology.num_cores(), fidelity));
-        let pci = Arc::new(PciConfigSpace::new(config.sockets));
+        // One logical injector slot for the whole machine: the PMU and
+        // PCI spaces share clones of the same cell so a single install
+        // reaches every seam.
+        let faults = pmu.fault_cell().clone();
+        let mut pci = PciConfigSpace::new(config.sockets);
+        pci.set_fault_cell(faults.clone());
+        let pci = Arc::new(pci);
         Platform {
             inner: Arc::new(PlatformInner {
                 params,
@@ -146,8 +154,25 @@ impl Platform {
                 dvfs: DvfsModel::new(),
                 tsc: Tsc::new(params.frequency),
                 op_costs: config.op_costs,
+                faults,
             }),
         }
+    }
+
+    /// Installs a fault injector at every platform seam (PMU reads,
+    /// thermal writes, TSC reads, topology reads, epoch timers).
+    pub fn install_fault_injector(&self, injector: Arc<dyn FaultInjector>) {
+        self.inner.faults.install(injector);
+    }
+
+    /// Removes any installed fault injector.
+    pub fn clear_fault_injector(&self) {
+        self.inner.faults.clear();
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<dyn FaultInjector>> {
+        self.inner.faults.get()
     }
 
     /// The family's measured parameters.
@@ -190,6 +215,19 @@ impl Platform {
         self.inner.tsc
     }
 
+    /// Reads the TSC as observed on `core` at simulated instant `now`,
+    /// applying any injected per-socket skew. With no injector this is
+    /// exactly [`Tsc::read`].
+    pub fn read_tsc(&self, core: CoreId, now: SimTime) -> u64 {
+        match self.inner.faults.get() {
+            None => self.inner.tsc.read(now),
+            Some(inj) => {
+                let socket = self.inner.topology.socket_of(core);
+                self.inner.tsc.read_skewed(now, inj.tsc_skew_cycles(socket))
+            }
+        }
+    }
+
     /// Software operation cycle costs.
     pub fn op_costs(&self) -> OpCosts {
         self.inner.op_costs
@@ -202,6 +240,7 @@ impl Platform {
             Arc::clone(&self.inner.pmu),
             Arc::clone(&self.inner.pci),
             self.inner.topology.clone(),
+            self.inner.faults.clone(),
         )
     }
 

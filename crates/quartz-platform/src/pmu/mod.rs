@@ -15,4 +15,4 @@ mod state;
 pub use bank::{CounterBank, CounterSelection, StandardCounters};
 pub use events::{EventKind, RawEvent, TABLE1_EVENT_NAMES};
 pub use fidelity::FidelityModel;
-pub use state::PmuState;
+pub use state::{PmuState, COUNTER_MASK, COUNTER_WIDTH_BITS};

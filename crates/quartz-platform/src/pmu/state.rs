@@ -6,10 +6,19 @@ use parking_lot::Mutex;
 
 use crate::arch::ArchParams;
 use crate::error::PlatformError;
+use crate::faults::FaultCell;
 use crate::pmu::bank::CounterBank;
 use crate::pmu::events::{EventKind, RawEvent};
 use crate::pmu::fidelity::FidelityModel;
 use crate::topology::CoreId;
+
+/// Hardware PMU counters are 48 bits wide on every modeled
+/// micro-architecture: values wrap modulo `2^48`, and correct delta math
+/// must mask to this width rather than assume monotonicity.
+pub const COUNTER_WIDTH_BITS: u32 = 48;
+
+/// Mask selecting the valid bits of a hardware counter value.
+pub const COUNTER_MASK: u64 = (1 << COUNTER_WIDTH_BITS) - 1;
 
 /// The machine's PMU: per-core raw event accumulators, programmable
 /// counter banks, and the per-family fidelity model applied on reads.
@@ -25,6 +34,7 @@ pub struct PmuState {
     banks: Vec<Mutex<CounterBank>>,
     user_rdpmc: Vec<AtomicBool>,
     fidelity: Mutex<FidelityModel>,
+    faults: FaultCell,
 }
 
 impl PmuState {
@@ -39,7 +49,13 @@ impl PmuState {
                 .collect(),
             user_rdpmc: (0..num_cores).map(|_| AtomicBool::new(false)).collect(),
             fidelity: Mutex::new(fidelity),
+            faults: FaultCell::new(),
         }
+    }
+
+    /// The fault-injection cell consulted on every counter read.
+    pub fn fault_cell(&self) -> &FaultCell {
+        &self.faults
     }
 
     /// Number of cores covered.
@@ -123,12 +139,14 @@ impl PmuState {
     }
 
     /// Executes `rdpmc` for counter slot `index` on `core`, returning the
-    /// (fidelity-skewed) value.
+    /// (fidelity-skewed) value masked to the 48-bit hardware counter
+    /// width — values wrap modulo `2^48` exactly like real silicon.
     ///
     /// # Errors
     ///
-    /// Fails if user-mode access was not enabled on the core or the slot
-    /// is not programmed.
+    /// Fails if user-mode access was not enabled on the core, the slot
+    /// is not programmed, or an installed fault injector declares this
+    /// read transiently broken ([`PlatformError::TransientPmuRead`]).
     pub fn rdpmc(&self, core: CoreId, index: usize) -> Result<u64, PlatformError> {
         if !self.user_rdpmc[core.0].load(Ordering::Relaxed) {
             return Err(PlatformError::UserRdpmcDisabled { core });
@@ -138,7 +156,14 @@ impl PmuState {
             .event_at(index)
             .ok_or(PlatformError::CounterNotProgrammed { core, index })?;
         let true_val = self.true_value(core.0, event);
-        Ok(self.fidelity.lock().distort(event, true_val))
+        let mut val = self.fidelity.lock().distort(event, true_val);
+        if let Some(inj) = self.faults.get() {
+            if inj.pmu_read_error(core, index) {
+                return Err(PlatformError::TransientPmuRead { core, index });
+            }
+            val = val.wrapping_add(inj.pmu_counter_offset(core, index));
+        }
+        Ok(val & COUNTER_MASK)
     }
 
     /// The event programmed in slot `index` of a core's bank, if any.
@@ -219,6 +244,55 @@ mod tests {
         p.add(0, RawEvent::StallCyclesL2Pending, 100);
         p.reset();
         assert_eq!(p.raw(0, RawEvent::StallCyclesL2Pending), 0);
+    }
+
+    #[test]
+    fn rdpmc_masks_to_48_bits() {
+        // A counter parked just below 2^48 wraps after a small
+        // increment: the read must come back masked, never >= 2^48.
+        let p = pmu();
+        p.program_bank(CoreId(0), &[EventKind::L3Hit]).unwrap();
+        p.set_user_rdpmc(CoreId(0), true);
+        p.add(0, RawEvent::L3HitLoads, COUNTER_MASK - 9);
+        assert_eq!(p.rdpmc(CoreId(0), 0).unwrap(), COUNTER_MASK - 9);
+        p.add(0, RawEvent::L3HitLoads, 30);
+        // (2^48 - 10) + 30 wraps to 20.
+        assert_eq!(p.rdpmc(CoreId(0), 0).unwrap(), 20);
+    }
+
+    #[test]
+    fn injector_offset_and_transient_errors() {
+        use crate::faults::FaultInjector;
+        use std::sync::atomic::AtomicU64;
+
+        struct Inj {
+            calls: AtomicU64,
+        }
+        impl FaultInjector for Inj {
+            fn pmu_read_error(&self, _core: CoreId, _slot: usize) -> bool {
+                // First read fails, later reads succeed.
+                self.calls.fetch_add(1, Ordering::Relaxed) == 0
+            }
+            fn pmu_counter_offset(&self, _core: CoreId, _slot: usize) -> u64 {
+                COUNTER_MASK - 4
+            }
+        }
+
+        let p = pmu();
+        p.program_bank(CoreId(0), &[EventKind::L3Hit]).unwrap();
+        p.set_user_rdpmc(CoreId(0), true);
+        p.add(0, RawEvent::L3HitLoads, 10);
+        p.fault_cell().install(std::sync::Arc::new(Inj {
+            calls: AtomicU64::new(0),
+        }));
+        assert!(matches!(
+            p.rdpmc(CoreId(0), 0),
+            Err(PlatformError::TransientPmuRead { index: 0, .. })
+        ));
+        // 10 + (2^48 - 5) wraps to 5.
+        assert_eq!(p.rdpmc(CoreId(0), 0).unwrap(), 5);
+        p.fault_cell().clear();
+        assert_eq!(p.rdpmc(CoreId(0), 0).unwrap(), 10);
     }
 
     #[test]

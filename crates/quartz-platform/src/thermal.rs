@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use crate::error::PlatformError;
+use crate::faults::ThermalWriteFault;
 use crate::pci::{PciConfigSpace, PrivilegeToken, DIMM_CHANNELS, THRT_PWR_DIMM_BASE};
 use crate::topology::SocketId;
 
@@ -50,7 +51,18 @@ impl ThermalControl {
             return Err(PlatformError::BadThermalTarget { socket, channel });
         }
         let offset = THRT_PWR_DIMM_BASE + (channel * 4) as u16;
-        self.pci.write32(token, socket, offset, value)
+        // Consult the fault seam after validation: real hardware
+        // accepts the transaction and *then* misapplies it.
+        let effective = match self.pci.fault_cell().get() {
+            Some(inj) => match inj.thermal_write_fault(socket, channel as u16, value) {
+                ThermalWriteFault::None => value,
+                ThermalWriteFault::Drop => return Ok(()),
+                // Perturbed values stick masked to the 12-bit width.
+                ThermalWriteFault::Perturb(v) => v & THROTTLE_MAX,
+            },
+            None => value,
+        };
+        self.pci.write32(token, socket, offset, effective)
     }
 
     /// Privileged write of all channels of a socket to the same value.
@@ -118,6 +130,53 @@ mod tests {
         for ch in 0..DIMM_CHANNELS {
             assert_eq!(tc.throttle_value(SocketId(0), ch), 100);
         }
+    }
+
+    #[test]
+    fn faulted_writes_drop_or_perturb() {
+        use crate::faults::{FaultCell, FaultInjector, ThermalWriteFault};
+        use crate::topology::CoreId;
+
+        struct Inj;
+        impl FaultInjector for Inj {
+            fn thermal_write_fault(
+                &self,
+                _socket: SocketId,
+                channel: u16,
+                value: u32,
+            ) -> ThermalWriteFault {
+                match channel {
+                    0 => ThermalWriteFault::Drop,
+                    1 => ThermalWriteFault::Perturb(value | 0xF000_0800),
+                    _ => ThermalWriteFault::None,
+                }
+            }
+            fn pmu_read_error(&self, _core: CoreId, _slot: usize) -> bool {
+                false
+            }
+        }
+
+        let mut pci = PciConfigSpace::new(1);
+        let cell = FaultCell::new();
+        pci.set_fault_cell(cell.clone());
+        let tc = ThermalControl::new(Arc::new(pci));
+        let t = PrivilegeToken(());
+        cell.install(std::sync::Arc::new(Inj));
+
+        // Channel 0: the write reports success but the register keeps
+        // its reset value — only a readback can notice.
+        tc.set_throttle(&t, SocketId(0), 0, 0x200).unwrap();
+        assert_eq!(tc.throttle_value(SocketId(0), 0), THROTTLE_MAX);
+        // Channel 1: a perturbed value sticks, masked to 12 bits.
+        tc.set_throttle(&t, SocketId(0), 1, 0x200).unwrap();
+        assert_eq!(tc.throttle_value(SocketId(0), 1), 0xA00);
+        // Channel 2: unaffected.
+        tc.set_throttle(&t, SocketId(0), 2, 0x200).unwrap();
+        assert_eq!(tc.throttle_value(SocketId(0), 2), 0x200);
+        // Clearing the injector restores faithful writes.
+        cell.clear();
+        tc.set_throttle(&t, SocketId(0), 0, 0x300).unwrap();
+        assert_eq!(tc.throttle_value(SocketId(0), 0), 0x300);
     }
 
     #[test]

@@ -30,6 +30,18 @@ impl Tsc {
         self.freq
             .duration_to_cycles(now.saturating_duration_since(SimTime::ZERO))
     }
+
+    /// The TSC value at `now` as seen on a socket whose counter is
+    /// skewed by `skew_cycles` relative to the reference clock
+    /// (saturating at zero — the TSC never reads negative).
+    pub fn read_skewed(&self, now: SimTime, skew_cycles: i64) -> u64 {
+        let base = self.read(now);
+        if skew_cycles >= 0 {
+            base.saturating_add(skew_cycles as u64)
+        } else {
+            base.saturating_sub(skew_cycles.unsigned_abs())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -42,6 +54,18 @@ mod tests {
         let tsc = Tsc::new(Frequency::from_mhz(2_200));
         assert_eq!(tsc.read(SimTime::ZERO), 0);
         assert_eq!(tsc.read(SimTime::ZERO + Duration::from_ms(1)), 2_200_000);
+    }
+
+    #[test]
+    fn skewed_reads_shift_and_saturate() {
+        let tsc = Tsc::new(Frequency::from_mhz(2_200));
+        let t = SimTime::ZERO + Duration::from_ms(1);
+        assert_eq!(tsc.read_skewed(t, 0), tsc.read(t));
+        assert_eq!(tsc.read_skewed(t, 500), tsc.read(t) + 500);
+        assert_eq!(tsc.read_skewed(t, -500), tsc.read(t) - 500);
+        // Early in the run a large negative skew saturates at zero
+        // instead of wrapping to a huge positive value.
+        assert_eq!(tsc.read_skewed(SimTime::ZERO, -1_000), 0);
     }
 
     #[test]

@@ -170,11 +170,15 @@ impl ThreadCtx {
                 fire_time,
                 live: &live,
                 signalled: Vec::new(),
+                defer: Duration::ZERO,
             };
             cb(&mut api);
             let signalled = api.signalled;
+            let defer = api.defer;
             st.timers[idx].callback = cb;
-            st.timers[idx].next_fire = fire_time + period;
+            // A callback may defer its own next firing (late-timer fault
+            // injection); the period itself is unchanged.
+            st.timers[idx].next_fire = fire_time + period + defer;
             for t in signalled {
                 if let Some(rec) = st.threads.get(t.0) {
                     rec.pending_signal.store(true, Ordering::Relaxed);
@@ -272,14 +276,15 @@ impl ThreadCtx {
         self.clock += d - absorbed;
     }
 
-    /// Executes `rdtscp`, returning the timestamp counter.
+    /// Executes `rdtscp`, returning the timestamp counter as observed on
+    /// this thread's core (including any injected per-socket TSC skew).
     pub fn rdtscp(&mut self) -> u64 {
         self.op_boundary();
         let p = self.platform();
         let cost = p.op_costs().rdtscp_cycles;
         let mult = p.dvfs().multiplier(self.clock);
         self.clock += Duration::from_ns_f64(p.cycles(cost).as_ns_f64() / mult);
-        p.tsc().read(self.clock)
+        p.read_tsc(CoreId(self.core), self.clock)
     }
 
     /// Executes `rdpmc` for counter slot `slot` on this core.

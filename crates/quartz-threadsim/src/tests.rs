@@ -226,6 +226,27 @@ fn monitor_timer_fires_and_signals() {
 }
 
 #[test]
+fn deferred_timer_fires_late() {
+    // A callback that defers its next firing slips by exactly the extra
+    // delay: over 1 ms, a 100 us timer deferring 100 us each firing
+    // lands ~half as many times.
+    let fires = Arc::new(AtomicU64::new(0));
+    let e = engine(Architecture::IvyBridge);
+    let f = Arc::clone(&fires);
+    e.add_timer(Duration::from_us(100), move |api| {
+        f.fetch_add(1, Ordering::Relaxed);
+        api.defer_next(Duration::from_us(100));
+    });
+    e.run(|ctx| {
+        for _ in 0..100 {
+            ctx.compute_ns(10_000.0); // 1 ms total
+        }
+    });
+    let n = fires.load(Ordering::Relaxed);
+    assert!((3..=6).contains(&n), "deferred firings over 1 ms: {n}");
+}
+
+#[test]
 fn signal_delivery_drifts_to_op_boundary() {
     struct StampSignal(Arc<AtomicU64>);
     impl Hooks for StampSignal {

@@ -19,6 +19,7 @@ pub struct TimerApi<'a> {
     pub(crate) fire_time: SimTime,
     pub(crate) live: &'a [ThreadId],
     pub(crate) signalled: Vec<ThreadId>,
+    pub(crate) defer: quartz_platform::time::Duration,
 }
 
 impl TimerApi<'_> {
@@ -36,6 +37,13 @@ impl TimerApi<'_> {
     /// boundary.
     pub fn signal_thread(&mut self, thread: ThreadId) {
         self.signalled.push(thread);
+    }
+
+    /// Pushes the *next* firing of this timer late by `extra` beyond its
+    /// normal period — a slipped/late timer, e.g. under injected
+    /// scheduling faults. Cumulative if called more than once.
+    pub fn defer_next(&mut self, extra: quartz_platform::time::Duration) {
+        self.defer += extra;
     }
 }
 

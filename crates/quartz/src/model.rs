@@ -81,6 +81,63 @@ pub fn split_remote_stall_ns(
     total_stall_ns * (num / denom)
 }
 
+/// The epoch's cycle budget for stall sanity-checking: the cycles the
+/// epoch *could* have spent stalled — the measured wall span plus the
+/// epoch's own bookkeeping (model evaluation and the four counter
+/// reads) — widened by a 9/8 margin that covers the worst per-family
+/// counter-fidelity skew (<10%, see `quartz_platform::pmu::fidelity`).
+///
+/// `LDM_STALL` above this budget is physically impossible (a core cannot
+/// stall for longer than the epoch lasted) and indicates counter
+/// corruption: wrap glitches, cross-socket TSC skew shrinking the
+/// apparent span, or plain bad reads.
+pub fn epoch_budget_cycles(span_cycles: u64, epoch_compute_cycles: u64, rdpmc_cycles: u64) -> u64 {
+    (span_cycles
+        .saturating_add(epoch_compute_cycles)
+        .saturating_add(4 * rdpmc_cycles))
+    .saturating_mul(9)
+        / 8
+}
+
+/// Clamps a derived `LDM_STALL` to the epoch's cycle budget (Eq. 3 can
+/// exceed the epoch under injected TSC skew or wrapped counters).
+/// Returns the clamped value and whether clamping fired.
+pub fn clamp_stall_cycles(ldm_stall_cycles: f64, budget_cycles: u64) -> (f64, bool) {
+    let budget = budget_cycles as f64;
+    if ldm_stall_cycles > budget {
+        (budget, true)
+    } else {
+        (ldm_stall_cycles.max(0.0), false)
+    }
+}
+
+/// The maximum physically meaningful injected delay for an epoch:
+/// if *every* cycle of the budget were a memory stall, Eq. 2 would
+/// inject `budget × (NVM_lat/DRAM_lat − 1)`. Zero when the target is
+/// not slower than the substrate.
+pub fn max_delay_ns(budget_ns: f64, dram_lat_ns: f64, nvm_lat_ns: f64) -> f64 {
+    if dram_lat_ns <= 0.0 {
+        return 0.0;
+    }
+    (budget_ns * (nvm_lat_ns / dram_lat_ns - 1.0)).max(0.0)
+}
+
+/// Clamps an injected delay to [`max_delay_ns`]. Returns the clamped
+/// delay and whether clamping fired.
+pub fn clamp_delay_ns(
+    delay_ns: f64,
+    budget_ns: f64,
+    dram_lat_ns: f64,
+    nvm_lat_ns: f64,
+) -> (f64, bool) {
+    let cap = max_delay_ns(budget_ns, dram_lat_ns, nvm_lat_ns);
+    if delay_ns > cap {
+        (cap, true)
+    } else {
+        (delay_ns.max(0.0), false)
+    }
+}
+
 /// Maps a target bandwidth to the 12-bit thermal-register value, using
 /// the measured peak bandwidth (linear relationship, Fig. 8). Values are
 /// clamped to the register range; targets above peak leave the register
@@ -159,6 +216,40 @@ mod tests {
             assert!(s > prev);
             prev = s;
         }
+    }
+
+    #[test]
+    fn epoch_budget_carries_fidelity_margin() {
+        // span 100k + compute 2k + 4x500 rdpmc = 104k, x9/8 = 117k.
+        assert_eq!(epoch_budget_cycles(100_000, 2_000, 500), 117_000);
+        // Saturates instead of overflowing on absurd spans.
+        assert!(epoch_budget_cycles(u64::MAX, 2_000, 500) > 0);
+    }
+
+    #[test]
+    fn stall_clamp_fires_only_over_budget() {
+        let budget = epoch_budget_cycles(100_000, 2_000, 500);
+        let (v, clamped) = clamp_stall_cycles(50_000.0, budget);
+        assert_eq!((v, clamped), (50_000.0, false));
+        // Over budget: a wrapped counter claiming ~2^48 stall cycles.
+        let (v, clamped) = clamp_stall_cycles(2.8e14, budget);
+        assert_eq!((v, clamped), (budget as f64, true));
+        // Negative garbage clamps up to zero without flagging.
+        assert_eq!(clamp_stall_cycles(-5.0, budget), (0.0, false));
+    }
+
+    #[test]
+    fn delay_clamp_bounds_by_latency_ratio() {
+        // Budget 1000 ns, 100 -> 300 ns: at most 2000 ns of delay.
+        assert_eq!(max_delay_ns(1000.0, 100.0, 300.0), 2000.0);
+        let (d, c) = clamp_delay_ns(1500.0, 1000.0, 100.0, 300.0);
+        assert_eq!((d, c), (1500.0, false));
+        let (d, c) = clamp_delay_ns(1e9, 1000.0, 100.0, 300.0);
+        assert_eq!((d, c), (2000.0, true));
+        // Target not slower than substrate: any positive delay clamps
+        // to zero.
+        assert_eq!(max_delay_ns(1000.0, 100.0, 100.0), 0.0);
+        assert_eq!(clamp_delay_ns(50.0, 1000.0, 100.0, 50.0), (0.0, true));
     }
 
     #[test]

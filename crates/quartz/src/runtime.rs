@@ -1,20 +1,34 @@
 //! The emulator runtime: epoch management, monitor, hooks.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use quartz_memsim::MemorySystem;
 use quartz_platform::kmod::KernelModule;
 use quartz_platform::pmu::bank::StandardCounters;
+use quartz_platform::pmu::COUNTER_MASK;
 use quartz_platform::time::Duration;
-use quartz_platform::{NodeId, Platform, SocketId};
+use quartz_platform::{NodeId, Platform, PlatformError, SocketId, TimerFault};
 use quartz_threadsim::{Engine, Hooks, ThreadCtx};
 
 use crate::config::{CounterAccess, LatencyModelKind, MemoryMode, QuartzConfig};
 use crate::error::QuartzError;
 use crate::model;
 use crate::registry::{SlotRegistry, ThreadSlot};
-use crate::stats::{EpochReason, EpochRecord, QuartzStats, ThreadStats};
+use crate::stats::{DegradationCounters, EpochReason, EpochRecord, QuartzStats, ThreadStats};
+
+/// Retry budget for transient `rdpmc` failures before an epoch gives up
+/// and falls back to its previous counter snapshot.
+const PMU_READ_RETRIES: u32 = 3;
+
+/// Re-program budget for the thermal readback-verify loop before a
+/// throttle target is accepted degraded.
+const THERMAL_RETRIES: u32 = 4;
+
+/// Topology re-reads attempted when a stale snapshot excludes the
+/// registering core, before the hardware is trusted over the snapshot.
+const TOPOLOGY_REFRESHES: u32 = 3;
 
 /// A counter snapshot at an epoch boundary.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -27,14 +41,37 @@ pub(crate) struct Snap {
 }
 
 impl Snap {
+    /// Per-field counter delta, wrap-aware: hardware counters are 48
+    /// bits wide, so a later read below an earlier one means the counter
+    /// wrapped and the true delta is `(now - then) mod 2^48`.
+    ///
+    /// The seed used `saturating_sub`, which silently reported a *zero*
+    /// delta across a wrap — an epoch spanning the wrap lost its entire
+    /// stall accounting and injected no delay.
     pub(crate) fn delta(self, earlier: Snap) -> Snap {
+        let d = |now: u64, then: u64| now.wrapping_sub(then) & COUNTER_MASK;
         Snap {
-            stalls: self.stalls.saturating_sub(earlier.stalls),
-            hits: self.hits.saturating_sub(earlier.hits),
-            miss_local: self.miss_local.saturating_sub(earlier.miss_local),
-            miss_remote: self.miss_remote.saturating_sub(earlier.miss_remote),
-            miss_all: self.miss_all.saturating_sub(earlier.miss_all),
+            stalls: d(self.stalls, earlier.stalls),
+            hits: d(self.hits, earlier.hits),
+            miss_local: d(self.miss_local, earlier.miss_local),
+            miss_remote: d(self.miss_remote, earlier.miss_remote),
+            miss_all: d(self.miss_all, earlier.miss_all),
         }
+    }
+
+    /// How many fields went backwards relative to `earlier` — each one
+    /// is a 48-bit wrap (assuming reads are otherwise monotonic).
+    pub(crate) fn wraps_since(self, earlier: Snap) -> u64 {
+        [
+            (self.stalls, earlier.stalls),
+            (self.hits, earlier.hits),
+            (self.miss_local, earlier.miss_local),
+            (self.miss_remote, earlier.miss_remote),
+            (self.miss_all, earlier.miss_all),
+        ]
+        .iter()
+        .filter(|(now, then)| now < then)
+        .count() as u64
     }
 
     /// Total LLC misses, regardless of which counters the family exposes.
@@ -68,6 +105,9 @@ pub struct Quartz {
     pub(crate) w_ratio: f64,
     /// Sharded per-thread emulator state (see [`crate::registry`]).
     pub(crate) registry: SlotRegistry,
+    /// Lock-free graceful-degradation accounting (see
+    /// [`crate::stats::DegradationStats`]).
+    pub(crate) degradation: Arc<DegradationCounters>,
     pub(crate) init_time: Mutex<Duration>,
     /// Per-epoch trace, populated when enabled (diagnostics; the paper's
     /// statistics "provide useful feedback to the user" for epoch-size
@@ -129,6 +169,7 @@ impl Quartz {
             dram_remote_ns,
             mem,
             registry: SlotRegistry::with_capacity(num_cores),
+            degradation: Arc::new(DegradationCounters::default()),
             init_time: Mutex::new(Duration::ZERO),
             trace: Mutex::new(None),
         }))
@@ -162,6 +203,25 @@ impl Quartz {
         // interposition hot path.
         let q = Arc::clone(self);
         engine.add_timer(self.config.monitor_period, move |api| {
+            // The platform may drop or defer this firing (injected
+            // scheduling faults). A dropped firing only postpones the
+            // age check to the next period — epochs are then closed
+            // late, never lost, because interposition points still fire.
+            if let Some(inj) = q.platform.fault_injector() {
+                match inj.timer_fault() {
+                    TimerFault::None => {}
+                    TimerFault::Drop => {
+                        q.degradation.timer_drops.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    TimerFault::Late(extra) => {
+                        q.degradation
+                            .timer_deferrals
+                            .fetch_add(1, Ordering::Relaxed);
+                        api.defer_next(extra);
+                    }
+                }
+            }
             let live = api.live_threads().to_vec();
             let tids: Vec<usize> = live.iter().map(|t| t.0).collect();
             let starts = q.registry.epoch_starts(&tids); // guard dropped inside
@@ -181,14 +241,13 @@ impl Quartz {
             match self.config.memory_mode {
                 MemoryMode::PmOnly => {
                     for s in 0..self.platform.topology().num_sockets() {
-                        self.kmod.set_dimm_throttle(SocketId(s), register)?;
+                        self.program_throttle_verified(SocketId(s), register)?;
                     }
                 }
                 MemoryMode::TwoMemory => {
                     // Only virtual NVM is throttled; local DRAM keeps
                     // full bandwidth.
-                    self.kmod
-                        .set_dimm_throttle(SocketId(self.nvm_node.0), register)?;
+                    self.program_throttle_verified(SocketId(self.nvm_node.0), register)?;
                 }
             }
         }
@@ -199,6 +258,43 @@ impl Quartz {
                 .cycles(self.platform.op_costs().lib_init_cycles);
         }
         Ok(())
+    }
+
+    /// Programs a throttle target on every channel of `socket` with a
+    /// readback-verify + re-program loop: `THRT_PWR_DIMM` writes on a
+    /// hostile platform can be silently dropped or apply perturbed
+    /// values, and the register is the only ground truth. After
+    /// [`THERMAL_RETRIES`] failed verifies the target is accepted
+    /// *degraded* (bandwidth will be off by the perturbation, which the
+    /// linear throttle model bounds) rather than failing the attach.
+    fn program_throttle_verified(
+        &self,
+        socket: SocketId,
+        register: u32,
+    ) -> Result<(), QuartzError> {
+        let mut attempts = 0;
+        loop {
+            self.kmod.set_dimm_throttle(socket, register)?;
+            let thermal = self.kmod.thermal();
+            let verified = (0..thermal.channels_per_socket())
+                .all(|ch| thermal.throttle_value(socket, ch) == register);
+            if verified {
+                return Ok(());
+            }
+            self.degradation
+                .thermal_write_faults
+                .fetch_add(1, Ordering::Relaxed);
+            if attempts >= THERMAL_RETRIES {
+                self.degradation
+                    .thermal_gave_up
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            attempts += 1;
+            self.degradation
+                .thermal_retries
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Enables or disables per-epoch tracing. Enabling clears any
@@ -248,6 +344,7 @@ impl Quartz {
             threads: self.registry.registered(),
             init_time: *self.init_time.lock(),
             totals,
+            degradation: self.degradation.snapshot(),
         }
     }
 
@@ -267,25 +364,74 @@ impl Quartz {
             .collect()
     }
 
-    fn read_counters(&self, ctx: &mut ThreadCtx, counters: StandardCounters) -> Snap {
-        let read = |ctx: &mut ThreadCtx, slot: usize| -> u64 {
-            match self.config.counter_access {
-                CounterAccess::Rdpmc => ctx.rdpmc(slot),
-                CounterAccess::Papi => ctx.rdpmc_papi(slot),
+    /// Reads the epoch counters, retrying transient `rdpmc` failures
+    /// with exponential backoff (each retry is charged at a doubled
+    /// `rdpmc` cost, modeling the pipeline-drain the retry pays for).
+    /// After [`PMU_READ_RETRIES`] failures a slot falls back to its
+    /// value in `prev` — the previous epoch-boundary snapshot — which
+    /// makes the failing counter contribute a *zero* delta for this
+    /// epoch (under-injection, the safe direction) instead of a
+    /// garbage one. Non-transient errors still panic: they mean the
+    /// counters were never programmed, which is a setup bug.
+    fn read_counters(
+        &self,
+        ctx: &mut ThreadCtx,
+        counters: StandardCounters,
+        prev: Option<Snap>,
+    ) -> Snap {
+        let read = |ctx: &mut ThreadCtx, slot: usize, fallback: u64| -> u64 {
+            let mut attempt = 0u32;
+            loop {
+                let r = match self.config.counter_access {
+                    CounterAccess::Rdpmc => ctx.rdpmc(slot),
+                    CounterAccess::Papi => ctx.rdpmc_papi(slot),
+                };
+                match r {
+                    Ok(v) => {
+                        if attempt > 0 {
+                            self.degradation
+                                .pmu_read_retries
+                                .fetch_add(u64::from(attempt), Ordering::Relaxed);
+                        }
+                        return v;
+                    }
+                    Err(PlatformError::TransientPmuRead { .. }) => {
+                        self.degradation
+                            .pmu_read_faults
+                            .fetch_add(1, Ordering::Relaxed);
+                        if attempt >= PMU_READ_RETRIES {
+                            self.degradation
+                                .pmu_reads_abandoned
+                                .fetch_add(1, Ordering::Relaxed);
+                            return fallback;
+                        }
+                        // Exponential backoff, charged as emulator
+                        // overhead (and thus amortized into the delay).
+                        ctx.charge(
+                            self.platform
+                                .cycles(self.platform.op_costs().rdpmc_cycles << attempt),
+                        );
+                        attempt += 1;
+                    }
+                    Err(e) => panic!("counters programmed at registration: {e}"),
+                }
             }
-            .expect("counters programmed at registration")
         };
-        let stalls = read(ctx, counters.stalls_l2_pending.slot);
-        let hits = read(ctx, counters.l3_hit.slot);
+        let fb = prev.unwrap_or_default();
+        let stalls = read(ctx, counters.stalls_l2_pending.slot, fb.stalls);
+        let hits = read(ctx, counters.l3_hit.slot, fb.hits);
         let miss_local = counters
             .l3_miss_local
-            .map(|c| read(ctx, c.slot))
+            .map(|c| read(ctx, c.slot, fb.miss_local))
             .unwrap_or(0);
         let miss_remote = counters
             .l3_miss_remote
-            .map(|c| read(ctx, c.slot))
+            .map(|c| read(ctx, c.slot, fb.miss_remote))
             .unwrap_or(0);
-        let miss_all = counters.l3_miss_all.map(|c| read(ctx, c.slot)).unwrap_or(0);
+        let miss_all = counters
+            .l3_miss_all
+            .map(|c| read(ctx, c.slot, fb.miss_all))
+            .unwrap_or(0);
         Snap {
             stalls,
             hits,
@@ -336,6 +482,72 @@ impl Quartz {
         }
     }
 
+    /// [`compute_delay_ns`](Self::compute_delay_ns) with the §3-model
+    /// sanity bounds applied: the derived `LDM_STALL` is clamped to the
+    /// epoch's cycle budget (a core cannot stall longer than the epoch
+    /// lasted — beyond it the counters are corrupt) and the resulting
+    /// delay to the budget-implied maximum. Returns the bounded delay
+    /// and whether any clamp fired (the caller treats that as a signal
+    /// to re-calibrate the counter baseline).
+    ///
+    /// The *simple* model is exempt from the budget: Eq. 1 assumes every
+    /// miss serialized and legitimately over-injects under MLP (Fig. 2)
+    /// — that over-injection is the entire point of the ablation, so
+    /// clamping it would erase the effect being studied.
+    pub(crate) fn compute_delay_ns_bounded(&self, d: Snap, budget_cycles: u64) -> (f64, bool) {
+        let nvm = self.config.target.read_latency_ns;
+        match (self.config.model, self.config.memory_mode) {
+            (LatencyModelKind::Simple, _) => (self.compute_delay_ns(d), false),
+            (LatencyModelKind::StallBased, mode) => {
+                let ldm_stall_cycles = model::stalls_from_counters(
+                    d.stalls as f64,
+                    d.hits as f64,
+                    d.misses() as f64,
+                    self.w_ratio,
+                );
+                let (ldm_stall_cycles, stall_clamped) =
+                    model::clamp_stall_cycles(ldm_stall_cycles, budget_cycles);
+                if stall_clamped {
+                    self.degradation
+                        .stall_clamps
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let freq = self.platform.frequency();
+                let stall_ns = freq
+                    .cycles_to_duration(ldm_stall_cycles.round() as u64)
+                    .as_ns_f64();
+                let (delay, substrate) = match mode {
+                    MemoryMode::PmOnly => (
+                        model::delay_stall_based_ns(stall_ns, self.dram_local_ns, nvm),
+                        self.dram_local_ns,
+                    ),
+                    MemoryMode::TwoMemory => {
+                        let rem_ns = model::split_remote_stall_ns(
+                            stall_ns,
+                            d.miss_local,
+                            d.miss_remote,
+                            self.dram_local_ns,
+                            self.dram_remote_ns,
+                        );
+                        (
+                            model::delay_stall_based_ns(rem_ns, self.dram_remote_ns, nvm),
+                            self.dram_remote_ns,
+                        )
+                    }
+                };
+                let budget_ns = freq.cycles_to_duration(budget_cycles).as_ns_f64();
+                let (delay, delay_clamped) =
+                    model::clamp_delay_ns(delay, budget_ns, substrate, nvm);
+                if delay_clamped {
+                    self.degradation
+                        .delay_clamps
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                (delay, stall_clamped || delay_clamped)
+            }
+        }
+    }
+
     /// The calling thread's slot handle.
     pub(crate) fn slot_of(&self, ctx: &ThreadCtx) -> Option<Arc<ThreadSlot>> {
         self.registry.get(ctx.thread_id().0)
@@ -370,26 +582,61 @@ impl Quartz {
     ) {
         // The one-and-only shared-state acquisition for this event.
         let mut owner = slot.lock_owner();
+        let epoch_opened = slot.epoch_start();
 
         let t0 = ctx.now();
-        let cur = self.read_counters(ctx, owner.counters);
+        let prev = owner.snap;
+        let cur = self.read_counters(ctx, owner.counters, Some(prev));
         ctx.charge(
             self.platform
                 .cycles(self.platform.op_costs().epoch_compute_cycles),
         );
+        // Counters are 48 bits: a read below the previous boundary is a
+        // wrap, which the delta math below absorbs (mod 2^48) but the
+        // degradation block still reports.
+        let wraps = cur.wraps_since(prev);
+        if wraps > 0 {
+            self.degradation
+                .counter_wraps
+                .fetch_add(wraps, Ordering::Relaxed);
+        }
         // Compute the delta exactly once; it feeds both the delay model
         // and the trace record below (the seed recomputed it against an
         // already-overwritten `snap`, so the trace could log a different
         // delta than the one charged).
-        let d = cur.delta(owner.snap);
+        let d = cur.delta(prev);
         midpoint(slot);
-        let delay = Duration::from_ns_f64(self.compute_delay_ns(d));
-        let overhead = ctx.now().saturating_duration_since(t0);
+        // The epoch's cycle budget: the wall span since the epoch opened
+        // plus this close's own bookkeeping, widened by the counter-
+        // fidelity margin. A derived stall time above it is physically
+        // impossible and marks the counters as corrupt.
+        let costs = self.platform.op_costs();
+        let span_cycles = self
+            .platform
+            .frequency()
+            .duration_to_cycles(t0.saturating_duration_since(epoch_opened));
+        let budget =
+            model::epoch_budget_cycles(span_cycles, costs.epoch_compute_cycles, costs.rdpmc_cycles);
+        let (delay_ns, clamped) = self.compute_delay_ns_bounded(d, budget);
+        let delay = Duration::from_ns_f64(delay_ns);
 
         // Amortize emulator overhead into the injected delay (§3.2):
         // overhead already slowed the thread down, so it is deducted
         // from the delay; any excess is carried into upcoming epochs.
-        owner.snap = cur;
+        if clamped {
+            // The counters this epoch closed on are corrupt — a clamp
+            // fired. Force a re-calibration: take a fresh baseline so the
+            // next epoch deltas against a trusted read rather than the
+            // corrupt one. The extra read's time folds into `overhead`
+            // below and is amortized like any other bookkeeping.
+            self.degradation
+                .recalibrations
+                .fetch_add(1, Ordering::Relaxed);
+            owner.snap = self.read_counters(ctx, owner.counters, Some(cur));
+        } else {
+            owner.snap = cur;
+        }
+        let overhead = ctx.now().saturating_duration_since(t0);
         // The new epoch starts at the counter-read point, so the
         // injected spin below counts toward the next epoch's age:
         // the minimum-epoch check then gauges *emulated* time, and
@@ -461,8 +708,35 @@ impl Hooks for Quartz {
             self.platform
                 .cycles(self.platform.op_costs().thread_register_cycles),
         );
-        let counters = self.kmod.program_standard_counters(ctx.core());
-        let snap = self.read_counters(ctx, counters);
+        // A stale topology snapshot can claim the registering core does
+        // not exist (hotplug races, cached sysfs reads). Re-read a few
+        // times — each refresh charged like a clock read — and past the
+        // budget trust the hardware over the snapshot: the core is
+        // demonstrably alive, it is running this registration.
+        let mut counters = None;
+        for _ in 0..TOPOLOGY_REFRESHES {
+            match self.kmod.try_program_standard_counters(ctx.core()) {
+                Ok(c) => {
+                    counters = Some(c);
+                    break;
+                }
+                Err(PlatformError::StaleTopology { .. }) => {
+                    self.degradation
+                        .topology_stale_reads
+                        .fetch_add(1, Ordering::Relaxed);
+                    ctx.charge(
+                        self.platform
+                            .cycles(self.platform.op_costs().clock_gettime_cycles),
+                    );
+                    self.degradation
+                        .topology_refreshes
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => panic!("counter programming failed at registration: {e}"),
+            }
+        }
+        let counters = counters.unwrap_or_else(|| self.kmod.program_standard_counters(ctx.core()));
+        let snap = self.read_counters(ctx, counters, None);
         self.registry
             .register(ctx.thread_id().0, counters, snap, ctx.now());
     }

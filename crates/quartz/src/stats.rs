@@ -5,6 +5,7 @@
 //! and whether adjusting the epoch size may improve accuracy (§3.2).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use quartz_platform::time::Duration;
 
@@ -122,6 +123,131 @@ impl ThreadStats {
     }
 }
 
+/// Accounting of every graceful-degradation action the emulator took in
+/// response to platform misbehaviour (injected or real): transient
+/// counter-read failures, counter wraps, model-output clamps, forced
+/// re-calibrations, thermal readback-verify retries, and monitor-timer
+/// perturbations. All zero on a healthy platform.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Transient `rdpmc` failures observed (each triggers a retry).
+    pub pmu_read_faults: u64,
+    /// Successful retries after a transient failure.
+    pub pmu_read_retries: u64,
+    /// Counter reads abandoned after the retry budget; the epoch reused
+    /// its previous snapshot (zero delta) instead of panicking.
+    pub pmu_reads_abandoned: u64,
+    /// 48-bit counter wraps detected by the wrap-aware delta math.
+    pub counter_wraps: u64,
+    /// Derived `LDM_STALL` values clamped to the epoch cycle budget.
+    pub stall_clamps: u64,
+    /// Injected delays clamped to the epoch's maximum meaningful delay.
+    pub delay_clamps: u64,
+    /// Forced counter re-calibrations (snapshot re-reads) after a clamp.
+    pub recalibrations: u64,
+    /// Thermal writes whose readback-verify found a wrong value.
+    pub thermal_write_faults: u64,
+    /// Thermal re-program attempts issued by the verify loop.
+    pub thermal_retries: u64,
+    /// Thermal targets accepted degraded after the retry budget.
+    pub thermal_gave_up: u64,
+    /// Monitor-timer firings dropped by the platform.
+    pub timer_drops: u64,
+    /// Monitor-timer firings deferred (late) by the platform.
+    pub timer_deferrals: u64,
+    /// Stale topology reads that excluded a live core at registration.
+    pub topology_stale_reads: u64,
+    /// Topology refreshes performed before registration succeeded.
+    pub topology_refreshes: u64,
+}
+
+impl DegradationStats {
+    /// Total faults *observed* (not the degradation actions taken).
+    pub fn total_faults(&self) -> u64 {
+        self.pmu_read_faults
+            + self.counter_wraps
+            + self.stall_clamps
+            + self.delay_clamps
+            + self.thermal_write_faults
+            + self.timer_drops
+            + self.timer_deferrals
+            + self.topology_stale_reads
+    }
+
+    /// Renders the block as a JSON object (hand-rolled, deterministic,
+    /// keys in declaration order — see [`ThreadStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"total_faults\":{},\"pmu_read_faults\":{},\"pmu_read_retries\":{},",
+                "\"pmu_reads_abandoned\":{},\"counter_wraps\":{},\"stall_clamps\":{},",
+                "\"delay_clamps\":{},\"recalibrations\":{},\"thermal_write_faults\":{},",
+                "\"thermal_retries\":{},\"thermal_gave_up\":{},\"timer_drops\":{},",
+                "\"timer_deferrals\":{},\"topology_stale_reads\":{},\"topology_refreshes\":{}}}"
+            ),
+            self.total_faults(),
+            self.pmu_read_faults,
+            self.pmu_read_retries,
+            self.pmu_reads_abandoned,
+            self.counter_wraps,
+            self.stall_clamps,
+            self.delay_clamps,
+            self.recalibrations,
+            self.thermal_write_faults,
+            self.thermal_retries,
+            self.thermal_gave_up,
+            self.timer_drops,
+            self.timer_deferrals,
+            self.topology_stale_reads,
+            self.topology_refreshes,
+        )
+    }
+}
+
+/// Lock-free accumulator behind [`DegradationStats`]: degradation events
+/// are recorded from the interposition hot path and the monitor timer,
+/// so they must not reintroduce the global-lock contention the sharded
+/// registry removed.
+#[derive(Debug, Default)]
+pub(crate) struct DegradationCounters {
+    pub pmu_read_faults: AtomicU64,
+    pub pmu_read_retries: AtomicU64,
+    pub pmu_reads_abandoned: AtomicU64,
+    pub counter_wraps: AtomicU64,
+    pub stall_clamps: AtomicU64,
+    pub delay_clamps: AtomicU64,
+    pub recalibrations: AtomicU64,
+    pub thermal_write_faults: AtomicU64,
+    pub thermal_retries: AtomicU64,
+    pub thermal_gave_up: AtomicU64,
+    pub timer_drops: AtomicU64,
+    pub timer_deferrals: AtomicU64,
+    pub topology_stale_reads: AtomicU64,
+    pub topology_refreshes: AtomicU64,
+}
+
+impl DegradationCounters {
+    pub(crate) fn snapshot(&self) -> DegradationStats {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        DegradationStats {
+            pmu_read_faults: ld(&self.pmu_read_faults),
+            pmu_read_retries: ld(&self.pmu_read_retries),
+            pmu_reads_abandoned: ld(&self.pmu_reads_abandoned),
+            counter_wraps: ld(&self.counter_wraps),
+            stall_clamps: ld(&self.stall_clamps),
+            delay_clamps: ld(&self.delay_clamps),
+            recalibrations: ld(&self.recalibrations),
+            thermal_write_faults: ld(&self.thermal_write_faults),
+            thermal_retries: ld(&self.thermal_retries),
+            thermal_gave_up: ld(&self.thermal_gave_up),
+            timer_drops: ld(&self.timer_drops),
+            timer_deferrals: ld(&self.timer_deferrals),
+            topology_stale_reads: ld(&self.topology_stale_reads),
+            topology_refreshes: ld(&self.topology_refreshes),
+        }
+    }
+}
+
 /// One closed epoch, as recorded when tracing is enabled
 /// ([`crate::Quartz::set_epoch_trace`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -151,6 +277,8 @@ pub struct QuartzStats {
     pub init_time: Duration,
     /// Sum over threads.
     pub totals: ThreadStats,
+    /// Graceful-degradation accounting (all zero on a healthy platform).
+    pub degradation: DegradationStats,
 }
 
 impl QuartzStats {
@@ -186,6 +314,13 @@ impl QuartzStats {
             self.overhead_fully_amortized(),
             self.totals.to_json(),
         );
+        // Emitted only when some degradation occurred: healthy runs stay
+        // byte-identical to the pre-fault-injection schema, and any
+        // fault-handling activity is guaranteed to surface.
+        if self.degradation != DegradationStats::default() {
+            out.push_str(",\"degradation\":");
+            out.push_str(&self.degradation.to_json());
+        }
         if !per_thread.is_empty() {
             out.push_str(",\"per_thread\":[");
             for (i, t) in per_thread.iter().enumerate() {
@@ -240,6 +375,23 @@ impl fmt::Display for QuartzStats {
             "  state lock (host)  : {} acquisitions, {} ns waited",
             self.totals.lock_acquisitions, self.totals.lock_wait_ns
         )?;
+        if self.degradation != DegradationStats::default() {
+            let d = &self.degradation;
+            writeln!(
+                f,
+                "  degradation        : {} faults (pmu {}, wraps {}, clamps {}+{}, thermal {}, timer {}+{}, topology {}), {} recalibrations",
+                d.total_faults(),
+                d.pmu_read_faults,
+                d.counter_wraps,
+                d.stall_clamps,
+                d.delay_clamps,
+                d.thermal_write_faults,
+                d.timer_drops,
+                d.timer_deferrals,
+                d.topology_stale_reads,
+                d.recalibrations,
+            )?;
+        }
         if self.overhead_fully_amortized() {
             writeln!(f, "  overhead fully amortized into injected delays")?;
         } else {
@@ -324,6 +476,44 @@ mod tests {
         let nested = s.to_json_with(&per);
         assert!(nested.contains("\"per_thread\":[{"));
         assert_eq!(nested.matches("\"lock_wait_ns\"").count(), 3);
+    }
+
+    #[test]
+    fn degradation_block_appears_only_under_faults() {
+        let mut s = QuartzStats::default();
+        // Healthy run: schema is byte-identical to the pre-fault era.
+        assert!(!s.to_json().contains("degradation"));
+        assert!(!s.to_string().contains("degradation"));
+        s.degradation.pmu_read_faults = 2;
+        s.degradation.pmu_read_retries = 2;
+        s.degradation.counter_wraps = 1;
+        s.degradation.stall_clamps = 1;
+        s.degradation.recalibrations = 1;
+        let j = s.to_json();
+        assert!(j.contains("\"degradation\":{\"total_faults\":4,"));
+        assert!(j.contains("\"pmu_read_retries\":2"));
+        assert!(j.contains("\"counter_wraps\":1"));
+        assert!(j.contains("\"recalibrations\":1"));
+        assert!(s.to_string().contains("degradation"));
+        // Pure-action degradation (retry bookkeeping with no observed
+        // fault) still surfaces the block.
+        let mut s2 = QuartzStats::default();
+        s2.degradation.thermal_retries = 3;
+        assert_eq!(s2.degradation.total_faults(), 0);
+        assert!(s2.to_json().contains("\"thermal_retries\":3"));
+    }
+
+    #[test]
+    fn degradation_counters_snapshot_roundtrip() {
+        let c = DegradationCounters::default();
+        c.pmu_read_faults.store(7, Ordering::Relaxed);
+        c.timer_drops.store(3, Ordering::Relaxed);
+        c.topology_refreshes.store(2, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.pmu_read_faults, 7);
+        assert_eq!(s.timer_drops, 3);
+        assert_eq!(s.topology_refreshes, 2);
+        assert_eq!(s.total_faults(), 10);
     }
 
     #[test]

@@ -737,6 +737,28 @@ mod snap_properties {
             prop_assert_eq!(charged_misses, total.misses(), "misses() additive per family");
         }
 
+        /// 48-bit wrap regression (the seed's `saturating_sub` delta
+        /// silently zeroed the epoch that spanned a wrap): for a counter
+        /// parked anywhere, including just below 2^48, the delta across
+        /// the wrap recovers the true increment mod 2^48.
+        #[test]
+        fn snap_delta_survives_48_bit_wrap(
+            park_below in 0u64..1_000_000,
+            inc in 0u64..10_000_000,
+        ) {
+            use quartz_platform::pmu::COUNTER_MASK;
+            let start = COUNTER_MASK - park_below; // just below 2^48
+            let before = Snap { stalls: start, ..Snap::default() };
+            let after = Snap {
+                stalls: start.wrapping_add(inc) & COUNTER_MASK,
+                ..Snap::default()
+            };
+            let d = after.delta(before);
+            prop_assert_eq!(d.stalls, inc, "delta must be the true increment mod 2^48");
+            let wraps = after.wraps_since(before);
+            prop_assert_eq!(wraps, u64::from(inc > park_below), "wrap detection");
+        }
+
         /// `misses()` prefers the unified counter when the architecture
         /// provides one and falls back to the local/remote split.
         #[test]

@@ -92,6 +92,46 @@ fn crash_sweep_is_byte_identical_at_any_jobs_count() {
 }
 
 #[test]
+fn fault_matrix_is_byte_identical_at_any_jobs_count() {
+    // The fault matrix runs seeded fault injectors whose decision
+    // streams are pure functions of (seed, seam, sequence); the permit-
+    // handoff engine makes the sequences themselves deterministic. The
+    // experiment must therefore uphold the same byte-identity contract
+    // as every virtual-time study — faults included.
+    assert!(
+        registry::find("fault_matrix")
+            .expect("registered")
+            .deterministic(),
+        "fault_matrix must advertise determinism"
+    );
+    let base = std::env::temp_dir().join("quartz_bench_golden_faults");
+    let (console1, files1) = golden_run("fault_matrix", 1, &base.join("j1"));
+    let (console8, files8) = golden_run("fault_matrix", 8, &base.join("j8"));
+    assert_eq!(console1, console8);
+    assert!(
+        console1.contains("bound_violations=0 silent_fault_classes=0"),
+        "every cell must hold its declared bound and trip its seam:\n{console1}"
+    );
+    // The control row proves the A/B methodology: zero drift, zero
+    // faults.
+    assert!(console1.contains("memlat/none"), "{console1}");
+    assert!(!files1.is_empty());
+    assert_eq!(files1.len(), files8.len());
+    for ((n1, b1), (n8, b8)) in files1.iter().zip(&files8) {
+        assert_eq!(n1, n8);
+        assert_eq!(b1, b8, "{n1} differs between --jobs 1 and --jobs 8");
+    }
+    // The JSON rows carry the DegradationStats block for faulted cells.
+    let json = files1
+        .iter()
+        .find(|(n, _)| n.ends_with(".json"))
+        .map(|(_, b)| String::from_utf8_lossy(b).into_owned())
+        .expect("JSON row file");
+    assert!(json.contains("\"degradation\""), "{json}");
+    assert!(json.contains("\"total_faults\""), "{json}");
+}
+
+#[test]
 fn repeated_serial_runs_are_byte_identical() {
     let base = std::env::temp_dir().join("quartz_bench_golden_repeat");
     let (c1, f1) = golden_run("ablation_pcommit", 1, &base.join("a"));

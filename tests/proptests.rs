@@ -169,6 +169,81 @@ proptest! {
         }
     }
 
+    /// §3.3 latency-weighted split: the local and remote shares are an
+    /// *exact* partition of the total stall time (what Eq. 2 charges is
+    /// never more or less than what was measured), and the remote share
+    /// grows with the remote latency — a slower remote memory soaks up
+    /// a larger fraction of the same stall time.
+    #[test]
+    fn stall_split_shares_sum_and_remote_share_is_monotone_in_latency(
+        total in 0.0f64..1e9,
+        m_loc in 1u64..1_000_000,
+        m_rem in 1u64..1_000_000,
+        lat_loc in 50.0f64..150.0,
+        lat_rem in 150.0f64..300.0,
+        bump in 1.0f64..500.0,
+    ) {
+        let rem = model::split_remote_stall_ns(total, m_loc, m_rem, lat_loc, lat_rem);
+        // The local share is the complement: swap the roles.
+        let loc = model::split_remote_stall_ns(total, m_rem, m_loc, lat_rem, lat_loc);
+        prop_assert!(
+            (rem + loc - total).abs() <= total * 1e-9 + 1e-9,
+            "shares must partition the total: {rem} + {loc} != {total}"
+        );
+        // Remote share is monotone in the remote latency.
+        let rem_slower = model::split_remote_stall_ns(total, m_loc, m_rem, lat_loc, lat_rem + bump);
+        prop_assert!(rem_slower >= rem - 1e-9);
+        // Degenerate cases are exact, not approximate.
+        prop_assert_eq!(model::split_remote_stall_ns(total, m_loc, 0, lat_loc, lat_rem), 0.0);
+        prop_assert_eq!(model::split_remote_stall_ns(0.0, m_loc, m_rem, lat_loc, lat_rem), 0.0);
+    }
+
+    /// The degradation clamp chain: whatever garbage `LDM_STALL` the
+    /// (possibly wrapped, skewed, or mis-read) counters produce, the
+    /// injected delay lands in `[0, budget × (NVM/DRAM − 1)]` — the
+    /// physical maximum if every budget cycle were a memory stall.
+    #[test]
+    fn clamped_delay_is_within_epoch_budget(
+        ldm_stall in -1e6f64..1e18,
+        span in 0u64..1 << 40,
+        compute in 0u64..1 << 20,
+        rdpmc in 0u64..1 << 16,
+        mhz in 800u64..4_000,
+        dram in 50.0f64..200.0,
+        extra in 0.0f64..2_000.0,
+    ) {
+        let nvm = dram + extra;
+        let budget_cycles = model::epoch_budget_cycles(span, compute, rdpmc);
+        let (stall, _) = model::clamp_stall_cycles(ldm_stall, budget_cycles);
+        prop_assert!(stall >= 0.0 && stall <= budget_cycles as f64);
+        let f = Frequency::from_mhz(mhz);
+        let budget_ns = f.cycles_to_duration(budget_cycles).as_ns_f64();
+        let stall_ns = f.cycles_to_duration(stall.round() as u64).as_ns_f64();
+        let raw = model::delay_stall_based_ns(stall_ns, dram, nvm);
+        let (delay, _) = model::clamp_delay_ns(raw, budget_ns, dram, nvm);
+        let cap = budget_ns * (nvm / dram - 1.0);
+        prop_assert!(delay >= 0.0);
+        prop_assert!(delay <= cap * (1.0 + 1e-9) + 1e-9, "{delay} > {cap}");
+        // And a clamped value is a fixed point: clamping twice is
+        // clamping once.
+        let (again, fired) = model::clamp_delay_ns(delay, budget_ns, dram, nvm);
+        prop_assert_eq!(again, delay);
+        prop_assert!(!fired || delay == 0.0);
+    }
+
+    /// 48-bit wrap arithmetic: masked wrapping subtraction recovers the
+    /// true increment for any park position and increment < 2^48.
+    #[test]
+    fn counter_wrap_math_recovers_increment(
+        park in 0u64..(1u64 << 48),
+        inc in 0u64..(1u64 << 47),
+    ) {
+        use quartz_platform::pmu::COUNTER_MASK;
+        let now = park.wrapping_add(inc) & COUNTER_MASK;
+        let delta = now.wrapping_sub(park) & COUNTER_MASK;
+        prop_assert_eq!(delta, inc);
+    }
+
     #[test]
     fn throttle_register_is_monotone(peak in 1.0f64..100.0, t1 in 0.0f64..100.0, t2 in 0.0f64..100.0) {
         let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
