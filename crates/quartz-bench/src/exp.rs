@@ -8,10 +8,39 @@
 //! the harness renders, saves, and indexes their reports, which is what
 //! makes `repro` output byte-identical at any `--jobs` count.
 
+use std::panic::panic_any;
+
 use parking_lot::Mutex;
 
-use crate::grid::{run_grid, PointTiming, Pt};
+use crate::grid::{run_grid_checked, PointFailure, PointTiming, Pt};
 use crate::report::Table;
+
+/// Structured panic payload thrown by [`ExpCtx::grid`] when a sweep
+/// point fails, and caught by the harness to quarantine the experiment
+/// (record `status: failed` in the manifest, keep running the rest).
+///
+/// Carrying a typed payload rather than a bare string lets the harness
+/// distinguish "a simulation inside this experiment failed" (named
+/// point, classified message) from an arbitrary assertion in
+/// experiment code, while both still quarantine the same way.
+#[derive(Clone, Debug)]
+pub struct ExpFailure {
+    /// Human-readable failure description (e.g. a
+    /// `SimFailure` rendering with the deadlock cycle named).
+    pub message: String,
+    /// The failing grid point's label, when the failure came from a
+    /// sweep point.
+    pub point: Option<String>,
+}
+
+impl std::fmt::Display for ExpFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.point {
+            Some(p) => write!(f, "point '{p}': {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
 
 /// A reproduced table/figure/study from the paper (or beyond it).
 pub trait Experiment: Sync {
@@ -67,17 +96,22 @@ impl ExpCtx {
 
     /// Evaluates `f` over the experiment's declared sweep on the worker
     /// pool and returns the results in declaration order (see
-    /// [`run_grid`]). Per-point wall times are recorded for the run
-    /// manifest.
+    /// [`crate::grid::run_grid`]). Per-point wall times are recorded
+    /// for the run manifest.
+    ///
+    /// # Panics
+    ///
+    /// If any point panics, throws an [`ExpFailure`] naming the
+    /// **declaration-order first** failing point (so the observable
+    /// failure is byte-identical at any `--jobs`); the harness catches
+    /// it and quarantines the experiment.
     pub fn grid<T, R, F>(&self, points: Vec<Pt<T>>, f: F) -> Vec<R>
     where
         T: Send + Sync,
         R: Send,
         F: Fn(&Pt<T>) -> R + Sync,
     {
-        let (results, timings) = run_grid(self.jobs, points, f);
-        self.timings.lock().extend(timings);
-        results
+        self.run_checked(self.jobs, points, f)
     }
 
     /// Like [`ExpCtx::grid`] but always serial, for host-timing
@@ -88,9 +122,37 @@ impl ExpCtx {
         R: Send,
         F: Fn(&Pt<T>) -> R + Sync,
     {
-        let (results, timings) = run_grid(1, points, f);
+        self.run_checked(1, points, f)
+    }
+
+    fn run_checked<T, R, F>(&self, jobs: usize, points: Vec<Pt<T>>, f: F) -> Vec<R>
+    where
+        T: Send + Sync,
+        R: Send,
+        F: Fn(&Pt<T>) -> R + Sync,
+    {
+        let (results, timings) = run_grid_checked(jobs, points, f);
         self.timings.lock().extend(timings);
-        results
+        let mut out = Vec::with_capacity(results.len());
+        let mut first_failure: Option<PointFailure> = None;
+        for r in results {
+            match r {
+                Ok(v) => out.push(v),
+                // `run_grid_checked` yields declaration order, so the
+                // first `Err` seen here is the declaration-order first
+                // failure regardless of worker scheduling.
+                Err(fail) => {
+                    first_failure.get_or_insert(fail);
+                }
+            }
+        }
+        if let Some(fail) = first_failure {
+            panic_any(ExpFailure {
+                message: fail.message,
+                point: Some(fail.label),
+            });
+        }
+        out
     }
 
     /// Drains the per-point wall times recorded so far (harness use).
@@ -158,6 +220,31 @@ mod tests {
         assert_eq!(timings.len(), 2);
         assert_eq!(timings[0].label, "a");
         assert!(ctx.take_timings().is_empty());
+    }
+
+    #[test]
+    fn grid_failure_throws_first_declaration_order_exp_failure() {
+        for jobs in [1usize, 8] {
+            let ctx = ExpCtx::new(true, jobs);
+            let pts: Vec<Pt<u64>> = (0..12).map(|i| Pt::new(format!("p{i}"), i, i)).collect();
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ctx.grid(pts, |p| {
+                    if p.data == 4 || p.data == 9 {
+                        panic!("sim failed on {}", p.data);
+                    }
+                    p.data
+                })
+            }))
+            .expect_err("failing grid must unwind");
+            let fail = err
+                .downcast_ref::<ExpFailure>()
+                .expect("payload is a structured ExpFailure");
+            assert_eq!(fail.point.as_deref(), Some("p4"), "jobs={jobs}");
+            assert_eq!(fail.message, "sim failed on 4");
+            assert_eq!(fail.to_string(), "point 'p4': sim failed on 4");
+            // Timings for the whole sweep were still recorded.
+            assert_eq!(ctx.take_timings().len(), 12);
+        }
     }
 
     #[test]

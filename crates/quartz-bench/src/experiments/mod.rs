@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod contention;
 pub mod crash;
 pub mod extensions;
+pub mod failure_modes;
 pub mod faults;
 pub mod fig11;
 pub mod fig12;

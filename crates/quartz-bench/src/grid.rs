@@ -8,6 +8,7 @@
 //! simulator is seed-deterministic, so the assembled output is
 //! byte-identical at any `--jobs` count — only the wall-clock changes.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::Instant;
@@ -50,6 +51,30 @@ pub struct PointTiming {
     pub wall_ms: f64,
 }
 
+/// A grid point whose evaluation closure panicked, captured by
+/// [`run_grid_checked`] instead of tearing down the worker pool.
+#[derive(Clone, Debug)]
+pub struct PointFailure {
+    /// The failing point's label.
+    pub label: String,
+    /// The failing point's declaration index in the sweep.
+    pub index: usize,
+    /// The rendered panic payload (`&str`/`String` payloads verbatim,
+    /// anything else a placeholder).
+    pub message: String,
+}
+
+/// Renders a `catch_unwind` payload the way the panic hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Evaluates `f` over `points` with up to `jobs` worker threads and
 /// returns `(results, timings)` — both **in declaration order**,
 /// regardless of which worker finished first.
@@ -59,8 +84,40 @@ pub struct PointTiming {
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (a panicking worker aborts the run).
+/// Propagates the panic of the **declaration-order first** failing
+/// point (so the observable failure is independent of worker
+/// scheduling); healthy points keep running to completion first.
 pub fn run_grid<T, R, F>(jobs: usize, points: Vec<Pt<T>>, f: F) -> (Vec<R>, Vec<PointTiming>)
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&Pt<T>) -> R + Sync,
+{
+    let (results, timings) = run_grid_checked(jobs, points, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(v) => out.push(v),
+            Err(fail) => panic!(
+                "grid point '{}' (index {}) panicked: {}",
+                fail.label, fail.index, fail.message
+            ),
+        }
+    }
+    (out, timings)
+}
+
+/// Like [`run_grid`] but quarantines panicking points instead of
+/// propagating: each result slot is `Ok(R)` or `Err(PointFailure)`, in
+/// declaration order. A panicking point records a timing like any
+/// other; the remaining points still run. This is what lets the bench
+/// harness quarantine one failing experiment point without aborting
+/// the sweep or perturbing the output of healthy points.
+pub fn run_grid_checked<T, R, F>(
+    jobs: usize,
+    points: Vec<Pt<T>>,
+    f: F,
+) -> (Vec<Result<R, PointFailure>>, Vec<PointTiming>)
 where
     T: Send + Sync,
     R: Send,
@@ -68,12 +125,19 @@ where
 {
     let n = points.len();
     let workers = jobs.max(1).min(n.max(1));
+    let eval = |i: usize, p: &Pt<T>| -> Result<R, PointFailure> {
+        panic::catch_unwind(AssertUnwindSafe(|| f(p))).map_err(|payload| PointFailure {
+            label: p.label.clone(),
+            index: i,
+            message: panic_message(payload.as_ref()),
+        })
+    };
     if workers <= 1 {
         let mut results = Vec::with_capacity(n);
         let mut timings = Vec::with_capacity(n);
-        for p in &points {
+        for (i, p) in points.iter().enumerate() {
             let t0 = Instant::now();
-            results.push(f(p));
+            results.push(eval(i, p));
             timings.push(PointTiming {
                 label: p.label.clone(),
                 seed: p.seed,
@@ -85,7 +149,8 @@ where
 
     // Each slot is written exactly once by whichever worker claims its
     // index; collection happens after the scope joins every worker.
-    let slots: Vec<Mutex<Option<(R, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    type Slot<R> = Mutex<Option<(Result<R, PointFailure>, f64)>>;
+    let slots: Vec<Slot<R>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     thread::scope(|s| {
         for _ in 0..workers {
@@ -95,7 +160,7 @@ where
                     break;
                 }
                 let t0 = Instant::now();
-                let r = f(&points[i]);
+                let r = eval(i, &points[i]);
                 *slots[i].lock() = Some((r, t0.elapsed().as_secs_f64() * 1e3));
             });
         }
@@ -170,5 +235,43 @@ mod tests {
     fn more_jobs_than_points_is_fine() {
         let (out, _) = run_grid(64, points(3), |p| p.data);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn checked_grid_quarantines_panicking_points() {
+        for jobs in [1usize, 4] {
+            let (out, timings) = run_grid_checked(jobs, points(8), |p| {
+                if p.data == 3 || p.data == 6 {
+                    panic!("point {} blew up", p.data);
+                }
+                p.data * 2
+            });
+            assert_eq!(out.len(), 8, "jobs={jobs}");
+            assert_eq!(timings.len(), 8, "jobs={jobs}");
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) if i != 3 && i != 6 => assert_eq!(*v, i as u64 * 2),
+                    Err(fail) if i == 3 || i == 6 => {
+                        assert_eq!(fail.index, i);
+                        assert_eq!(fail.label, format!("p{i}"));
+                        assert_eq!(fail.message, format!("point {i} blew up"));
+                    }
+                    other => panic!("slot {i} misclassified: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid point 'p2' (index 2) panicked: kaboom")]
+    fn unchecked_grid_reports_first_declaration_order_failure() {
+        // Two failing points; the propagated panic must name the
+        // declaration-order first one regardless of worker scheduling.
+        let _ = run_grid(8, points(10), |p| {
+            if p.data == 2 || p.data == 7 {
+                panic!("kaboom");
+            }
+            p.data
+        });
     }
 }

@@ -15,12 +15,13 @@
 //! manifest and the summary table.
 
 use std::io::{self, Write};
+use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::Instant;
 
-use crate::exp::{ExpCtx, Experiment};
+use crate::exp::{ExpCtx, ExpFailure, Experiment};
 use crate::json::Json;
-use crate::manifest::{ExperimentRecord, Manifest};
+use crate::manifest::{ExperimentRecord, Manifest, RunStatus};
 
 /// How a `repro` run should execute.
 #[derive(Clone, Debug)]
@@ -32,6 +33,14 @@ pub struct RunOptions {
     /// Worker budget per experiment grid (defaults to the host's
     /// available parallelism).
     pub jobs: usize,
+    /// Stop at the first quarantined experiment instead of running the
+    /// remainder of the selection (`--fail-fast`; the default is
+    /// keep-going).
+    pub fail_fast: bool,
+    /// Quarantine the named experiment with a deterministic injected
+    /// failure instead of running it (`--inject-fail NAME`; CI uses
+    /// this to exercise the quarantine path on the full grid).
+    pub inject_fail: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -42,12 +51,71 @@ impl Default for RunOptions {
             jobs: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            fail_fast: false,
+            inject_fail: None,
         }
+    }
+}
+
+/// Installs (once per process) a panic-hook filter that silences the
+/// default hook for [`ExpFailure`] payloads: they are thrown by
+/// `ExpCtx::grid` purely to carry a structured failure up to
+/// [`run_experiments`], which always catches them and renders a
+/// quarantine line — the stock `Box<dyn Any>` stderr noise would only
+/// obscure it. Every other payload falls through to the previous hook.
+fn install_exp_failure_hook_filter() {
+    use std::sync::Once;
+    static FILTER: Once = Once::new();
+    FILTER.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ExpFailure>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs one experiment, converting any unwind into a quarantine
+/// status. A structured [`ExpFailure`] (thrown by `ExpCtx::grid` for a
+/// failing sweep point) keeps its point label; any other payload is
+/// rendered as a plain message.
+fn run_quarantined(exp: &dyn Experiment, ctx: &ExpCtx) -> Result<crate::exp::ExpReport, RunStatus> {
+    match panic::catch_unwind(AssertUnwindSafe(|| exp.run(ctx))) {
+        Ok(report) => Ok(report),
+        Err(payload) => Err(if let Some(f) = payload.downcast_ref::<ExpFailure>() {
+            RunStatus::Failed {
+                message: f.message.clone(),
+                point: f.point.clone(),
+            }
+        } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+            RunStatus::Failed {
+                message: (*s).to_string(),
+                point: None,
+            }
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            RunStatus::Failed {
+                message: s.clone(),
+                point: None,
+            }
+        } else {
+            RunStatus::Failed {
+                message: "non-string panic payload".to_string(),
+                point: None,
+            }
+        }),
     }
 }
 
 /// Runs `selection` under `opts`, streaming human output to `out`.
 /// Returns the manifest (already saved to `out_dir/manifest.json`).
+///
+/// An experiment that unwinds (simulation failure, assertion, injected
+/// fault) is **quarantined**: its failure is recorded in the manifest
+/// (`status: failed`), nothing is saved for it, and — unless
+/// `fail_fast` — the remaining experiments still run with their
+/// console/CSV/JSON output untouched. Callers decide the process exit
+/// code from [`Manifest::any_failed`].
 ///
 /// # Errors
 ///
@@ -57,15 +125,52 @@ pub fn run_experiments(
     opts: &RunOptions,
     out: &mut dyn Write,
 ) -> io::Result<Manifest> {
+    install_exp_failure_hook_filter();
     let mut manifest = Manifest::new(opts.quick, opts.jobs);
     for &exp in selection {
         let mut record = ExperimentRecord::begin(exp);
         writeln!(out, "=== {} — {} ===", exp.name(), exp.paper_ref())?;
         let ctx = ExpCtx::new(opts.quick, opts.jobs);
         let t0 = Instant::now();
-        let report = exp.run(&ctx);
+        let outcome = if opts.inject_fail.as_deref() == Some(exp.name()) {
+            Err(RunStatus::Failed {
+                message: "injected failure (--inject-fail)".to_string(),
+                point: None,
+            })
+        } else {
+            run_quarantined(exp, &ctx)
+        };
         record.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         record.points = ctx.take_timings();
+
+        let report = match outcome {
+            Ok(report) => report,
+            Err(status) => {
+                if let RunStatus::Failed { message, point } = &status {
+                    match point {
+                        Some(p) => writeln!(
+                            out,
+                            "!!! {} QUARANTINED at point '{}': {}",
+                            exp.name(),
+                            p,
+                            message
+                        )?,
+                        None => writeln!(out, "!!! {} QUARANTINED: {}", exp.name(), message)?,
+                    }
+                }
+                record.status = status;
+                writeln!(out, "[{} took {:.1}s]\n", exp.name(), record.wall_ms / 1e3)?;
+                manifest.experiments.push(record);
+                if opts.fail_fast {
+                    writeln!(
+                        out,
+                        "fail-fast: stopping after first quarantined experiment"
+                    )?;
+                    break;
+                }
+                continue;
+            }
+        };
 
         for table in &report.tables {
             write!(out, "{}", table.render())?;
@@ -119,6 +224,15 @@ pub fn run_experiments(
     if selection.len() > 1 {
         write!(out, "{}", manifest.summary_table().render())?;
     }
+    if manifest.any_failed() {
+        let failed: Vec<&str> = manifest
+            .experiments
+            .iter()
+            .filter(|e| e.status.is_failed())
+            .map(|e| e.name.as_str())
+            .collect();
+        writeln!(out, "quarantined: {}", failed.join(", "))?;
+    }
     let path = manifest.save(&opts.out_dir)?;
     writeln!(out, "manifest: {}", path.display())?;
     Ok(manifest)
@@ -163,6 +277,7 @@ mod tests {
             quick: true,
             out_dir: dir.clone(),
             jobs: 2,
+            ..RunOptions::default()
         };
         let mut buf = Vec::new();
         let m = run_experiments(&[&Demo], &opts, &mut buf).unwrap();
@@ -186,5 +301,114 @@ mod tests {
         assert!(!rows.contains("wall_ms"), "row files carry no wall times");
         assert!(dir.join("demo_harness_table.csv").exists());
         assert!(dir.join("manifest.json").exists());
+        assert_eq!(m.experiments[0].status, RunStatus::Ok);
+        assert!(!m.any_failed());
+    }
+
+    struct Exploder;
+    impl Experiment for Exploder {
+        fn name(&self) -> &'static str {
+            "exploder"
+        }
+        fn description(&self) -> &'static str {
+            "a test-only experiment whose sweep point fails"
+        }
+        fn paper_ref(&self) -> &'static str {
+            "§0"
+        }
+        fn run(&self, ctx: &ExpCtx) -> ExpReport {
+            use crate::grid::Pt;
+            let pts = vec![Pt::new("ok", 1, 1u64), Pt::new("bad", 2, 2u64)];
+            let _ = ctx.grid(pts, |p| {
+                if p.data == 2 {
+                    panic!("simulated deadlock");
+                }
+                p.data
+            });
+            ExpReport::default()
+        }
+    }
+
+    #[test]
+    fn failing_experiment_is_quarantined_and_rest_still_run() {
+        let dir = std::env::temp_dir().join("quartz_bench_harness_quarantine_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            quick: true,
+            out_dir: dir.clone(),
+            jobs: 2,
+            ..RunOptions::default()
+        };
+        let mut buf = Vec::new();
+        let m = run_experiments(&[&Exploder, &Demo], &opts, &mut buf).unwrap();
+        let console = String::from_utf8(buf).unwrap();
+        assert!(console.contains("!!! exploder QUARANTINED at point 'bad': simulated deadlock"));
+        assert!(console.contains("quarantined: exploder"));
+        // The healthy experiment still ran and saved its outputs.
+        assert!(console.contains("Demo harness table"));
+        assert!(dir.join("demo.json").exists());
+        // The quarantined experiment saved nothing.
+        assert!(!dir.join("exploder.json").exists());
+
+        assert!(m.any_failed());
+        assert_eq!(
+            m.experiments[0].status,
+            RunStatus::Failed {
+                message: "simulated deadlock".into(),
+                point: Some("bad".into()),
+            }
+        );
+        assert_eq!(m.experiments[1].status, RunStatus::Ok);
+        // Timings of the whole sweep (healthy + failed point) were kept.
+        assert_eq!(m.experiments[0].points.len(), 2);
+
+        let manifest_body = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(manifest_body.contains("\"status\":\"failed\""));
+        assert!(manifest_body.contains("\"point\":\"bad\""));
+    }
+
+    #[test]
+    fn fail_fast_stops_after_first_quarantine() {
+        let dir = std::env::temp_dir().join("quartz_bench_harness_failfast_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            quick: true,
+            out_dir: dir.clone(),
+            jobs: 1,
+            fail_fast: true,
+            ..RunOptions::default()
+        };
+        let mut buf = Vec::new();
+        let m = run_experiments(&[&Exploder, &Demo], &opts, &mut buf).unwrap();
+        let console = String::from_utf8(buf).unwrap();
+        assert!(console.contains("fail-fast: stopping"));
+        assert!(!console.contains("=== demo"));
+        assert_eq!(m.experiments.len(), 1);
+        assert!(m.any_failed());
+    }
+
+    #[test]
+    fn inject_fail_quarantines_without_running() {
+        let dir = std::env::temp_dir().join("quartz_bench_harness_inject_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            quick: true,
+            out_dir: dir.clone(),
+            jobs: 1,
+            inject_fail: Some("demo".into()),
+            ..RunOptions::default()
+        };
+        let mut buf = Vec::new();
+        let m = run_experiments(&[&Demo], &opts, &mut buf).unwrap();
+        assert_eq!(
+            m.experiments[0].status,
+            RunStatus::Failed {
+                message: "injected failure (--inject-fail)".into(),
+                point: None,
+            }
+        );
+        // The injected experiment never ran: no points, no outputs.
+        assert!(m.experiments[0].points.is_empty());
+        assert!(!dir.join("demo.json").exists());
     }
 }

@@ -2,10 +2,16 @@
 //! evaluation section (§4) on the simulated testbed.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [--jobs N] [--filter SUBSTR] <experiment>...
+//! repro [--quick] [--out DIR] [--jobs N] [--filter SUBSTR]
+//!       [--keep-going | --fail-fast] [--inject-fail NAME] <experiment>...
 //! repro all
 //! repro --list
 //! ```
+//!
+//! Exit status: `0` when every selected experiment completed, `1` when
+//! any experiment was quarantined (or on I/O error), `2` on usage
+//! errors. `--keep-going` (the default) runs the rest of the selection
+//! past a quarantined experiment; `--fail-fast` stops at the first.
 //!
 //! The experiment set lives in `quartz_bench::registry`; `--list` prints
 //! it. Selection, the parallel grid runner, and result/manifest writing
@@ -19,9 +25,11 @@ use quartz_bench::registry;
 
 fn usage() {
     println!(
-        "usage: repro [--quick] [--out DIR] [--jobs N] [--filter SUBSTR] <experiment>... | all"
+        "usage: repro [--quick] [--out DIR] [--jobs N] [--filter SUBSTR] \
+         [--keep-going | --fail-fast] [--inject-fail NAME] <experiment>... | all"
     );
     println!("       repro --list");
+    println!("exit status: 0 all ok, 1 any experiment quarantined, 2 usage error");
     println!(
         "experiments: {}",
         registry::all()
@@ -64,6 +72,14 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--keep-going" => opts.fail_fast = false,
+            "--fail-fast" => opts.fail_fast = true,
+            "--inject-fail" => {
+                opts.inject_fail = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--inject-fail needs an experiment name");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 usage();
                 return;
@@ -92,9 +108,22 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(name) = &opts.inject_fail {
+        if !selection.iter().any(|e| e.name() == name) {
+            eprintln!("--inject-fail '{name}' is not in the selected experiment set");
+            std::process::exit(2);
+        }
+    }
     let stdout = std::io::stdout();
-    if let Err(err) = run_experiments(&selection, &opts, &mut stdout.lock()) {
-        eprintln!("repro: {err}");
-        std::process::exit(1);
+    match run_experiments(&selection, &opts, &mut stdout.lock()) {
+        Err(err) => {
+            eprintln!("repro: {err}");
+            std::process::exit(1);
+        }
+        Ok(manifest) => {
+            if manifest.any_failed() {
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -16,6 +16,33 @@ use crate::grid::PointTiming;
 use crate::json::Json;
 use crate::report::{f, Table};
 
+/// Outcome of one executed experiment.
+///
+/// `Failed` quarantines the experiment: its tables are not rendered or
+/// saved, the rest of the selection still runs (unless `--fail-fast`),
+/// and the `repro` process exits non-zero.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunStatus {
+    /// The experiment completed and its outputs were saved.
+    Ok,
+    /// The experiment unwound (simulation failure, assertion, injected
+    /// fault) and was quarantined.
+    Failed {
+        /// Rendered failure description (e.g. a `SimFailure` message
+        /// with the deadlock cycle named).
+        message: String,
+        /// The failing grid point's label, when known.
+        point: Option<String>,
+    },
+}
+
+impl RunStatus {
+    /// `true` for [`RunStatus::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, RunStatus::Failed { .. })
+    }
+}
+
 /// Provenance of one executed experiment.
 #[derive(Clone, Debug)]
 pub struct ExperimentRecord {
@@ -32,6 +59,8 @@ pub struct ExperimentRecord {
     pub points: Vec<PointTiming>,
     /// CSV/JSON-row base names (slugs) the experiment saved.
     pub tables: Vec<String>,
+    /// Whether the experiment completed or was quarantined.
+    pub status: RunStatus,
 }
 
 impl ExperimentRecord {
@@ -44,6 +73,7 @@ impl ExperimentRecord {
             wall_ms: 0.0,
             points: Vec::new(),
             tables: Vec::new(),
+            status: RunStatus::Ok,
         }
     }
 
@@ -60,7 +90,7 @@ impl ExperimentRecord {
     }
 
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut obj = Json::obj(vec![
             ("name", Json::str(self.name.clone())),
             ("paper_ref", Json::str(self.paper_ref.clone())),
             ("deterministic", Json::Bool(self.deterministic)),
@@ -88,7 +118,27 @@ impl ExperimentRecord {
                 "tables",
                 Json::Arr(self.tables.iter().map(|t| Json::str(t.clone())).collect()),
             ),
-        ])
+        ]);
+        match &self.status {
+            RunStatus::Ok => obj.push("status", Json::str("ok")),
+            RunStatus::Failed { message, point } => {
+                obj.push("status", Json::str("failed"));
+                obj.push(
+                    "failure",
+                    Json::obj(vec![
+                        ("message", Json::str(message.clone())),
+                        (
+                            "point",
+                            point
+                                .as_ref()
+                                .map(|p| Json::str(p.clone()))
+                                .unwrap_or(Json::Null),
+                        ),
+                    ]),
+                );
+            }
+        }
+        obj
     }
 }
 
@@ -121,6 +171,12 @@ impl Manifest {
     /// Total wall milliseconds across all experiments.
     pub fn total_wall_ms(&self) -> f64 {
         self.experiments.iter().map(|e| e.wall_ms).sum()
+    }
+
+    /// Whether any experiment in the run was quarantined (`repro` exits
+    /// non-zero when this is `true`).
+    pub fn any_failed(&self) -> bool {
+        self.experiments.iter().any(|e| e.status.is_failed())
     }
 
     /// The manifest as a JSON value.
@@ -157,12 +213,17 @@ impl Manifest {
         by_time.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
         let mut t = Table::new(
             "Run summary (slowest first)",
-            &["experiment", "wall s", "points", "share %"],
+            &["experiment", "status", "wall s", "points", "share %"],
         );
         let total = self.total_wall_ms().max(f64::MIN_POSITIVE);
         for e in by_time {
             t.row(&[
                 e.name.clone(),
+                if e.status.is_failed() {
+                    "FAILED".to_string()
+                } else {
+                    "ok".to_string()
+                },
                 f(e.wall_ms / 1e3, 2),
                 e.points.len().to_string(),
                 f(e.wall_ms / total * 100.0, 1),
@@ -199,6 +260,7 @@ mod tests {
                 },
             ],
             tables: vec!["slug".into()],
+            status: RunStatus::Ok,
         }
     }
 
@@ -229,9 +291,42 @@ mod tests {
             "\"points\":[{\"label\":\"a\"",
             "\"tables\":[\"slug\"]",
             "\"deterministic\":true",
+            "\"status\":\"ok\"",
         ] {
             assert!(j.contains(key), "manifest missing {key}: {j}");
         }
+        assert!(!m.any_failed());
+    }
+
+    #[test]
+    fn failed_status_serializes_with_failure_object() {
+        let mut m = Manifest::new(true, 1);
+        let mut r = record("boom", 1.0);
+        r.status = RunStatus::Failed {
+            message: "deadlock: 3 non-finished thread(s)".into(),
+            point: Some("t=4".into()),
+        };
+        m.experiments.push(r);
+        m.experiments.push(record("fine", 1.0));
+        let j = m.to_json().render();
+        assert!(j.contains("\"status\":\"failed\""));
+        assert!(j.contains(
+            "\"failure\":{\"message\":\"deadlock: 3 non-finished thread(s)\",\"point\":\"t=4\"}"
+        ));
+        assert!(j.contains("\"status\":\"ok\""));
+        assert!(m.any_failed());
+        // Point-less failures serialize `point` as null.
+        let mut r2 = record("boom2", 1.0);
+        r2.status = RunStatus::Failed {
+            message: "assert".into(),
+            point: None,
+        };
+        m.experiments.push(r2);
+        assert!(m.to_json().render().contains("\"point\":null"));
+        // Summary table carries a status column.
+        let t = m.summary_table();
+        assert!(t.rows().iter().any(|r| r[1] == "FAILED"));
+        assert!(t.rows().iter().any(|r| r[1] == "ok"));
     }
 
     #[test]

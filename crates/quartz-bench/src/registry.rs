@@ -9,8 +9,8 @@
 
 use crate::exp::Experiment;
 use crate::experiments::{
-    ablations, contention, crash, extensions, faults, fig11, fig12, fig13, fig14, fig15, fig16,
-    fig8, overhead, pagerank_validation, table1, table2,
+    ablations, contention, crash, extensions, failure_modes, faults, fig11, fig12, fig13, fig14,
+    fig15, fig16, fig8, overhead, pagerank_validation, table1, table2,
 };
 
 /// Every registered experiment, in canonical `repro all` order.
@@ -37,6 +37,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &crash::CrashSweep,
     &crash::CrashCost,
     &faults::FaultMatrix,
+    &failure_modes::FailureModes,
 ];
 
 /// All registered experiments in canonical order.
@@ -156,6 +157,7 @@ mod tests {
             "crash_sweep",
             "crash_cost",
             "fault_matrix",
+            "failure_modes",
         ];
         let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
         assert_eq!(names, expected);

@@ -110,6 +110,11 @@ impl ThreadCtx {
             drop(st);
             panic_any(ShutdownSignal);
         }
+        // Publish token ownership and the hand-off for the hang
+        // watchdog: `running` names the monopolizing thread, `progress`
+        // proves the scheduler is not quiescent.
+        shared.running.store(self.id.0, Ordering::Release);
+        shared.progress.fetch_add(1, Ordering::AcqRel);
         self.clock = st.threads[self.id.0].clock;
         let (deadline, next_timer) = compute_caches(&st, self.id.0, self.shared.quantum);
         self.deadline = deadline;
@@ -128,6 +133,12 @@ impl ThreadCtx {
     /// The per-operation boundary: fire due timers, deliver signals,
     /// yield if past the lookahead deadline.
     fn op_boundary(&mut self) {
+        // Abort check without the scheduler lock: a thread spinning in
+        // a virtual loop never parks (its deadline can be FAR_FUTURE),
+        // so this flag is the only way it learns the run was aborted.
+        if self.shared.shutdown_flag.load(Ordering::Relaxed) {
+            panic_any(ShutdownSignal);
+        }
         if self.next_timer <= self.clock {
             self.fire_due_timers();
         }
@@ -215,10 +226,21 @@ impl ThreadCtx {
                 self.deadline = c + shared.quantum;
             }
             Some((i, _)) => {
-                st.threads[i]
-                    .permit
-                    .send(())
-                    .expect("runnable thread parked");
+                if st.threads[i].permit.send(()).is_err() {
+                    // Host-side engine fault (a runnable thread's
+                    // permit channel closed): contain it as a typed
+                    // failure and unwind ourselves instead of
+                    // panicking with the scheduler lock held.
+                    crate::engine::fail(
+                        &shared,
+                        &mut st,
+                        crate::failure::SimFailure::SchedulerLost {
+                            detail: format!("permit channel to runnable thread t{i} closed"),
+                        },
+                    );
+                    drop(st);
+                    panic_any(ShutdownSignal);
+                }
                 self.park(st);
             }
         }
@@ -342,6 +364,10 @@ impl ThreadCtx {
     ///
     /// Panics if the node is out of memory.
     pub fn alloc_local(&mut self, bytes: u64) -> Addr {
+        // INVARIANT: a workload-visible panic by design (malloc
+        // semantics); it unwinds through `catch_unwind` in the runner
+        // and surfaces as `SimFailure::ThreadPanic`, not a process
+        // abort. Use `try_alloc_on` for fallible allocation.
         self.try_alloc_on(self.local_node(), bytes)
             .expect("local allocation failed")
     }
@@ -352,6 +378,7 @@ impl ThreadCtx {
     ///
     /// Panics if the node is out of memory or absent.
     pub fn alloc_on(&mut self, node: NodeId, bytes: u64) -> Addr {
+        // INVARIANT: see `alloc_local` — contained as ThreadPanic.
         self.try_alloc_on(node, bytes)
             .expect("node allocation failed")
     }

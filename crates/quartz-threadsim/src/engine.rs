@@ -2,8 +2,8 @@
 
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::AtomicBool;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -13,6 +13,7 @@ use quartz_platform::time::{Duration, SimTime};
 use quartz_platform::Platform;
 
 use crate::ctx::ThreadCtx;
+use crate::failure::{deadlock_report, SimFailure};
 use crate::hooks::{Hooks, NoHooks};
 use crate::timer::{TimerApi, TimerRec};
 use crate::{CondId, MutexId};
@@ -80,7 +81,7 @@ pub(crate) struct SchedState {
     pub live: usize,
     pub rr_core: usize,
     pub shutdown: bool,
-    pub failure: Option<String>,
+    pub failure: Option<SimFailure>,
     pub handles: Vec<JoinHandle<()>>,
     pub done_tx: Option<Sender<()>>,
 }
@@ -92,10 +93,44 @@ pub(crate) struct EngineShared {
     pub quantum: Duration,
     /// Cores used for round-robin placement of spawned threads.
     pub default_cores: Vec<usize>,
+    /// Lock-free mirror of [`SchedState::shutdown`], checked at every
+    /// operation boundary so a thread spinning in a *virtual* loop
+    /// (which never parks) still unwinds promptly on abort without
+    /// taking the scheduler lock per operation.
+    pub shutdown_flag: AtomicBool,
+    /// Index of the thread currently holding the scheduler token; read
+    /// by the hang watchdog to name the monopolizing thread.
+    pub running: AtomicUsize,
+    /// Monotonic count of scheduler hand-offs (thread resumes and
+    /// finishes). The watchdog declares a hang when a full host-time
+    /// budget elapses with this counter unchanged.
+    pub progress: AtomicU64,
+    /// Host-time budget for the hang watchdog; `None` disables it.
+    pub watchdog: Mutex<Option<std::time::Duration>>,
 }
 
 /// Marker payload used to unwind simulated threads at shutdown.
 pub(crate) struct ShutdownSignal;
+
+/// Installs (once per process) a panic-hook filter that silences the
+/// default hook for [`ShutdownSignal`] payloads. Those panics are pure
+/// control flow — the engine throws them to unwind parked sim threads
+/// during shutdown and [`runner`] catches every one — so the stock
+/// `thread panicked at ... Box<dyn Any>` stderr spam would only bury
+/// the *real* diagnostic (the [`SimFailure`] the run returns). Every
+/// other payload falls through to the previously installed hook.
+fn install_shutdown_hook_filter() {
+    use std::sync::Once;
+    static FILTER: Once = Once::new();
+    FILTER.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
 
 /// Result of a completed simulation run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -141,8 +176,30 @@ impl Engine {
                 hooks: RwLock::new(Arc::new(NoHooks)),
                 quantum: Duration::from_us(2),
                 default_cores,
+                shutdown_flag: AtomicBool::new(false),
+                running: AtomicUsize::new(0),
+                progress: AtomicU64::new(0),
+                watchdog: Mutex::new(None),
             }),
         }
+    }
+
+    /// Arms (or disarms, with `None`) the host-side hang watchdog.
+    ///
+    /// When armed, [`Engine::try_run`] polls for completion with the
+    /// given host-time budget: if a full budget elapses with **zero
+    /// scheduler hand-offs**, the run fails with [`SimFailure::Hang`]
+    /// naming the thread that holds the scheduler token. Detection
+    /// latency is at most two budgets.
+    ///
+    /// The budget bounds *scheduler-quiescent host time*, not total run
+    /// time: any mutex/join/barrier hand-off or thread finish resets
+    /// it. A legitimate **single-threaded** workload hands the token
+    /// off rarely, so arm the watchdog with a budget comfortably above
+    /// the longest expected host-side stretch between hand-offs.
+    /// Disarmed by default (and in tests).
+    pub fn set_watchdog(&self, budget: Option<std::time::Duration>) {
+        *self.shared.watchdog.lock() = budget;
     }
 
     /// Installs the interposition hooks (the emulator library).
@@ -180,12 +237,41 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if the simulation deadlocks or any simulated thread panics
-    /// (the panic message is propagated).
+    /// Panics if the simulation fails ([`Engine::try_run`]'s error,
+    /// rendered into the panic message). Prefer `try_run` in harnesses
+    /// that must contain failures.
     pub fn run<F>(self, root: F) -> RunReport
     where
         F: FnOnce(&mut ThreadCtx) + Send + 'static,
     {
+        self.try_run(root)
+            .unwrap_or_else(|f| panic!("simulation failed: {f}"))
+    }
+
+    /// Runs `root` as the first simulated thread and drives the
+    /// simulation until every thread has finished, containing every
+    /// failure mode as a typed [`SimFailure`] instead of panicking.
+    ///
+    /// On failure the engine aborts the run, unwinds and reaps every
+    /// simulated thread it can reach (a thread hung in a pure-host loop
+    /// is detached instead, see [`SimFailure::Hang`]), and invokes
+    /// [`Hooks::on_sim_failure`] so an attached emulator can reap its
+    /// per-thread state — the shared runtime stays usable for
+    /// subsequent runs in the same process.
+    ///
+    /// # Errors
+    ///
+    /// [`SimFailure::Deadlock`] when no thread is runnable but live
+    /// threads remain, [`SimFailure::ThreadPanic`] when a simulated
+    /// thread's body panics, [`SimFailure::Hang`] when the armed
+    /// watchdog sees a full host-time budget without a scheduler
+    /// hand-off, and [`SimFailure::SchedulerLost`] for host-side engine
+    /// faults.
+    pub fn try_run<F>(self, root: F) -> Result<RunReport, SimFailure>
+    where
+        F: FnOnce(&mut ThreadCtx) + Send + 'static,
+    {
+        install_shutdown_hook_filter();
         let (done_tx, done_rx) = std::sync::mpsc::channel();
         {
             let mut st = self.shared.state.lock();
@@ -198,12 +284,14 @@ impl Engine {
             let mut st = self.shared.state.lock();
             schedule_next(&self.shared, &mut st);
         }
-        done_rx.recv().expect("scheduler done channel");
+        let watchdog = *self.shared.watchdog.lock();
+        let hung = self.wait_done(&done_rx, watchdog);
 
         // Shut down any threads still parked (failure paths) and join.
         let handles = {
             let mut st = self.shared.state.lock();
             st.shutdown = true;
+            self.shared.shutdown_flag.store(true, Ordering::Release);
             for t in &st.threads {
                 if t.status != Status::Finished {
                     let _ = t.permit.send(());
@@ -211,14 +299,31 @@ impl Engine {
             }
             std::mem::take(&mut st.handles)
         };
-        for h in handles {
+        for (i, h) in handles.into_iter().enumerate() {
+            if hung == Some(i) {
+                // The hung thread may be spinning in a pure-host loop
+                // that never reaches an operation boundary; joining it
+                // could block the host forever — exactly the hang we
+                // just contained. Detach it: if it ever reaches a
+                // boundary it observes `shutdown_flag` and unwinds
+                // silently; if not, the OS thread leaks (documented in
+                // DESIGN.md §13).
+                drop(h);
+                continue;
+            }
             let _ = h.join();
         }
 
-        let st = self.shared.state.lock();
-        if let Some(msg) = &st.failure {
-            panic!("simulation failed: {msg}");
+        let failure = self.shared.state.lock().failure.take();
+        if let Some(f) = failure {
+            // Notify the interposition layer *after* dropping the
+            // scheduler lock (the emulator's reaper takes its own
+            // registry locks; see DESIGN.md §13 lock ordering).
+            let hooks = self.shared.hooks.read().clone();
+            hooks.on_sim_failure(&f);
+            return Err(f);
         }
+        let st = self.shared.state.lock();
         let root_finish = st.threads[0].finish_time;
         let end_time = st
             .threads
@@ -226,9 +331,86 @@ impl Engine {
             .map(|t| t.finish_time)
             .max()
             .unwrap_or(SimTime::ZERO);
-        RunReport {
+        Ok(RunReport {
             root_finish,
             end_time,
+        })
+    }
+
+    /// Blocks until the scheduler signals completion, running the hang
+    /// watchdog when armed. Returns the index of a hung thread whose
+    /// handle must be detached rather than joined.
+    fn wait_done(
+        &self,
+        done_rx: &Receiver<()>,
+        watchdog: Option<std::time::Duration>,
+    ) -> Option<usize> {
+        let Some(budget) = watchdog else {
+            if done_rx.recv().is_err() {
+                // The scheduler dropped the done channel without ever
+                // signalling completion — a host-side engine fault.
+                // Report it as a structured failure instead of a second
+                // panic that would shadow the root cause.
+                let mut st = self.shared.state.lock();
+                fail(
+                    &self.shared,
+                    &mut st,
+                    SimFailure::SchedulerLost {
+                        detail: "done channel closed without a completion signal".into(),
+                    },
+                );
+            }
+            return None;
+        };
+        // Never spin at zero: a degenerate budget would fire before the
+        // root thread is even scheduled.
+        let budget = budget.max(std::time::Duration::from_millis(1));
+        let mut last = self.shared.progress.load(Ordering::Acquire);
+        loop {
+            match done_rx.recv_timeout(budget) {
+                Ok(()) => return None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    let mut st = self.shared.state.lock();
+                    fail(
+                        &self.shared,
+                        &mut st,
+                        SimFailure::SchedulerLost {
+                            detail: "done channel closed without a completion signal".into(),
+                        },
+                    );
+                    return None;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = self.shared.progress.load(Ordering::Acquire);
+                    if now != last {
+                        last = now;
+                        continue;
+                    }
+                    // A full budget elapsed with zero hand-offs. The
+                    // completion signal may still have raced the
+                    // timeout — drain it before declaring a hang.
+                    if done_rx.try_recv().is_ok() {
+                        return None;
+                    }
+                    let holder = self.shared.running.load(Ordering::Acquire);
+                    let mut st = self.shared.state.lock();
+                    let sim_time = st
+                        .threads
+                        .get(holder)
+                        .map(|t| t.clock)
+                        .unwrap_or(SimTime::ZERO);
+                    fail(
+                        &self.shared,
+                        &mut st,
+                        SimFailure::Hang {
+                            thread: ThreadId(holder),
+                            budget,
+                            sim_time,
+                        },
+                    );
+                    return Some(holder);
+                }
+            }
         }
     }
 }
@@ -269,6 +451,9 @@ where
     st.live += 1;
 
     let shared2 = Arc::clone(shared);
+    // INVARIANT: OS thread creation is a host-fatal resource failure
+    // (the process is out of threads/memory); there is no simulated
+    // state to report against yet, so panicking here is deliberate.
     let handle = std::thread::Builder::new()
         .name(format!("sim-{id}"))
         .spawn(move || runner(shared2, id, core, pending, permit_rx, body))
@@ -310,11 +495,17 @@ fn runner<F>(
                 return; // orderly shutdown
             }
             let msg = panic_message(&*payload);
+            let sim_time = ctx.now();
             let mut st = shared.state.lock();
-            if st.failure.is_none() {
-                st.failure = Some(format!("thread t{id} panicked: {msg}"));
-            }
-            abort_all(&mut st);
+            fail(
+                &shared,
+                &mut st,
+                SimFailure::ThreadPanic {
+                    thread: ThreadId(id),
+                    message: msg,
+                    sim_time,
+                },
+            );
         }
     }
 }
@@ -331,6 +522,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Marks a thread finished, wakes joiners, and schedules the next thread.
 pub(crate) fn finish_thread(shared: &Arc<EngineShared>, id: usize, clock: SimTime) {
+    shared.progress.fetch_add(1, Ordering::AcqRel);
     let mut st = shared.state.lock();
     st.threads[id].status = Status::Finished;
     st.threads[id].clock = clock;
@@ -362,11 +554,18 @@ pub(crate) fn schedule_next(shared: &Arc<EngineShared>, st: &mut SchedState) {
     match next {
         Some(i) => {
             // A send can only fail if the target already exited during
-            // shutdown, which `st.shutdown` excludes.
-            st.threads[i]
-                .permit
-                .send(())
-                .expect("runnable thread must be parked");
+            // shutdown, which `st.shutdown` excludes — observing one is
+            // a host-side engine fault, reported structurally so the
+            // root cause is not a panic inside the scheduler.
+            if st.threads[i].permit.send(()).is_err() {
+                fail(
+                    shared,
+                    st,
+                    SimFailure::SchedulerLost {
+                        detail: format!("permit channel to runnable thread t{i} closed"),
+                    },
+                );
+            }
         }
         None if st.live == 0 => {
             if let Some(tx) = st.done_tx.take() {
@@ -374,27 +573,26 @@ pub(crate) fn schedule_next(shared: &Arc<EngineShared>, st: &mut SchedState) {
             }
         }
         None => {
-            let blocked: Vec<String> = st
-                .threads
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.status == Status::Blocked)
-                .map(|(i, t)| format!("t{i}@{}", t.clock))
-                .collect();
-            st.failure = Some(format!(
-                "deadlock: {} live thread(s), all blocked: {}",
-                st.live,
-                blocked.join(", ")
-            ));
-            abort_all(st);
+            let report = deadlock_report(st);
+            fail(shared, st, SimFailure::Deadlock(report));
         }
     }
-    let _ = shared;
+}
+
+/// Records `failure` (first failure wins — later ones would be
+/// shutdown echoes of the root cause) and aborts the run. Must be
+/// called with the scheduler lock held.
+pub(crate) fn fail(shared: &EngineShared, st: &mut SchedState, failure: SimFailure) {
+    if st.failure.is_none() {
+        st.failure = Some(failure);
+    }
+    abort_all(shared, st);
 }
 
 /// Wakes every parked thread into shutdown and signals the host.
-pub(crate) fn abort_all(st: &mut SchedState) {
+pub(crate) fn abort_all(shared: &EngineShared, st: &mut SchedState) {
     st.shutdown = true;
+    shared.shutdown_flag.store(true, Ordering::Release);
     for t in &st.threads {
         if t.status != Status::Finished {
             let _ = t.permit.send(());

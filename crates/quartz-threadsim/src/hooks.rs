@@ -1,6 +1,7 @@
 //! Interposition hooks — the simulation's `LD_PRELOAD`.
 
 use crate::ctx::ThreadCtx;
+use crate::failure::SimFailure;
 
 /// Callbacks invoked at the interposition points the real Quartz library
 /// obtains by overriding weak pthread symbols (paper §3.1).
@@ -58,6 +59,18 @@ pub trait Hooks: Send + Sync {
     /// epoch length). Delivered at the thread's next operation boundary.
     fn on_signal(&self, ctx: &mut ThreadCtx) {
         let _ = ctx;
+    }
+
+    /// The run failed ([`Engine::try_run`](crate::Engine::try_run)
+    /// returned `Err`). Invoked on the *host* thread after every
+    /// reachable simulated thread has been joined, with no engine lock
+    /// held — an emulator uses this to reap orphaned per-thread state
+    /// so the shared runtime stays healthy for subsequent runs in the
+    /// same process. A thread detached by the hang watchdog may still
+    /// be running when this fires; reapers must tolerate that (skip
+    /// state they cannot safely claim).
+    fn on_sim_failure(&self, failure: &SimFailure) {
+        let _ = failure;
     }
 }
 
@@ -121,6 +134,11 @@ impl Hooks for FanoutHooks {
     fn on_signal(&self, ctx: &mut ThreadCtx) {
         for h in &self.hooks {
             h.on_signal(ctx);
+        }
+    }
+    fn on_sim_failure(&self, failure: &SimFailure) {
+        for h in &self.hooks {
+            h.on_sim_failure(failure);
         }
     }
 }

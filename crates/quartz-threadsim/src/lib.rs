@@ -46,11 +46,13 @@
 
 pub mod ctx;
 pub mod engine;
+pub mod failure;
 pub mod hooks;
 pub mod timer;
 
 pub use ctx::ThreadCtx;
 pub use engine::{Engine, RunReport, ThreadId};
+pub use failure::{CycleEdge, DeadlockReport, SimFailure, ThreadState, WaitTarget, WaitingThread};
 pub use hooks::{FanoutHooks, Hooks, NoHooks};
 pub use timer::TimerApi;
 

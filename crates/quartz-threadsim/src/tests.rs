@@ -7,7 +7,7 @@ use quartz_memsim::{MemSimConfig, MemorySystem};
 use quartz_platform::time::{Duration, SimTime};
 use quartz_platform::{Architecture, Platform, PlatformConfig};
 
-use crate::{Engine, Hooks, ThreadCtx};
+use crate::{Engine, Hooks, SimFailure, ThreadCtx, ThreadId, ThreadState, WaitTarget};
 
 fn engine(arch: Architecture) -> Engine {
     let platform = Platform::new(PlatformConfig::new(arch).with_perfect_counters());
@@ -291,6 +291,194 @@ fn thread_panic_propagates() {
         let child = ctx.spawn(|_| panic!("boom"));
         ctx.join(child);
     });
+}
+
+#[test]
+fn try_run_reports_deadlock_with_named_cycle() {
+    // Classic ABBA inversion between two children.
+    let failure = engine(Architecture::IvyBridge)
+        .try_run(|ctx| {
+            let a = ctx.mutex_new();
+            let b = ctx.mutex_new();
+            let k1 = ctx.spawn(move |c| {
+                c.mutex_lock(a);
+                c.compute_ns(10_000.0);
+                c.mutex_lock(b); // waits for k2
+                c.mutex_unlock(b);
+                c.mutex_unlock(a);
+            });
+            let k2 = ctx.spawn(move |c| {
+                c.mutex_lock(b);
+                c.compute_ns(10_000.0);
+                c.mutex_lock(a); // waits for k1
+                c.mutex_unlock(a);
+                c.mutex_unlock(b);
+            });
+            ctx.join(k1);
+            ctx.join(k2);
+        })
+        .unwrap_err();
+    let SimFailure::Deadlock(report) = failure else {
+        panic!("expected Deadlock, got {failure}");
+    };
+    // All three non-finished threads listed, ascending, each blocked.
+    let ids: Vec<_> = report.threads.iter().map(|t| t.thread.0).collect();
+    assert_eq!(ids, vec![0, 1, 2], "every non-finished thread reported");
+    assert!(report
+        .threads
+        .iter()
+        .all(|t| t.state == ThreadState::Blocked));
+    // Root waits in join, children on each other's mutexes.
+    assert!(matches!(
+        report.threads[0].waits_on,
+        Some(WaitTarget::Join { .. })
+    ));
+    assert!(matches!(
+        report.threads[1].waits_on,
+        Some(WaitTarget::Mutex { .. })
+    ));
+    assert_eq!(report.threads[1].holds, vec![0]);
+    assert_eq!(report.threads[2].holds, vec![1]);
+    // The mutex cycle is named: t1 -(m1)-> t2 -(m0)-> t1, rotated to
+    // start at the smallest thread id.
+    assert_eq!(report.cycle.len(), 2, "two-edge cycle: {report}");
+    assert_eq!(report.cycle[0].thread, ThreadId(1));
+    assert_eq!(report.cycle[0].mutex, Some(1));
+    assert_eq!(report.cycle[0].holder, ThreadId(2));
+    assert_eq!(report.cycle[1].thread, ThreadId(2));
+    assert_eq!(report.cycle[1].mutex, Some(0));
+    assert_eq!(report.cycle[1].holder, ThreadId(1));
+    // The rendered message names every thread and the cycle.
+    let msg = report.to_string();
+    assert!(
+        msg.starts_with("deadlock: 3 non-finished thread(s)"),
+        "{msg}"
+    );
+    assert!(msg.contains("t1 -(m1)-> t2"), "{msg}");
+    assert!(msg.contains("t2 -(m0)-> t1"), "{msg}");
+    assert!(msg.contains("t0 [blocked]"), "{msg}");
+}
+
+#[test]
+fn try_run_deadlock_report_is_deterministic() {
+    let run_once = || {
+        engine(Architecture::IvyBridge)
+            .try_run(|ctx| {
+                let a = ctx.mutex_new();
+                let b = ctx.mutex_new();
+                let k1 = ctx.spawn(move |c| {
+                    c.mutex_lock(a);
+                    c.compute_ns(5_000.0);
+                    c.mutex_lock(b);
+                });
+                let k2 = ctx.spawn(move |c| {
+                    c.mutex_lock(b);
+                    c.compute_ns(5_000.0);
+                    c.mutex_lock(a);
+                });
+                ctx.join(k1);
+                ctx.join(k2);
+            })
+            .unwrap_err()
+            .to_string()
+    };
+    assert_eq!(run_once(), run_once(), "byte-identical diagnostic");
+}
+
+#[test]
+fn try_run_reports_thread_panic_with_origin() {
+    let failure = engine(Architecture::IvyBridge)
+        .try_run(|ctx| {
+            let child = ctx.spawn(|c| {
+                c.compute_ns(1_234.0);
+                panic!("injected fault");
+            });
+            ctx.join(child);
+        })
+        .unwrap_err();
+    let SimFailure::ThreadPanic {
+        thread,
+        message,
+        sim_time,
+    } = failure
+    else {
+        panic!("expected ThreadPanic, got {failure}");
+    };
+    assert_eq!(thread, ThreadId(1), "originating sim thread named");
+    assert_eq!(message, "injected fault");
+    assert!(sim_time.as_ns_f64() >= 1_234.0, "panicked at {sim_time}");
+}
+
+#[test]
+fn try_run_watchdog_detects_virtual_loop_hang_and_names_holder() {
+    let e = engine(Architecture::IvyBridge);
+    e.set_watchdog(Some(std::time::Duration::from_millis(30)));
+    let failure = e
+        .try_run(|ctx| {
+            // An infinite *virtual* loop: op boundaries fire, but being
+            // the only runnable thread it never hands the token off.
+            loop {
+                ctx.compute_ns(10.0);
+            }
+        })
+        .unwrap_err();
+    let SimFailure::Hang { thread, budget, .. } = failure else {
+        panic!("expected Hang, got {failure}");
+    };
+    assert_eq!(thread, ThreadId(0), "token holder named");
+    assert_eq!(budget, std::time::Duration::from_millis(30));
+    // The engine returned: the hung thread unwound on the shutdown flag
+    // rather than wedging the host.
+}
+
+#[test]
+fn try_run_watchdog_spares_healthy_multithreaded_run() {
+    let e = engine(Architecture::IvyBridge);
+    e.set_watchdog(Some(std::time::Duration::from_millis(200)));
+    let report = e
+        .try_run(|ctx| {
+            let m = ctx.mutex_new();
+            let kids: Vec<_> = (0..3)
+                .map(|_| {
+                    ctx.spawn(move |c| {
+                        for _ in 0..50 {
+                            c.mutex_lock(m);
+                            c.compute_ns(100.0);
+                            c.mutex_unlock(m);
+                        }
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        })
+        .expect("healthy run completes under an armed watchdog");
+    assert!(report.end_time.as_ns_f64() > 0.0);
+}
+
+#[test]
+fn try_run_failure_invokes_on_sim_failure_hook() {
+    struct Recorder(Arc<parking_lot::Mutex<Vec<String>>>);
+    impl Hooks for Recorder {
+        fn on_sim_failure(&self, failure: &SimFailure) {
+            self.0.lock().push(failure.kind().to_owned());
+        }
+    }
+    let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let e = engine(Architecture::IvyBridge);
+    e.set_hooks(Arc::new(Recorder(Arc::clone(&seen))));
+    let err = e.try_run(|_| panic!("kaboom")).unwrap_err();
+    assert_eq!(err.kind(), "panic");
+    assert_eq!(*seen.lock(), vec!["panic".to_owned()]);
+}
+
+#[test]
+fn try_run_clean_run_matches_run() {
+    let report = engine(Architecture::IvyBridge)
+        .try_run(|ctx| ctx.compute_ns(1_000.0))
+        .expect("clean run");
+    assert!(report.root_finish.as_ns_f64() >= 1_000.0);
 }
 
 #[test]

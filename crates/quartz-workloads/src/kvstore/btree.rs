@@ -591,6 +591,64 @@ mod tests {
     }
 
     #[test]
+    fn caveat_lock_inversion_around_puts_is_contained_as_named_deadlock() {
+        // Regression guard for the module-header caveat ("Host-lock
+        // discipline"): writer mutual exclusion must come from striped
+        // *simulated* mutexes taken one at a time. This models the
+        // forbidden shape — two writers wrapping their puts in two sim
+        // locks acquired in opposite order — and pins down that the
+        // engine contains it as a typed `SimFailure::Deadlock` naming
+        // the actual lock cycle (rather than hanging the harness or
+        // poisoning shared state with an opaque panic).
+        use quartz_threadsim::SimFailure;
+        let failure = engine()
+            .try_run(|ctx| {
+                let store = Arc::new(KvStore::create(ctx, KvConfig::new(NodeId(0))));
+                let a = ctx.mutex_new();
+                let b = ctx.mutex_new();
+                let s1 = Arc::clone(&store);
+                let k1 = ctx.spawn(move |c| {
+                    c.mutex_lock(a);
+                    s1.put(c, None, 1, 10);
+                    c.compute_ns(50_000.0); // hold `a` past k2's first lock
+                    c.mutex_lock(b); // waits for k2 forever
+                    c.mutex_unlock(b);
+                    c.mutex_unlock(a);
+                });
+                let s2 = Arc::clone(&store);
+                let k2 = ctx.spawn(move |c| {
+                    c.mutex_lock(b);
+                    s2.put(c, None, 2, 20);
+                    c.compute_ns(50_000.0);
+                    c.mutex_lock(a); // waits for k1 forever
+                    c.mutex_unlock(a);
+                    c.mutex_unlock(b);
+                });
+                ctx.join(k1);
+                ctx.join(k2);
+            })
+            .unwrap_err();
+        let SimFailure::Deadlock(report) = failure else {
+            panic!("expected Deadlock, got {failure}");
+        };
+        // The two writers form a two-edge mutex cycle; the joining root
+        // is reported among the non-finished threads but is not part of
+        // the cycle.
+        assert_eq!(report.cycle.len(), 2, "named cycle: {report}");
+        let mut cycle_threads: Vec<usize> = report.cycle.iter().map(|e| e.thread.0).collect();
+        cycle_threads.sort_unstable();
+        assert_eq!(cycle_threads, vec![1, 2]);
+        assert!(report.cycle.iter().all(|e| e.mutex.is_some()));
+        let msg = report.to_string();
+        assert!(msg.contains("cycle:"), "{msg}");
+        assert!(msg.contains("-(m"), "{msg}");
+        assert!(
+            report.threads.iter().any(|t| t.thread.0 == 0),
+            "joining root listed: {report}"
+        );
+    }
+
+    #[test]
     fn traversal_costs_grow_with_depth() {
         engine().run(|ctx| {
             let store = KvStore::create(ctx, KvConfig::new(NodeId(0)));

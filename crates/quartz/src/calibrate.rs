@@ -38,6 +38,9 @@ pub fn measure_dram_latency_ns(ctx: &mut ThreadCtx, node: NodeId, accesses: u64)
         ctx.load(buf.offset_by(idx * 64));
     }
     let elapsed = ctx.now().saturating_duration_since(t0);
+    // INVARIANT: `buf` was allocated above in this same function and
+    // never escapes, so the free cannot fail; a failure would be an
+    // allocator bug contained by the engine as a ThreadPanic.
     ctx.free(buf).expect("calibration buffer");
     elapsed.as_ns_f64() / accesses as f64
 }
@@ -55,6 +58,7 @@ pub fn measure_stream_bandwidth_gbps(ctx: &mut ThreadCtx, node: NodeId, lines: u
         ctx.store_stream(buf.offset_by(i * 64));
     }
     let elapsed = ctx.now().saturating_duration_since(t0);
+    // INVARIANT: same-function allocation, see above.
     ctx.free(buf).expect("calibration buffer");
     if elapsed.is_zero() {
         return 0.0;

@@ -99,10 +99,11 @@ impl ThreadSlot {
         g
     }
 
-    /// Non-blocking owner-state acquisition. Only tests call this (the
-    /// race-regression midpoint probe); production code always goes
+    /// Non-blocking owner-state acquisition. Used by the failure reaper
+    /// (a slot whose owner lock is still held belongs to a detached hung
+    /// thread and must not be blocked on) and by tests (the
+    /// race-regression midpoint probe); hot-path code always goes
     /// through [`ThreadSlot::lock_owner`] for the wait accounting.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn try_lock_owner(&self) -> Option<MutexGuard<'_, SlotOwner>> {
         self.owner.try_lock()
     }
@@ -185,6 +186,22 @@ impl SlotRegistry {
         self.slots.read().iter().flatten().cloned().collect()
     }
 
+    /// Drains **every** registered slot, returning the reaped handles
+    /// for post-mortem inspection. Called by the failure reaper after a
+    /// contained [`SimFailure`](quartz_threadsim::SimFailure): the
+    /// failed run's per-thread state must not leak into the aggregates
+    /// of subsequent runs sharing this runtime. The registration
+    /// counter is *not* reset — slot indices stay process-unique.
+    ///
+    /// Lock ordering: takes only the registry write lock and releases
+    /// it before the caller touches any slot lock (rule 1); callers
+    /// must use [`ThreadSlot::try_lock_owner`] on the returned handles
+    /// because a detached hung thread may still hold one.
+    pub fn reap_all(&self) -> Vec<Arc<ThreadSlot>> {
+        let mut slots = self.slots.write();
+        slots.drain(..).flatten().collect()
+    }
+
     /// Epoch starts of the given thread ids, read without any per-thread
     /// lock. Missing/unregistered ids yield `None`.
     pub fn epoch_starts(&self, tids: &[usize]) -> Vec<Option<SimTime>> {
@@ -225,6 +242,21 @@ mod tests {
         let s2 = reg.register(0, dummy_counters(), Snap::default(), SimTime::ZERO);
         assert_eq!(s2.slot, 1);
         assert_eq!(reg.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn reap_all_drains_slots_but_keeps_counter() {
+        let reg = SlotRegistry::with_capacity(4);
+        reg.register(0, dummy_counters(), Snap::default(), SimTime::ZERO);
+        reg.register(1, dummy_counters(), Snap::default(), SimTime::ZERO);
+        let reaped = reg.reap_all();
+        assert_eq!(reaped.len(), 2);
+        assert!(reg.get(0).is_none() && reg.get(1).is_none());
+        assert!(reg.snapshot().is_empty());
+        // Slot indices stay process-unique across the reap.
+        assert_eq!(reg.registered(), 2);
+        let s = reg.register(0, dummy_counters(), Snap::default(), SimTime::ZERO);
+        assert_eq!(s.slot, 2);
     }
 
     #[test]

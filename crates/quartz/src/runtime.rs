@@ -10,7 +10,7 @@ use quartz_platform::pmu::bank::StandardCounters;
 use quartz_platform::pmu::COUNTER_MASK;
 use quartz_platform::time::Duration;
 use quartz_platform::{NodeId, Platform, PlatformError, SocketId, TimerFault};
-use quartz_threadsim::{Engine, Hooks, ThreadCtx};
+use quartz_threadsim::{Engine, Hooks, SimFailure, ThreadCtx};
 
 use crate::config::{CounterAccess, LatencyModelKind, MemoryMode, QuartzConfig};
 use crate::error::QuartzError;
@@ -413,6 +413,12 @@ impl Quartz {
                         );
                         attempt += 1;
                     }
+                    // INVARIANT: non-transient read errors mean the
+                    // counters were never programmed — a setup bug in
+                    // *this* crate, not a workload or platform fault.
+                    // The panic unwinds through the engine's per-thread
+                    // catch_unwind and surfaces as a contained
+                    // `SimFailure::ThreadPanic`, not a process abort.
                     Err(e) => panic!("counters programmed at registration: {e}"),
                 }
             }
@@ -732,6 +738,9 @@ impl Hooks for Quartz {
                         .topology_refreshes
                         .fetch_add(1, Ordering::Relaxed);
                 }
+                // INVARIANT: any error other than StaleTopology is a
+                // mis-built platform (setup bug); contained by the
+                // engine's catch_unwind as `SimFailure::ThreadPanic`.
                 Err(e) => panic!("counter programming failed at registration: {e}"),
             }
         }
@@ -771,6 +780,49 @@ impl Hooks for Quartz {
 
     fn on_signal(&self, ctx: &mut ThreadCtx) {
         self.maybe_end_epoch(ctx, EpochReason::MonitorSignal);
+    }
+
+    /// The failure reaper: a contained [`SimFailure`] leaves dead
+    /// threads' slots in the registry mid-epoch — possibly with
+    /// undrained pending flushes, possibly with the owner lock still
+    /// held by a thread the engine had to detach. Drain them all so
+    /// the shared runtime's aggregates are not poisoned for subsequent
+    /// runs in this process, and record an epoch-state sanity check in
+    /// [`DegradationStats`](crate::stats::DegradationStats).
+    ///
+    /// Runs on the host thread with no engine lock held; takes the
+    /// registry write lock (released before any slot lock) and then at
+    /// most one slot lock at a time — the same ordering as aggregation
+    /// (rules 1–2 in the `registry` module docs).
+    fn on_sim_failure(&self, failure: &SimFailure) {
+        let reaped = self.registry.reap_all();
+        for slot in &reaped {
+            self.degradation
+                .orphan_slots_reaped
+                .fetch_add(1, Ordering::Relaxed);
+            match slot.try_lock_owner() {
+                None => {
+                    // Owner lock held by an unreachable (detached hung)
+                    // thread: the slot's epoch state is unknowable.
+                    self.degradation
+                        .epoch_state_anomalies
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Some(mut owner) => {
+                    // A dead thread that never reached `pcommit` leaves
+                    // queued flush completions behind; crossing them
+                    // into a later run would corrupt its durability
+                    // accounting.
+                    if !owner.pending_flushes.is_empty() {
+                        owner.pending_flushes.clear();
+                        self.degradation
+                            .epoch_state_anomalies
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        let _ = failure;
     }
 }
 

@@ -159,6 +159,14 @@ pub struct DegradationStats {
     pub topology_stale_reads: u64,
     /// Topology refreshes performed before registration succeeded.
     pub topology_refreshes: u64,
+    /// Per-thread slots reaped after a contained simulation failure
+    /// (deadlock/panic/hang): the orphaned state was cleared so the
+    /// shared runtime stays healthy for subsequent runs in-process.
+    pub orphan_slots_reaped: u64,
+    /// Epoch-state inconsistencies found by the reaper's sanity check: a
+    /// dead thread's slot left mid-epoch with undrained pending flushes,
+    /// or a slot lock still held by an unreachable (detached) thread.
+    pub epoch_state_anomalies: u64,
 }
 
 impl DegradationStats {
@@ -172,6 +180,7 @@ impl DegradationStats {
             + self.timer_drops
             + self.timer_deferrals
             + self.topology_stale_reads
+            + self.epoch_state_anomalies
     }
 
     /// Renders the block as a JSON object (hand-rolled, deterministic,
@@ -183,7 +192,8 @@ impl DegradationStats {
                 "\"pmu_reads_abandoned\":{},\"counter_wraps\":{},\"stall_clamps\":{},",
                 "\"delay_clamps\":{},\"recalibrations\":{},\"thermal_write_faults\":{},",
                 "\"thermal_retries\":{},\"thermal_gave_up\":{},\"timer_drops\":{},",
-                "\"timer_deferrals\":{},\"topology_stale_reads\":{},\"topology_refreshes\":{}}}"
+                "\"timer_deferrals\":{},\"topology_stale_reads\":{},\"topology_refreshes\":{},",
+                "\"orphan_slots_reaped\":{},\"epoch_state_anomalies\":{}}}"
             ),
             self.total_faults(),
             self.pmu_read_faults,
@@ -200,6 +210,8 @@ impl DegradationStats {
             self.timer_deferrals,
             self.topology_stale_reads,
             self.topology_refreshes,
+            self.orphan_slots_reaped,
+            self.epoch_state_anomalies,
         )
     }
 }
@@ -224,6 +236,8 @@ pub(crate) struct DegradationCounters {
     pub timer_deferrals: AtomicU64,
     pub topology_stale_reads: AtomicU64,
     pub topology_refreshes: AtomicU64,
+    pub orphan_slots_reaped: AtomicU64,
+    pub epoch_state_anomalies: AtomicU64,
 }
 
 impl DegradationCounters {
@@ -244,6 +258,8 @@ impl DegradationCounters {
             timer_deferrals: ld(&self.timer_deferrals),
             topology_stale_reads: ld(&self.topology_stale_reads),
             topology_refreshes: ld(&self.topology_refreshes),
+            orphan_slots_reaped: ld(&self.orphan_slots_reaped),
+            epoch_state_anomalies: ld(&self.epoch_state_anomalies),
         }
     }
 }
@@ -391,6 +407,13 @@ impl fmt::Display for QuartzStats {
                 d.topology_stale_reads,
                 d.recalibrations,
             )?;
+            if d.orphan_slots_reaped > 0 || d.epoch_state_anomalies > 0 {
+                writeln!(
+                    f,
+                    "  failure reaping    : {} orphan slot(s) reaped, {} epoch-state anomalies",
+                    d.orphan_slots_reaped, d.epoch_state_anomalies,
+                )?;
+            }
         }
         if self.overhead_fully_amortized() {
             writeln!(f, "  overhead fully amortized into injected delays")?;
@@ -501,6 +524,20 @@ mod tests {
         s2.degradation.thermal_retries = 3;
         assert_eq!(s2.degradation.total_faults(), 0);
         assert!(s2.to_json().contains("\"thermal_retries\":3"));
+    }
+
+    #[test]
+    fn reaper_fields_surface_in_json_display_and_totals() {
+        let mut s = QuartzStats::default();
+        s.degradation.orphan_slots_reaped = 2;
+        s.degradation.epoch_state_anomalies = 1;
+        // Anomalies are observed faults; reaped slots are actions.
+        assert_eq!(s.degradation.total_faults(), 1);
+        let j = s.to_json();
+        assert!(j.contains("\"orphan_slots_reaped\":2"), "{j}");
+        assert!(j.contains("\"epoch_state_anomalies\":1"), "{j}");
+        let out = s.to_string();
+        assert!(out.contains("2 orphan slot(s) reaped"), "{out}");
     }
 
     #[test]

@@ -309,6 +309,75 @@ fn pflush_injects_write_delay() {
 }
 
 #[test]
+fn sim_failure_reaps_slots_and_runtime_survives_for_next_run() {
+    use quartz_threadsim::SimFailure;
+
+    let mem = machine(Architecture::IvyBridge, true);
+    let quartz = Quartz::new(
+        QuartzConfig::new(NvmTarget::new(300.0).with_write_delay_ns(450.0))
+            .with_max_epoch(Duration::from_us(50)),
+        Arc::clone(&mem),
+    )
+    .unwrap();
+
+    // Run 1: a deadlocking workload with undrained pending flushes.
+    let engine = Engine::new(Arc::clone(&mem));
+    quartz.attach(&engine).unwrap();
+    let q = Arc::clone(&quartz);
+    let failure = engine
+        .try_run(move |ctx| {
+            let buf = q.pmalloc(ctx, 4096).unwrap();
+            ctx.store(buf);
+            q.pflush_opt(ctx, buf); // left pending: never pcommit'ed
+            let a = ctx.mutex_new();
+            let b = ctx.mutex_new();
+            let k1 = ctx.spawn(move |c| {
+                c.mutex_lock(a);
+                c.compute_ns(5_000.0);
+                c.mutex_lock(b);
+            });
+            let k2 = ctx.spawn(move |c| {
+                c.mutex_lock(b);
+                c.compute_ns(5_000.0);
+                c.mutex_lock(a);
+            });
+            ctx.join(k1);
+            ctx.join(k2);
+        })
+        .unwrap_err();
+    assert!(matches!(failure, SimFailure::Deadlock(_)), "{failure}");
+
+    // The reaper drained every slot and flagged the undrained flush.
+    let stats = quartz.stats();
+    assert_eq!(
+        stats.degradation.orphan_slots_reaped, 3,
+        "root + two children reaped: {stats}"
+    );
+    assert!(
+        stats.degradation.epoch_state_anomalies >= 1,
+        "undrained pending flush flagged: {stats}"
+    );
+    // Totals no longer include the failed run's per-thread state.
+    assert_eq!(stats.totals.pflushes, 0);
+
+    // Run 2: the same Quartz on a fresh engine works, and its stats are
+    // not contaminated by the failed run.
+    let engine2 = Engine::new(Arc::clone(&mem));
+    quartz.attach(&engine2).unwrap();
+    let q = Arc::clone(&quartz);
+    engine2.run(move |ctx| {
+        let buf = q.pmalloc(ctx, 4096).unwrap();
+        for i in 0..10u64 {
+            ctx.store(buf.offset_by(i * 64));
+            q.pflush(ctx, buf.offset_by(i * 64));
+        }
+    });
+    let stats2 = quartz.stats();
+    assert_eq!(stats2.totals.pflushes, 10, "only the healthy run counted");
+    assert!(stats2.totals.epochs() >= 1, "epochs close normally again");
+}
+
+#[test]
 fn pcommit_overlaps_independent_writes() {
     let mem = machine(Architecture::IvyBridge, true);
     let engine = Engine::new(Arc::clone(&mem));

@@ -22,6 +22,7 @@ fn golden_run(name: &str, jobs: usize, dir: &Path) -> (String, Vec<(String, Vec<
         quick: true,
         out_dir: dir.to_path_buf(),
         jobs,
+        ..RunOptions::default()
     };
     let mut buf = Vec::new();
     run_experiments(&[exp], &opts, &mut buf).unwrap();
@@ -132,6 +133,62 @@ fn fault_matrix_is_byte_identical_at_any_jobs_count() {
 }
 
 #[test]
+fn failure_modes_is_byte_identical_and_classifies_all_modes() {
+    // The failure-taxonomy self-test deliberately deadlocks, panics, and
+    // hangs micro-workloads; the containment machinery must classify
+    // each with a named diagnostic, and the printed table must be
+    // byte-identical at any --jobs (hang detection is host-timed but its
+    // classification output is not).
+    assert!(
+        registry::find("failure_modes")
+            .expect("registered")
+            .deterministic(),
+        "failure_modes must advertise determinism"
+    );
+    let base = std::env::temp_dir().join("quartz_bench_golden_failure_modes");
+    let (console1, files1) = golden_run("failure_modes", 1, &base.join("j1"));
+    let (console8, files8) = golden_run("failure_modes", 8, &base.join("j8"));
+    assert_eq!(console1, console8);
+    // Every scenario row present, classified as expected.
+    for scenario in [
+        "clean/control",
+        "deadlock/abba",
+        "panic/child",
+        "hang/virtual_spin",
+        "deadlock/quartz_reap",
+    ] {
+        assert!(
+            console1.contains(scenario),
+            "missing {scenario}:\n{console1}"
+        );
+    }
+    assert!(
+        console1.contains("5/5 scenarios classified as expected"),
+        "verdict line must confirm full classification:\n{console1}"
+    );
+    // The deadlock diagnostics name the actual lock cycle.
+    assert!(
+        console1.contains("t1 -(m1)-> t2") && console1.contains("t2 -(m0)-> t1"),
+        "deadlock cycle must be named edge by edge:\n{console1}"
+    );
+    // The panic diagnostic carries the original payload; the hang
+    // diagnostic names the token holder and configured budget.
+    assert!(console1.contains("\"injected fault\""), "{console1}");
+    assert!(
+        console1.contains("t0 exceeded 25ms watchdog budget"),
+        "{console1}"
+    );
+    // Emulator-side containment after a deadlock with Quartz attached.
+    assert!(console1.contains("reaped=3 anomalies=1"), "{console1}");
+    assert!(!files1.is_empty());
+    assert_eq!(files1.len(), files8.len());
+    for ((n1, b1), (n8, b8)) in files1.iter().zip(&files8) {
+        assert_eq!(n1, n8);
+        assert_eq!(b1, b8, "{n1} differs between --jobs 1 and --jobs 8");
+    }
+}
+
+#[test]
 fn repeated_serial_runs_are_byte_identical() {
     let base = std::env::temp_dir().join("quartz_bench_golden_repeat");
     let (c1, f1) = golden_run("ablation_pcommit", 1, &base.join("a"));
@@ -178,4 +235,66 @@ fn cli_bad_jobs_value_exits_2() {
         .output()
         .expect("spawn repro");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn cli_inject_fail_exits_1_and_marks_exactly_one_failed() {
+    // The quarantine contract, end to end: an injected failure must not
+    // stop the healthy experiment, must be recorded in the manifest as
+    // `status: failed`, and must flip the process exit status to 1.
+    let dir = std::env::temp_dir().join("quartz_bench_inject_fail");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--quick",
+            "--jobs",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+            "--inject-fail",
+            "failure_modes",
+            "failure_modes",
+            "ablation_pcommit",
+        ])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a quarantined experiment must make repro exit 1: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("failure_modes QUARANTINED"), "{stdout}");
+    assert!(stdout.contains("quarantined: failure_modes"), "{stdout}");
+
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).expect("manifest written");
+    assert_eq!(
+        manifest.matches("\"status\":\"failed\"").count(),
+        1,
+        "exactly the injected experiment fails: {manifest}"
+    );
+    assert_eq!(
+        manifest.matches("\"status\":\"ok\"").count(),
+        1,
+        "the healthy experiment stays ok: {manifest}"
+    );
+    assert!(
+        manifest.contains("injected failure (--inject-fail)"),
+        "{manifest}"
+    );
+    // Quarantined experiments save no result rows; healthy ones do.
+    assert!(!dir.join("failure_modes.json").exists());
+    assert!(dir.join("ablation_pcommit.json").exists());
+}
+
+#[test]
+fn cli_inject_fail_unselected_name_exits_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--inject-fail", "fig8", "table1"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("fig8"), "{stderr}");
 }
