@@ -38,9 +38,46 @@ fn bench_load_path(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsim_trace");
+    group.throughput(Throughput::Elements(10_000));
+    let spec = MachineSpec::new(Architecture::IvyBridge).with_no_jitter();
+    // A reference trace of 10k sequential loads for the replay bench.
+    let rec = spec.build();
+    let a = rec.alloc(NodeId(0), 1 << 20).unwrap();
+    rec.start_recording();
+    let mut now = SimTime::ZERO;
+    for i in 0..10_000u64 {
+        let r = rec.load(0, a.offset_by((i % (1 << 14)) * 64), now);
+        now += r.stall + Duration::from_ns(1);
+    }
+    let trace = rec.stop_recording();
+    group.bench_function("10k_loads_recorded", |b| {
+        let mem = spec.build();
+        let a = mem.alloc(NodeId(0), 1 << 20).unwrap();
+        let mut now = SimTime::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            mem.start_recording();
+            for _ in 0..10_000 {
+                i = (i + 1) % (1 << 14);
+                let r = mem.load(0, a.offset_by(i * 64), now);
+                now += r.stall + Duration::from_ns(1);
+            }
+            mem.stop_recording()
+        })
+    });
+    group.bench_function("10k_event_replay", |b| {
+        let mem = spec.build();
+        mem.alloc(NodeId(0), 1 << 20).unwrap();
+        b.iter(|| trace.replay(&mem))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_load_path
+    targets = bench_load_path, bench_trace
 }
 criterion_main!(benches);

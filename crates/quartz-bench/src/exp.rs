@@ -174,6 +174,11 @@ pub struct ExpReport {
     /// (`QuartzStats::to_json*` output), embedded in the experiment's
     /// JSON row file.
     pub stats: Vec<(String, String)>,
+    /// Benchmark files to write verbatim under the output directory:
+    /// `(file name, contents)`. The `BENCH_*.json` throughput-trajectory
+    /// channel — unlike tables, these are free-schema documents tracked
+    /// PR-over-PR by tooling (file names are recorded in the manifest).
+    pub benches: Vec<(String, String)>,
 }
 
 impl ExpReport {
@@ -200,6 +205,13 @@ impl ExpReport {
     /// Adds a labelled emulator-statistics JSON fragment.
     pub fn stat(&mut self, label: impl Into<String>, json: String) -> &mut Self {
         self.stats.push((label.into(), json));
+        self
+    }
+
+    /// Adds a benchmark file (e.g. `BENCH_memsim.json`) the harness
+    /// writes verbatim under the output directory.
+    pub fn bench_file(&mut self, name: impl Into<String>, contents: String) -> &mut Self {
+        self.benches.push((name.into(), contents));
         self
     }
 }

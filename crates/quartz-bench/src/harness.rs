@@ -216,6 +216,10 @@ pub fn run_experiments(
             opts.out_dir.join(format!("{}.json", exp.name())),
             row.render() + "\n",
         )?;
+        for (fname, contents) in &report.benches {
+            std::fs::write(opts.out_dir.join(fname), contents)?;
+            record.benches.push(fname.clone());
+        }
 
         writeln!(out, "[{} took {:.1}s]\n", exp.name(), record.wall_ms / 1e3)?;
         manifest.experiments.push(record);

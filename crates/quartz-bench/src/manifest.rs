@@ -59,6 +59,8 @@ pub struct ExperimentRecord {
     pub points: Vec<PointTiming>,
     /// CSV/JSON-row base names (slugs) the experiment saved.
     pub tables: Vec<String>,
+    /// Benchmark files (`BENCH_*.json`) the experiment emitted.
+    pub benches: Vec<String>,
     /// Whether the experiment completed or was quarantined.
     pub status: RunStatus,
 }
@@ -73,6 +75,7 @@ impl ExperimentRecord {
             wall_ms: 0.0,
             points: Vec::new(),
             tables: Vec::new(),
+            benches: Vec::new(),
             status: RunStatus::Ok,
         }
     }
@@ -119,6 +122,12 @@ impl ExperimentRecord {
                 Json::Arr(self.tables.iter().map(|t| Json::str(t.clone())).collect()),
             ),
         ]);
+        if !self.benches.is_empty() {
+            obj.push(
+                "benches",
+                Json::Arr(self.benches.iter().map(|b| Json::str(b.clone())).collect()),
+            );
+        }
         match &self.status {
             RunStatus::Ok => obj.push("status", Json::str("ok")),
             RunStatus::Failed { message, point } => {
@@ -260,6 +269,7 @@ mod tests {
                 },
             ],
             tables: vec!["slug".into()],
+            benches: Vec::new(),
             status: RunStatus::Ok,
         }
     }

@@ -10,7 +10,7 @@
 use crate::exp::Experiment;
 use crate::experiments::{
     ablations, contention, crash, extensions, failure_modes, faults, fig11, fig12, fig13, fig14,
-    fig15, fig16, fig8, overhead, pagerank_validation, table1, table2,
+    fig15, fig16, fig8, memsim_throughput, overhead, pagerank_validation, table1, table2,
 };
 
 /// Every registered experiment, in canonical `repro all` order.
@@ -38,6 +38,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &crash::CrashCost,
     &faults::FaultMatrix,
     &failure_modes::FailureModes,
+    &memsim_throughput::MemsimThroughput,
 ];
 
 /// All registered experiments in canonical order.
@@ -158,6 +159,7 @@ mod tests {
             "crash_cost",
             "fault_matrix",
             "failure_modes",
+            "memsim_throughput",
         ];
         let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
         assert_eq!(names, expected);
@@ -239,10 +241,11 @@ mod tests {
 
     #[test]
     fn only_host_timed_experiments_opt_out_of_determinism() {
-        // `contention` and `crash_cost` measure wall-clock `Instant`
-        // spans around real host work; everything else (including
-        // `crash_sweep`) must uphold the byte-identical contract.
-        let host_timed = ["contention", "crash_cost"];
+        // `contention`, `crash_cost`, and `memsim_throughput` measure
+        // wall-clock `Instant` spans around real host work; everything
+        // else (including `crash_sweep`) must uphold the byte-identical
+        // contract.
+        let host_timed = ["contention", "crash_cost", "memsim_throughput"];
         for e in all() {
             assert_eq!(
                 e.deterministic(),

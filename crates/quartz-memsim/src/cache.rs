@@ -1,4 +1,11 @@
 //! Set-associative, write-back, write-allocate cache with LRU replacement.
+//!
+//! The way metadata is laid out structure-of-arrays: one contiguous tag
+//! array probed as a slice (the per-access hot path is a batched compare
+//! over `ways` consecutive `u64`s), with dirty bits and recency stamps in
+//! parallel arrays touched only on the slot that matched. An absent line
+//! is encoded by the `INVALID_LINE` sentinel tag, so probing never
+//! consults a separate validity array.
 
 use crate::addr::Addr;
 use crate::config::CacheGeometry;
@@ -21,28 +28,22 @@ pub struct Evicted {
     pub dirty: bool,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    line: u64,
-    dirty: bool,
-    valid: bool,
-    /// Monotonic recency stamp; larger = more recent.
-    lru: u64,
-}
+/// Tag value marking an empty way. No real line can reach it: line
+/// numbers are addresses divided by 64, so they top out at
+/// `u64::MAX / 64`.
+const INVALID_LINE: u64 = u64::MAX;
 
-const INVALID: Way = Way {
-    line: 0,
-    dirty: false,
-    valid: false,
-    lru: 0,
-};
-
-/// One cache instance.
+/// One cache instance (structure-of-arrays way metadata).
 #[derive(Clone, Debug)]
 pub struct Cache {
     sets: u64,
     ways: usize,
-    data: Vec<Way>,
+    /// Line tags, `sets * ways` long; `INVALID_LINE` = empty way.
+    tags: Vec<u64>,
+    /// Dirty bit per way slot, parallel to `tags`.
+    dirty: Vec<bool>,
+    /// Monotonic recency stamp per way slot; larger = more recent.
+    lru: Vec<u64>,
     tick: u64,
 }
 
@@ -50,61 +51,65 @@ impl Cache {
     /// Builds an empty cache of the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
         let sets = geom.sets();
+        let slots = (sets as usize) * geom.ways;
         Cache {
             sets,
             ways: geom.ways,
-            data: vec![INVALID; (sets as usize) * geom.ways],
+            tags: vec![INVALID_LINE; slots],
+            dirty: vec![false; slots],
+            lru: vec![0; slots],
             tick: 0,
         }
     }
 
-    fn set_index(&self, line: u64) -> usize {
-        (line % self.sets) as usize
+    #[inline]
+    fn set_base(&self, line: u64) -> usize {
+        ((line % self.sets) as usize) * self.ways
     }
 
-    fn set_slice_mut(&mut self, line: u64) -> &mut [Way] {
-        let idx = self.set_index(line) * self.ways;
-        let ways = self.ways;
-        &mut self.data[idx..idx + ways]
+    /// Probes the set for `line`; returns the absolute slot index on a
+    /// hit. This is the batched line probe every lookup funnels through:
+    /// one linear compare over the set's contiguous tag slice.
+    #[inline]
+    fn probe(&self, line: u64) -> Option<usize> {
+        let base = self.set_base(line);
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == line)
+            .map(|w| base + w)
     }
 
     /// Probes for a line without modifying replacement state.
     pub fn contains(&self, addr: Addr) -> bool {
-        let line = addr.line();
-        let idx = self.set_index(line) * self.ways;
-        self.data[idx..idx + self.ways]
-            .iter()
-            .any(|w| w.valid && w.line == line)
+        self.probe(addr.line()).is_some()
     }
 
     /// Accesses a line: on hit updates LRU and returns `Hit`; on miss
     /// returns `Miss` without filling.
+    #[inline]
     pub fn touch(&mut self, addr: Addr) -> Lookup {
         self.tick += 1;
-        let tick = self.tick;
-        let line = addr.line();
-        for w in self.set_slice_mut(line) {
-            if w.valid && w.line == line {
-                w.lru = tick;
-                return Lookup::Hit;
+        match self.probe(addr.line()) {
+            Some(slot) => {
+                self.lru[slot] = self.tick;
+                Lookup::Hit
             }
+            None => Lookup::Miss,
         }
-        Lookup::Miss
     }
 
     /// Like [`Cache::touch`] but also marks the line dirty on hit.
+    #[inline]
     pub fn touch_dirty(&mut self, addr: Addr) -> Lookup {
         self.tick += 1;
-        let tick = self.tick;
-        let line = addr.line();
-        for w in self.set_slice_mut(line) {
-            if w.valid && w.line == line {
-                w.lru = tick;
-                w.dirty = true;
-                return Lookup::Hit;
+        match self.probe(addr.line()) {
+            Some(slot) => {
+                self.lru[slot] = self.tick;
+                self.dirty[slot] = true;
+                Lookup::Hit
             }
+            None => Lookup::Miss,
         }
-        Lookup::Miss
     }
 
     /// Fills a line (after a miss), evicting the LRU way if the set is
@@ -113,62 +118,70 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         let line = addr.line();
-        let set = self.set_slice_mut(line);
         // Already present (e.g. racing prefetch): refresh.
-        if let Some(w) = set.iter_mut().find(|w| w.valid && w.line == line) {
-            w.lru = tick;
-            w.dirty |= dirty;
+        if let Some(slot) = self.probe(line) {
+            self.lru[slot] = tick;
+            self.dirty[slot] |= dirty;
             return None;
         }
-        // Free way?
-        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
-            *w = Way {
-                line,
-                dirty,
-                valid: true,
-                lru: tick,
-            };
-            return None;
+        let base = self.set_base(line);
+        // Free way, or failing that the LRU victim — one scan finds
+        // both: an empty slot always wins (its stamp can never exceed a
+        // valid line's, but prefer it explicitly so stamp resets are
+        // safe).
+        let mut victim = base;
+        let mut victim_lru = u64::MAX;
+        for slot in base..base + self.ways {
+            if self.tags[slot] == INVALID_LINE {
+                victim = slot;
+                break;
+            }
+            if self.lru[slot] < victim_lru {
+                victim = slot;
+                victim_lru = self.lru[slot];
+            }
         }
-        // Evict LRU.
-        let victim = set.iter_mut().min_by_key(|w| w.lru).expect("non-empty set");
-        let evicted = Evicted {
-            line: victim.line,
-            dirty: victim.dirty,
+        let evicted = if self.tags[victim] == INVALID_LINE {
+            None
+        } else {
+            Some(Evicted {
+                line: self.tags[victim],
+                dirty: self.dirty[victim],
+            })
         };
-        *victim = Way {
-            line,
-            dirty,
-            valid: true,
-            lru: tick,
-        };
-        Some(evicted)
+        self.tags[victim] = line;
+        self.dirty[victim] = dirty;
+        self.lru[victim] = tick;
+        evicted
     }
 
     /// Invalidates a line if present, returning whether it was dirty
     /// (`clflush` semantics).
     pub fn invalidate(&mut self, addr: Addr) -> Option<bool> {
-        let line = addr.line();
-        for w in self.set_slice_mut(line) {
-            if w.valid && w.line == line {
-                let dirty = w.dirty;
-                *w = INVALID;
-                return Some(dirty);
+        match self.probe(addr.line()) {
+            Some(slot) => {
+                let dirty = self.dirty[slot];
+                self.tags[slot] = INVALID_LINE;
+                self.dirty[slot] = false;
+                self.lru[slot] = 0;
+                Some(dirty)
             }
+            None => None,
         }
-        None
     }
 
     /// Invalidates everything (used between experiment trials, like the
     /// paper's "we invalidate caches between the runs", §4.7 footnote).
     pub fn invalidate_all(&mut self) {
-        self.data.fill(INVALID);
+        self.tags.fill(INVALID_LINE);
+        self.dirty.fill(false);
+        self.lru.fill(0);
         self.tick = 0;
     }
 
     /// Number of valid lines (for tests).
     pub fn occupancy(&self) -> usize {
-        self.data.iter().filter(|w| w.valid).count()
+        self.tags.iter().filter(|&&t| t != INVALID_LINE).count()
     }
 }
 
@@ -267,5 +280,28 @@ mod tests {
             c.fill(addr(i * 64), false);
         }
         assert_eq!(c.occupancy(), 4);
+    }
+
+    #[test]
+    fn invalidated_slot_is_reused_before_eviction() {
+        let mut c = small_cache();
+        c.fill(addr(0), false);
+        c.fill(addr(256), true);
+        c.invalidate(addr(0));
+        // The freed way absorbs the next fill: nothing is evicted even
+        // though the set held a (dirty) line.
+        assert_eq!(c.fill(addr(512), false), None);
+        assert!(c.contains(addr(256)));
+        assert!(c.contains(addr(512)));
+    }
+
+    #[test]
+    fn invalidated_dirty_bit_does_not_leak_to_next_tenant() {
+        let mut c = small_cache();
+        c.fill(addr(0), true);
+        assert_eq!(c.invalidate(addr(0)), Some(true));
+        c.fill(addr(0), false);
+        // The slot's old dirty bit must not resurrect.
+        assert_eq!(c.invalidate(addr(0)), Some(false));
     }
 }

@@ -45,6 +45,7 @@ pub mod prefetch;
 pub mod stats;
 pub mod system;
 pub mod tlb;
+pub mod trace;
 
 pub use addr::Addr;
 pub use alloc::NumaAllocator;
@@ -53,3 +54,4 @@ pub use error::MemSimError;
 pub use persist::{NoopObserver, PersistObserver, WritebackCause};
 pub use stats::MemStats;
 pub use system::{AccessResult, MemorySystem, ServiceLevel};
+pub use trace::{Trace, TraceError, TraceEvent};

@@ -15,6 +15,10 @@ struct Stream {
     stride: i64,
     confidence: u32,
     lru: u64,
+    /// Stable allocation id, the eviction tie-breaker: `swap_remove`
+    /// reorders the table, so victim selection must not depend on slot
+    /// position.
+    id: u64,
 }
 
 /// Per-core stride prefetcher.
@@ -23,6 +27,8 @@ pub struct Prefetcher {
     config: PrefetchConfig,
     streams: Vec<Stream>,
     tick: u64,
+    /// Next stream allocation id (monotonic, reset with the table).
+    next_id: u64,
 }
 
 /// Maximum line distance for an access to match an existing stream.
@@ -38,6 +44,7 @@ impl Prefetcher {
             config,
             streams: Vec::new(),
             tick: 0,
+            next_id: 0,
         }
     }
 
@@ -81,20 +88,26 @@ impl Prefetcher {
             }
             None => {
                 if self.streams.len() >= self.config.streams {
+                    // Oldest stamp wins; equal stamps fall back to the
+                    // allocation id so the victim is independent of the
+                    // table order `swap_remove` left behind.
                     let lru = self
                         .streams
                         .iter()
                         .enumerate()
-                        .min_by_key(|(_, s)| s.lru)
+                        .min_by_key(|(_, s)| (s.lru, s.id))
                         .map(|(i, _)| i)
                         .expect("non-empty");
                     self.streams.swap_remove(lru);
                 }
+                let id = self.next_id;
+                self.next_id += 1;
                 self.streams.push(Stream {
                     last_line: line,
                     stride: 0,
                     confidence: 0,
                     lru: tick,
+                    id,
                 });
             }
         }
@@ -104,6 +117,7 @@ impl Prefetcher {
     pub fn reset(&mut self) {
         self.streams.clear();
         self.tick = 0;
+        self.next_id = 0;
     }
 }
 
@@ -188,6 +202,51 @@ mod tests {
         }
         assert!(out.contains(&1004));
         assert!(out.contains(&500_004));
+    }
+
+    /// Forces an eviction tie: every resident stream carries the same
+    /// `lru` stamp, and the table order is permuted the way repeated
+    /// `swap_remove`s would leave it. The victim must be the stream with
+    /// the smallest allocation id in every permutation — before the
+    /// `(lru, id)` tie-break the slot at index 0 won, which depends on
+    /// table order.
+    #[test]
+    fn eviction_tie_breaks_on_stream_id_regardless_of_table_order() {
+        // 4 permutations of 4 streams; lines far apart so the new
+        // access never matches an existing stream.
+        let orders: [[u64; 4]; 4] = [[0, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1], [1, 3, 0, 2]];
+        for order in orders {
+            let mut p = pf();
+            let mut out = Vec::new();
+            // Allocate 4 streams (ids 0..4 in allocation order).
+            for id in 0..4u64 {
+                p.observe(10_000 * (id + 1), &mut out);
+            }
+            // Rearrange the table and flatten every stamp to a tie.
+            p.streams.sort_by_key(|s| {
+                order
+                    .iter()
+                    .position(|&o| o == s.id)
+                    .expect("id in permutation")
+            });
+            for s in &mut p.streams {
+                s.lru = 7;
+            }
+            // A 5th far-away stream forces an eviction.
+            p.observe(90_000, &mut out);
+            assert!(
+                !p.streams.iter().any(|s| s.id == 0),
+                "victim must be id 0, table order {order:?}: {:?}",
+                p.streams.iter().map(|s| s.id).collect::<Vec<_>>()
+            );
+            for id in 1..4u64 {
+                assert!(
+                    p.streams.iter().any(|s| s.id == id),
+                    "id {id} must survive, table order {order:?}"
+                );
+            }
+            assert!(out.is_empty(), "no stream reached trigger confidence");
+        }
     }
 
     #[test]

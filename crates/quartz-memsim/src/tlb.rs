@@ -1,4 +1,9 @@
 //! A small fully-associative TLB with LRU replacement.
+//!
+//! Entries are laid out structure-of-arrays: the hot lookup scans one
+//! contiguous page-number array (a batched compare, no tuple striding),
+//! and the recency stamps live in a parallel array touched only on the
+//! slot that hit.
 
 use crate::addr::Addr;
 use crate::config::TlbConfig;
@@ -8,8 +13,10 @@ use crate::config::TlbConfig;
 #[derive(Clone, Debug)]
 pub struct Tlb {
     config: TlbConfig,
-    /// (page number, recency stamp).
-    entries: Vec<(u64, u64)>,
+    /// Resident page numbers (at most `capacity()`, no duplicates).
+    pages: Vec<u64>,
+    /// Recency stamps, parallel to `pages`; larger = more recent.
+    ticks: Vec<u64>,
     tick: u64,
 }
 
@@ -18,17 +25,27 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Self {
         Tlb {
             config,
-            entries: Vec::new(),
+            pages: Vec::new(),
+            ticks: Vec::new(),
             tick: 0,
         }
     }
 
-    fn capacity(&self) -> usize {
+    /// Entry budget of the active page size.
+    pub fn capacity(&self) -> usize {
         if self.config.hugepages {
             self.config.entries_2m
         } else {
             self.config.entries_4k
         }
+    }
+
+    /// Resident entry count. The insertion path keeps this bounded by
+    /// [`Tlb::capacity`] and free of duplicate pages — a duplicate would
+    /// both inflate occupancy past the configured reach and skew hit
+    /// rates by double-counting one page's residency.
+    pub fn occupancy(&self) -> usize {
+        self.pages.len()
     }
 
     fn page_of(&self, addr: Addr) -> u64 {
@@ -48,21 +65,36 @@ impl Tlb {
         self.tick += 1;
         let tick = self.tick;
         let page = self.page_of(addr);
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = tick;
+        // Batched probe over the contiguous page array.
+        if let Some(i) = self.pages.iter().position(|&p| p == page) {
+            self.ticks[i] = tick;
             return true;
         }
-        if self.entries.len() >= self.capacity() {
+        let capacity = self.capacity();
+        if capacity == 0 {
+            // Degenerate configuration: every access misses and nothing
+            // is cached (previously this path evicted from an empty
+            // table and panicked).
+            return false;
+        }
+        // The probe above missed, so `page` is not resident: pushing it
+        // cannot create a duplicate. Evict until a slot is free — the
+        // `while` (not `if`) also restores the invariant if a config
+        // ever shrank the capacity under a populated table.
+        while self.pages.len() >= capacity {
             let lru = self
-                .entries
+                .ticks
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, (_, t))| *t)
+                .min_by_key(|&(_, &t)| t)
                 .map(|(i, _)| i)
-                .expect("non-empty");
-            self.entries.swap_remove(lru);
+                .expect("occupancy >= capacity >= 1");
+            self.pages.swap_remove(lru);
+            self.ticks.swap_remove(lru);
         }
-        self.entries.push((page, tick));
+        self.pages.push(page);
+        self.ticks.push(tick);
+        debug_assert!(self.occupancy() <= capacity);
         false
     }
 
@@ -73,7 +105,8 @@ impl Tlb {
 
     /// Empties the TLB (context switch / trial reset).
     pub fn flush(&mut self) {
-        self.entries.clear();
+        self.pages.clear();
+        self.ticks.clear();
     }
 }
 
@@ -140,5 +173,75 @@ mod tests {
         t.translate(addr(0));
         t.flush();
         assert!(!t.translate(addr(0)));
+    }
+
+    /// Hammers a 4K-page TLB with a reuse-heavy page mix and checks the
+    /// structural invariants after every single translate: occupancy
+    /// never exceeds capacity and the table never holds a page twice.
+    #[test]
+    fn occupancy_bounded_and_duplicate_free_4k() {
+        let mut t = small_tlb(false);
+        // Alternate between a small hot set (re-translations of already
+        // present pages — the re-insertion hazard) and a cold sweep.
+        for round in 0..200u64 {
+            let page = match round % 4 {
+                0 | 1 => round % 2,    // hot pages 0 and 1, repeatedly
+                2 => 10 + (round / 4), // cold sweep
+                _ => round % 2,        // hot again, immediately
+            };
+            t.translate(addr(page * 4096));
+            assert!(
+                t.occupancy() <= t.capacity(),
+                "round {round}: occupancy {} > capacity {}",
+                t.occupancy(),
+                t.capacity()
+            );
+            let mut sorted = t.pages.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), t.pages.len(), "duplicate page entries");
+        }
+    }
+
+    /// Same invariants under a hugepage configuration, where many
+    /// distinct addresses collapse onto one 2 MiB page — the densest
+    /// re-translation pattern.
+    #[test]
+    fn occupancy_bounded_and_duplicate_free_hugepages() {
+        let mut t = small_tlb(true);
+        const MIB2: u64 = 2 * 1024 * 1024;
+        for round in 0..200u64 {
+            // Three 2 MiB pages, visited at scattered inner offsets.
+            let page = round % 3;
+            let offset = (round * 4097) % MIB2;
+            t.translate(addr(page * MIB2 + offset));
+            assert!(t.occupancy() <= t.capacity());
+            let mut sorted = t.pages.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), t.pages.len(), "duplicate page entries");
+        }
+        // The three pages thrash a 2-entry TLB but never overfill it.
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    /// A zero-entry TLB is a degenerate but representable config: every
+    /// access must miss without panicking (the old eviction path popped
+    /// from an empty table).
+    #[test]
+    fn zero_capacity_always_misses_without_panicking() {
+        for hugepages in [false, true] {
+            let mut t = Tlb::new(TlbConfig {
+                enabled: true,
+                entries_4k: 0,
+                entries_2m: 0,
+                walk_ns: 30.0,
+                hugepages,
+            });
+            for i in 0..10 {
+                assert!(!t.translate(addr(i * 4096)), "hugepages={hugepages}");
+                assert_eq!(t.occupancy(), 0);
+            }
+        }
     }
 }

@@ -298,3 +298,78 @@ fn cli_inject_fail_unselected_name_exits_2() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("fig8"), "{stderr}");
 }
+
+/// Blanks the value after every host-timing key in a `BENCH_*.json`
+/// document, leaving the deterministic fields (access counts, config
+/// lists, trace event counts, the equivalence flag) for comparison.
+fn strip_timing_fields(json: &str) -> String {
+    const KEYS: [&str; 5] = [
+        "\"wall_ms\":",
+        "\"accesses_per_sec\":",
+        "\"live_ms\":",
+        "\"replay_ms\":",
+        "\"speedup\":",
+    ];
+    let mut out = String::new();
+    let mut rest = json;
+    'outer: while !rest.is_empty() {
+        for k in KEYS {
+            if rest.starts_with(k) {
+                out.push_str(k);
+                out.push('_');
+                rest = &rest[k.len()..];
+                let end = rest.find([',', '}']).unwrap_or(rest.len());
+                rest = &rest[end..];
+                continue 'outer;
+            }
+        }
+        let mut chars = rest.chars();
+        out.push(chars.next().unwrap());
+        rest = chars.as_str();
+    }
+    out
+}
+
+#[test]
+fn memsim_throughput_bench_file_is_deterministic_modulo_timing() {
+    // The experiment is host-timed, so it opts out of the byte-identity
+    // contract — but everything in BENCH_memsim.json except the timing
+    // numbers (access counts, mix names, sweep configs, trace event
+    // count, the replay-equivalence flag) must still be identical at
+    // any --jobs count.
+    let exp = registry::find("memsim_throughput").expect("registered");
+    assert!(!exp.deterministic(), "host-timed experiments opt out");
+    let base = std::env::temp_dir().join("quartz_bench_golden_memsim");
+    let (_, files1) = golden_run("memsim_throughput", 1, &base.join("j1"));
+    let (_, files8) = golden_run("memsim_throughput", 8, &base.join("j8"));
+    let bench_of = |files: &[(String, Vec<u8>)]| -> String {
+        let (_, bytes) = files
+            .iter()
+            .find(|(n, _)| n == "BENCH_memsim.json")
+            .expect("BENCH_memsim.json emitted");
+        String::from_utf8(bytes.clone()).unwrap()
+    };
+    let (b1, b8) = (bench_of(&files1), bench_of(&files8));
+    for b in [&b1, &b8] {
+        for needle in [
+            "\"schema\":1",
+            "\"mix\":\"l1_hit\"",
+            "\"mix\":\"l3_miss\"",
+            "\"mix\":\"stream\"",
+            "\"equivalent\":true",
+        ] {
+            assert!(b.contains(needle), "missing {needle} in {b}");
+        }
+    }
+    assert_eq!(
+        strip_timing_fields(&b1),
+        strip_timing_fields(&b8),
+        "non-timing BENCH fields must not depend on --jobs"
+    );
+    // The manifest must index the bench file.
+    let manifest = std::fs::read_to_string(base.join("j8").join("manifest.json")).unwrap();
+    assert!(
+        manifest.contains("\"benches\":[\"BENCH_memsim.json\"]"),
+        "{manifest}"
+    );
+}

@@ -493,6 +493,53 @@ proptest! {
         prop_assert_eq!(pending_after, 0, "pcommit must drain the pending set");
     }
 
+    // ------------------------------------------------------------------
+    // Trace record/replay fidelity.
+    // ------------------------------------------------------------------
+
+    /// For ANY access sequence — loads, batches, stores, streaming
+    /// stores, flushes — replaying the recorded trace into a fresh
+    /// machine of the same configuration reproduces `MemStats`
+    /// byte-identically, and the compact binary encoding round-trips.
+    #[test]
+    fn trace_replay_reproduces_stats(
+        ops in proptest::collection::vec((0u8..6, 0u64..2_048, 0u64..2), 1..250),
+    ) {
+        let build = || {
+            let mem = quartz_bench::MachineSpec::new(Architecture::IvyBridge)
+                .with_seed(9)
+                .build();
+            let base = mem.alloc(NodeId(0), 2_048 * 64).unwrap();
+            (mem, base)
+        };
+        let (live, base) = build();
+        live.start_recording();
+        let mut now = SimTime::ZERO;
+        for &(op, line, core) in &ops {
+            let a = base.offset_by(line * 64);
+            let core = core as usize;
+            let d = match op {
+                0 => live.load(core, a, now).stall,
+                1 => live.load_batch(
+                    core,
+                    &[a, base.offset_by(((line + 1) % 2_048) * 64)],
+                    now,
+                ),
+                2 => live.store(core, a, now),
+                3 => live.store_stream(core, a, now),
+                4 => live.flush(core, a, now),
+                _ => live.flush_opt(core, a, now).0,
+            };
+            now += d + Duration::from_ns(1);
+        }
+        let trace = live.stop_recording();
+        let decoded = quartz_memsim::Trace::decode(&trace.encode()).expect("roundtrip");
+        prop_assert_eq!(decoded.len(), trace.len());
+        let (fresh, _) = build();
+        decoded.replay(&fresh);
+        prop_assert_eq!(live.stats(), fresh.stats());
+    }
+
     #[test]
     fn simulation_end_time_is_deterministic(
         seeds in proptest::collection::vec(0u64..1_000, 2..4),
