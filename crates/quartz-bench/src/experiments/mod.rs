@@ -21,6 +21,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig8;
+pub mod kv_service;
 pub mod memsim_throughput;
 pub mod overhead;
 pub mod pagerank_validation;

@@ -98,6 +98,30 @@ impl MachineSpec {
     }
 }
 
+/// Builds a fresh engine over `mem`, optionally attaching a Quartz
+/// instance built from `config`.
+///
+/// Most experiments go through [`run_workload`]; use this directly when
+/// the workload needs the [`Engine`] *before* the root thread runs —
+/// e.g. to install channels or open-loop event sources (the `kv_service`
+/// experiment).
+///
+/// # Panics
+///
+/// Panics if the Quartz configuration is invalid for the machine.
+pub fn build_engine(
+    mem: &Arc<MemorySystem>,
+    quartz_config: Option<QuartzConfig>,
+) -> (Engine, Option<Arc<Quartz>>) {
+    let engine = Engine::new(Arc::clone(mem));
+    let quartz = quartz_config.map(|cfg| {
+        let q = Quartz::new(cfg, Arc::clone(mem)).expect("valid quartz config");
+        q.attach(&engine).expect("attach");
+        q
+    });
+    (engine, quartz)
+}
+
 /// Runs `body` as the root simulated thread of a fresh engine over
 /// `mem`, optionally attaching a Quartz instance built from `config`,
 /// and returns the closure's result.
@@ -115,12 +139,7 @@ where
     T: Send + 'static,
     F: FnOnce(&mut ThreadCtx, Option<Arc<Quartz>>) -> T + Send + 'static,
 {
-    let engine = Engine::new(Arc::clone(&mem));
-    let quartz = quartz_config.map(|cfg| {
-        let q = Quartz::new(cfg, Arc::clone(&mem)).expect("valid quartz config");
-        q.attach(&engine).expect("attach");
-        q
-    });
+    let (engine, quartz) = build_engine(&mem, quartz_config);
     let out: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
     let o = Arc::clone(&out);
     let q2 = quartz.clone();

@@ -2,7 +2,7 @@
 //! evaluation section (§4) on the simulated testbed.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [--jobs N] [--filter SUBSTR]
+//! repro [--quick] [--out DIR] [--jobs N] [--filter SUBSTR[,SUBSTR...]]
 //!       [--keep-going | --fail-fast] [--inject-fail NAME] <experiment>...
 //! repro all
 //! repro --list
@@ -25,7 +25,7 @@ use quartz_bench::registry;
 
 fn usage() {
     println!(
-        "usage: repro [--quick] [--out DIR] [--jobs N] [--filter SUBSTR] \
+        "usage: repro [--quick] [--out DIR] [--jobs N] [--filter SUBSTR[,SUBSTR...]] \
          [--keep-going | --fail-fast] [--inject-fail NAME] <experiment>... | all"
     );
     println!("       repro --list");
@@ -68,7 +68,7 @@ fn main() {
             }
             "--filter" => {
                 filter = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--filter needs a substring");
+                    eprintln!("--filter needs a comma-separated substring list");
                     std::process::exit(2);
                 }));
             }

@@ -10,7 +10,8 @@
 use crate::exp::Experiment;
 use crate::experiments::{
     ablations, contention, crash, extensions, failure_modes, faults, fig11, fig12, fig13, fig14,
-    fig15, fig16, fig8, memsim_throughput, overhead, pagerank_validation, table1, table2,
+    fig15, fig16, fig8, kv_service, memsim_throughput, overhead, pagerank_validation, table1,
+    table2,
 };
 
 /// Every registered experiment, in canonical `repro all` order.
@@ -39,6 +40,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &faults::FaultMatrix,
     &failure_modes::FailureModes,
     &memsim_throughput::MemsimThroughput,
+    &kv_service::KvServiceCurves,
 ];
 
 /// All registered experiments in canonical order.
@@ -77,8 +79,10 @@ impl std::error::Error for UnknownExperiment {}
 ///
 /// * each entry in `names` must be a registered name or the keyword
 ///   `all` (which expands to the whole registry);
-/// * `filter` appends every experiment whose name contains the
-///   substring;
+/// * `filter` is a comma-separated list of substrings; each term
+///   appends every experiment whose name contains it, in registry
+///   order per term (empty terms are ignored, so trailing commas are
+///   harmless);
 /// * an empty selection (no names, no filter) means everything;
 /// * duplicates are dropped while preserving first-occurrence order, so
 ///   `repro all fig8` runs `fig8` exactly once.
@@ -101,9 +105,11 @@ pub fn select(
             push(find(name).ok_or_else(|| UnknownExperiment(name.clone()))?);
         }
     }
-    if let Some(substr) = filter {
-        for e in REGISTRY.iter().filter(|e| e.name().contains(substr)) {
-            push(*e);
+    if let Some(terms) = filter {
+        for term in terms.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            for e in REGISTRY.iter().filter(|e| e.name().contains(term)) {
+                push(*e);
+            }
         }
     }
     if names.is_empty() && filter.is_none() {
@@ -160,6 +166,7 @@ mod tests {
             "fault_matrix",
             "failure_modes",
             "memsim_throughput",
+            "kv_service",
         ];
         let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
         assert_eq!(names, expected);
@@ -232,6 +239,20 @@ mod tests {
                 "ablation_epoch"
             ]
         );
+    }
+
+    #[test]
+    fn select_filter_splits_on_commas() {
+        let sel = select(&[], Some("fig8,crash")).unwrap();
+        let names: Vec<&str> = sel.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["fig8", "crash_sweep", "crash_cost"]);
+        // Empty terms (stray/trailing commas, whitespace) are ignored;
+        // duplicates across terms collapse.
+        let sel = select(&[], Some(" crash , ,fig8,crash,")).unwrap();
+        let names: Vec<&str> = sel.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["crash_sweep", "crash_cost", "fig8"]);
+        // A comma list matching nothing selects nothing (not everything).
+        assert!(select(&[], Some("zzz,yyy")).unwrap().is_empty());
     }
 
     #[test]

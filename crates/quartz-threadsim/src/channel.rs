@@ -1,0 +1,110 @@
+//! Simulated-time MPSC channels — the event-driven request seam.
+//!
+//! A [`SimChannel`] carries host-side payloads between simulated
+//! threads (and from open-loop event sources, see
+//! [`Engine::add_open_loop_source`](crate::Engine::add_open_loop_source))
+//! with *virtual-time* blocking semantics: a receiver calling
+//! [`ThreadCtx::chan_recv`](crate::ThreadCtx::chan_recv) on an empty
+//! channel parks off the runnable set and is woken by the scheduler at
+//! the sender's send instant plus the hand-off cost — it never
+//! busy-spins simulated (or host) time.
+//!
+//! The split mirrors the host-lock discipline used throughout the
+//! workloads: the *data plane* (the payload queue) is a host-side
+//! structure behind a leaf `parking_lot` mutex, while the *control
+//! plane* (queue depth, parked receivers, registered senders, closed
+//! flag) lives in the scheduler state so blocking, waking, and deadlock
+//! diagnosis all happen under the single scheduler lock. The two are
+//! mutated together under that lock, so depth and buffer never drift.
+//!
+//! Channel waits participate in the PR-5 failure taxonomy: a wait-for
+//! cycle through empty channels (each thread blocked in `chan_recv` on
+//! a channel whose only live registered sender is the next thread in
+//! the cycle) is reported as
+//! [`SimFailure::Deadlock`](crate::SimFailure) with named channel
+//! edges (`t1 -(ch0)-> t2`), exactly like mutex and join cycles.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ChannelId;
+
+/// A cloneable handle to a simulated-time MPSC channel carrying `T`.
+///
+/// Create one with [`Engine::channel`](crate::Engine::channel) (before
+/// the run, so event sources can capture it) or
+/// [`ThreadCtx::chan_new`](crate::ThreadCtx::chan_new) (from inside a
+/// simulated thread). All operations go through a
+/// [`ThreadCtx`](crate::ThreadCtx) or a timer's
+/// [`TimerApi`](crate::TimerApi) so they are charged virtual time and
+/// integrate with the scheduler.
+pub struct SimChannel<T> {
+    pub(crate) id: ChannelId,
+    pub(crate) buf: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for SimChannel<T> {
+    fn clone(&self) -> Self {
+        SimChannel {
+            id: self.id,
+            buf: Arc::clone(&self.buf),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SimChannel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimChannel").field("id", &self.id).finish()
+    }
+}
+
+impl<T: Send> SimChannel<T> {
+    /// Builds the host-side handle for an already-allocated scheduler
+    /// record.
+    pub(crate) fn new(id: ChannelId) -> Self {
+        SimChannel {
+            id,
+            buf: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// The scheduler-side identity of this channel (stable, and the
+    /// `chN` label used in deadlock diagnostics).
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// Pushes a payload into the host-side buffer. Control-plane
+    /// bookkeeping (depth, receiver wake-up) is the caller's job and
+    /// must happen under the scheduler lock.
+    pub(crate) fn push(&self, value: T) {
+        self.buf.lock().push_back(value);
+    }
+
+    /// Pops the oldest payload from the host-side buffer.
+    pub(crate) fn pop(&self) -> Option<T> {
+        self.buf.lock().pop_front()
+    }
+}
+
+/// Why [`ThreadCtx::chan_try_recv`](crate::ThreadCtx::chan_try_recv)
+/// returned no payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is empty right now but may still receive payloads.
+    Empty,
+    /// The channel is closed and fully drained; no payload will ever
+    /// arrive again.
+    Closed,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel empty"),
+            TryRecvError::Closed => write!(f, "channel closed"),
+        }
+    }
+}

@@ -11,9 +11,11 @@ use quartz_platform::error::PlatformError;
 use quartz_platform::time::{Duration, SimTime};
 use quartz_platform::{CoreId, NodeId, Platform};
 
+use crate::channel::{SimChannel, TryRecvError};
 use crate::engine::{
-    new_barrier, new_cond, new_mutex, schedule_next, spawn_thread, EngineShared, SchedState,
-    ShutdownSignal, Status, ThreadId, HANDOFF_NS, LOCK_OP_NS, SPAWN_NS,
+    close_channel, new_barrier, new_channel, new_cond, new_mutex, register_sender, schedule_next,
+    spawn_thread, wake_thread, EngineShared, SchedState, ShutdownSignal, Status, ThreadId,
+    HANDOFF_NS, LOCK_OP_NS, SPAWN_NS,
 };
 use crate::{BarrierId, CondId, MutexId};
 
@@ -163,37 +165,14 @@ impl ThreadCtx {
                 .iter()
                 .enumerate()
                 .filter(|(_, t)| t.next_fire <= self.clock)
-                .min_by_key(|(_, t)| t.next_fire)
+                .min_by_key(|(i, t)| (t.next_fire, *i))
                 .map(|(i, _)| i);
             let Some(idx) = due else { break };
-            let fire_time = st.timers[idx].next_fire;
-            let period = st.timers[idx].period;
-            let live: Vec<ThreadId> = st
-                .threads
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.status != Status::Finished)
-                .map(|(i, _)| ThreadId(i))
-                .collect();
-            // Take the callback out so it can borrow the state view.
-            let mut cb = std::mem::replace(&mut st.timers[idx].callback, Box::new(|_| {}));
-            let mut api = crate::timer::TimerApi {
-                fire_time,
-                live: &live,
-                signalled: Vec::new(),
-                defer: Duration::ZERO,
-            };
-            cb(&mut api);
-            let signalled = api.signalled;
-            let defer = api.defer;
-            st.timers[idx].callback = cb;
-            // A callback may defer its own next firing (late-timer fault
-            // injection); the period itself is unchanged.
-            st.timers[idx].next_fire = fire_time + period + defer;
-            for t in signalled {
-                if let Some(rec) = st.threads.get(t.0) {
-                    rec.pending_signal.store(true, Ordering::Relaxed);
-                }
+            if let Some(woken) = crate::engine::fire_timer(&mut st, idx) {
+                // An injection woke a parked channel receiver (possibly
+                // at a clock below ours): bound our lookahead so we
+                // yield to it promptly.
+                self.deadline = self.deadline.min(woken + shared.quantum);
             }
         }
         self.next_timer = st
@@ -739,6 +718,120 @@ impl ThreadCtx {
             if !all {
                 break;
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Channels.
+    // ------------------------------------------------------------------
+
+    /// Creates a simulated-time MPSC channel from inside a thread.
+    pub fn chan_new<T: Send>(&mut self) -> SimChannel<T> {
+        SimChannel::new(new_channel(&self.shared))
+    }
+
+    /// Declares this thread a producer of `ch` without sending yet —
+    /// needed so a receiver that blocks before our first send can name
+    /// us in deadlock diagnosis (and so the channel is not considered
+    /// producer-less). `chan_send` registers implicitly.
+    pub fn chan_register_sender<T: Send>(&mut self, ch: &SimChannel<T>) {
+        let mut st = self.shared.state.lock();
+        register_sender(&mut st, ch.id().0, self.id.0);
+    }
+
+    /// Sends `value` on `ch`, waking one parked receiver at this instant
+    /// plus the hand-off cost. Never blocks (the channel is unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is closed (contained as
+    /// [`SimFailure::ThreadPanic`](crate::SimFailure)).
+    pub fn chan_send<T: Send>(&mut self, ch: &SimChannel<T>, value: T) {
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        register_sender(&mut st, ch.id().0, self.id.0);
+        let waiter = {
+            let rec = &mut st.channels[ch.id().0];
+            assert!(!rec.closed, "send on closed channel");
+            // Data and control plane move together under the scheduler
+            // lock: INVARIANT queued == buf.len().
+            ch.push(value);
+            rec.queued += 1;
+            rec.receivers.pop_front()
+        };
+        if let Some(r) = waiter {
+            let mut min_wake = None;
+            wake_thread(&mut st, r, self.clock, &mut min_wake);
+            if let Some(w) = min_wake {
+                self.deadline = self.deadline.min(w + shared.quantum);
+            }
+        }
+    }
+
+    /// Receives the oldest payload from `ch`, parking off the runnable
+    /// set (in virtual time, never spinning) while the channel is empty.
+    /// Returns `None` once the channel is closed and drained.
+    pub fn chan_recv<T: Send>(&mut self, ch: &SimChannel<T>) -> Option<T> {
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        loop {
+            let shared = Arc::clone(&self.shared);
+            let mut st = shared.state.lock();
+            let rec = &mut st.channels[ch.id().0];
+            if rec.queued > 0 {
+                rec.queued -= 1;
+                return Some(ch.pop().expect("channel buffer behind queued count"));
+            }
+            if rec.closed {
+                return None;
+            }
+            rec.receivers.push_back(self.id.0);
+            st.threads[self.id.0].status = Status::Blocked;
+            st.threads[self.id.0].clock = self.clock;
+            schedule_next(&shared, &mut st);
+            self.park(st);
+            // Woken by a send, an injection, or a close. Re-check: with
+            // multiple consumers another receiver may have drained the
+            // payload first, in which case we re-park.
+        }
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] if no payload is queued right now,
+    /// [`TryRecvError::Closed`] once the channel is closed and drained.
+    pub fn chan_try_recv<T: Send>(&mut self, ch: &SimChannel<T>) -> Result<T, TryRecvError> {
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        let rec = &mut st.channels[ch.id().0];
+        if rec.queued > 0 {
+            rec.queued -= 1;
+            return Ok(ch.pop().expect("channel buffer behind queued count"));
+        }
+        if rec.closed {
+            Err(TryRecvError::Closed)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Closes `ch`: parked receivers wake and drain; once the buffer
+    /// empties, `chan_recv` returns `None`. Idempotent.
+    pub fn chan_close<T: Send>(&mut self, ch: &SimChannel<T>) {
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        let mut min_wake = None;
+        close_channel(&mut st, ch.id().0, self.clock, &mut min_wake);
+        if let Some(w) = min_wake {
+            self.deadline = self.deadline.min(w + shared.quantum);
         }
     }
 }

@@ -12,11 +12,12 @@ use quartz_memsim::MemorySystem;
 use quartz_platform::time::{Duration, SimTime};
 use quartz_platform::Platform;
 
+use crate::channel::SimChannel;
 use crate::ctx::ThreadCtx;
 use crate::failure::{deadlock_report, SimFailure};
 use crate::hooks::{Hooks, NoHooks};
 use crate::timer::{TimerApi, TimerRec};
-use crate::{CondId, MutexId};
+use crate::{ChannelId, CondId, MutexId};
 
 /// Identifies a simulated thread.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -36,6 +37,11 @@ pub(crate) const LOCK_OP_NS: u64 = 18;
 
 /// Cost `pthread_create` charges the parent.
 pub(crate) const SPAWN_NS: u64 = 2_000;
+
+/// Sentinel "never fires again" instant for stopped timers. Far enough
+/// in the future that no virtual clock reaches it, yet small enough
+/// that adding a period to it cannot overflow.
+pub(crate) const TIMER_NEVER: SimTime = SimTime::from_ps(u64::MAX / 4);
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Status {
@@ -72,11 +78,33 @@ pub(crate) struct BarrierRec {
     pub waiting: Vec<usize>,
 }
 
+/// Control-plane state of one [`SimChannel`]: queue depth, parked
+/// receivers, and the sender registry used for deadlock edges. The
+/// payloads themselves live in the handle's host-side buffer; both are
+/// only mutated under the scheduler lock, so `queued` always equals the
+/// buffer length.
+pub(crate) struct ChannelRec {
+    /// Payloads currently buffered (send minus recv).
+    pub queued: usize,
+    /// No further sends will happen; `recv` drains then returns `None`.
+    pub closed: bool,
+    /// Threads parked in `chan_recv`, FIFO.
+    pub receivers: VecDeque<usize>,
+    /// Threads registered as producers (explicitly or by sending),
+    /// ascending — the wait-for edges of a channel deadlock.
+    pub senders: Vec<usize>,
+    /// Open-loop event sources currently feeding this channel; the
+    /// channel auto-closes when this reaches zero with no live
+    /// registered sender thread.
+    pub sources: usize,
+}
+
 pub(crate) struct SchedState {
     pub threads: Vec<ThreadRec>,
     pub mutexes: Vec<MutexRec>,
     pub conds: Vec<CondRec>,
     pub barriers: Vec<BarrierRec>,
+    pub channels: Vec<ChannelRec>,
     pub timers: Vec<TimerRec>,
     pub live: usize,
     pub rr_core: usize,
@@ -165,6 +193,7 @@ impl Engine {
                     mutexes: Vec::new(),
                     conds: Vec::new(),
                     barriers: Vec::new(),
+                    channels: Vec::new(),
                     timers: Vec::new(),
                     live: 0,
                     rr_core: 0,
@@ -219,6 +248,52 @@ impl Engine {
             period,
             next_fire: SimTime::ZERO + period,
             callback: Box::new(callback),
+            wake: false,
+            feeds: Vec::new(),
+        });
+    }
+
+    /// Creates a simulated-time MPSC channel before the run starts, so
+    /// event sources and the root closure can capture clones of the
+    /// handle. Inside a simulated thread, use
+    /// [`ThreadCtx::chan_new`](crate::ThreadCtx::chan_new) instead.
+    pub fn channel<T: Send>(&self) -> SimChannel<T> {
+        SimChannel::new(new_channel(&self.shared))
+    }
+
+    /// Registers an **open-loop event source**: a self-rescheduling
+    /// virtual-time callback that injects payloads into channels via
+    /// [`TimerApi::send`] independently of any simulated thread. The
+    /// first firing happens at `first` after time zero; each firing
+    /// reschedules by `first` again unless the callback calls
+    /// [`TimerApi::reschedule_in`] (variable inter-arrival gaps) or
+    /// [`TimerApi::stop`] (source exhausted).
+    ///
+    /// Unlike plain [`Engine::add_timer`] monitors, a source keeps
+    /// firing even when **no simulated thread is runnable**: the
+    /// scheduler advances virtual time to the source's next firing
+    /// instead of declaring a deadlock, so open-loop arrival injection
+    /// never depends on a runnable thread. `feeds` names the channels
+    /// this source produces into; when every source feeding a channel
+    /// has stopped (and no live sender thread is registered), the
+    /// channel closes and blocked receivers drain out.
+    pub fn add_open_loop_source(
+        &self,
+        first: Duration,
+        feeds: &[ChannelId],
+        callback: impl FnMut(&mut TimerApi<'_>) + Send + 'static,
+    ) {
+        assert!(!first.is_zero(), "source offset must be non-zero");
+        let mut st = self.shared.state.lock();
+        for f in feeds {
+            st.channels[f.0].sources += 1;
+        }
+        st.timers.push(TimerRec {
+            period: first,
+            next_fire: SimTime::ZERO + first,
+            callback: Box::new(callback),
+            wake: true,
+            feeds: feeds.iter().map(|c| c.0).collect(),
         });
     }
 
@@ -573,9 +648,160 @@ pub(crate) fn schedule_next(shared: &Arc<EngineShared>, st: &mut SchedState) {
             }
         }
         None => {
-            let report = deadlock_report(st);
-            fail(shared, st, SimFailure::Deadlock(report));
+            // Event-driven advance: with every thread blocked, an
+            // open-loop source may still inject arrivals that wake a
+            // channel receiver. Only if no source can make progress is
+            // this a genuine deadlock.
+            if advance_sources(st) {
+                schedule_next(shared, st);
+            } else {
+                let report = deadlock_report(st);
+                fail(shared, st, SimFailure::Deadlock(report));
+            }
         }
+    }
+}
+
+/// With no thread runnable, fires wake-capable event sources in
+/// virtual-time order until one of them wakes a thread (via a channel
+/// injection or close). Returns `true` when some thread became
+/// runnable, `false` when no source exists or none can help.
+///
+/// A misbehaving source that keeps firing without ever injecting would
+/// advance virtual time forever; after a generous budget of consecutive
+/// barren firings the advance gives up and the run is reported as a
+/// deadlock (listing the blocked channel waits).
+fn advance_sources(st: &mut SchedState) -> bool {
+    let mut barren = 0u32;
+    loop {
+        let due = st
+            .timers
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.wake && t.next_fire < TIMER_NEVER)
+            .min_by_key(|(i, t)| (t.next_fire, *i))
+            .map(|(i, _)| i);
+        let Some(idx) = due else { return false };
+        fire_timer(st, idx);
+        if st.threads.iter().any(|t| t.status == Status::Runnable) {
+            return true;
+        }
+        barren += 1;
+        if barren > 4096 {
+            return false;
+        }
+    }
+}
+
+/// Fires timer `idx` at its scheduled instant: runs the callback,
+/// applies its effects (signals, channel injections/closes, stop,
+/// reschedule), and advances `next_fire`. Returns the minimum clock of
+/// any thread it woke, so a running thread can trim its lookahead
+/// deadline. Must be called with the scheduler lock held.
+pub(crate) fn fire_timer(st: &mut SchedState, idx: usize) -> Option<SimTime> {
+    let fire_time = st.timers[idx].next_fire;
+    let period = st.timers[idx].period;
+    let live: Vec<ThreadId> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status != Status::Finished)
+        .map(|(i, _)| ThreadId(i))
+        .collect();
+    // Take the callback out so it can borrow the state view.
+    let mut cb = std::mem::replace(&mut st.timers[idx].callback, Box::new(|_| {}));
+    let mut api = TimerApi {
+        fire_time,
+        live: &live,
+        signalled: Vec::new(),
+        defer: Duration::ZERO,
+        injected: Vec::new(),
+        closed: Vec::new(),
+        next_gap: None,
+        stopped: false,
+    };
+    cb(&mut api);
+    let TimerApi {
+        signalled,
+        defer,
+        injected,
+        closed,
+        next_gap,
+        stopped,
+        ..
+    } = api;
+    st.timers[idx].callback = cb;
+    for t in signalled {
+        if let Some(rec) = st.threads.get(t.0) {
+            rec.pending_signal.store(true, Ordering::Relaxed);
+        }
+    }
+    // Injections are applied before the stop/reschedule decision, so a
+    // source's *final* firing may both deliver a payload and stop.
+    let mut min_wake = None;
+    for ch in injected {
+        let rec = &mut st.channels[ch.0];
+        rec.queued += 1;
+        if let Some(r) = rec.receivers.pop_front() {
+            wake_thread(st, r, fire_time, &mut min_wake);
+        }
+    }
+    for ch in closed {
+        close_channel(st, ch.0, fire_time, &mut min_wake);
+    }
+    if stopped {
+        st.timers[idx].next_fire = TIMER_NEVER;
+        let feeds = std::mem::take(&mut st.timers[idx].feeds);
+        for ch in feeds {
+            st.channels[ch].sources -= 1;
+            let live_sender = st.channels[ch]
+                .senders
+                .iter()
+                .any(|&s| st.threads[s].status != Status::Finished);
+            if st.channels[ch].sources == 0 && !live_sender {
+                close_channel(st, ch, fire_time, &mut min_wake);
+            }
+        }
+    } else {
+        // A callback may defer its own next firing (late-timer fault
+        // injection) or pick a variable gap (open-loop inter-arrivals);
+        // the period itself is unchanged.
+        st.timers[idx].next_fire = fire_time + next_gap.unwrap_or(period) + defer;
+    }
+    min_wake
+}
+
+/// Marks `thread` runnable no earlier than `at` plus the hand-off cost,
+/// folding its resume clock into `min_wake`.
+pub(crate) fn wake_thread(
+    st: &mut SchedState,
+    thread: usize,
+    at: SimTime,
+    min_wake: &mut Option<SimTime>,
+) {
+    let floor = at + Duration::from_ns(HANDOFF_NS);
+    let t = &mut st.threads[thread];
+    t.clock = t.clock.max(floor);
+    t.status = Status::Runnable;
+    let c = t.clock;
+    *min_wake = Some(match *min_wake {
+        Some(m) => m.min(c),
+        None => c,
+    });
+}
+
+/// Closes channel `ch` at instant `at` and wakes every parked receiver
+/// (each will observe `closed` and drain out).
+pub(crate) fn close_channel(
+    st: &mut SchedState,
+    ch: usize,
+    at: SimTime,
+    min_wake: &mut Option<SimTime>,
+) {
+    st.channels[ch].closed = true;
+    let receivers = std::mem::take(&mut st.channels[ch].receivers);
+    for r in receivers {
+        wake_thread(st, r, at, min_wake);
     }
 }
 
@@ -615,6 +841,29 @@ pub(crate) fn new_cond(shared: &EngineShared) -> CondId {
     let mut st = shared.state.lock();
     st.conds.push(CondRec::default());
     CondId(st.conds.len() - 1)
+}
+
+/// Allocates the scheduler-side record of a new channel.
+pub(crate) fn new_channel(shared: &EngineShared) -> ChannelId {
+    let mut st = shared.state.lock();
+    st.channels.push(ChannelRec {
+        queued: 0,
+        closed: false,
+        receivers: VecDeque::new(),
+        senders: Vec::new(),
+        sources: 0,
+    });
+    ChannelId(st.channels.len() - 1)
+}
+
+/// Registers `thread` as a producer of channel `ch` (idempotent; kept
+/// sorted so deadlock diagnosis picks the smallest-id live sender
+/// deterministically). Must be called with the scheduler lock held.
+pub(crate) fn register_sender(st: &mut SchedState, ch: usize, thread: usize) {
+    let senders = &mut st.channels[ch].senders;
+    if let Err(pos) = senders.binary_search(&thread) {
+        senders.insert(pos, thread);
+    }
 }
 
 /// Allocates a new barrier for `parties` threads.

@@ -151,6 +151,18 @@ pub enum WaitTarget {
         /// Threads required to release the generation.
         parties: usize,
     },
+    /// Parked in `chan_recv` on an empty channel.
+    Channel {
+        /// The channel id.
+        channel: usize,
+        /// The smallest-id live registered sender thread, if any — the
+        /// thread this receiver transitively waits on.
+        feeder: Option<ThreadId>,
+        /// Open-loop event sources still feeding the channel. A
+        /// receiver with `sources > 0` is waiting on virtual time, not
+        /// on another thread.
+        sources: usize,
+    },
 }
 
 impl std::fmt::Display for WaitTarget {
@@ -167,6 +179,20 @@ impl std::fmt::Display for WaitTarget {
                 arrived,
                 parties,
             } => write!(f, "barrier b{barrier} ({arrived}/{parties} arrived)"),
+            WaitTarget::Channel {
+                channel,
+                feeder,
+                sources,
+            } => {
+                if *sources > 0 {
+                    write!(f, "channel ch{channel} (source-fed)")
+                } else {
+                    match feeder {
+                        Some(t) => write!(f, "channel ch{channel} (fed by {t})"),
+                        None => write!(f, "channel ch{channel} (no live sender)"),
+                    }
+                }
+            }
         }
     }
 }
@@ -201,24 +227,46 @@ impl std::fmt::Display for WaitingThread {
     }
 }
 
-/// One edge of the wait-for cycle: `thread` waits for `holder` (via
-/// `mutex` when the edge is a lock-order edge, or a join edge when
-/// `mutex` is `None`).
+/// The resource a wait-for cycle edge runs through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeVia {
+    /// A lock-order edge: the waiter is queued on this mutex.
+    Mutex(usize),
+    /// A `join` edge.
+    Join,
+    /// A channel edge: the waiter is parked in `chan_recv` on this
+    /// channel and the holder is its only hope of a payload.
+    Channel(usize),
+}
+
+/// One edge of the wait-for cycle: `thread` waits for `holder` through
+/// the resource named by `via`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CycleEdge {
     /// The waiting thread.
     pub thread: ThreadId,
-    /// The mutex it waits for (`None` for a join edge).
-    pub mutex: Option<usize>,
+    /// The resource the wait runs through.
+    pub via: EdgeVia,
     /// The thread it transitively waits on.
     pub holder: ThreadId,
 }
 
+impl CycleEdge {
+    /// The mutex this edge waits through, if it is a lock-order edge.
+    pub fn mutex(&self) -> Option<usize> {
+        match self.via {
+            EdgeVia::Mutex(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for CycleEdge {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.mutex {
-            Some(m) => write!(f, "{} -(m{m})-> {}", self.thread, self.holder),
-            None => write!(f, "{} -(join)-> {}", self.thread, self.holder),
+        match self.via {
+            EdgeVia::Mutex(m) => write!(f, "{} -(m{m})-> {}", self.thread, self.holder),
+            EdgeVia::Join => write!(f, "{} -(join)-> {}", self.thread, self.holder),
+            EdgeVia::Channel(c) => write!(f, "{} -(ch{c})-> {}", self.thread, self.holder),
         }
     }
 }
@@ -232,7 +280,7 @@ pub struct DeadlockReport {
     /// Every non-finished thread, ascending by id.
     pub threads: Vec<WaitingThread>,
     /// The wait-for cycle, rotated to start at the smallest thread id
-    /// in it; empty when no mutex/join cycle exists.
+    /// in it; empty when no mutex/join/channel cycle exists.
     pub cycle: Vec<CycleEdge>,
 }
 
@@ -240,7 +288,10 @@ impl std::fmt::Display for DeadlockReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "deadlock: {} non-finished thread(s)", self.threads.len())?;
         if self.cycle.is_empty() {
-            write!(f, "; no mutex/join cycle (condition/barrier wait)")?;
+            write!(
+                f,
+                "; no mutex/join/channel cycle (condition/barrier/source wait)"
+            )?;
         } else {
             let edges: Vec<String> = self.cycle.iter().map(|e| e.to_string()).collect();
             write!(f, "; cycle: {}", edges.join(", "))?;
@@ -306,6 +357,27 @@ pub(crate) fn deadlock_report(st: &SchedState) -> DeadlockReport {
             }
         }
     }
+    // Channel edges: a parked receiver transitively waits on the
+    // smallest-id live registered sender (deterministic pick; `senders`
+    // is kept sorted). With open-loop sources still attached the wait is
+    // on virtual time, not a thread, and carries no holder edge.
+    for (cid, c) in st.channels.iter().enumerate() {
+        let feeder = c
+            .senders
+            .iter()
+            .copied()
+            .find(|&s| s < n && st.threads[s].status != Status::Finished)
+            .map(ThreadId);
+        for &w in &c.receivers {
+            if w < n && waits_on[w].is_none() {
+                waits_on[w] = Some(WaitTarget::Channel {
+                    channel: cid,
+                    feeder,
+                    sources: c.sources,
+                });
+            }
+        }
+    }
 
     let threads: Vec<WaitingThread> = st
         .threads
@@ -325,15 +397,21 @@ pub(crate) fn deadlock_report(st: &SchedState) -> DeadlockReport {
         .collect();
 
     // Wait-for successor for cycle detection: mutex edges point at the
-    // owner, join edges at the join target. Cond/barrier waits have no
-    // single holder and terminate a walk.
-    let succ = |i: usize| -> Option<(Option<usize>, usize)> {
+    // owner, join edges at the join target, channel edges at the
+    // feeder (only once no open-loop source can still deliver).
+    // Cond/barrier waits have no single holder and terminate a walk.
+    let succ = |i: usize| -> Option<(EdgeVia, usize)> {
         match waits_on[i] {
             Some(WaitTarget::Mutex {
                 mutex,
                 owner: Some(o),
-            }) => Some((Some(mutex), o.0)),
-            Some(WaitTarget::Join { target }) => Some((None, target.0)),
+            }) => Some((EdgeVia::Mutex(mutex), o.0)),
+            Some(WaitTarget::Join { target }) => Some((EdgeVia::Join, target.0)),
+            Some(WaitTarget::Channel {
+                channel,
+                feeder: Some(t),
+                sources: 0,
+            }) => Some((EdgeVia::Channel(channel), t.0)),
             _ => None,
         }
     };
@@ -342,7 +420,7 @@ pub(crate) fn deadlock_report(st: &SchedState) -> DeadlockReport {
         if st.threads[start].status == Status::Finished {
             continue;
         }
-        let mut path: Vec<(usize, Option<usize>)> = Vec::new(); // (thread, via-mutex)
+        let mut path: Vec<(usize, EdgeVia)> = Vec::new(); // (thread, via)
         let mut cur = start;
         loop {
             if let Some(pos) = path.iter().position(|&(t, _)| t == cur) {
@@ -354,7 +432,7 @@ pub(crate) fn deadlock_report(st: &SchedState) -> DeadlockReport {
                     let holder = nodes.get(k + 1).map(|&(h, _)| h).unwrap_or(cur);
                     edges.push(CycleEdge {
                         thread: ThreadId(t),
-                        mutex: via,
+                        via,
                         holder: ThreadId(holder),
                     });
                 }

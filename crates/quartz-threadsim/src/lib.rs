@@ -44,15 +44,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod channel;
 pub mod ctx;
 pub mod engine;
 pub mod failure;
 pub mod hooks;
 pub mod timer;
 
+pub use channel::{SimChannel, TryRecvError};
 pub use ctx::ThreadCtx;
 pub use engine::{Engine, RunReport, ThreadId};
-pub use failure::{CycleEdge, DeadlockReport, SimFailure, ThreadState, WaitTarget, WaitingThread};
+pub use failure::{
+    CycleEdge, DeadlockReport, EdgeVia, SimFailure, ThreadState, WaitTarget, WaitingThread,
+};
 pub use hooks::{FanoutHooks, Hooks, NoHooks};
 pub use timer::TimerApi;
 
@@ -67,6 +71,11 @@ pub struct CondId(pub(crate) usize);
 /// Identifies a simulated barrier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BarrierId(pub(crate) usize);
+
+/// Identifies a simulated MPSC channel (the `chN` label in deadlock
+/// diagnostics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub(crate) usize);
 
 #[cfg(test)]
 mod tests;

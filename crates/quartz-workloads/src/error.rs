@@ -1,0 +1,53 @@
+//! Typed workload-configuration errors.
+//!
+//! The PR-5 containment discipline: a bad configuration reaching a
+//! workload builder must surface as a typed, nameable error a harness
+//! can quarantine — not as a panic that unwinds through the simulation
+//! engine. The panicking constructors remain as thin wrappers for
+//! call sites that validated their inputs statically.
+
+/// A workload was configured with parameters it cannot run with.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A collection that must be non-empty (key space, vertex set,
+    /// request stream) was configured with zero items.
+    EmptyDomain {
+        /// What was empty, e.g. `"zipf key space"`.
+        what: &'static str,
+    },
+    /// A worker/connection pool was configured with zero members.
+    ZeroWorkers {
+        /// Which pool, e.g. `"kv benchmark threads"`.
+        what: &'static str,
+    },
+    /// A numeric parameter fell outside its documented range.
+    OutOfRange {
+        /// The parameter name.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable bound, e.g. `"[0, 1)"`.
+        bounds: &'static str,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::EmptyDomain { what } => {
+                write!(f, "{what} must not be empty")
+            }
+            WorkloadError::ZeroWorkers { what } => {
+                write!(f, "{what} needs at least one member")
+            }
+            WorkloadError::OutOfRange {
+                what,
+                value,
+                bounds,
+            } => write!(f, "{what} = {value} outside {bounds}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}

@@ -11,6 +11,7 @@ use quartz_platform::NodeId;
 use quartz_threadsim::ThreadCtx;
 
 use crate::chain::Rng;
+use crate::error::WorkloadError;
 
 /// A host-side directed graph in CSR form.
 #[derive(Clone, Debug)]
@@ -30,9 +31,23 @@ impl Graph {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero. Use [`Graph::try_random`] to handle bad
+    /// configurations as typed errors.
     pub fn random(n: usize, m: usize, seed: u64) -> Self {
-        assert!(n > 0, "graph needs vertices");
+        Self::try_random(n, m, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible generator.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::EmptyDomain`] when `n` is zero.
+    pub fn try_random(n: usize, m: usize, seed: u64) -> Result<Self, WorkloadError> {
+        if n == 0 {
+            return Err(WorkloadError::EmptyDomain {
+                what: "graph vertex set",
+            });
+        }
         let mut rng = Rng::new(seed);
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         let skewed = |rng: &mut Rng| -> usize {
@@ -58,11 +73,11 @@ impl Graph {
             col_idx.extend_from_slice(list);
             row_ptr.push(col_idx.len() as u32);
         }
-        Graph {
+        Ok(Graph {
             n,
             row_ptr,
             col_idx,
-        }
+        })
     }
 
     /// Edge count.
@@ -164,6 +179,16 @@ impl SimGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_random_reports_empty_vertex_set() {
+        assert!(matches!(
+            Graph::try_random(0, 10, 1),
+            Err(WorkloadError::EmptyDomain {
+                what: "graph vertex set"
+            })
+        ));
+    }
 
     #[test]
     fn generator_is_deterministic() {

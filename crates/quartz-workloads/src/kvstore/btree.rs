@@ -638,7 +638,7 @@ mod tests {
         let mut cycle_threads: Vec<usize> = report.cycle.iter().map(|e| e.thread.0).collect();
         cycle_threads.sort_unstable();
         assert_eq!(cycle_threads, vec![1, 2]);
-        assert!(report.cycle.iter().all(|e| e.mutex.is_some()));
+        assert!(report.cycle.iter().all(|e| e.mutex().is_some()));
         let msg = report.to_string();
         assert!(msg.contains("cycle:"), "{msg}");
         assert!(msg.contains("-(m"), "{msg}");

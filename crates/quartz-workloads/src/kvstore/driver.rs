@@ -10,6 +10,7 @@ use quartz::Quartz;
 use quartz_platform::time::Duration;
 use quartz_threadsim::ThreadCtx;
 
+use crate::error::WorkloadError;
 use crate::kvstore::btree::KvStore;
 use crate::zipf::Zipf;
 
@@ -106,18 +107,63 @@ pub fn preload(ctx: &mut ThreadCtx, store: &KvStore, quartz: Option<&Quartz>, ke
     }
 }
 
+/// Validates a [`KvBenchConfig`] against the driver's documented domain.
+///
+/// # Errors
+///
+/// Typed errors for zero workers, an empty key space, or a get
+/// fraction / zipf skew outside range.
+pub fn validate_config(config: &KvBenchConfig) -> Result<(), WorkloadError> {
+    if config.threads == 0 {
+        return Err(WorkloadError::ZeroWorkers {
+            what: "kv benchmark threads",
+        });
+    }
+    if config.preload_keys == 0 {
+        return Err(WorkloadError::EmptyDomain {
+            what: "kv benchmark key space",
+        });
+    }
+    if !config.get_fraction.is_finite() || !(0.0..=1.0).contains(&config.get_fraction) {
+        return Err(WorkloadError::OutOfRange {
+            what: "kv get fraction",
+            value: config.get_fraction,
+            bounds: "[0, 1]",
+        });
+    }
+    // Delegates the theta check so both paths report identically.
+    Zipf::try_new(config.preload_keys, config.zipf_theta, config.seed)?;
+    Ok(())
+}
+
 /// Runs the timed put/get phase from the calling (coordinator) thread.
 ///
 /// # Panics
 ///
-/// Panics if `threads` is zero.
+/// Panics on an invalid configuration (see [`validate_config`]). Use
+/// [`try_run_kv_benchmark`] to handle that as a typed error.
 pub fn run_kv_benchmark(
     ctx: &mut ThreadCtx,
     store: &Arc<KvStore>,
     quartz: Option<Arc<Quartz>>,
     config: &KvBenchConfig,
 ) -> KvBenchResult {
-    assert!(config.threads >= 1, "need at least one worker");
+    try_run_kv_benchmark(ctx, store, quartz, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`run_kv_benchmark`]: validates the
+/// configuration before spawning any simulated thread.
+///
+/// # Errors
+///
+/// See [`validate_config`].
+pub fn try_run_kv_benchmark(
+    ctx: &mut ThreadCtx,
+    store: &Arc<KvStore>,
+    quartz: Option<Arc<Quartz>>,
+    config: &KvBenchConfig,
+) -> Result<KvBenchResult, WorkloadError> {
+    validate_config(config)?;
     let t0 = ctx.now();
     let tallies: Arc<parking_lot::Mutex<(u64, u64, Duration, Duration)>> = Arc::new(
         parking_lot::Mutex::new((0, 0, Duration::ZERO, Duration::ZERO)),
@@ -168,13 +214,13 @@ pub fn run_kv_benchmark(
     }
     let elapsed = ctx.now().saturating_duration_since(t0);
     let (gets, puts, get_time, put_time) = *tallies.lock();
-    KvBenchResult {
+    Ok(KvBenchResult {
         elapsed,
         gets,
         puts,
         get_time,
         put_time,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -209,6 +255,44 @@ mod tests {
         });
         let r = out.lock().take().unwrap();
         r
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        use crate::error::WorkloadError;
+        let bad_threads = KvBenchConfig {
+            threads: 0,
+            ..KvBenchConfig::default()
+        };
+        assert!(matches!(
+            validate_config(&bad_threads),
+            Err(WorkloadError::ZeroWorkers { .. })
+        ));
+        let bad_keys = KvBenchConfig {
+            preload_keys: 0,
+            ..KvBenchConfig::default()
+        };
+        assert!(matches!(
+            validate_config(&bad_keys),
+            Err(WorkloadError::EmptyDomain { .. })
+        ));
+        let bad_mix = KvBenchConfig {
+            get_fraction: 1.5,
+            ..KvBenchConfig::default()
+        };
+        assert!(matches!(
+            validate_config(&bad_mix),
+            Err(WorkloadError::OutOfRange { .. })
+        ));
+        let bad_theta = KvBenchConfig {
+            zipf_theta: 2.0,
+            ..KvBenchConfig::default()
+        };
+        assert!(matches!(
+            validate_config(&bad_theta),
+            Err(WorkloadError::OutOfRange { .. })
+        ));
+        assert!(validate_config(&KvBenchConfig::default()).is_ok());
     }
 
     #[test]

@@ -10,10 +10,12 @@
 
 pub mod btree;
 pub mod driver;
+pub mod service;
 pub mod undo_log;
 
 pub use btree::{KvConfig, KvStore};
 pub use driver::{preload, run_kv_benchmark, KvBenchConfig, KvBenchResult};
+pub use service::{KvService, ServiceConfig, ServiceResult};
 pub use undo_log::{
     check_undo_log, golden_prefix, run_undo_log, UndoLogKv, UndoLogSpec, UndoVariant,
 };

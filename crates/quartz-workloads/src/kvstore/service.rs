@@ -1,0 +1,484 @@
+//! Open-loop PM-backed KV *service* — the "heavy traffic" scenario.
+//!
+//! The paper's closed-loop kernels (Fig. 15/16) measure service rates,
+//! but NVM latency reshapes *application* performance most visibly
+//! under open-loop load, where queueing amplifies slow requests into
+//! tail latency. This module marries the deterministic scheduler with a
+//! discrete-event request layer, in the style of Shadow's
+//! real-app-on-simulated-network architecture:
+//!
+//! * **N connections**, each an [`open-loop event
+//!   source`](quartz_threadsim::Engine::add_open_loop_source) with
+//!   seeded-exponential inter-arrival gaps and its own zipfian key
+//!   stream (deterministic per `(seed, connection)`), fan in to
+//! * **M server workers**, each draining its own [`SimChannel`]
+//!   fan-in queue (connection *c* feeds worker *c mod M*) in
+//!   configurable batches over the lock-striped [`KvStore`].
+//!
+//! Every request is timestamped **at arrival** — the source's firing
+//! instant, independent of any queue state — so the recorded latencies
+//! are coordinated-omission-free: a request that sat behind a slow NVM
+//! write is charged its full sojourn time.
+//!
+//! Host-lock discipline: per-worker tallies live in thread-local
+//! [`LatencyHist`]s and merge once into a single `parking_lot` leaf
+//! mutex at worker exit; nothing host-side is shared on the request
+//! path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use quartz::{LatencyHist, Quartz};
+use quartz_platform::time::{Duration, SimTime};
+use quartz_platform::NodeId;
+use quartz_threadsim::{Engine, SimChannel, ThreadCtx};
+
+use crate::chain::Rng;
+use crate::error::WorkloadError;
+use crate::kvstore::btree::{KvConfig, KvStore};
+use crate::kvstore::driver::preload;
+use crate::zipf::Zipf;
+
+/// One in-flight request.
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    /// Injection instant (the open-loop arrival, *not* the dequeue).
+    arrival: SimTime,
+    key: u64,
+    is_get: bool,
+    value: u64,
+}
+
+/// Service scenario parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// Open-loop client connections (N). The offered load splits evenly
+    /// across them.
+    pub connections: usize,
+    /// Server worker threads (M). Connection `c` feeds worker `c % M`.
+    pub workers: usize,
+    /// Total requests injected across all connections.
+    pub requests: u64,
+    /// Total offered load in requests/second of virtual time.
+    pub offered_rps: f64,
+    /// Maximum requests a worker drains per wake-up; the per-wake-up
+    /// dispatch cost amortizes over the batch.
+    pub batch: usize,
+    /// Per-wake-up dispatch cost in ns (scheduling, epoll-style readying).
+    pub dispatch_ns: f64,
+    /// Keys preloaded before the gate opens.
+    pub preload_keys: u64,
+    /// Fraction of requests that are gets.
+    pub get_fraction: f64,
+    /// Zipfian skew of the key distribution.
+    pub zipf_theta: f64,
+    /// Host CPU work per get, in ns.
+    pub get_compute_ns: f64,
+    /// Host CPU work per put, in ns.
+    pub put_compute_ns: f64,
+    /// Master seed; each connection derives its own streams.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            connections: 8,
+            workers: 4,
+            requests: 100_000,
+            offered_rps: 1.0e6,
+            batch: 8,
+            dispatch_ns: 150.0,
+            preload_keys: 20_000,
+            get_fraction: 0.9,
+            zipf_theta: 0.9,
+            get_compute_ns: 300.0,
+            put_compute_ns: 400.0,
+            seed: 0x5EB5,
+        }
+    }
+}
+
+/// Validates a [`ServiceConfig`].
+///
+/// # Errors
+///
+/// Typed errors for zero connections/workers/requests/batch, an empty
+/// key space, or a rate/fraction/skew outside range.
+pub fn validate_service_config(config: &ServiceConfig) -> Result<(), WorkloadError> {
+    if config.connections == 0 {
+        return Err(WorkloadError::ZeroWorkers {
+            what: "service connections",
+        });
+    }
+    if config.workers == 0 {
+        return Err(WorkloadError::ZeroWorkers {
+            what: "service workers",
+        });
+    }
+    if config.workers > config.connections {
+        // A worker whose fan-in queue no connection feeds would never
+        // see its channel close and would park forever.
+        return Err(WorkloadError::OutOfRange {
+            what: "service workers",
+            value: config.workers as f64,
+            bounds: "[1, connections]",
+        });
+    }
+    if config.requests == 0 {
+        return Err(WorkloadError::EmptyDomain {
+            what: "service request stream",
+        });
+    }
+    if config.batch == 0 {
+        return Err(WorkloadError::ZeroWorkers {
+            what: "service batch size",
+        });
+    }
+    if config.preload_keys == 0 {
+        return Err(WorkloadError::EmptyDomain {
+            what: "service key space",
+        });
+    }
+    if !config.offered_rps.is_finite() || config.offered_rps <= 0.0 {
+        return Err(WorkloadError::OutOfRange {
+            what: "service offered load",
+            value: config.offered_rps,
+            bounds: "(0, inf)",
+        });
+    }
+    if !config.get_fraction.is_finite() || !(0.0..=1.0).contains(&config.get_fraction) {
+        return Err(WorkloadError::OutOfRange {
+            what: "service get fraction",
+            value: config.get_fraction,
+            bounds: "[0, 1]",
+        });
+    }
+    Zipf::try_new(config.preload_keys, config.zipf_theta, config.seed)?;
+    Ok(())
+}
+
+/// What the service measured.
+#[derive(Clone, Debug)]
+pub struct ServiceResult {
+    /// Requests completed (always equals the configured total on a
+    /// clean run).
+    pub completed: u64,
+    /// Virtual time from gate-open to the last completion.
+    pub elapsed: Duration,
+    /// Coordinated-omission-free request latencies, merged across
+    /// workers.
+    pub latency: LatencyHist,
+    /// Wake-ups across all workers (each one drains ≥ 1 request), so
+    /// `completed / wakeups` is the achieved batching factor.
+    pub wakeups: u64,
+}
+
+impl ServiceResult {
+    /// Achieved throughput in requests per second of virtual time.
+    pub fn achieved_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.completed as f64 / (self.elapsed.as_ns_f64() * 1e-9)
+    }
+}
+
+/// A fully wired service scenario: channels and open-loop sources are
+/// registered on the engine at construction; [`KvService::into_root`]
+/// yields the root closure that preloads the store, opens the arrival
+/// gate, runs the workers, and deposits a [`ServiceResult`].
+pub struct KvService {
+    config: ServiceConfig,
+    quartz: Option<Arc<Quartz>>,
+    queues: Vec<SimChannel<Request>>,
+    /// Virtual instant (ps) from which sources inject; `u64::MAX` keeps
+    /// the gate shut while the root preloads the store.
+    gate_ps: Arc<AtomicU64>,
+    result: Arc<Mutex<Option<ServiceResult>>>,
+}
+
+/// Poll gap while the gate is shut. Preload time is deterministic
+/// virtual time, so the first post-open firing is too.
+const GATE_POLL: Duration = Duration::from_us(100);
+
+impl KvService {
+    /// Wires `config` onto `engine`: M fan-in queues, N open-loop
+    /// connection sources. Must be called before `engine.run`.
+    ///
+    /// # Errors
+    ///
+    /// See [`validate_service_config`].
+    pub fn try_install(
+        engine: &Engine,
+        quartz: Option<Arc<Quartz>>,
+        config: ServiceConfig,
+    ) -> Result<Self, WorkloadError> {
+        validate_service_config(&config)?;
+        let queues: Vec<SimChannel<Request>> =
+            (0..config.workers).map(|_| engine.channel()).collect();
+        let gate_ps = Arc::new(AtomicU64::new(u64::MAX));
+        let per_conn_rps = config.offered_rps / config.connections as f64;
+        let mean_gap_ns = 1.0e9 / per_conn_rps;
+        let base = config.requests / config.connections as u64;
+        let extra = (config.requests % config.connections as u64) as usize;
+        for conn in 0..config.connections {
+            let queue = queues[conn % config.workers].clone();
+            let gate = Arc::clone(&gate_ps);
+            let conn_seed = config
+                .seed
+                .wrapping_add((conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+            let mut zipf = Zipf::try_new(config.preload_keys, config.zipf_theta, conn_seed)?;
+            let mut rng = Rng::new(conn_seed ^ 0xC0FF_EE00_D15E_A5E5);
+            let mut remaining = base + u64::from(conn < extra);
+            let get_fraction = config.get_fraction;
+            let mut sent = 0u64;
+            engine.add_open_loop_source(GATE_POLL, &[queue.id()], move |api| {
+                let open_ps = gate.load(Ordering::Acquire);
+                if api.fire_time().as_ps() < open_ps {
+                    // Gate shut (or not yet reached): poll again without
+                    // consuming any sampling stream.
+                    return;
+                }
+                if remaining == 0 {
+                    api.stop();
+                    return;
+                }
+                let key = zipf.sample();
+                let coin = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                api.send(
+                    &queue,
+                    Request {
+                        arrival: api.fire_time(),
+                        key,
+                        is_get: coin < get_fraction,
+                        value: sent,
+                    },
+                );
+                sent += 1;
+                remaining -= 1;
+                if remaining == 0 {
+                    api.stop();
+                    return;
+                }
+                // Seeded-exponential inter-arrival gap (Poisson arrivals).
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let gap_ns = (-(1.0 - u).ln() * mean_gap_ns).max(1.0);
+                api.reschedule_in(Duration::from_ns_f64(gap_ns));
+            });
+        }
+        Ok(KvService {
+            config,
+            quartz,
+            queues,
+            gate_ps,
+            result: Arc::new(Mutex::new(None)),
+        })
+    }
+
+    /// The slot [`KvService::into_root`]'s closure deposits the result
+    /// into when the run completes.
+    pub fn result_slot(&self) -> Arc<Mutex<Option<ServiceResult>>> {
+        Arc::clone(&self.result)
+    }
+
+    /// Consumes the handle into the root closure for
+    /// [`Engine::run`](quartz_threadsim::Engine::run): create + preload
+    /// the store, open the arrival gate, spawn the M workers, join
+    /// them, and merge their tallies.
+    pub fn into_root(self) -> impl FnOnce(&mut ThreadCtx) + Send + 'static {
+        let KvService {
+            config,
+            quartz,
+            queues,
+            gate_ps,
+            result,
+        } = self;
+        move |ctx: &mut ThreadCtx| {
+            let store = Arc::new(KvStore::create(ctx, KvConfig::new(NodeId(0))));
+            preload(ctx, &store, quartz.as_deref(), config.preload_keys);
+            // Open the gate: sources begin injecting at their next poll.
+            gate_ps.store(ctx.now().as_ps(), Ordering::Release);
+            let t_open = ctx.now();
+            let tallies: Arc<Mutex<(LatencyHist, u64, u64, SimTime)>> =
+                Arc::new(Mutex::new((LatencyHist::new(), 0, 0, SimTime::ZERO)));
+            let mut kids = Vec::with_capacity(config.workers);
+            for queue in queues {
+                let store = Arc::clone(&store);
+                let quartz = quartz.clone();
+                let tallies = Arc::clone(&tallies);
+                kids.push(ctx.spawn(move |c| {
+                    let mut local = LatencyHist::new();
+                    let (mut done, mut wakeups) = (0u64, 0u64);
+                    let mut last = SimTime::ZERO;
+                    let mut batch = Vec::with_capacity(config.batch);
+                    while let Some(first) = c.chan_recv(&queue) {
+                        wakeups += 1;
+                        batch.push(first);
+                        while batch.len() < config.batch {
+                            match c.chan_try_recv(&queue) {
+                                Ok(r) => batch.push(r),
+                                Err(_) => break,
+                            }
+                        }
+                        // Per-wake-up dispatch cost, amortized over the
+                        // drained batch.
+                        c.compute_ns(config.dispatch_ns);
+                        for req in batch.drain(..) {
+                            if req.is_get {
+                                c.compute_ns(config.get_compute_ns);
+                                store.get(c, req.key);
+                            } else {
+                                c.compute_ns(config.put_compute_ns);
+                                store.put(c, quartz.as_deref(), req.key, req.value);
+                            }
+                            local.record(c.now().saturating_duration_since(req.arrival));
+                            done += 1;
+                        }
+                        last = c.now();
+                    }
+                    let mut tl = tallies.lock();
+                    tl.0.merge(&local);
+                    tl.1 += done;
+                    tl.2 += wakeups;
+                    tl.3 = tl.3.max(last);
+                }));
+            }
+            for k in kids {
+                ctx.join(k);
+            }
+            let (latency, completed, wakeups, end) = {
+                let mut tl = tallies.lock();
+                (std::mem::take(&mut tl.0), tl.1, tl.2, tl.3)
+            };
+            *result.lock() = Some(ServiceResult {
+                completed,
+                elapsed: end.saturating_duration_since(t_open),
+                latency,
+                wakeups,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use quartz_memsim::{MemSimConfig, MemorySystem};
+    use quartz_platform::{Architecture, Platform, PlatformConfig};
+
+    fn run(config: ServiceConfig) -> ServiceResult {
+        let platform =
+            Platform::new(PlatformConfig::new(Architecture::SandyBridge).with_perfect_counters());
+        let mem = Arc::new(MemorySystem::new(
+            platform,
+            MemSimConfig::default().without_jitter(),
+        ));
+        let engine = Engine::new(mem);
+        let svc = KvService::try_install(&engine, None, config).expect("valid config");
+        let slot = svc.result_slot();
+        engine.run(svc.into_root());
+        let r = slot.lock().take().expect("service deposited a result");
+        r
+    }
+
+    fn quick() -> ServiceConfig {
+        ServiceConfig {
+            connections: 4,
+            workers: 2,
+            requests: 4_000,
+            offered_rps: 2.0e6,
+            preload_keys: 2_000,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_every_request_exactly_once() {
+        let r = run(quick());
+        assert_eq!(r.completed, 4_000);
+        assert_eq!(r.latency.count(), 4_000);
+        assert!(r.wakeups > 0 && r.wakeups <= r.completed);
+        assert!(r.achieved_rps() > 0.0);
+        assert!(r.latency.p50() <= r.latency.p99());
+        assert!(r.latency.p99() <= r.latency.p999());
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = run(quick());
+        let b = run(quick());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.wakeups, b.wakeups);
+    }
+
+    #[test]
+    fn overload_inflates_tail_latency() {
+        // Same work at 20x the offered load: queues build up, and the
+        // open-loop arrival stamps charge the queueing to the tail.
+        let light = run(ServiceConfig {
+            offered_rps: 0.5e6,
+            ..quick()
+        });
+        let heavy = run(ServiceConfig {
+            offered_rps: 10.0e6,
+            ..quick()
+        });
+        assert!(
+            heavy.latency.p999() > 2 * light.latency.p999(),
+            "overload must show up in the tail: light p999 {} heavy p999 {}",
+            light.latency.p999(),
+            heavy.latency.p999()
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        for (cfg, what) in [
+            (
+                ServiceConfig {
+                    connections: 0,
+                    ..ServiceConfig::default()
+                },
+                "service connections",
+            ),
+            (
+                ServiceConfig {
+                    workers: 0,
+                    ..ServiceConfig::default()
+                },
+                "service workers",
+            ),
+            (
+                ServiceConfig {
+                    batch: 0,
+                    ..ServiceConfig::default()
+                },
+                "service batch size",
+            ),
+        ] {
+            match validate_service_config(&cfg) {
+                Err(WorkloadError::ZeroWorkers { what: w }) => assert_eq!(w, what),
+                other => panic!("{what}: expected ZeroWorkers, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            validate_service_config(&ServiceConfig {
+                requests: 0,
+                ..ServiceConfig::default()
+            }),
+            Err(WorkloadError::EmptyDomain { .. })
+        ));
+        assert!(matches!(
+            validate_service_config(&ServiceConfig {
+                offered_rps: 0.0,
+                ..ServiceConfig::default()
+            }),
+            Err(WorkloadError::OutOfRange { .. })
+        ));
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod bfs;
 pub mod chain;
+pub mod error;
 pub mod graph;
 pub mod kvstore;
 pub mod memlat;
@@ -53,6 +54,7 @@ pub mod pipeline;
 pub mod stream;
 pub mod zipf;
 
+pub use error::WorkloadError;
 pub use memlat::{run_memlat, MemLatConfig, MemLatResult};
 pub use multilat::{run_multilat, MultiLatConfig, MultiLatResult};
 pub use multithreaded::{run_multithreaded, MultiThreadedConfig, MultiThreadedResult};

@@ -73,6 +73,7 @@
 pub mod calibrate;
 pub mod config;
 pub mod error;
+pub mod hist;
 pub mod model;
 pub mod pmem;
 pub(crate) mod registry;
@@ -81,6 +82,7 @@ pub mod stats;
 
 pub use config::{CounterAccess, LatencyModelKind, MemoryMode, NvmTarget, QuartzConfig};
 pub use error::QuartzError;
+pub use hist::LatencyHist;
 pub use runtime::Quartz;
 pub use stats::QuartzStats;
 

@@ -331,6 +331,100 @@ fn strip_timing_fields(json: &str) -> String {
 }
 
 #[test]
+fn kv_service_bench_file_is_byte_identical_at_any_jobs_count() {
+    // The open-loop service curves are pure virtual-time measurements,
+    // so unlike the host-timed benches the whole BENCH file — latency
+    // percentiles included — upholds the byte-identity contract.
+    let exp = registry::find("kv_service").expect("registered");
+    assert!(exp.deterministic(), "kv_service must advertise determinism");
+    let base = std::env::temp_dir().join("quartz_bench_golden_kv_service");
+    let (console1, files1) = golden_run("kv_service", 1, &base.join("j1"));
+    let (console8, files8) = golden_run("kv_service", 8, &base.join("j8"));
+    assert_eq!(console1, console8);
+    assert!(!files1.is_empty());
+    assert_eq!(files1.len(), files8.len());
+    for ((n1, b1), (n8, b8)) in files1.iter().zip(&files8) {
+        assert_eq!(n1, n8);
+        assert_eq!(b1, b8, "{n1} differs between --jobs 1 and --jobs 8");
+    }
+    let (_, bytes) = files1
+        .iter()
+        .find(|(n, _)| n == "BENCH_kv_service.json")
+        .expect("BENCH_kv_service.json emitted");
+    let bench = String::from_utf8(bytes.clone()).unwrap();
+    for needle in [
+        "\"schema\":1",
+        "\"bench\":\"kv_service\"",
+        "\"memory\":\"dram\"",
+        "\"memory\":\"nvm374\"",
+        "\"p999_ns\":",
+    ] {
+        assert!(bench.contains(needle), "missing {needle} in {bench}");
+    }
+    // No host-timed fields: the timing scrubber must be a no-op here.
+    assert_eq!(
+        strip_timing_fields(&bench),
+        bench,
+        "kv_service must not record host timing in its bench file"
+    );
+    let manifest = std::fs::read_to_string(base.join("j8").join("manifest.json")).unwrap();
+    assert!(
+        manifest.contains("\"benches\":[\"BENCH_kv_service.json\"]"),
+        "{manifest}"
+    );
+}
+
+#[test]
+fn cli_filter_splits_commas_before_selection() {
+    // --inject-fail validates its name against the selected set before
+    // running anything, so it doubles as a cheap probe of what a
+    // comma-separated --filter actually chose.
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--quick",
+            "--filter",
+            "ablation_pcommit,failure",
+            "--inject-fail",
+            "table1",
+        ])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "'table1' must not be selected by --filter ablation_pcommit,failure"
+    );
+    // The probe passes once the second comma term matches it (the
+    // injected failure quarantines failure_modes before it runs, so the
+    // run stays cheap and exits 1, not 2).
+    let dir = std::env::temp_dir().join("quartz_bench_filter_probe");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--quick",
+            "--jobs",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+            "--filter",
+            "ablation_pcommit,failure",
+            "--inject-fail",
+            "failure_modes",
+        ])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "'failure_modes' must be selected by the second filter term: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("ablation_pcommit"), "{stdout}");
+    assert!(stdout.contains("failure_modes QUARANTINED"), "{stdout}");
+}
+
+#[test]
 fn memsim_throughput_bench_file_is_deterministic_modulo_timing() {
     // The experiment is host-timed, so it opts out of the byte-identity
     // contract — but everything in BENCH_memsim.json except the timing
