@@ -11,6 +11,9 @@
 //!   carrying the sim-thread id and the original payload;
 //! * `hang/virtual_spin` must trip the host-side watchdog and come back
 //!   as [`SimFailure::Hang`] naming the scheduler-token holder;
+//! * `livelock/cas_storm` must trip the consecutive-failed-CAS streak
+//!   detector and come back as [`SimFailure::Livelock`] naming the
+//!   spinning thread set (progress in virtual time, none in the data);
 //! * `deadlock/quartz_reap` additionally checks the emulator-side
 //!   containment: the attached Quartz instance reaps every orphaned
 //!   per-thread slot and flags the undrained flush as an epoch-state
@@ -43,6 +46,11 @@ use crate::MachineSpec;
 /// configured constant, so it may appear in deterministic output.
 const HANG_BUDGET_MS: u64 = 25;
 
+/// The consecutive-failed-CAS threshold for the livelock scenario.
+/// Low enough to fire quickly, far above any legitimate retry streak
+/// in these micro-workloads.
+const LIVELOCK_THRESHOLD: u64 = 400;
+
 /// One deliberately failing (or deliberately healthy) micro-workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Scenario {
@@ -54,16 +62,20 @@ enum Scenario {
     PanicChild,
     /// The root spins in virtual time forever; the watchdog must name it.
     HangVirtualSpin,
+    /// A no-progress CAS storm between two children; the streak
+    /// detector must name the spinning thread set.
+    LivelockCasStorm,
     /// ABBA deadlock with Quartz attached: slots must be reaped.
     DeadlockQuartzReap,
 }
 
 impl Scenario {
-    const ALL: [Scenario; 5] = [
+    const ALL: [Scenario; 6] = [
         Scenario::Clean,
         Scenario::DeadlockAbba,
         Scenario::PanicChild,
         Scenario::HangVirtualSpin,
+        Scenario::LivelockCasStorm,
         Scenario::DeadlockQuartzReap,
     ];
 
@@ -73,6 +85,7 @@ impl Scenario {
             Scenario::DeadlockAbba => "deadlock/abba",
             Scenario::PanicChild => "panic/child",
             Scenario::HangVirtualSpin => "hang/virtual_spin",
+            Scenario::LivelockCasStorm => "livelock/cas_storm",
             Scenario::DeadlockQuartzReap => "deadlock/quartz_reap",
         }
     }
@@ -84,6 +97,7 @@ impl Scenario {
             Scenario::DeadlockAbba | Scenario::DeadlockQuartzReap => "deadlock",
             Scenario::PanicChild => "panic",
             Scenario::HangVirtualSpin => "hang",
+            Scenario::LivelockCasStorm => "livelock",
         }
     }
 }
@@ -219,6 +233,48 @@ fn eval(pt: &Pt<Scenario>) -> Row {
             (
                 failure.kind().to_string(),
                 format!("t{} exceeded {:?} watchdog budget", thread.0, budget),
+            )
+        }
+        Scenario::LivelockCasStorm => {
+            engine.set_livelock_threshold(LIVELOCK_THRESHOLD);
+            let a = engine.atomic_u64(0);
+            let failure = engine
+                .try_run(move |ctx| {
+                    let kids: Vec<_> = (0..2)
+                        .map(|_| {
+                            ctx.spawn(move |c| loop {
+                                c.compute_ns(25.0);
+                                // The expected value never appears, so
+                                // nobody ever makes progress — the
+                                // definitional livelock.
+                                let _ = a.compare_exchange(c, 99, 100);
+                            })
+                        })
+                        .collect();
+                    for k in kids {
+                        ctx.join(k);
+                    }
+                })
+                .expect_err("CAS storm must trip the streak detector");
+            let SimFailure::Livelock {
+                threads, threshold, ..
+            } = &failure
+            else {
+                panic!("{label}: expected Livelock, got {failure}");
+            };
+            assert_eq!(
+                *threshold, LIVELOCK_THRESHOLD,
+                "{label}: configured threshold reported"
+            );
+            let spinners = threads
+                .iter()
+                .map(|t| format!("t{}", t.0))
+                .collect::<Vec<_>>()
+                .join("+");
+            assert_eq!(spinners, "t1+t2", "{label}: spinning set named");
+            (
+                failure.kind().to_string(),
+                format!("{spinners} failed {threshold} consecutive CAS without progress"),
             )
         }
         Scenario::DeadlockQuartzReap => {

@@ -10,8 +10,8 @@
 use crate::exp::Experiment;
 use crate::experiments::{
     ablations, contention, crash, extensions, failure_modes, faults, fig11, fig12, fig13, fig14,
-    fig15, fig16, fig8, kv_service, memsim_throughput, overhead, pagerank_validation, table1,
-    table2,
+    fig15, fig16, fig8, kv_service, lockfree_sweep, memsim_throughput, overhead,
+    pagerank_validation, table1, table2,
 };
 
 /// Every registered experiment, in canonical `repro all` order.
@@ -41,6 +41,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &failure_modes::FailureModes,
     &memsim_throughput::MemsimThroughput,
     &kv_service::KvServiceCurves,
+    &lockfree_sweep::LockfreeSweep,
 ];
 
 /// All registered experiments in canonical order.
@@ -167,6 +168,7 @@ mod tests {
             "failure_modes",
             "memsim_throughput",
             "kv_service",
+            "lockfree_sweep",
         ];
         let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
         assert_eq!(names, expected);

@@ -38,6 +38,24 @@ impl Hooks for LockHandoffRecorder {
     }
 }
 
+/// Records successful compare-exchanges as crash candidates: a winning
+/// CAS is the lock-free publication point — the exact instant another
+/// thread may start acting on state the winner believes persisted
+/// (detectable-CAS checkpoints, pushed nodes, swung tails).
+struct CasSeamRecorder {
+    tracker: Arc<PersistTracker>,
+}
+
+impl Hooks for CasSeamRecorder {
+    fn on_atomic(&self, ctx: &mut ThreadCtx, ev: &quartz_threadsim::AtomicEvent) {
+        if ev.phase == quartz_threadsim::AtomicPhase::After
+            && ev.outcome == quartz_threadsim::CasOutcome::Success
+        {
+            self.tracker.candidate(ctx.now(), "cas_seam");
+        }
+    }
+}
+
 /// One evaluated crash point.
 #[derive(Clone, Debug)]
 pub struct CrashOutcome {
@@ -118,6 +136,9 @@ impl CrashPlan {
         engine.set_hooks(Arc::new(FanoutHooks::new(vec![
             Arc::clone(&quartz) as Arc<dyn Hooks>,
             Arc::new(LockHandoffRecorder {
+                tracker: Arc::clone(&tracker),
+            }),
+            Arc::new(CasSeamRecorder {
                 tracker: Arc::clone(&tracker),
             }),
         ])));
@@ -293,6 +314,29 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(go(), go());
+    }
+
+    #[test]
+    fn cas_seam_candidates_are_recorded() {
+        let plan = CrashPlan::new(3).with_random_points(0);
+        let (run, ()) = plan
+            .run(machine(), cfg(), |ctx, q, pm| {
+                let buf = q.pmalloc(ctx, 4096).unwrap();
+                let flag = ctx.atomic_u64(0);
+                pm.write_u64(ctx, buf, 9);
+                pm.flush(ctx, buf);
+                // Publication: one successful CAS, one failed retry.
+                assert_eq!(flag.compare_exchange(ctx, 0, 1), Ok(0));
+                assert_eq!(flag.compare_exchange(ctx, 0, 2), Err(1));
+            })
+            .unwrap();
+        let seams = run.points().iter().filter(|(l, _)| l == "cas_seam").count();
+        assert_eq!(
+            seams,
+            1,
+            "only the winning CAS is a seam: {:?}",
+            run.points()
+        );
     }
 
     #[test]

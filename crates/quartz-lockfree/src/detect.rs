@@ -1,0 +1,126 @@
+//! The detectable-CAS completion protocol and its recovery side.
+//!
+//! A lock-free persistent operation is *detectable* when, after a
+//! crash, the recovery procedure can decide whether the interrupted
+//! operation took effect — and therefore whether to replay or skip it
+//! (the Memento/capsule idea). The protocol here is the minimal
+//! per-thread form:
+//!
+//! 1. perform the structural update (publish by CAS, persist the
+//!    mirror);
+//! 2. write the op's *log record* (the value pushed or popped) to the
+//!    thread's private log slot and flush it;
+//! 3. bump the thread's *checkpoint word* to the op's sequence number
+//!    and flush it.
+//!
+//! The checkpoint is written only after the log flush returns, so a
+//! durable checkpoint `k` implies log records `1..=k` are durable:
+//! recovery reads one word per thread and knows exactly which
+//! operations completed. [`Recovery::should_replay`] is that decision.
+//!
+//! Both steps claim durability through the torn-line oracle
+//! ([`quartz_crash::Pmem::claim_persisted`]). Claims cover only the
+//! thread's own slots — shared words (the head mirror) are never
+//! claimed, because a concurrent writer could legitimately overwrite
+//! them between flush and claim and turn the oracle into a
+//! false-positive machine.
+
+use quartz_crash::{DurableImage, Pmem};
+use quartz_threadsim::ThreadCtx;
+
+use crate::layout::Region;
+
+/// Which durability bug, if any, a structure deliberately carries.
+///
+/// The sweep's job is to *catch* the buggy variants; the correct
+/// variant must survive every crash point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LfVariant {
+    /// The full protocol: every mirror, link, log, and checkpoint
+    /// flush happens.
+    Correct,
+    /// Skips the mirror/link flush after a winning CAS: publications
+    /// reach other threads but not the persistence domain. The classic
+    /// "CAS is not a flush" bug.
+    MissingFlush,
+    /// Skips the checkpoint flush: operations complete volatilely but
+    /// recovery cannot detect them. The "forgot to persist the
+    /// detectability state" bug.
+    LostCheckpoint,
+}
+
+impl LfVariant {
+    /// Stable label used in reports and bench JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LfVariant::Correct => "correct",
+            LfVariant::MissingFlush => "missing_flush",
+            LfVariant::LostCheckpoint => "lost_checkpoint",
+        }
+    }
+
+    /// Whether this variant is expected to fail the sweep.
+    pub fn is_buggy(&self) -> bool {
+        !matches!(self, LfVariant::Correct)
+    }
+}
+
+/// Completes operation `seq` of thread `t` detectably: durable log
+/// record, then checkpoint bump. `value` is the value pushed or
+/// popped by the operation.
+pub fn complete_op(
+    ctx: &mut ThreadCtx,
+    pm: &Pmem,
+    region: &Region,
+    variant: LfVariant,
+    t: usize,
+    seq: u64,
+    value: u64,
+) {
+    let log = region.log(t, seq);
+    pm.write_u64(ctx, log, value);
+    pm.flush(ctx, log);
+    pm.claim_persisted(ctx, &[(log, value)]);
+
+    let chk = region.chk(t);
+    pm.write_u64(ctx, chk, seq);
+    if variant != LfVariant::LostCheckpoint {
+        pm.flush(ctx, chk);
+    }
+    // In the LostCheckpoint variant this claim is a lie the oracle
+    // catches — exactly the bug's signature.
+    pm.claim_persisted(ctx, &[(chk, seq)]);
+}
+
+/// What recovery learns from the durable image: per-thread completed
+/// operation counts plus access to the durable log records.
+#[derive(Clone, Debug)]
+pub struct Recovery {
+    completed: Vec<u64>,
+}
+
+impl Recovery {
+    /// Reads each thread's checkpoint word from the durable image.
+    pub fn from_image(image: &DurableImage, region: &Region) -> Self {
+        let completed = (0..region.threads())
+            .map(|t| image.read_u64(region.chk(t)))
+            .collect();
+        Recovery { completed }
+    }
+
+    /// How many operations thread `t` durably completed.
+    pub fn completed_ops(&self, t: usize) -> u64 {
+        self.completed[t]
+    }
+
+    /// The replay-vs-skip decision: operation `seq` of thread `t`
+    /// must be replayed iff its completion never became durable.
+    pub fn should_replay(&self, t: usize, seq: u64) -> bool {
+        seq > self.completed[t]
+    }
+
+    /// The durable log record for a completed operation.
+    pub fn logged_value(&self, image: &DurableImage, region: &Region, t: usize, seq: u64) -> u64 {
+        image.read_u64(region.log(t, seq))
+    }
+}

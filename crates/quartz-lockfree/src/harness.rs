@@ -1,0 +1,284 @@
+//! The lock-free crash sweep: plan → crash → recover → verify.
+//!
+//! [`run_sweep`] runs a two-phase workload (every thread pushes its
+//! planned values, then the threads drain the structure) under full
+//! persistence tracking, derives the crash-point set (every winning
+//! CAS is a `cas_seam` candidate, plus flush edges and a seeded random
+//! grid), and evaluates [`verify_image`] plus the claim oracle at each
+//! point. A correct variant must survive every point; the seeded-bug
+//! variants must fail at least one — that is the sweep's
+//! false-positive / false-negative verdict.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use quartz::{NvmTarget, QuartzConfig};
+use quartz_crash::{CrashOutcome, CrashPlan};
+use quartz_memsim::{MemSimConfig, MemorySystem};
+use quartz_platform::{Architecture, Platform, PlatformConfig};
+
+use crate::detect::LfVariant;
+use crate::layout::{planned_value, Region};
+use crate::queue::DetectableQueue;
+use crate::stack::DetectableStack;
+use crate::verify::{verify_image, Structure};
+
+/// One sweep configuration: which structure, which (possibly buggy)
+/// variant, and how hard to shake it.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepSpec {
+    /// Structure under test.
+    pub structure: Structure,
+    /// Durability variant (correct or seeded-bug).
+    pub variant: LfVariant,
+    /// Worker threads.
+    pub threads: usize,
+    /// Pushes (enqueues) per thread.
+    pub pushes: usize,
+    /// Seed for the random crash instants.
+    pub seed: u64,
+    /// Number of random crash instants on top of the labelled
+    /// candidates.
+    pub random_points: usize,
+}
+
+impl SweepSpec {
+    /// A spec with the default shake: 3 threads × 8 items, 32 random
+    /// crash points.
+    pub fn new(structure: Structure, variant: LfVariant) -> Self {
+        SweepSpec {
+            structure,
+            variant,
+            threads: 3,
+            pushes: 8,
+            seed: 0x10CF,
+            random_points: 32,
+        }
+    }
+
+    /// Sets the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the per-thread item count.
+    pub fn with_pushes(mut self, pushes: usize) -> Self {
+        self.pushes = pushes;
+        self
+    }
+
+    /// Sets the random-crash-point seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of random crash instants.
+    pub fn with_random_points(mut self, n: usize) -> Self {
+        self.random_points = n;
+        self
+    }
+}
+
+/// The evaluated sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Structure under test.
+    pub structure: Structure,
+    /// Variant under test.
+    pub variant: LfVariant,
+    /// Items drained in the pop phase (sanity: equals the item count).
+    pub popped: usize,
+    /// Crash points evaluated.
+    pub points: usize,
+    /// Points where recovery failed or a durability claim was
+    /// contradicted.
+    pub failing: usize,
+    /// `cas_seam` candidates among the crash points.
+    pub cas_seams: usize,
+    /// Label and explanation of the first failing point, if any.
+    pub first_failure: Option<(String, String)>,
+    /// Emulator statistics from the tracked run (atomics seams,
+    /// epochs, CAS hand-offs).
+    pub stats: quartz::QuartzStats,
+    /// Every evaluated point, in order.
+    pub outcomes: Vec<CrashOutcome>,
+}
+
+impl SweepOutcome {
+    /// Whether the sweep flagged the variant.
+    pub fn caught(&self) -> bool {
+        self.failing > 0
+    }
+}
+
+/// The reference machine for lock-free sweeps: Ivy Bridge, perfect
+/// counters, no jitter — fully deterministic.
+pub fn machine() -> Arc<MemorySystem> {
+    let p = Platform::new(PlatformConfig::new(Architecture::IvyBridge).with_perfect_counters());
+    Arc::new(MemorySystem::new(
+        p,
+        MemSimConfig::default().without_jitter(),
+    ))
+}
+
+/// The emulated NVM for lock-free sweeps: 300 ns reads, 450 ns
+/// `pflush` write delay (the asymmetric-PCM point used across the
+/// crash experiments).
+pub fn nvm_config() -> QuartzConfig {
+    QuartzConfig::new(NvmTarget::new(300.0).with_write_delay_ns(450.0))
+}
+
+/// Runs one sweep: execute the two-phase workload once, then evaluate
+/// every crash point.
+///
+/// # Panics
+///
+/// Panics if the emulator fails to attach (impossible on the reference
+/// machine) or the workload fails to drain the structure.
+pub fn run_sweep(spec: &SweepSpec) -> SweepOutcome {
+    let SweepSpec {
+        structure,
+        variant,
+        threads,
+        pushes,
+        seed,
+        random_points,
+    } = *spec;
+    let plan = CrashPlan::new(seed).with_random_points(random_points);
+    let (run, (region, popped)) = plan
+        .run(machine(), nvm_config(), move |ctx, q, pm| {
+            let probe = match structure {
+                Structure::Stack => Region::stack(quartz_memsim::Addr(0), threads, pushes),
+                Structure::Queue => Region::queue(quartz_memsim::Addr(0), threads, pushes),
+            };
+            let base = q.pmalloc(ctx, probe.bytes()).expect("pmalloc region");
+            let popped = Arc::new(Mutex::new(0usize));
+            let region = match structure {
+                Structure::Stack => {
+                    let region = Region::stack(base, threads, pushes);
+                    let stack = DetectableStack::create(ctx, pm, region, variant);
+                    let producers: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let pm = pm.clone();
+                            ctx.spawn(move |c| {
+                                for i in 0..pushes {
+                                    let seq = i as u64 + 1;
+                                    stack.push(
+                                        c,
+                                        &pm,
+                                        t,
+                                        seq,
+                                        t * pushes + i,
+                                        planned_value(t, seq),
+                                    );
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in producers {
+                        ctx.join(h);
+                    }
+                    let consumers: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let pm = pm.clone();
+                            let popped = Arc::clone(&popped);
+                            ctx.spawn(move |c| {
+                                let mut seq = pushes as u64;
+                                loop {
+                                    seq += 1;
+                                    if stack.pop(c, &pm, t, seq).is_none() {
+                                        break;
+                                    }
+                                    *popped.lock() += 1;
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in consumers {
+                        ctx.join(h);
+                    }
+                    region
+                }
+                Structure::Queue => {
+                    let region = Region::queue(base, threads, pushes);
+                    let queue = DetectableQueue::create(ctx, pm, region, variant);
+                    let producers: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let pm = pm.clone();
+                            let queue = queue.clone();
+                            ctx.spawn(move |c| {
+                                for i in 0..pushes {
+                                    let seq = i as u64 + 1;
+                                    queue.enqueue(
+                                        c,
+                                        &pm,
+                                        t,
+                                        seq,
+                                        1 + t * pushes + i,
+                                        planned_value(t, seq),
+                                    );
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in producers {
+                        ctx.join(h);
+                    }
+                    let consumers: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let pm = pm.clone();
+                            let queue = queue.clone();
+                            let popped = Arc::clone(&popped);
+                            ctx.spawn(move |c| {
+                                let mut seq = pushes as u64;
+                                loop {
+                                    seq += 1;
+                                    if queue.dequeue(c, &pm, t, seq).is_none() {
+                                        break;
+                                    }
+                                    *popped.lock() += 1;
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in consumers {
+                        ctx.join(h);
+                    }
+                    region
+                }
+            };
+            let popped = *popped.lock();
+            (region, popped)
+        })
+        .expect("emulator attaches on the reference machine");
+    assert_eq!(
+        popped,
+        threads * pushes,
+        "the drain phase must consume every pushed item"
+    );
+
+    let stats = run.quartz().stats();
+    let outcomes = run.check(move |image| verify_image(image, &region, structure));
+    let failing = outcomes.iter().filter(|o| !o.recovered()).count();
+    let cas_seams = outcomes.iter().filter(|o| o.label == "cas_seam").count();
+    let first_failure = outcomes.iter().find(|o| !o.recovered()).map(|o| {
+        let why = match &o.verdict {
+            Err(e) => e.clone(),
+            Ok(()) => format!("{} durability claims contradicted", o.violated_claims.len()),
+        };
+        (o.label.clone(), why)
+    });
+    SweepOutcome {
+        structure,
+        variant,
+        popped,
+        points: outcomes.len(),
+        failing,
+        cas_seams,
+        first_failure,
+        stats,
+        outcomes,
+    }
+}

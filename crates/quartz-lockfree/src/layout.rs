@@ -1,0 +1,224 @@
+//! Persistent-region layout shared by the stack and the queue.
+//!
+//! One `pmalloc`'d region holds everything a structure persists, in
+//! cache-line-granular slots so a `pflush` of one slot never drags
+//! another thread's state along:
+//!
+//! ```text
+//! line 0                 header: magic @ +0, head mirror @ +8
+//! lines 1 ..= T          per-thread checkpoint word (seq @ +0)
+//! next T * ops_cap lines per-thread op log, one line per op (value @ +0)
+//! remaining lines        node arena: value @ +0, next @ +8, magic @ +16
+//! ```
+//!
+//! The header magic and the head mirror share line 0 and are flushed
+//! together at initialization, so a durable magic implies the mirror
+//! word is durable too — the verifier uses the magic as its
+//! "initialization reached the crash point" guard (an unwritten word
+//! reads zero, which would otherwise decode as a bogus node address).
+
+use quartz_memsim::Addr;
+
+/// Cache-line size the slots are laid out on.
+pub const LINE: u64 = 64;
+
+/// Region header magic ("LOCKFREE" in ASCII).
+pub const HEADER_MAGIC: u64 = 0x4C4F_434B_4652_4545;
+
+/// Per-node payload magic, flushed with the node before publication.
+pub const NODE_MAGIC: u64 = 0x4E4F_4445_4D41_4743;
+
+/// Null pointer encoding for persisted `Option<Addr>` words.
+///
+/// `u64::MAX` rather than zero: `Addr(0)` is a valid address, and an
+/// unwritten durable word reads zero — the null encoding must collide
+/// with neither.
+pub const NULL_WORD: u64 = u64::MAX;
+
+/// Encodes an optional address for storage in a persisted word.
+pub fn encode_ptr(p: Option<Addr>) -> u64 {
+    match p {
+        Some(a) => a.0,
+        None => NULL_WORD,
+    }
+}
+
+/// Decodes a persisted pointer word.
+pub fn decode_ptr(w: u64) -> Option<Addr> {
+    if w == NULL_WORD {
+        None
+    } else {
+        Some(Addr(w))
+    }
+}
+
+/// The planned value for thread `t`'s push number `seq` (1-based).
+///
+/// Distinct across all `(t, seq)`, never zero, never [`NULL_WORD`] —
+/// so the verifier can recognise membership in the planned set.
+pub fn planned_value(t: usize, seq: u64) -> u64 {
+    ((t as u64 + 1) << 32) | seq
+}
+
+/// Layout of one structure's persistent region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    base: Addr,
+    threads: usize,
+    pushes: usize,
+    nodes: usize,
+}
+
+impl Region {
+    /// Layout for a stack: `threads * pushes` nodes, no dummy.
+    pub fn stack(base: Addr, threads: usize, pushes: usize) -> Self {
+        assert!(threads > 0 && pushes > 0, "degenerate region");
+        Region {
+            base,
+            threads,
+            pushes,
+            nodes: threads * pushes,
+        }
+    }
+
+    /// Layout for a queue: `threads * pushes` nodes plus the dummy at
+    /// node index 0.
+    pub fn queue(base: Addr, threads: usize, pushes: usize) -> Self {
+        assert!(threads > 0 && pushes > 0, "degenerate region");
+        Region {
+            base,
+            threads,
+            pushes,
+            nodes: threads * pushes + 1,
+        }
+    }
+
+    /// Worker thread count the region was sized for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Planned pushes (or enqueues) per thread.
+    pub fn pushes(&self) -> usize {
+        self.pushes
+    }
+
+    /// Node slots in the arena.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Per-thread op-log capacity: `pushes` own pushes plus, in the
+    /// worst case, *every* item popped by this one thread.
+    pub fn ops_cap(&self) -> usize {
+        self.pushes * (self.threads + 1)
+    }
+
+    /// Total region size in bytes (for `pmalloc`).
+    pub fn bytes(&self) -> u64 {
+        (1 + self.threads + self.threads * self.ops_cap() + self.nodes) as u64 * LINE
+    }
+
+    /// The header magic word.
+    pub fn header(&self) -> Addr {
+        self.base
+    }
+
+    /// The persisted head mirror (same line as the magic).
+    pub fn head_word(&self) -> Addr {
+        self.base.offset_by(8)
+    }
+
+    /// Thread `t`'s checkpoint word.
+    pub fn chk(&self, t: usize) -> Addr {
+        assert!(t < self.threads);
+        self.base.offset_by((1 + t) as u64 * LINE)
+    }
+
+    /// Thread `t`'s log slot for op `seq` (1-based).
+    pub fn log(&self, t: usize, seq: u64) -> Addr {
+        assert!(t < self.threads);
+        assert!(
+            seq >= 1 && seq <= self.ops_cap() as u64,
+            "seq {seq} out of cap"
+        );
+        let line = 1 + self.threads + t * self.ops_cap() + (seq as usize - 1);
+        self.base.offset_by(line as u64 * LINE)
+    }
+
+    /// First byte of the node arena.
+    fn arena(&self) -> u64 {
+        self.base.0 + (1 + self.threads + self.threads * self.ops_cap()) as u64 * LINE
+    }
+
+    /// Address of node slot `idx`.
+    pub fn node(&self, idx: usize) -> Addr {
+        assert!(idx < self.nodes, "node index {idx} out of arena");
+        Addr(self.arena() + idx as u64 * LINE)
+    }
+
+    /// Reverse lookup: the arena slot holding `a`, if `a` is a
+    /// line-aligned address inside the arena.
+    pub fn node_index(&self, a: Addr) -> Option<usize> {
+        let start = self.arena();
+        if a.0 < start || !(a.0 - start).is_multiple_of(LINE) {
+            return None;
+        }
+        let idx = ((a.0 - start) / LINE) as usize;
+        (idx < self.nodes).then_some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_do_not_overlap() {
+        let r = Region::queue(Addr(4096), 3, 8);
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(r.header().0 / LINE * LINE));
+        for t in 0..3 {
+            assert!(seen.insert(r.chk(t).0));
+            for seq in 1..=r.ops_cap() as u64 {
+                assert!(seen.insert(r.log(t, seq).0));
+            }
+        }
+        for i in 0..r.nodes() {
+            assert!(seen.insert(r.node(i).0));
+        }
+        let last = r.node(r.nodes() - 1).0 + LINE - r.header().0;
+        assert_eq!(last, r.bytes());
+    }
+
+    #[test]
+    fn node_index_round_trips_and_rejects_outsiders() {
+        let r = Region::stack(Addr(64), 2, 4);
+        for i in 0..r.nodes() {
+            assert_eq!(r.node_index(r.node(i)), Some(i));
+        }
+        assert_eq!(r.node_index(Addr(0)), None);
+        assert_eq!(r.node_index(r.node(0).offset_by(8)), None);
+        assert_eq!(r.node_index(r.node(r.nodes() - 1).offset_by(LINE)), None);
+        assert_eq!(r.node_index(r.chk(0)), None);
+    }
+
+    #[test]
+    fn planned_values_are_distinct_and_reserved() {
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..4 {
+            for seq in 1..=16 {
+                let v = planned_value(t, seq);
+                assert!(v != 0 && v != NULL_WORD);
+                assert!(seen.insert(v));
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_encoding_round_trips() {
+        assert_eq!(decode_ptr(encode_ptr(None)), None);
+        assert_eq!(decode_ptr(encode_ptr(Some(Addr(0)))), Some(Addr(0)));
+        assert_eq!(decode_ptr(encode_ptr(Some(Addr(4096)))), Some(Addr(4096)));
+    }
+}

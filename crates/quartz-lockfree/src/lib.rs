@@ -1,0 +1,64 @@
+//! Detectable lock-free persistent data structures over the simulated
+//! atomics (`SimAtomicU64`/`SimAtomicPtr`) and the crash-consistency
+//! harness.
+//!
+//! The Quartz paper's §6 names atomics-based synchronization as a
+//! limitation: epochs propagate delay at lock hand-offs, but a CAS
+//! publication is just as much a visibility edge. With the atomics seam
+//! in place (epoch settles before a winning CAS publishes, hand-off
+//! floor on cross-thread cells), lock-free *persistent* structures
+//! become emulable — and checkable. This crate provides the two
+//! canonical ones plus the detectability layer real PM structures need:
+//!
+//! * [`DetectableStack`] — a Treiber stack whose nodes live on
+//!   `pmalloc`'d persistent memory, published by CAS and persisted via
+//!   `pflush` seams;
+//! * [`DetectableQueue`] — a Michael–Scott queue with the durable-link
+//!   helping rule (a tail swing never passes an unpersisted link);
+//! * [`Recovery`] / [`complete_op`] — the Memento-style detectable-CAS
+//!   protocol: every completed operation leaves a per-thread durable
+//!   log record and checkpoint word, so recovery can decide
+//!   replay-vs-skip for the interrupted operation;
+//! * [`verify_image`] — the recovery verifier: traverses the durable
+//!   image and checks the accounting invariants that bound in-flight
+//!   operations by the thread count;
+//! * [`run_sweep`] — plan → crash → recover → verify over both
+//!   structures, with seeded-bug variants ([`LfVariant`]) that the
+//!   sweep must catch.
+//!
+//! ## Why the mirrors are monotone
+//!
+//! The structures keep concurrency truth in volatile simulated atomics
+//! and persist a *mirror* word after each winning CAS. A naive
+//! "write my own new value" mirror regresses under contention (a
+//! delayed loser overwrites a newer winner's mirror). Instead the
+//! mirror is updated by re-reading the current volatile pointer and
+//! writing *that*: under the deterministic engine exactly one sim
+//! thread runs at a time and only `ThreadCtx` calls are scheduling
+//! boundaries, so the load → shadow-write pair is atomic with respect
+//! to interleaving and the mirror only ever moves forward in CAS
+//! order. A completed operation therefore guarantees the durable
+//! mirror is at or past its own publication — which is exactly the
+//! bound [`verify_image`]'s accounting invariants rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod harness;
+pub mod layout;
+pub mod queue;
+pub mod stack;
+pub mod verify;
+
+#[cfg(test)]
+mod tests;
+
+pub use detect::{complete_op, LfVariant, Recovery};
+pub use harness::{machine, nvm_config, run_sweep, SweepOutcome, SweepSpec};
+pub use layout::{
+    decode_ptr, encode_ptr, planned_value, Region, HEADER_MAGIC, NODE_MAGIC, NULL_WORD,
+};
+pub use queue::DetectableQueue;
+pub use stack::DetectableStack;
+pub use verify::{verify_image, Structure};

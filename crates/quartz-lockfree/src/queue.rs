@@ -1,0 +1,177 @@
+//! A detectable Michael–Scott queue on persistent memory.
+//!
+//! Volatile [`SimAtomicPtr`]s carry the head, the tail, and one `next`
+//! per node slot (pre-created on the root thread — the deterministic
+//! engine's atomics are engine-owned cells, so the arena's link cells
+//! must exist before workers race on them). Persistent state is the
+//! node arena plus two mirrors: the head word in the region header and
+//! each node's `next` word in its line.
+//!
+//! The durability rule is Friedman et al.'s for durable MS queues: a
+//! tail swing may never pass an unpersisted link. Both the winning
+//! enqueuer and every helper persist `pred.next` *before* swinging the
+//! tail, so the durable chain from the durable head always covers
+//! every completed enqueue. All writers of a given link word write the
+//! same value (links are immutable once won), so helper races cannot
+//! regress the mirror.
+//!
+//! The tail itself is not mirrored — recovery rebuilds it by walking
+//! the durable chain from the head, as real PM queues do.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use quartz_crash::Pmem;
+use quartz_memsim::Addr;
+use quartz_threadsim::{SimAtomicPtr, ThreadCtx};
+
+use crate::detect::{complete_op, LfVariant};
+use crate::layout::{encode_ptr, Region, HEADER_MAGIC, NODE_MAGIC, NULL_WORD};
+
+/// A Michael–Scott queue with detectable operations. Cloning shares
+/// the underlying cells (the link map is behind an `Arc`).
+#[derive(Clone)]
+pub struct DetectableQueue {
+    head: SimAtomicPtr,
+    tail: SimAtomicPtr,
+    links: Arc<HashMap<u64, SimAtomicPtr>>,
+    region: Region,
+    variant: LfVariant,
+}
+
+impl DetectableQueue {
+    /// Initializes an empty queue in `region` (node slot 0 becomes the
+    /// dummy), persisting the dummy and the header line before
+    /// returning. Call on the root thread before spawning workers.
+    pub fn create(ctx: &mut ThreadCtx, pm: &Pmem, region: Region, variant: LfVariant) -> Self {
+        let dummy = region.node(0);
+        pm.write_u64(ctx, dummy, 0);
+        pm.write_u64(ctx, dummy.offset_by(8), NULL_WORD);
+        pm.write_u64(ctx, dummy.offset_by(16), NODE_MAGIC);
+        pm.flush(ctx, dummy);
+
+        let mut links = HashMap::new();
+        for idx in 0..region.nodes() {
+            links.insert(region.node(idx).0, ctx.atomic_ptr(None));
+        }
+        let head = ctx.atomic_ptr(Some(dummy));
+        let tail = ctx.atomic_ptr(Some(dummy));
+
+        pm.write_u64(ctx, region.header(), HEADER_MAGIC);
+        pm.write_u64(ctx, region.head_word(), encode_ptr(Some(dummy)));
+        pm.flush(ctx, region.header());
+        pm.claim_persisted(
+            ctx,
+            &[
+                (region.header(), HEADER_MAGIC),
+                (region.head_word(), dummy.0),
+            ],
+        );
+
+        DetectableQueue {
+            head,
+            tail,
+            links: Arc::new(links),
+            region,
+            variant,
+        }
+    }
+
+    /// The region this queue persists into.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    fn link_of(&self, node: Addr) -> SimAtomicPtr {
+        *self
+            .links
+            .get(&node.0)
+            .expect("pointer into the queue is always an arena node")
+    }
+
+    /// Persists the link `from.next = to`. Called by the link's winner
+    /// and by helpers; every caller writes the same value (links are
+    /// immutable once won), so the mirror cannot regress.
+    fn persist_link(&self, ctx: &mut ThreadCtx, pm: &Pmem, from: Addr, to: Addr) {
+        pm.write_u64(ctx, from.offset_by(8), encode_ptr(Some(to)));
+        if self.variant != LfVariant::MissingFlush {
+            pm.flush(ctx, from.offset_by(8));
+        }
+    }
+
+    /// Persists the head mirror; same monotone re-read pattern as the
+    /// stack (see `DetectableStack::persist_head`).
+    fn persist_head(&self, ctx: &mut ThreadCtx, pm: &Pmem) {
+        let cur = self.head.load(ctx);
+        pm.write_u64(ctx, self.region.head_word(), encode_ptr(cur));
+        if self.variant != LfVariant::MissingFlush {
+            pm.flush(ctx, self.region.head_word());
+        }
+    }
+
+    /// Enqueues `value` as thread `t`'s operation `seq`, using node
+    /// slot `node_idx` (never 0 — that is the dummy).
+    pub fn enqueue(
+        &self,
+        ctx: &mut ThreadCtx,
+        pm: &Pmem,
+        t: usize,
+        seq: u64,
+        node_idx: usize,
+        value: u64,
+    ) {
+        assert!(node_idx != 0, "slot 0 is the dummy");
+        let node = self.region.node(node_idx);
+        pm.write_u64(ctx, node, value);
+        pm.write_u64(ctx, node.offset_by(8), NULL_WORD);
+        pm.write_u64(ctx, node.offset_by(16), NODE_MAGIC);
+        pm.flush(ctx, node);
+        loop {
+            let tail = self.tail.load(ctx).expect("tail is never null");
+            match self.link_of(tail).compare_exchange(ctx, None, Some(node)) {
+                Ok(_) => {
+                    self.persist_link(ctx, pm, tail, node);
+                    let _ = self.tail.compare_exchange(ctx, Some(tail), Some(node));
+                    complete_op(ctx, pm, &self.region, self.variant, t, seq, value);
+                    return;
+                }
+                Err(Some(next)) => {
+                    // Tail is lagging: help persist the link before
+                    // helping the swing, then retry.
+                    self.persist_link(ctx, pm, tail, next);
+                    let _ = self.tail.compare_exchange(ctx, Some(tail), Some(next));
+                }
+                Err(None) => unreachable!("a failed CAS against None observed None"),
+            }
+        }
+    }
+
+    /// Dequeues the front value as thread `t`'s operation `seq`;
+    /// `None` when the queue is observed empty.
+    pub fn dequeue(&self, ctx: &mut ThreadCtx, pm: &Pmem, t: usize, seq: u64) -> Option<u64> {
+        loop {
+            let head = self.head.load(ctx).expect("head is never null");
+            let tail = self.tail.load(ctx).expect("tail is never null");
+            let Some(next) = self.link_of(head).load(ctx) else {
+                // No successor: the head is the last node — empty.
+                return None;
+            };
+            if head == tail {
+                // Tail is lagging behind a linked node: help.
+                self.persist_link(ctx, pm, head, next);
+                let _ = self.tail.compare_exchange(ctx, Some(tail), Some(next));
+                continue;
+            }
+            if self
+                .head
+                .compare_exchange(ctx, Some(head), Some(next))
+                .is_ok()
+            {
+                let value = pm.read_u64(ctx, next);
+                self.persist_head(ctx, pm);
+                complete_op(ctx, pm, &self.region, self.variant, t, seq, value);
+                return Some(value);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! A detectable Treiber stack on persistent memory.
+//!
+//! Concurrency truth lives in a volatile [`SimAtomicPtr`] head; every
+//! node and the head *mirror* live on `pmalloc`'d persistent memory.
+//! Per push:
+//!
+//! 1. write the node (value, observed head as `next`, magic) and flush
+//!    its line — the node is durable *before* it can be published;
+//! 2. CAS the volatile head; on failure re-link `next` to the new
+//!    observed head, re-flush, retry;
+//! 3. persist the head mirror (monotone re-read pattern, see
+//!    [`DetectableStack::persist_head`]);
+//! 4. [`complete_op`]: durable log record + checkpoint bump.
+//!
+//! Pop mirrors the same shape. Nodes are never reused, so the CAS loop
+//! is ABA-free and a node's `next` is immutable once published — which
+//! is what lets the verifier trust durable `next` words.
+
+use quartz_crash::Pmem;
+use quartz_threadsim::{SimAtomicPtr, ThreadCtx};
+
+use crate::detect::{complete_op, LfVariant};
+use crate::layout::{decode_ptr, encode_ptr, Region, HEADER_MAGIC, NODE_MAGIC, NULL_WORD};
+
+/// A Treiber stack with detectable operations. `Copy` so spawned
+/// closures can capture it by value.
+#[derive(Clone, Copy)]
+pub struct DetectableStack {
+    head: SimAtomicPtr,
+    region: Region,
+    variant: LfVariant,
+}
+
+impl DetectableStack {
+    /// Initializes an empty stack in `region`, persisting the header
+    /// line (magic + null head mirror) before returning. Call on the
+    /// root thread before spawning workers.
+    pub fn create(ctx: &mut ThreadCtx, pm: &Pmem, region: Region, variant: LfVariant) -> Self {
+        let head = ctx.atomic_ptr(None);
+        pm.write_u64(ctx, region.header(), HEADER_MAGIC);
+        pm.write_u64(ctx, region.head_word(), NULL_WORD);
+        // One line, one flush: durable magic implies durable mirror.
+        pm.flush(ctx, region.header());
+        pm.claim_persisted(
+            ctx,
+            &[
+                (region.header(), HEADER_MAGIC),
+                (region.head_word(), NULL_WORD),
+            ],
+        );
+        DetectableStack {
+            head,
+            region,
+            variant,
+        }
+    }
+
+    /// The region this stack persists into.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Persists the head mirror. The volatile head is re-read and
+    /// *that* value written: between the load's return and the shadow
+    /// update there is no `ThreadCtx` call, hence no scheduling
+    /// boundary, so no other thread can interleave — the mirror only
+    /// moves forward in CAS order and never regresses to a stale
+    /// publication. The flush then persists the newest shadow.
+    fn persist_head(&self, ctx: &mut ThreadCtx, pm: &Pmem) {
+        let cur = self.head.load(ctx);
+        pm.write_u64(ctx, self.region.head_word(), encode_ptr(cur));
+        if self.variant != LfVariant::MissingFlush {
+            pm.flush(ctx, self.region.head_word());
+        }
+    }
+
+    /// Pushes `value` as thread `t`'s operation `seq`, using node slot
+    /// `node_idx` (caller partitions the arena between threads).
+    pub fn push(
+        &self,
+        ctx: &mut ThreadCtx,
+        pm: &Pmem,
+        t: usize,
+        seq: u64,
+        node_idx: usize,
+        value: u64,
+    ) {
+        let node = self.region.node(node_idx);
+        let mut cur = self.head.load(ctx);
+        pm.write_u64(ctx, node, value);
+        pm.write_u64(ctx, node.offset_by(8), encode_ptr(cur));
+        pm.write_u64(ctx, node.offset_by(16), NODE_MAGIC);
+        pm.flush(ctx, node);
+        loop {
+            match self.head.compare_exchange(ctx, cur, Some(node)) {
+                Ok(_) => break,
+                Err(actual) => {
+                    // Lost the race: re-link onto the new head and
+                    // re-persist the node before retrying, so the
+                    // published node's durable next is never stale.
+                    cur = actual;
+                    pm.write_u64(ctx, node.offset_by(8), encode_ptr(cur));
+                    pm.flush(ctx, node);
+                }
+            }
+        }
+        self.persist_head(ctx, pm);
+        complete_op(ctx, pm, &self.region, self.variant, t, seq, value);
+    }
+
+    /// Pops the top value as thread `t`'s operation `seq`; `None` when
+    /// the stack is observed empty.
+    pub fn pop(&self, ctx: &mut ThreadCtx, pm: &Pmem, t: usize, seq: u64) -> Option<u64> {
+        loop {
+            let top = self.head.load(ctx)?;
+            // `next` is immutable after publication and nodes are
+            // never reused, so this read stays valid even if `top` is
+            // popped underneath us (the CAS below just fails).
+            let next_raw = pm.read_u64(ctx, top.offset_by(8));
+            if self
+                .head
+                .compare_exchange(ctx, Some(top), decode_ptr(next_raw))
+                .is_ok()
+            {
+                let value = pm.read_u64(ctx, top);
+                self.persist_head(ctx, pm);
+                complete_op(ctx, pm, &self.region, self.variant, t, seq, value);
+                return Some(value);
+            }
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Crate tests: sweep correctness, seeded-bug detection, recovery
+//! replay-vs-skip, FIFO/LIFO semantics, and linearizability
+//! properties against sequential models.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use quartz_crash::CrashPlan;
+use quartz_memsim::Addr;
+
+use crate::detect::{complete_op, LfVariant, Recovery};
+use crate::harness::{machine, nvm_config, run_sweep, SweepSpec};
+use crate::layout::{planned_value, Region};
+use crate::queue::DetectableQueue;
+use crate::stack::DetectableStack;
+use crate::verify::Structure;
+
+// ---------------------------------------------------------------- sweeps
+
+#[test]
+fn stack_correct_survives_every_crash_point() {
+    let out = run_sweep(&SweepSpec::new(Structure::Stack, LfVariant::Correct));
+    assert_eq!(out.popped, 24, "drain phase consumed everything");
+    assert!(out.points > 32, "candidates + random grid: {}", out.points);
+    assert!(out.cas_seams > 0, "winning CASes are crash candidates");
+    assert_eq!(
+        out.failing, 0,
+        "correct variant must have zero false positives: {:?}",
+        out.first_failure
+    );
+}
+
+#[test]
+fn queue_correct_survives_every_crash_point() {
+    let out = run_sweep(&SweepSpec::new(Structure::Queue, LfVariant::Correct));
+    assert_eq!(out.popped, 24);
+    assert!(out.cas_seams > 0);
+    assert_eq!(
+        out.failing, 0,
+        "correct variant must have zero false positives: {:?}",
+        out.first_failure
+    );
+}
+
+#[test]
+fn stack_missing_flush_is_caught() {
+    let out = run_sweep(&SweepSpec::new(Structure::Stack, LfVariant::MissingFlush));
+    assert!(out.caught(), "unpersisted publications must be flagged");
+}
+
+#[test]
+fn stack_lost_checkpoint_is_caught() {
+    let out = run_sweep(&SweepSpec::new(Structure::Stack, LfVariant::LostCheckpoint));
+    assert!(out.caught());
+    assert!(
+        out.outcomes.iter().any(|o| !o.violated_claims.is_empty()),
+        "the unflushed checkpoint claim is a lie the oracle sees"
+    );
+}
+
+#[test]
+fn queue_missing_flush_is_caught() {
+    let out = run_sweep(&SweepSpec::new(Structure::Queue, LfVariant::MissingFlush));
+    assert!(out.caught());
+}
+
+#[test]
+fn queue_lost_checkpoint_is_caught() {
+    let out = run_sweep(&SweepSpec::new(Structure::Queue, LfVariant::LostCheckpoint));
+    assert!(out.caught());
+}
+
+#[test]
+fn sweep_is_deterministic() {
+    let go = || {
+        let out = run_sweep(&SweepSpec::new(Structure::Stack, LfVariant::Correct).with_seed(77));
+        out.outcomes
+            .iter()
+            .map(|o| (o.label.clone(), o.at.as_ps(), o.fingerprint))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(go(), go());
+}
+
+// ------------------------------------------------------------- recovery
+
+#[test]
+fn recovery_decides_replay_vs_skip() {
+    let plan = CrashPlan::new(5).with_random_points(0);
+    let (run, region) = plan
+        .run(machine(), nvm_config(), |ctx, q, pm| {
+            let probe = Region::stack(Addr(0), 1, 5);
+            let base = q.pmalloc(ctx, probe.bytes()).unwrap();
+            let region = Region::stack(base, 1, 5);
+            for seq in 1..=3u64 {
+                complete_op(
+                    ctx,
+                    pm,
+                    &region,
+                    LfVariant::Correct,
+                    0,
+                    seq,
+                    planned_value(0, seq),
+                );
+            }
+            region
+        })
+        .unwrap();
+    let image = run.trace().image_at(run.trace().end());
+    let rec = Recovery::from_image(&image, &region);
+    assert_eq!(rec.completed_ops(0), 3);
+    assert!(!rec.should_replay(0, 3), "op 3 completed: skip on recovery");
+    assert!(rec.should_replay(0, 4), "op 4 never completed: replay");
+    assert_eq!(rec.logged_value(&image, &region, 0, 2), planned_value(0, 2));
+}
+
+#[test]
+fn lost_checkpoint_makes_completed_ops_undetectable() {
+    let plan = CrashPlan::new(5).with_random_points(0);
+    let (run, region) = plan
+        .run(machine(), nvm_config(), |ctx, q, pm| {
+            let probe = Region::stack(Addr(0), 1, 5);
+            let base = q.pmalloc(ctx, probe.bytes()).unwrap();
+            let region = Region::stack(base, 1, 5);
+            complete_op(
+                ctx,
+                pm,
+                &region,
+                LfVariant::LostCheckpoint,
+                0,
+                1,
+                planned_value(0, 1),
+            );
+            region
+        })
+        .unwrap();
+    let image = run.trace().image_at(run.trace().end());
+    let rec = Recovery::from_image(&image, &region);
+    // The op completed volatilely, but recovery would wrongly replay
+    // it — and the claim oracle flags the lie.
+    assert!(rec.should_replay(0, 1));
+    assert!(!run.trace().violated_claims_at(run.trace().end()).is_empty());
+}
+
+// ------------------------------------------------------------ semantics
+
+#[test]
+fn queue_preserves_per_producer_fifo() {
+    let threads = 2usize;
+    let pushes = 8usize;
+    let plan = CrashPlan::new(9).with_random_points(0);
+    let (_run, drained) = plan
+        .run(machine(), nvm_config(), move |ctx, q, pm| {
+            let probe = Region::queue(Addr(0), threads, pushes);
+            let base = q.pmalloc(ctx, probe.bytes()).unwrap();
+            let region = Region::queue(base, threads, pushes);
+            let queue = DetectableQueue::create(ctx, pm, region, LfVariant::Correct);
+            let producers: Vec<_> = (0..threads)
+                .map(|t| {
+                    let pm = pm.clone();
+                    let queue = queue.clone();
+                    ctx.spawn(move |c| {
+                        for i in 0..pushes {
+                            let seq = i as u64 + 1;
+                            queue.enqueue(
+                                c,
+                                &pm,
+                                t,
+                                seq,
+                                1 + t * pushes + i,
+                                planned_value(t, seq),
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for h in producers {
+                ctx.join(h);
+            }
+            let mut drained = Vec::new();
+            let mut seq = pushes as u64;
+            while let Some(v) = queue.dequeue(ctx, pm, 0, {
+                seq += 1;
+                seq
+            }) {
+                drained.push(v);
+            }
+            drained
+        })
+        .unwrap();
+    assert_eq!(drained.len(), threads * pushes);
+    for t in 0..threads {
+        let seqs: Vec<u64> = drained
+            .iter()
+            .filter(|v| (*v >> 32) as usize == t + 1)
+            .map(|v| v & 0xFFFF_FFFF)
+            .collect();
+        let expected: Vec<u64> = (1..=pushes as u64).collect();
+        assert_eq!(
+            seqs, expected,
+            "producer {t} order must survive interleaving"
+        );
+    }
+}
+
+// ------------------------------------------------- linearizability props
+
+/// Runs a mixed push/pop script on each of two worker threads, then
+/// drains at the quiescent point. Returns (pushed, popped, drained).
+fn run_mixed(structure: Structure, scripts: [Vec<bool>; 2]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let cap = scripts.iter().map(|s| s.len()).max().unwrap().max(1);
+    let threads = 3; // two workers + the draining root thread
+    let plan = CrashPlan::new(1).with_random_points(0);
+    let (_run, out) = plan
+        .run(machine(), nvm_config(), move |ctx, q, pm| {
+            let probe = match structure {
+                Structure::Stack => Region::stack(Addr(0), threads, cap),
+                Structure::Queue => Region::queue(Addr(0), threads, cap),
+            };
+            let base = q.pmalloc(ctx, probe.bytes()).unwrap();
+            let pushed = Arc::new(Mutex::new(Vec::new()));
+            let popped = Arc::new(Mutex::new(Vec::new()));
+            // Workers are threads 1 and 2; the root drains as thread 0.
+            macro_rules! drive {
+                ($handle:expr, $push:ident, $pop:ident, $skip_dummy:expr) => {{
+                    let s = $handle;
+                    let handles: Vec<_> = scripts
+                        .into_iter()
+                        .enumerate()
+                        .map(|(w, script)| {
+                            let t = w + 1;
+                            let pm = pm.clone();
+                            let s = s.clone();
+                            let pushed = Arc::clone(&pushed);
+                            let popped = Arc::clone(&popped);
+                            ctx.spawn(move |c| {
+                                let mut seq = 0u64;
+                                let mut pushes_done = 0usize;
+                                for op in script {
+                                    if op {
+                                        let v = planned_value(t, pushes_done as u64 + 1);
+                                        seq += 1;
+                                        let idx = $skip_dummy + t * cap + pushes_done;
+                                        s.$push(c, &pm, t, seq, idx, v);
+                                        pushed.lock().push(v);
+                                        pushes_done += 1;
+                                    } else {
+                                        seq += 1;
+                                        match s.$pop(c, &pm, t, seq) {
+                                            Some(v) => popped.lock().push(v),
+                                            // An empty pop completes no op.
+                                            None => seq -= 1,
+                                        }
+                                    }
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        ctx.join(h);
+                    }
+                    // Quiescent: drain everything from the root.
+                    let mut drained = Vec::new();
+                    let mut seq = 0u64;
+                    loop {
+                        seq += 1;
+                        match s.$pop(ctx, pm, 0, seq) {
+                            Some(v) => drained.push(v),
+                            None => break,
+                        }
+                    }
+                    drained
+                }};
+            }
+            let drained = match structure {
+                Structure::Stack => {
+                    let region = Region::stack(base, threads, cap);
+                    let s = DetectableStack::create(ctx, pm, region, LfVariant::Correct);
+                    drive!(s, push, pop, 0)
+                }
+                Structure::Queue => {
+                    let region = Region::queue(base, threads, cap);
+                    let s = DetectableQueue::create(ctx, pm, region, LfVariant::Correct);
+                    drive!(s, enqueue, dequeue, 1)
+                }
+            };
+            let pushed = pushed.lock().clone();
+            let popped = popped.lock().clone();
+            (pushed, popped, drained)
+        })
+        .unwrap();
+    out
+}
+
+fn assert_conserved(pushed: &[u64], popped: &[u64], drained: &[u64]) {
+    let mut seen = std::collections::HashSet::new();
+    for v in popped.iter().chain(drained) {
+        assert!(pushed.contains(v), "value {v:#x} appeared from nowhere");
+        assert!(seen.insert(*v), "value {v:#x} consumed twice");
+    }
+    assert_eq!(
+        popped.len() + drained.len(),
+        pushed.len(),
+        "every pushed value is consumed exactly once at quiescence"
+    );
+}
+
+proptest::proptest! {
+    #[test]
+    fn stack_matches_sequential_model(
+        a in proptest::collection::vec(proptest::bool::ANY, 1..7),
+        b in proptest::collection::vec(proptest::bool::ANY, 1..7),
+    ) {
+        let (pushed, popped, drained) = run_mixed(Structure::Stack, [a, b]);
+        assert_conserved(&pushed, &popped, &drained);
+        // The drain is sequential: what remains must be LIFO per
+        // producer (a producer's later pushes drain first) — the Vec
+        // model of the surviving elements.
+        for t in 1..=2usize {
+            let seqs: Vec<u64> = drained
+                .iter()
+                .filter(|v| (*v >> 32) as usize == t + 1)
+                .map(|v| v & 0xFFFF_FFFF)
+                .collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable_by(|x, y| y.cmp(x));
+            proptest::prop_assert_eq!(&seqs, &sorted, "producer {} LIFO order", t);
+        }
+    }
+
+    #[test]
+    fn queue_matches_sequential_model(
+        a in proptest::collection::vec(proptest::bool::ANY, 1..7),
+        b in proptest::collection::vec(proptest::bool::ANY, 1..7),
+    ) {
+        let (pushed, popped, drained) = run_mixed(Structure::Queue, [a, b]);
+        assert_conserved(&pushed, &popped, &drained);
+        // VecDeque model: surviving elements drain FIFO per producer.
+        for t in 1..=2usize {
+            let seqs: Vec<u64> = drained
+                .iter()
+                .filter(|v| (*v >> 32) as usize == t + 1)
+                .map(|v| v & 0xFFFF_FFFF)
+                .collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            proptest::prop_assert_eq!(&seqs, &sorted, "producer {} FIFO order", t);
+        }
+    }
+}

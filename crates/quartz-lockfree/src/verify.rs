@@ -1,0 +1,220 @@
+//! The recovery verifier: invariants a durable image must satisfy.
+//!
+//! Every check here is safe against false positives because the
+//! protocol makes the persisted mirrors *monotone* (see the crate
+//! docs): at any crash instant the durable head is at or past the
+//! publication of every durably-completed operation. What lag remains
+//! is attributable to in-flight operations, of which each thread has
+//! at most one — so the accounting invariants bound every discrepancy
+//! by the thread count:
+//!
+//! * **I1 — durable chain**: the chain from the durable head mirror
+//!   stays inside the node arena, every reachable node carries its
+//!   durable magic, and the walk terminates within the arena size.
+//! * **I2 — sanity**: reachable values are planned, distinct, and (per
+//!   producer) in the structure's order — LIFO for the stack, FIFO for
+//!   the queue.
+//! * **I3 — pops**: durably-logged pops are distinct, planned, and not
+//!   still reachable.
+//! * **I4 — accounting**: completed pushes that are neither reachable
+//!   nor durably popped number at most `threads` (in-flight pops), and
+//!   reachable values without a completed push number at most
+//!   `threads` (in-flight pushes).
+//!
+//! A crash before initialization persisted the header magic is
+//! vacuously consistent: recovery would reformat the region.
+
+use std::collections::HashSet;
+
+use quartz_crash::DurableImage;
+use quartz_memsim::Addr;
+
+use crate::detect::Recovery;
+use crate::layout::{decode_ptr, planned_value, Region, HEADER_MAGIC, NODE_MAGIC};
+
+/// Which structure shape a region holds (selects the traversal and the
+/// per-producer order direction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Structure {
+    /// Treiber stack: traversal runs top→bottom, producers LIFO.
+    Stack,
+    /// Michael–Scott queue: traversal runs front→back, producers FIFO.
+    Queue,
+}
+
+impl Structure {
+    /// Stable label used in reports and bench JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Structure::Stack => "treiber_stack",
+            Structure::Queue => "ms_queue",
+        }
+    }
+}
+
+fn check_node(image: &DurableImage, region: &Region, a: Addr) -> Result<(), String> {
+    region
+        .node_index(a)
+        .ok_or_else(|| format!("durable chain points outside the arena: {:#x}", a.0))?;
+    if image.read_u64(a.offset_by(16)) != NODE_MAGIC {
+        return Err(format!("reachable node {:#x} lacks a durable payload", a.0));
+    }
+    Ok(())
+}
+
+/// Walks the durable chain, returning reachable values in structure
+/// order (stack: top→bottom; queue: front→back, dummy excluded).
+fn traverse(
+    image: &DurableImage,
+    region: &Region,
+    structure: Structure,
+) -> Result<Vec<u64>, String> {
+    let head_raw = image.read_u64(region.head_word());
+    let mut out = Vec::new();
+    let mut steps = 0usize;
+    match structure {
+        Structure::Stack => {
+            let mut cur = decode_ptr(head_raw);
+            while let Some(a) = cur {
+                check_node(image, region, a)?;
+                out.push(image.read_u64(a));
+                steps += 1;
+                if steps > region.nodes() {
+                    return Err("cycle in the durable chain".into());
+                }
+                cur = decode_ptr(image.read_u64(a.offset_by(8)));
+            }
+        }
+        Structure::Queue => {
+            // The durable head is the dummy or a consumed node; the
+            // live items are its successors.
+            let mut cur =
+                decode_ptr(head_raw).ok_or_else(|| "queue head mirror is null".to_string())?;
+            check_node(image, region, cur)?;
+            while let Some(next) = decode_ptr(image.read_u64(cur.offset_by(8))) {
+                check_node(image, region, next)?;
+                out.push(image.read_u64(next));
+                steps += 1;
+                if steps > region.nodes() {
+                    return Err("cycle in the durable chain".into());
+                }
+                cur = next;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Verifies a crash image of `region` against the recovery invariants.
+///
+/// # Errors
+///
+/// A human-readable description of the first violated invariant.
+pub fn verify_image(
+    image: &DurableImage,
+    region: &Region,
+    structure: Structure,
+) -> Result<(), String> {
+    if image.read_u64(region.header()) != HEADER_MAGIC {
+        // Crash before initialization: nothing to recover.
+        return Ok(());
+    }
+    let threads = region.threads();
+    let pushes = region.pushes() as u64;
+    let planned: HashSet<u64> = (0..threads)
+        .flat_map(|t| (1..=pushes).map(move |s| planned_value(t, s)))
+        .collect();
+
+    // I1 + start of I2.
+    let reachable = traverse(image, region, structure)?;
+    let mut reach_set = HashSet::new();
+    for &v in &reachable {
+        if !planned.contains(&v) {
+            return Err(format!("unplanned value {v:#x} reachable"));
+        }
+        if !reach_set.insert(v) {
+            return Err(format!("value {v:#x} reachable twice"));
+        }
+    }
+
+    // I2 per-producer order: a thread's pushes publish sequentially,
+    // so along the chain its sequence numbers must run monotonically —
+    // down for a stack (newest on top), up for a queue (oldest first).
+    let mut last: Vec<Option<u64>> = vec![None; threads];
+    for &v in &reachable {
+        let t = ((v >> 32) - 1) as usize;
+        let seq = v & 0xFFFF_FFFF;
+        if let Some(prev) = last[t] {
+            let ordered = match structure {
+                Structure::Stack => seq < prev,
+                Structure::Queue => seq > prev,
+            };
+            if !ordered {
+                return Err(format!(
+                    "producer {t} out of {} order: seq {seq} after {prev}",
+                    structure.label()
+                ));
+            }
+        }
+        last[t] = Some(seq);
+    }
+
+    // I3: durable completion records.
+    let recovery = Recovery::from_image(image, region);
+    let mut completed_pushed = HashSet::new();
+    let mut popped = HashSet::new();
+    for t in 0..threads {
+        let k = recovery.completed_ops(t);
+        if k > region.ops_cap() as u64 {
+            return Err(format!("thread {t} checkpoint {k} beyond capacity"));
+        }
+        // The checkpoint is flushed only after the log record: a
+        // durable checkpoint k implies durable logs 1..=k.
+        for seq in 1..=k.min(pushes) {
+            let v = recovery.logged_value(image, region, t, seq);
+            if v != planned_value(t, seq) {
+                return Err(format!(
+                    "thread {t} checkpoint ahead of its log record {seq}"
+                ));
+            }
+            completed_pushed.insert(v);
+        }
+        for seq in pushes + 1..=k {
+            let v = recovery.logged_value(image, region, t, seq);
+            if !planned.contains(&v) {
+                return Err(format!(
+                    "thread {t} pop {seq} logged unplanned value {v:#x}"
+                ));
+            }
+            if !popped.insert(v) {
+                return Err(format!("value {v:#x} popped twice"));
+            }
+        }
+    }
+    for v in &popped {
+        if reach_set.contains(v) {
+            return Err(format!("popped value {v:#x} still reachable"));
+        }
+    }
+
+    // I4: in-flight operations are bounded by the thread count.
+    let missing = completed_pushed
+        .iter()
+        .filter(|v| !reach_set.contains(*v) && !popped.contains(*v))
+        .count();
+    if missing > threads {
+        return Err(format!(
+            "{missing} completed pushes neither reachable nor popped (> {threads} in-flight)"
+        ));
+    }
+    let extra = reach_set
+        .iter()
+        .filter(|v| !completed_pushed.contains(*v))
+        .count();
+    if extra > threads {
+        return Err(format!(
+            "{extra} reachable values without a completed push (> {threads} in-flight)"
+        ));
+    }
+    Ok(())
+}

@@ -11,13 +11,15 @@ use quartz_platform::error::PlatformError;
 use quartz_platform::time::{Duration, SimTime};
 use quartz_platform::{CoreId, NodeId, Platform};
 
+use crate::atomics::{spurious_roll, AtomicEvent, AtomicOp, AtomicPhase, CasOutcome};
 use crate::channel::{SimChannel, TryRecvError};
 use crate::engine::{
-    close_channel, new_barrier, new_channel, new_cond, new_mutex, register_sender, schedule_next,
-    spawn_thread, wake_thread, EngineShared, SchedState, ShutdownSignal, Status, ThreadId,
-    HANDOFF_NS, LOCK_OP_NS, SPAWN_NS,
+    close_channel, new_atomic, new_barrier, new_channel, new_cond, new_mutex, register_sender,
+    schedule_next, spawn_thread, wake_thread, EngineShared, SchedState, ShutdownSignal, Status,
+    ThreadId, HANDOFF_NS, LOCK_OP_NS, SPAWN_NS,
 };
-use crate::{BarrierId, CondId, MutexId};
+use crate::failure::SimFailure;
+use crate::{AtomicId, BarrierId, CondId, MutexId, SimAtomicPtr, SimAtomicU64};
 
 /// "Infinitely" far in the future (no yield deadline).
 const FAR_FUTURE: SimTime = SimTime::from_ps(u64::MAX / 4);
@@ -42,6 +44,11 @@ pub struct ThreadCtx {
     /// handler runs *during* the wait and only its excess over the wait
     /// extends the thread's timeline.
     spin_credit: Duration,
+    /// Monotonic `compare_exchange_weak` attempt counter — the `seq`
+    /// input of the deterministic spurious-failure hash. Counts every
+    /// attempt (even genuine mismatches) so the stream depends only on
+    /// program order, never on race resolution.
+    cas_weak_seq: u64,
 }
 
 impl ThreadCtx {
@@ -63,6 +70,7 @@ impl ThreadCtx {
             permit_rx,
             in_hook: false,
             spin_credit: Duration::ZERO,
+            cas_weak_seq: 0,
         }
     }
 
@@ -719,6 +727,200 @@ impl ThreadCtx {
                 break;
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Atomics.
+    // ------------------------------------------------------------------
+
+    /// Creates a simulated atomic u64 from inside a thread.
+    pub fn atomic_u64(&mut self, init: u64) -> SimAtomicU64 {
+        SimAtomicU64 {
+            id: new_atomic(&self.shared, init),
+        }
+    }
+
+    /// Creates a simulated atomic pointer from inside a thread (null is
+    /// `None`; see [`SimAtomicPtr`]).
+    pub fn atomic_ptr(&mut self, init: Option<Addr>) -> SimAtomicPtr {
+        let raw = match init {
+            Some(a) => a.0,
+            None => u64::MAX,
+        };
+        SimAtomicPtr {
+            id: new_atomic(&self.shared, raw),
+        }
+    }
+
+    /// A full memory fence. Publishing seam only — it touches no cell,
+    /// but raises the `Before`/`After` atomic hooks so an emulator
+    /// settles epoch delay before prior stores become visible (the
+    /// flush-then-fence seam of persistent lock-free code).
+    pub fn sim_fence(&mut self) {
+        self.op_boundary();
+        self.dispatch_atomic(&AtomicEvent {
+            phase: AtomicPhase::Before,
+            id: None,
+            op: AtomicOp::Fence,
+            outcome: CasOutcome::NotCas,
+            handoff_from: None,
+            handoff_wait: Duration::ZERO,
+        });
+        // The hook may have spun (injected delay): let lower-clock
+        // threads catch up before the fence completes.
+        self.op_boundary();
+        self.clock += AtomicOp::Fence.cost();
+        self.dispatch_atomic(&AtomicEvent {
+            phase: AtomicPhase::After,
+            id: None,
+            op: AtomicOp::Fence,
+            outcome: CasOutcome::NotCas,
+            handoff_from: None,
+            handoff_wait: Duration::ZERO,
+        });
+    }
+
+    /// Raises [`Hooks::on_atomic`](crate::Hooks::on_atomic) unless
+    /// already inside a hook (hook operations do not re-enter hooks).
+    fn dispatch_atomic(&mut self, ev: &AtomicEvent) {
+        if !self.in_hook {
+            let hooks = self.shared.hooks.read().clone();
+            self.in_hook = true;
+            hooks.on_atomic(self, ev);
+            self.in_hook = false;
+        }
+    }
+
+    /// The one interposed path every [`SimAtomicU64`]/[`SimAtomicPtr`]
+    /// operation takes. Returns `(observed value, CAS outcome)` — the
+    /// observed value is the cell content *before* any modification
+    /// (what `load`/`swap`/`fetch_add`/failed-CAS return).
+    ///
+    /// Operation order is the seam contract (mirrors `mutex_unlock`):
+    /// boundary → `Before` hook (publishing ops; the emulator settles
+    /// its epoch *before* the value becomes visible) → boundary again
+    /// (the hook may have spun far ahead) → instruction cost → cell
+    /// access under the scheduler lock, flooring this thread's clock to
+    /// the previous writer's publication instant plus the hand-off cost
+    /// → `After` hook carrying outcome and hand-off edge.
+    pub(crate) fn atomic_access(
+        &mut self,
+        a: AtomicId,
+        op: AtomicOp,
+        operand: u64,
+        expect: u64,
+    ) -> (u64, CasOutcome) {
+        self.op_boundary();
+        if op.publishes() {
+            self.dispatch_atomic(&AtomicEvent {
+                phase: AtomicPhase::Before,
+                id: Some(a),
+                op,
+                outcome: CasOutcome::NotCas,
+                handoff_from: None,
+                handoff_wait: Duration::ZERO,
+            });
+            self.op_boundary();
+        }
+        self.clock += op.cost();
+        // The spurious-failure seq counts *every* weak attempt, before
+        // the outcome is known, so the stream is pure program order.
+        let weak_seq = (op == AtomicOp::CasWeak).then(|| {
+            self.cas_weak_seq += 1;
+            self.cas_weak_seq
+        });
+
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        let spurious = match (weak_seq, st.cas_spurious) {
+            (Some(seq), Some(model)) => spurious_roll(model.seed, self.id.0, seq, model.one_in),
+            _ => false,
+        };
+        let rec = &mut st.atomics[a.0];
+        let observed = rec.value;
+        // Cross-thread hand-off edge: touching a cell last written by
+        // another thread transfers the line — the observer cannot
+        // proceed before the write's publication instant (+ hand-off),
+        // exactly like a mutex release → acquire.
+        let mut handoff_from = None;
+        let mut handoff_wait = Duration::ZERO;
+        if let Some(w) = rec.last_writer.filter(|&w| w != self.id.0) {
+            let floor = rec.last_write_time + Duration::from_ns(HANDOFF_NS);
+            handoff_wait = floor.saturating_duration_since(self.clock);
+            self.clock = self.clock.max(floor);
+            handoff_from = Some(ThreadId(w));
+        }
+        let (outcome, modified) = match op {
+            AtomicOp::Load => (CasOutcome::NotCas, false),
+            AtomicOp::Store => {
+                rec.value = operand;
+                (CasOutcome::NotCas, true)
+            }
+            AtomicOp::Swap => {
+                rec.value = operand;
+                (CasOutcome::NotCas, true)
+            }
+            AtomicOp::FetchAdd => {
+                rec.value = observed.wrapping_add(operand);
+                (CasOutcome::NotCas, true)
+            }
+            AtomicOp::CasStrong | AtomicOp::CasWeak => {
+                if observed != expect {
+                    (CasOutcome::Failure, false)
+                } else if spurious {
+                    (CasOutcome::Spurious, false)
+                } else {
+                    rec.value = operand;
+                    (CasOutcome::Success, true)
+                }
+            }
+            AtomicOp::Fence => unreachable!("fence takes the sim_fence path"),
+        };
+        if modified {
+            rec.last_writer = Some(self.id.0);
+            rec.last_write_time = self.clock;
+        }
+        // Livelock detection: a failed CAS means no progress; any
+        // successful modification is progress and resets the streak.
+        match outcome {
+            CasOutcome::Failure | CasOutcome::Spurious => {
+                st.threads[self.id.0].cas_fail_streak += 1;
+                if st.threads[self.id.0].cas_fail_streak >= st.livelock_threshold {
+                    let threshold = st.livelock_threshold;
+                    let threads: Vec<ThreadId> = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.status != Status::Finished && t.cas_fail_streak > 0)
+                        .map(|(i, _)| ThreadId(i))
+                        .collect();
+                    let sim_time = self.clock;
+                    crate::engine::fail(
+                        &shared,
+                        &mut st,
+                        SimFailure::Livelock {
+                            threads,
+                            threshold,
+                            sim_time,
+                        },
+                    );
+                    drop(st);
+                    panic_any(ShutdownSignal);
+                }
+            }
+            _ if modified => st.threads[self.id.0].cas_fail_streak = 0,
+            _ => {}
+        }
+        drop(st);
+        self.dispatch_atomic(&AtomicEvent {
+            phase: AtomicPhase::After,
+            id: Some(a),
+            op,
+            outcome,
+            handoff_from,
+            handoff_wait,
+        });
+        (observed, outcome)
     }
 
     // ------------------------------------------------------------------

@@ -35,6 +35,21 @@ pub(crate) const HANDOFF_NS: u64 = 50;
 /// Cost of an uncontended lock/unlock operation.
 pub(crate) const LOCK_OP_NS: u64 = 18;
 
+/// Cost of a lock-prefixed read-modify-write (CAS, swap, fetch_add).
+pub(crate) const ATOMIC_RMW_NS: u64 = 18;
+
+/// Cost of a plain atomic load/store.
+pub(crate) const ATOMIC_PLAIN_NS: u64 = 4;
+
+/// Cost of a full fence (`sim_fence`).
+pub(crate) const FENCE_NS: u64 = 10;
+
+/// Default consecutive-CAS-failure streak that classifies a run as a
+/// [`SimFailure::Livelock`]. High enough that any legitimate retry loop
+/// (every failure means *another* thread modified the cell, which costs
+/// that thread virtual time) finishes first.
+pub(crate) const DEFAULT_LIVELOCK_THRESHOLD: u64 = 1_000_000;
+
 /// Cost `pthread_create` charges the parent.
 pub(crate) const SPAWN_NS: u64 = 2_000;
 
@@ -57,6 +72,12 @@ pub(crate) struct ThreadRec {
     pub pending_signal: Arc<AtomicBool>,
     pub joiners: Vec<usize>,
     pub finish_time: SimTime,
+    /// Consecutive failed (genuine or spurious) compare-exchanges with
+    /// no successful atomic modification in between — the livelock
+    /// detector's per-thread progress meter. Reset by any successful
+    /// store/swap/fetch_add/CAS; deliberately *not* reset by loads or
+    /// parking, so a classic load+CAS retry storm still trips it.
+    pub cas_fail_streak: u64,
 }
 
 #[derive(Default)]
@@ -99,12 +120,35 @@ pub(crate) struct ChannelRec {
     pub sources: usize,
 }
 
+/// Scheduler-owned state of one simulated atomic cell. Only ever
+/// mutated under the scheduler lock; the publication instant is what
+/// floors a later observer's clock (the cross-thread hand-off edge).
+pub(crate) struct AtomicRec {
+    /// Current value (pointers are encoded, see `atomics`).
+    pub value: u64,
+    /// Thread whose write produced `value`; `None` until first written.
+    pub last_writer: Option<usize>,
+    /// Virtual instant that write was published.
+    pub last_write_time: SimTime,
+}
+
+/// Deterministic spurious-failure model for `compare_exchange_weak`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SpuriousCas {
+    /// Stream seed.
+    pub seed: u64,
+    /// Roughly one in this many otherwise-successful weak exchanges
+    /// fails spuriously.
+    pub one_in: u64,
+}
+
 pub(crate) struct SchedState {
     pub threads: Vec<ThreadRec>,
     pub mutexes: Vec<MutexRec>,
     pub conds: Vec<CondRec>,
     pub barriers: Vec<BarrierRec>,
     pub channels: Vec<ChannelRec>,
+    pub atomics: Vec<AtomicRec>,
     pub timers: Vec<TimerRec>,
     pub live: usize,
     pub rr_core: usize,
@@ -112,6 +156,8 @@ pub(crate) struct SchedState {
     pub failure: Option<SimFailure>,
     pub handles: Vec<JoinHandle<()>>,
     pub done_tx: Option<Sender<()>>,
+    pub cas_spurious: Option<SpuriousCas>,
+    pub livelock_threshold: u64,
 }
 
 pub(crate) struct EngineShared {
@@ -194,6 +240,7 @@ impl Engine {
                     conds: Vec::new(),
                     barriers: Vec::new(),
                     channels: Vec::new(),
+                    atomics: Vec::new(),
                     timers: Vec::new(),
                     live: 0,
                     rr_core: 0,
@@ -201,6 +248,8 @@ impl Engine {
                     failure: None,
                     handles: Vec::new(),
                     done_tx: None,
+                    cas_spurious: None,
+                    livelock_threshold: DEFAULT_LIVELOCK_THRESHOLD,
                 }),
                 hooks: RwLock::new(Arc::new(NoHooks)),
                 quantum: Duration::from_us(2),
@@ -259,6 +308,52 @@ impl Engine {
     /// [`ThreadCtx::chan_new`](crate::ThreadCtx::chan_new) instead.
     pub fn channel<T: Send>(&self) -> SimChannel<T> {
         SimChannel::new(new_channel(&self.shared))
+    }
+
+    /// Creates a simulated atomic u64 before the run starts, so the
+    /// root closure and spawned threads can capture copies. Inside a
+    /// simulated thread, use
+    /// [`ThreadCtx::atomic_u64`](crate::ThreadCtx::atomic_u64).
+    pub fn atomic_u64(&self, init: u64) -> crate::SimAtomicU64 {
+        crate::SimAtomicU64 {
+            id: new_atomic(&self.shared, init),
+        }
+    }
+
+    /// Creates a simulated atomic pointer before the run starts (see
+    /// [`Engine::atomic_u64`]).
+    pub fn atomic_ptr(&self, init: Option<quartz_memsim::Addr>) -> crate::SimAtomicPtr {
+        let raw = match init {
+            Some(a) => a.0,
+            None => u64::MAX,
+        };
+        crate::SimAtomicPtr {
+            id: new_atomic(&self.shared, raw),
+        }
+    }
+
+    /// Installs (or, with `None`, removes) the deterministic
+    /// spurious-failure model for `compare_exchange_weak`:
+    /// `Some((seed, one_in))` makes roughly one in `one_in`
+    /// otherwise-successful weak exchanges fail spuriously, decided by
+    /// a pure hash of `(seed, thread, attempt)` — byte-identical on any
+    /// host at any worker count.
+    pub fn set_cas_weak_spurious(&self, spec: Option<(u64, u64)>) {
+        self.shared.state.lock().cas_spurious =
+            spec.map(|(seed, one_in)| SpuriousCas { seed, one_in });
+    }
+
+    /// Sets the consecutive-CAS-failure streak at which the scheduler
+    /// classifies the run as a [`SimFailure::Livelock`] (a no-progress
+    /// CAS spin storm, named distinctly from a host-side
+    /// [`SimFailure::Hang`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn set_livelock_threshold(&self, threshold: u64) {
+        assert!(threshold >= 1, "livelock threshold must be non-zero");
+        self.shared.state.lock().livelock_threshold = threshold;
     }
 
     /// Registers an **open-loop event source**: a self-rescheduling
@@ -522,6 +617,7 @@ where
         pending_signal: Arc::clone(&pending),
         joiners: Vec::new(),
         finish_time: SimTime::ZERO,
+        cas_fail_streak: 0,
     });
     st.live += 1;
 
@@ -834,6 +930,17 @@ pub(crate) fn new_mutex(shared: &EngineShared) -> MutexId {
     let mut st = shared.state.lock();
     st.mutexes.push(MutexRec::default());
     MutexId(st.mutexes.len() - 1)
+}
+
+/// Allocates a new simulated atomic cell.
+pub(crate) fn new_atomic(shared: &EngineShared, init: u64) -> crate::AtomicId {
+    let mut st = shared.state.lock();
+    st.atomics.push(AtomicRec {
+        value: init,
+        last_writer: None,
+        last_write_time: SimTime::ZERO,
+    });
+    crate::AtomicId(st.atomics.len() - 1)
 }
 
 /// Allocates a new condition variable.

@@ -59,17 +59,32 @@ pub enum SimFailure {
         /// What was observed.
         detail: String,
     },
+    /// A no-progress CAS spin storm: some thread accumulated the
+    /// configured number of consecutive failed compare-exchanges with
+    /// no successful atomic modification in between. Distinct from
+    /// [`SimFailure::Hang`] — the threads *are* reaching operation
+    /// boundaries (virtual time advances), they just never win.
+    Livelock {
+        /// Every live thread with a non-zero failure streak when the
+        /// detector fired, ascending by id (the spinning thread set).
+        threads: Vec<ThreadId>,
+        /// The configured consecutive-failure threshold that was hit.
+        threshold: u64,
+        /// Virtual clock of the thread that hit the threshold.
+        sim_time: SimTime,
+    },
 }
 
 impl SimFailure {
     /// A short machine-checkable class name: `deadlock`, `panic`,
-    /// `hang` or `scheduler_lost`.
+    /// `hang`, `scheduler_lost` or `livelock`.
     pub fn kind(&self) -> &'static str {
         match self {
             SimFailure::Deadlock(_) => "deadlock",
             SimFailure::ThreadPanic { .. } => "panic",
             SimFailure::Hang { .. } => "hang",
             SimFailure::SchedulerLost { .. } => "scheduler_lost",
+            SimFailure::Livelock { .. } => "livelock",
         }
     }
 }
@@ -97,6 +112,20 @@ impl std::fmt::Display for SimFailure {
             ),
             SimFailure::SchedulerLost { detail } => {
                 write!(f, "scheduler lost: {detail}")
+            }
+            SimFailure::Livelock {
+                threads,
+                threshold,
+                sim_time,
+            } => {
+                let names: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+                write!(
+                    f,
+                    "livelock: CAS spin storm — {} failed {threshold} consecutive \
+                     compare-exchanges without an atomic modification succeeding \
+                     (virtual clock {sim_time})",
+                    names.join("+")
+                )
             }
         }
     }

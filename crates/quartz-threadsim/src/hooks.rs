@@ -1,5 +1,6 @@
 //! Interposition hooks — the simulation's `LD_PRELOAD`.
 
+use crate::atomics::AtomicEvent;
 use crate::ctx::ThreadCtx;
 use crate::failure::SimFailure;
 
@@ -53,6 +54,19 @@ pub trait Hooks: Send + Sync {
     /// bulk-synchronous code.
     fn before_barrier(&self, ctx: &mut ThreadCtx) {
         let _ = ctx;
+    }
+
+    /// An interposed atomic operation (the CAS/fence seams of lock-free
+    /// code, closing the paper's §6 atomics gap). Publishing operations
+    /// fire once with [`AtomicPhase::Before`](crate::AtomicPhase)
+    /// *before* the cell is touched — the emulator settles its epoch
+    /// there so accumulated delay lands before the value becomes
+    /// visible, exactly as [`Hooks::before_mutex_unlock`] injects delay
+    /// before the release — and every operation fires once with
+    /// [`AtomicPhase::After`](crate::AtomicPhase) carrying the outcome
+    /// and any cross-thread hand-off edge the operation observed.
+    fn on_atomic(&self, ctx: &mut ThreadCtx, ev: &AtomicEvent) {
+        let _ = (ctx, ev);
     }
 
     /// The monitor signalled this thread (its epoch exceeded the maximum
@@ -129,6 +143,11 @@ impl Hooks for FanoutHooks {
     fn before_barrier(&self, ctx: &mut ThreadCtx) {
         for h in &self.hooks {
             h.before_barrier(ctx);
+        }
+    }
+    fn on_atomic(&self, ctx: &mut ThreadCtx, ev: &AtomicEvent) {
+        for h in &self.hooks {
+            h.on_atomic(ctx, ev);
         }
     }
     fn on_signal(&self, ctx: &mut ThreadCtx) {

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod atomics;
 pub mod channel;
 pub mod ctx;
 pub mod engine;
@@ -51,6 +52,7 @@ pub mod failure;
 pub mod hooks;
 pub mod timer;
 
+pub use atomics::{AtomicEvent, AtomicOp, AtomicPhase, CasOutcome, SimAtomicPtr, SimAtomicU64};
 pub use channel::{SimChannel, TryRecvError};
 pub use ctx::ThreadCtx;
 pub use engine::{Engine, RunReport, ThreadId};
@@ -59,6 +61,11 @@ pub use failure::{
 };
 pub use hooks::{FanoutHooks, Hooks, NoHooks};
 pub use timer::TimerApi;
+
+/// Identifies a simulated atomic cell (the backing id of
+/// [`SimAtomicU64`] / [`SimAtomicPtr`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomicId(pub(crate) usize);
 
 /// Identifies a simulated mutex.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -809,3 +809,284 @@ fn try_recv_reports_empty_then_drains_then_closed() {
         assert_eq!(ctx.chan_recv(&ch), None);
     });
 }
+
+// ----------------------------------------------------------------------
+// Simulated atomics.
+// ----------------------------------------------------------------------
+
+#[test]
+fn atomic_ops_have_host_atomic_semantics() {
+    engine(Architecture::IvyBridge).run(|ctx| {
+        let a = ctx.atomic_u64(5);
+        assert_eq!(a.load(ctx), 5);
+        a.store(ctx, 9);
+        assert_eq!(a.swap(ctx, 11), 9);
+        assert_eq!(a.fetch_add(ctx, 3), 11);
+        assert_eq!(a.load(ctx), 14);
+        assert_eq!(a.compare_exchange(ctx, 14, 20), Ok(14));
+        assert_eq!(a.compare_exchange(ctx, 14, 30), Err(20));
+        assert_eq!(a.load(ctx), 20);
+
+        let p = ctx.atomic_ptr(None);
+        assert_eq!(p.load(ctx), None);
+        use quartz_memsim::Addr;
+        p.store(ctx, Some(Addr(0)));
+        assert_eq!(p.load(ctx), Some(Addr(0)), "Addr(0) is not null");
+        assert_eq!(
+            p.compare_exchange(ctx, Some(Addr(0)), Some(Addr(64))),
+            Ok(Some(Addr(0)))
+        );
+        assert_eq!(p.swap(ctx, None), Some(Addr(64)));
+        ctx.sim_fence();
+    });
+}
+
+#[test]
+fn fetch_add_from_many_threads_is_exact() {
+    let e = engine(Architecture::IvyBridge);
+    let a = e.atomic_u64(0);
+    e.run(move |ctx| {
+        let kids: Vec<_> = (0..4)
+            .map(|_| {
+                ctx.spawn(move |c| {
+                    for _ in 0..100 {
+                        a.fetch_add(c, 1);
+                        c.compute_ns(20.0);
+                    }
+                })
+            })
+            .collect();
+        for k in kids {
+            ctx.join(k);
+        }
+        assert_eq!(a.load(ctx), 400);
+    });
+}
+
+#[test]
+fn observing_another_threads_write_floors_the_clock() {
+    // Writer publishes at ≥ 1 ms; the polling reader may run ahead of it
+    // only within the lookahead quantum, so without the hand-off floor
+    // it could observe the value *below* the publication instant. The
+    // floor pushes the observation to publish + HANDOFF_NS.
+    let e = engine(Architecture::IvyBridge);
+    let a = e.atomic_u64(0);
+    let seen_at = Arc::new(AtomicU64::new(0));
+    let seen = Arc::clone(&seen_at);
+    let publish_at = Arc::new(AtomicU64::new(0));
+    let publish = Arc::clone(&publish_at);
+    e.run(move |ctx| {
+        let w = ctx.spawn(move |c| {
+            c.compute_ns(1_000_000.0);
+            publish.store(c.now().as_ps(), Ordering::Relaxed);
+            a.store(c, 7);
+        });
+        let r = ctx.spawn(move |c| {
+            while a.load(c) != 7 {
+                c.compute_ns(50.0);
+            }
+            seen.store(c.now().as_ps(), Ordering::Relaxed);
+        });
+        ctx.join(w);
+        ctx.join(r);
+    });
+    let published = SimTime::from_ps(publish_at.load(Ordering::Relaxed));
+    let seen = SimTime::from_ps(seen_at.load(Ordering::Relaxed));
+    assert!(published.as_ns_f64() >= 1_000_000.0);
+    assert!(
+        seen >= published + Duration::from_ns(50),
+        "observer floored past the publication instant: saw at {seen}, published at {published}"
+    );
+}
+
+#[test]
+fn atomic_hook_reports_cas_handoff_edge() {
+    use crate::{AtomicEvent, AtomicOp, AtomicPhase, CasOutcome};
+    use parking_lot::Mutex as PlMutex;
+    type Recorded = (
+        usize,
+        AtomicOp,
+        AtomicPhase,
+        CasOutcome,
+        Option<ThreadId>,
+        u64,
+    );
+    #[derive(Default)]
+    struct Recorder {
+        events: PlMutex<Vec<Recorded>>,
+    }
+    impl Hooks for Recorder {
+        fn on_atomic(&self, ctx: &mut ThreadCtx, ev: &AtomicEvent) {
+            self.events.lock().push((
+                ctx.thread_id().0,
+                ev.op,
+                ev.phase,
+                ev.outcome,
+                ev.handoff_from,
+                ev.handoff_wait.as_ps(),
+            ));
+        }
+    }
+    let rec = Arc::new(Recorder::default());
+    let e = engine(Architecture::IvyBridge);
+    e.set_hooks(Arc::clone(&rec) as Arc<dyn Hooks>);
+    let a = e.atomic_u64(0);
+    let b = e.atomic_u64(0);
+    e.run(move |ctx| {
+        let w = ctx.spawn(move |c| {
+            c.compute_ns(500_000.0);
+            assert_eq!(a.compare_exchange(c, 0, 1), Ok(0));
+        });
+        let r = ctx.spawn(move |c| {
+            while a.compare_exchange(c, 1, 2).is_err() {
+                c.compute_ns(40.0);
+            }
+        });
+        ctx.join(w);
+        ctx.join(r);
+        // Two threads hammering the same cell overlap in virtual time, so
+        // whichever is behind observes the other's write and is floored.
+        let p1 = ctx.spawn(move |c| {
+            for _ in 0..1000 {
+                b.fetch_add(c, 1);
+            }
+        });
+        let p2 = ctx.spawn(move |c| {
+            for _ in 0..1000 {
+                b.fetch_add(c, 1);
+            }
+        });
+        ctx.join(p1);
+        ctx.join(p2);
+    });
+    let events = rec.events.lock();
+    // The winner's CAS fired Before then After with Success and no
+    // hand-off (it published first).
+    assert!(events
+        .iter()
+        .any(|e| e.1 == AtomicOp::CasStrong && e.2 == AtomicPhase::Before));
+    let success: Vec<_> = events
+        .iter()
+        .filter(|e| e.3 == CasOutcome::Success)
+        .collect();
+    assert_eq!(success.len(), 2, "one winning CAS per thread");
+    // The reader's winning CAS observed the writer's publication: the
+    // hand-off edge names the writer thread.
+    let reader_win = success.iter().find(|e| e.0 == 2).expect("reader won once");
+    assert_eq!(reader_win.4, Some(ThreadId(1)), "edge from the writer");
+    // And at least one op in the contended fetch_add phase was actually
+    // floored: a non-zero hand-off wait was charged.
+    assert!(
+        events.iter().any(|e| e.1 == AtomicOp::FetchAdd && e.5 > 0),
+        "some contended fetch_add paid a non-zero hand-off wait"
+    );
+}
+
+#[test]
+fn cas_weak_spurious_stream_is_deterministic_and_pinned() {
+    let pattern = |engine: Engine| -> String {
+        let a = engine.atomic_u64(0);
+        let out = Arc::new(PlString::default());
+        let out2 = Arc::clone(&out);
+        engine.run(move |ctx| {
+            let mut s = String::new();
+            for i in 0..64 {
+                // The comparison always matches, so every failure is a
+                // spurious one.
+                match a.compare_exchange_weak(ctx, i, i + 1) {
+                    Ok(_) => s.push('S'),
+                    Err(v) => {
+                        assert_eq!(v, i, "spurious failure returns the equal value");
+                        s.push('F');
+                        a.store(ctx, i + 1);
+                    }
+                }
+            }
+            *out2.0.lock() = s;
+        });
+        let s = out.0.lock().clone();
+        s
+    };
+    #[derive(Default)]
+    struct PlString(parking_lot::Mutex<String>);
+
+    let e1 = engine(Architecture::IvyBridge);
+    e1.set_cas_weak_spurious(Some((0xCA5, 8)));
+    let p1 = pattern(e1);
+    let e2 = engine(Architecture::IvyBridge);
+    e2.set_cas_weak_spurious(Some((0xCA5, 8)));
+    let p2 = pattern(e2);
+    assert_eq!(p1, p2, "stream is a pure function of (seed, thread, seq)");
+    assert!(p1.contains('F') && p1.contains('S'));
+    // The reference stream: attempt n of thread 0 under seed 0xCA5.
+    let expected: String = (1..=64)
+        .map(|seq| {
+            if crate::atomics::spurious_roll(0xCA5, 0, seq, 8) {
+                'F'
+            } else {
+                'S'
+            }
+        })
+        .collect();
+    assert_eq!(p1, expected);
+    // Disabled model: all successes.
+    let e3 = engine(Architecture::IvyBridge);
+    e3.set_cas_weak_spurious(None);
+    assert_eq!(pattern(e3), "S".repeat(64));
+}
+
+#[test]
+fn cas_spin_storm_is_classified_as_livelock() {
+    let e = engine(Architecture::IvyBridge);
+    e.set_livelock_threshold(200);
+    let a = e.atomic_u64(0);
+    let failure = e
+        .try_run(move |ctx| {
+            let kids: Vec<_> = (0..2)
+                .map(|_| {
+                    ctx.spawn(move |c| loop {
+                        // The expected value never appears: nobody ever
+                        // makes progress — the definitional livelock.
+                        c.compute_ns(25.0);
+                        let _ = a.compare_exchange(c, 99, 100);
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        })
+        .expect_err("CAS storm must not complete");
+    assert_eq!(failure.kind(), "livelock");
+    let SimFailure::Livelock {
+        threads, threshold, ..
+    } = &failure
+    else {
+        panic!("expected Livelock, got {failure}");
+    };
+    assert_eq!(*threshold, 200);
+    assert_eq!(
+        threads,
+        &vec![ThreadId(1), ThreadId(2)],
+        "spinning thread set named in ascending id order"
+    );
+    let rendered = failure.to_string();
+    assert!(rendered.contains("livelock"), "{rendered}");
+    assert!(rendered.contains("t1+t2"), "{rendered}");
+}
+
+#[test]
+fn successful_modification_resets_the_livelock_streak() {
+    // Alternating fail/succeed keeps the streak at ≤ 1 and the run
+    // completes even with a tiny threshold.
+    let e = engine(Architecture::IvyBridge);
+    e.set_livelock_threshold(3);
+    let a = e.atomic_u64(0);
+    let report = e.try_run(move |ctx| {
+        for i in 0..50u64 {
+            let _ = a.compare_exchange(ctx, 999, 1); // always fails
+            assert_eq!(a.fetch_add(ctx, 1), i); // progress resets
+        }
+    });
+    assert!(report.is_ok(), "progress prevented the livelock verdict");
+}

@@ -116,6 +116,14 @@ pub struct QuartzConfig {
     /// threads" emulation, kept as the ablation baseline that Fig. 13
     /// shows failing for dependent threads.
     pub sync_interposition: bool,
+    /// When `false`, simulated-atomic operations (CAS/store/fence seams)
+    /// never close epochs and pay no hand-off accounting — the lock-free
+    /// analogue of `sync_interposition`, i.e. the "naive host atomics"
+    /// baseline that reproduces the paper's §6 limitation: delay
+    /// accumulated before a CAS publication is *not* settled before the
+    /// value becomes visible. Requires `sync_interposition` to have any
+    /// effect (both gates must be open).
+    pub atomic_interposition: bool,
     /// One or two memory types.
     pub memory_mode: MemoryMode,
     /// Measured average DRAM latencies used by the model, in ns
@@ -138,6 +146,7 @@ impl QuartzConfig {
             counter_access: CounterAccess::default(),
             inject_delays: true,
             sync_interposition: true,
+            atomic_interposition: true,
             memory_mode: MemoryMode::default(),
             measured_dram_ns: None,
             charge_init_cost: true,
@@ -182,6 +191,14 @@ impl QuartzConfig {
     /// no-delay-propagation ablation of Fig. 13).
     pub fn without_sync_interposition(mut self) -> Self {
         self.sync_interposition = false;
+        self
+    }
+
+    /// Disables epoch creation and hand-off accounting at simulated
+    /// atomics (the naive-host-atomics baseline of the paper's §6
+    /// limitation, kept as the A side of the atomics ablation).
+    pub fn without_atomic_interposition(mut self) -> Self {
+        self.atomic_interposition = false;
         self
     }
 

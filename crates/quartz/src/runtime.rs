@@ -10,7 +10,9 @@ use quartz_platform::pmu::bank::StandardCounters;
 use quartz_platform::pmu::COUNTER_MASK;
 use quartz_platform::time::Duration;
 use quartz_platform::{NodeId, Platform, PlatformError, SocketId, TimerFault};
-use quartz_threadsim::{Engine, Hooks, SimFailure, ThreadCtx};
+use quartz_threadsim::{
+    AtomicEvent, AtomicPhase, CasOutcome, Engine, Hooks, SimFailure, ThreadCtx,
+};
 
 use crate::config::{CounterAccess, LatencyModelKind, MemoryMode, QuartzConfig};
 use crate::error::QuartzError;
@@ -325,6 +327,7 @@ impl Quartz {
             totals.epochs_unlock += s.epochs_unlock;
             totals.epochs_notify += s.epochs_notify;
             totals.epochs_barrier += s.epochs_barrier;
+            totals.epochs_atomic += s.epochs_atomic;
             totals.epochs_exit += s.epochs_exit;
             totals.skipped_min_epoch += s.skipped_min_epoch;
             totals.injected += s.injected;
@@ -335,6 +338,9 @@ impl Quartz {
             totals.lines_dirty += s.lines_dirty;
             totals.lines_in_wpq += s.lines_in_wpq;
             totals.lines_durable += s.lines_durable;
+            totals.atomic_ops += s.atomic_ops;
+            totals.cas_handoffs += s.cas_handoffs;
+            totals.cas_handoff_wait += s.cas_handoff_wait;
             // Host-side lock telemetry lives in slot atomics (it is
             // written outside the owner lock).
             totals.lock_wait_ns += slot.lock_wait_ns();
@@ -660,6 +666,7 @@ impl Quartz {
             EpochReason::MutexUnlock => owner.stats.epochs_unlock += 1,
             EpochReason::CondNotify => owner.stats.epochs_notify += 1,
             EpochReason::Barrier => owner.stats.epochs_barrier += 1,
+            EpochReason::Atomic => owner.stats.epochs_atomic += 1,
             EpochReason::ThreadExit => owner.stats.epochs_exit += 1,
         }
         let injected = if self.config.inject_delays && !inject.is_zero() {
@@ -775,6 +782,39 @@ impl Hooks for Quartz {
     fn before_barrier(&self, ctx: &mut ThreadCtx) {
         if self.config.sync_interposition {
             self.maybe_end_epoch(ctx, EpochReason::Barrier);
+        }
+    }
+
+    /// The CAS/fence seams of lock-free code (the paper's §6 gap).
+    ///
+    /// `Before` fires ahead of a publishing operation: the epoch settles
+    /// *there*, so delay accumulated since the last boundary lands
+    /// before the value becomes visible and therefore propagates to
+    /// whichever thread observes the publication — exactly the
+    /// mutex-release rule of Fig. 4 (b), transplanted onto atomics.
+    /// `After` carries the outcome and any cross-thread hand-off edge:
+    /// a successful CAS that observed another thread's publication is
+    /// the lock-free release→acquire pair, and the visibility stall the
+    /// engine charged for it is accounted here.
+    fn on_atomic(&self, ctx: &mut ThreadCtx, ev: &AtomicEvent) {
+        if !self.config.sync_interposition || !self.config.atomic_interposition {
+            return;
+        }
+        match ev.phase {
+            AtomicPhase::Before => self.maybe_end_epoch(ctx, EpochReason::Atomic),
+            AtomicPhase::After => {
+                let Some(slot) = self.slot_of(ctx) else {
+                    return;
+                };
+                let mut owner = slot.lock_owner();
+                owner.stats.atomic_ops += 1;
+                if !ev.handoff_wait.is_zero() {
+                    owner.stats.cas_handoff_wait += ev.handoff_wait;
+                }
+                if ev.outcome == CasOutcome::Success && ev.handoff_from.is_some() {
+                    owner.stats.cas_handoffs += 1;
+                }
+            }
         }
     }
 

@@ -22,6 +22,12 @@ pub enum EpochReason {
     CondNotify,
     /// A barrier-entry interposition (OpenMP-style synchronization).
     Barrier,
+    /// A publishing atomic-operation interposition (the CAS/fence seams
+    /// of lock-free code — the paper's §6 atomics gap). The epoch
+    /// settles *before* the store/CAS/fence publishes, so accumulated
+    /// NVM delay lands before the value becomes visible to other
+    /// threads, mirroring the mutex-release rule of Fig. 4 (b).
+    Atomic,
     /// The thread exited.
     ThreadExit,
 }
@@ -39,6 +45,9 @@ pub struct ThreadStats {
     pub epochs_notify: u64,
     /// Epochs closed at barrier entries.
     pub epochs_barrier: u64,
+    /// Epochs closed at publishing atomic operations (CAS/store/fence
+    /// seams; 0 unless the workload uses simulated atomics).
+    pub epochs_atomic: u64,
     /// Epochs closed at thread exit.
     pub epochs_exit: u64,
     /// Interposition points skipped because the epoch was younger than
@@ -70,6 +79,17 @@ pub struct ThreadStats {
     /// Cache lines durable (write-back completed) at the reporting
     /// instant.
     pub lines_durable: u64,
+    /// Interposed atomic operations observed (After-phase events; 0
+    /// unless the workload uses simulated atomics).
+    pub atomic_ops: u64,
+    /// Successful compare-exchanges that observed another thread's
+    /// publication — the lock-free analogue of a mutex release→acquire
+    /// hand-off edge.
+    pub cas_handoffs: u64,
+    /// Virtual time this thread spent floored behind other threads'
+    /// atomic publications (the visibility stall charged at hand-off
+    /// edges).
+    pub cas_handoff_wait: Duration,
 }
 
 impl ThreadStats {
@@ -80,6 +100,7 @@ impl ThreadStats {
             + self.epochs_unlock
             + self.epochs_notify
             + self.epochs_barrier
+            + self.epochs_atomic
             + self.epochs_exit
     }
 
@@ -92,14 +113,14 @@ impl ThreadStats {
     /// variation — so structured runs can be byte-compared across hosts
     /// and job counts.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
                 "{{\"epochs\":{},\"epochs_monitor\":{},\"epochs_lock\":{},",
                 "\"epochs_unlock\":{},\"epochs_notify\":{},\"epochs_barrier\":{},",
                 "\"epochs_exit\":{},\"skipped_min_epoch\":{},\"injected_ps\":{},",
                 "\"overhead_ps\":{},\"carried_overhead_ps\":{},\"pflush_delay_ps\":{},",
                 "\"pflushes\":{},\"lock_wait_ns\":{},\"lock_acquisitions\":{},",
-                "\"lines_dirty\":{},\"lines_in_wpq\":{},\"lines_durable\":{}}}"
+                "\"lines_dirty\":{},\"lines_in_wpq\":{},\"lines_durable\":{}"
             ),
             self.epochs(),
             self.epochs_monitor,
@@ -119,7 +140,29 @@ impl ThreadStats {
             self.lines_dirty,
             self.lines_in_wpq,
             self.lines_durable,
-        )
+        );
+        // Atomics fields appear only when the workload touched simulated
+        // atomics, so mutex-only runs stay byte-identical to the
+        // pre-atomics schema (the same rule as the `degradation` block
+        // in [`QuartzStats::to_json_with`]).
+        if self.epochs_atomic != 0
+            || self.atomic_ops != 0
+            || self.cas_handoffs != 0
+            || !self.cas_handoff_wait.is_zero()
+        {
+            out.push_str(&format!(
+                concat!(
+                    ",\"epochs_atomic\":{},\"atomic_ops\":{},",
+                    "\"cas_handoffs\":{},\"cas_handoff_wait_ps\":{}"
+                ),
+                self.epochs_atomic,
+                self.atomic_ops,
+                self.cas_handoffs,
+                self.cas_handoff_wait.as_ps(),
+            ));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -363,15 +406,23 @@ impl fmt::Display for QuartzStats {
         writeln!(f, "quartz statistics:")?;
         writeln!(f, "  threads registered : {}", self.threads)?;
         writeln!(f, "  init time          : {}", self.init_time)?;
+        // The `atomic` bucket appears only when the workload used
+        // simulated atomics, keeping mutex-only output byte-identical.
+        let atomic_part = if self.totals.epochs_atomic > 0 {
+            format!("atomic {}, ", self.totals.epochs_atomic)
+        } else {
+            String::new()
+        };
         writeln!(
             f,
-            "  epochs             : {} (monitor {}, lock {}, unlock {}, notify {}, barrier {}, exit {})",
+            "  epochs             : {} (monitor {}, lock {}, unlock {}, notify {}, barrier {}, {}exit {})",
             self.totals.epochs(),
             self.totals.epochs_monitor,
             self.totals.epochs_lock,
             self.totals.epochs_unlock,
             self.totals.epochs_notify,
             self.totals.epochs_barrier,
+            atomic_part,
             self.totals.epochs_exit,
         )?;
         writeln!(
@@ -391,6 +442,13 @@ impl fmt::Display for QuartzStats {
             "  state lock (host)  : {} acquisitions, {} ns waited",
             self.totals.lock_acquisitions, self.totals.lock_wait_ns
         )?;
+        if self.totals.atomic_ops > 0 {
+            writeln!(
+                f,
+                "  atomics            : {} ops, {} CAS hand-offs, {} visibility stall",
+                self.totals.atomic_ops, self.totals.cas_handoffs, self.totals.cas_handoff_wait
+            )?;
+        }
         if self.degradation != DegradationStats::default() {
             let d = &self.degradation;
             writeln!(
@@ -551,6 +609,27 @@ mod tests {
         assert_eq!(s.timer_drops, 3);
         assert_eq!(s.topology_refreshes, 2);
         assert_eq!(s.total_faults(), 10);
+    }
+
+    #[test]
+    fn atomics_fields_appear_only_when_used() {
+        // Mutex-only runs keep the pre-atomics schema byte-for-byte.
+        assert!(!ThreadStats::default().to_json().contains("atomic"));
+        assert!(!QuartzStats::default().to_string().contains("atomics"));
+        let mut s = QuartzStats::default();
+        s.totals.epochs_atomic = 2;
+        s.totals.atomic_ops = 9;
+        s.totals.cas_handoffs = 3;
+        s.totals.cas_handoff_wait = Duration::from_ns(70);
+        let j = s.totals.to_json();
+        assert!(j.contains("\"epochs\":2"), "{j}");
+        assert!(j.contains("\"epochs_atomic\":2"), "{j}");
+        assert!(j.contains("\"atomic_ops\":9"), "{j}");
+        assert!(j.contains("\"cas_handoffs\":3"), "{j}");
+        assert!(j.contains("\"cas_handoff_wait_ps\":70000"), "{j}");
+        let out = s.to_string();
+        assert!(out.contains("barrier 0, atomic 2, exit 0"), "{out}");
+        assert!(out.contains("9 ops, 3 CAS hand-offs"), "{out}");
     }
 
     #[test]

@@ -579,6 +579,141 @@ fn delay_propagates_through_locks() {
 }
 
 #[test]
+fn contended_atomics_charge_visibility_stalls() {
+    // Two threads hammering one cell overlap in virtual time, so the
+    // thread running behind observes the other's publication and is
+    // floored past it — the engine charges a hand-off wait, and the
+    // emulator accounts it as a visibility stall on the CAS path.
+    let mem = machine(Architecture::IvyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let quartz = Quartz::new(QuartzConfig::new(NvmTarget::new(300.0)), mem).unwrap();
+    quartz.attach(&engine).unwrap();
+    let a = engine.atomic_u64(0);
+    engine.run(move |ctx| {
+        let kids: Vec<_> = (0..2)
+            .map(|_| {
+                ctx.spawn(move |c| {
+                    for _ in 0..1000 {
+                        a.fetch_add(c, 1);
+                    }
+                })
+            })
+            .collect();
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    let stats = quartz.stats();
+    assert_eq!(stats.totals.atomic_ops, 2000);
+    assert!(
+        !stats.totals.cas_handoff_wait.is_zero(),
+        "visibility stalls charged under contention"
+    );
+}
+
+#[test]
+fn delay_propagates_through_cas_handoffs() {
+    // The §6 gap, closed: the same serialized workload as
+    // `delay_propagates_through_locks` but synchronized by a CAS
+    // spinlock instead of a mutex. With atomic interposition the epoch
+    // settles before each publishing CAS/store, so NVM delay lands
+    // before the release becomes visible and the emulated completion
+    // time matches physically remote memory. With the naive-host-atomics
+    // baseline (`without_atomic_interposition`) delays are only injected
+    // at thread exit, overlap instead of serializing, and the emulation
+    // underestimates.
+    let arch = Architecture::IvyBridge;
+    let params = arch.params();
+    let cs_work = |ctx: &mut ThreadCtx, buf: quartz_memsim::Addr, idx: &mut u64, lines: u64| {
+        for _ in 0..150 {
+            *idx = (idx.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)) % lines;
+            ctx.load(buf.offset_by(*idx * 64));
+        }
+    };
+    // emulate: None = run on physically remote DRAM without the
+    // emulator; Some(seams) = emulate NVM on local DRAM, with or
+    // without the atomics interposition seams.
+    let run = |emulate: Option<bool>| -> (f64, Option<crate::stats::QuartzStats>) {
+        let mem = machine(arch, true);
+        let engine = Engine::new(Arc::clone(&mem));
+        let node = if emulate.is_some() {
+            NodeId(0)
+        } else {
+            NodeId(1)
+        };
+        let quartz = emulate.map(|seams| {
+            let mut config = QuartzConfig::new(NvmTarget::new(params.remote_dram_ns.avg_ns as f64))
+                .with_max_epoch(Duration::from_ms(10))
+                .with_min_epoch(Duration::from_us(10));
+            if !seams {
+                config = config.without_atomic_interposition();
+            }
+            let quartz = Quartz::new(config, Arc::clone(&mem)).unwrap();
+            quartz.attach(&engine).unwrap();
+            quartz
+        });
+        let lock = engine.atomic_u64(0);
+        let report = engine.run(move |ctx| {
+            let lines = 8 * ctx.mem().config().l3.size_bytes / 64;
+            let mut kids = Vec::new();
+            for k in 0..2u64 {
+                kids.push(ctx.spawn(move |c| {
+                    let buf = c.alloc_on(node, lines * 64);
+                    let mut idx = k * 13 + 1;
+                    for _ in 0..100 {
+                        while lock.compare_exchange(c, 0, 1).is_err() {
+                            c.compute_ns(30.0);
+                        }
+                        cs_work(c, buf, &mut idx, lines);
+                        lock.store(c, 0);
+                    }
+                }));
+            }
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        (report.end_time.as_ns_f64(), quartz.map(|q| q.stats()))
+    };
+    let (actual, _) = run(None);
+    let (emulated, stats) = run(Some(true));
+    let (naive, naive_stats) = run(Some(false));
+    // The spin-wait epochs carry unamortizable close overhead (the
+    // waiter's wait is hidden time in the physical run), so the CAS path
+    // is held to a looser bound than the mutex path above — the point is
+    // the gap to the naive baseline, asserted next.
+    let err = (emulated - actual).abs() / actual;
+    assert!(
+        err < 0.10,
+        "CAS-synchronized emulation error {:.2}% (emulated {emulated} vs actual {actual})",
+        err * 100.0
+    );
+    // The baseline reproduces the paper's limitation: measurably under,
+    // and worse than the interposed emulation.
+    assert!(
+        naive < emulated,
+        "naive host atomics should underestimate (naive {naive} vs seams {emulated})"
+    );
+    let naive_err = (actual - naive) / actual;
+    assert!(
+        naive_err > err + 0.02,
+        "naive baseline should be measurably worse: naive err {:.2}% vs seams err {:.2}%",
+        naive_err * 100.0,
+        err * 100.0
+    );
+    // Stall attribution lands on the CAS path.
+    let stats = stats.unwrap();
+    assert!(stats.totals.epochs_atomic > 0, "epochs closed at CAS seams");
+    assert!(stats.totals.atomic_ops > 0);
+    assert!(stats.totals.cas_handoffs > 0, "release→acquire edges seen");
+    // The gate really is a no-op: no atomics accounting at all.
+    let naive_stats = naive_stats.unwrap();
+    assert_eq!(naive_stats.totals.epochs_atomic, 0);
+    assert_eq!(naive_stats.totals.atomic_ops, 0);
+    assert_eq!(naive_stats.totals.cas_handoffs, 0);
+}
+
+#[test]
 fn epoch_trace_records_each_epoch() {
     let mem = machine(Architecture::IvyBridge, true);
     let engine = Engine::new(Arc::clone(&mem));

@@ -155,6 +155,7 @@ fn failure_modes_is_byte_identical_and_classifies_all_modes() {
         "deadlock/abba",
         "panic/child",
         "hang/virtual_spin",
+        "livelock/cas_storm",
         "deadlock/quartz_reap",
     ] {
         assert!(
@@ -163,7 +164,7 @@ fn failure_modes_is_byte_identical_and_classifies_all_modes() {
         );
     }
     assert!(
-        console1.contains("5/5 scenarios classified as expected"),
+        console1.contains("6/6 scenarios classified as expected"),
         "verdict line must confirm full classification:\n{console1}"
     );
     // The deadlock diagnostics name the actual lock cycle.
@@ -176,6 +177,12 @@ fn failure_modes_is_byte_identical_and_classifies_all_modes() {
     assert!(console1.contains("\"injected fault\""), "{console1}");
     assert!(
         console1.contains("t0 exceeded 25ms watchdog budget"),
+        "{console1}"
+    );
+    // The livelock diagnostic names the spinning thread set and the
+    // configured streak threshold.
+    assert!(
+        console1.contains("t1+t2 failed 400 consecutive CAS without progress"),
         "{console1}"
     );
     // Emulator-side containment after a deadlock with Quartz attached.
@@ -370,6 +377,62 @@ fn kv_service_bench_file_is_byte_identical_at_any_jobs_count() {
     let manifest = std::fs::read_to_string(base.join("j8").join("manifest.json")).unwrap();
     assert!(
         manifest.contains("\"benches\":[\"BENCH_kv_service.json\"]"),
+        "{manifest}"
+    );
+}
+
+#[test]
+fn lockfree_sweep_is_byte_identical_at_any_jobs_count() {
+    // The lock-free sweep replays recorded executions of the
+    // detectable stack and queue at derived crash points (winning
+    // CASes included); every quantity is virtual-time, so the console
+    // table, the JSON rows, and the whole BENCH file uphold the
+    // byte-identity contract.
+    let exp = registry::find("lockfree_sweep").expect("registered");
+    assert!(
+        exp.deterministic(),
+        "lockfree_sweep must advertise determinism"
+    );
+    let base = std::env::temp_dir().join("quartz_bench_golden_lockfree");
+    let (console1, files1) = golden_run("lockfree_sweep", 1, &base.join("j1"));
+    let (console8, files8) = golden_run("lockfree_sweep", 8, &base.join("j8"));
+    assert_eq!(console1, console8);
+    assert!(
+        console1.contains("false_negatives=0 false_positives=0"),
+        "the sweep verdict line must report a clean checker:\n{console1}"
+    );
+    assert!(!files1.is_empty());
+    assert_eq!(files1.len(), files8.len());
+    for ((n1, b1), (n8, b8)) in files1.iter().zip(&files8) {
+        assert_eq!(n1, n8);
+        assert_eq!(b1, b8, "{n1} differs between --jobs 1 and --jobs 8");
+    }
+    let (_, bytes) = files1
+        .iter()
+        .find(|(n, _)| n == "BENCH_lockfree.json")
+        .expect("BENCH_lockfree.json emitted");
+    let bench = String::from_utf8(bytes.clone()).unwrap();
+    for needle in [
+        "\"schema\":1",
+        "\"bench\":\"lockfree_sweep\"",
+        "\"structure\":\"treiber_stack\"",
+        "\"structure\":\"ms_queue\"",
+        "\"variant\":\"missing_flush\"",
+        "\"variant\":\"lost_checkpoint\"",
+        "\"false_negatives\":0",
+        "\"false_positives\":0",
+    ] {
+        assert!(bench.contains(needle), "missing {needle} in {bench}");
+    }
+    // No host-timed fields: the timing scrubber must be a no-op here.
+    assert_eq!(
+        strip_timing_fields(&bench),
+        bench,
+        "lockfree_sweep must not record host timing in its bench file"
+    );
+    let manifest = std::fs::read_to_string(base.join("j8").join("manifest.json")).unwrap();
+    assert!(
+        manifest.contains("\"benches\":[\"BENCH_lockfree.json\"]"),
         "{manifest}"
     );
 }
