@@ -9,6 +9,7 @@
 //! experiments build on.
 
 pub mod ablations;
+pub mod asymmetry;
 pub mod contention;
 pub mod crash;
 pub mod extensions;

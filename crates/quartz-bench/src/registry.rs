@@ -9,8 +9,8 @@
 
 use crate::exp::Experiment;
 use crate::experiments::{
-    ablations, contention, crash, extensions, failure_modes, faults, fig11, fig12, fig13, fig14,
-    fig15, fig16, fig8, kv_service, lockfree_sweep, memsim_throughput, overhead,
+    ablations, asymmetry, contention, crash, extensions, failure_modes, faults, fig11, fig12,
+    fig13, fig14, fig15, fig16, fig8, kv_service, lockfree_sweep, memsim_throughput, overhead,
     pagerank_validation, table1, table2,
 };
 
@@ -31,6 +31,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &ablations::AblationPcommit,
     &ablations::AblationDvfs,
     &ablations::AblationEpoch,
+    &asymmetry::AsymmetryAblation,
     &extensions::Graph500,
     &extensions::ParallelPagerank,
     &extensions::LoadedLatency,
@@ -158,6 +159,7 @@ mod tests {
             "ablation_pcommit",
             "ablation_dvfs",
             "ablation_epoch",
+            "asymmetry_ablation",
             "graph500",
             "parallel_pagerank",
             "loaded_latency",
@@ -226,7 +228,8 @@ mod tests {
                 "ablation_model",
                 "ablation_pcommit",
                 "ablation_dvfs",
-                "ablation_epoch"
+                "ablation_epoch",
+                "asymmetry_ablation"
             ]
         );
         // Explicit names come first; filter matches follow, deduped.
@@ -238,7 +241,8 @@ mod tests {
                 "ablation_dvfs",
                 "ablation_model",
                 "ablation_pcommit",
-                "ablation_epoch"
+                "ablation_epoch",
+                "asymmetry_ablation"
             ]
         );
     }

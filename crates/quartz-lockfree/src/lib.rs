@@ -24,7 +24,11 @@
 //!   operations by the thread count;
 //! * [`run_sweep`] — plan → crash → recover → verify over both
 //!   structures, with seeded-bug variants ([`LfVariant`]) that the
-//!   sweep must catch.
+//!   sweep must catch;
+//! * [`run_thread_crash_stress`] — seeded *thread*-death stress: a
+//!   random subset of workers dies mid-operation at its atomic seams
+//!   and the survivors (plus the helping rules) must leave every
+//!   crash image recoverable.
 //!
 //! ## Why the mirrors are monotone
 //!
@@ -49,6 +53,7 @@ pub mod harness;
 pub mod layout;
 pub mod queue;
 pub mod stack;
+pub mod stress;
 pub mod verify;
 
 #[cfg(test)]
@@ -61,4 +66,5 @@ pub use layout::{
 };
 pub use queue::DetectableQueue;
 pub use stack::DetectableStack;
+pub use stress::{derive_fates, run_thread_crash_stress, StressOutcome, StressSpec, ThreadFate};
 pub use verify::{verify_image, Structure};

@@ -146,6 +146,54 @@ impl DetectableQueue {
         }
     }
 
+    /// Stress hook: runs an enqueue up to — and, when `publish` is
+    /// set, through — the winning link CAS, then stops dead. This
+    /// models a thread killed mid-operation at its atomic seam:
+    ///
+    /// * `publish == false` — killed after durably preparing the node
+    ///   but before linking it: arena garbage, never reachable;
+    /// * `publish == true` — killed right after winning the link CAS,
+    ///   before persisting the link, swinging the tail, or writing the
+    ///   completion record. The queue is left with a lagging tail and
+    ///   an unpersisted link — exactly the state the helping rule
+    ///   (`Err(Some(next))` in [`DetectableQueue::enqueue`] and the
+    ///   `head == tail` arm of [`DetectableQueue::dequeue`]) repairs on
+    ///   behalf of the dead thread.
+    ///
+    /// While losing races on the way to its own seam the thread still
+    /// helps normally — it is alive until its CAS wins. The caller must
+    /// not reuse `node_idx` and the killed thread must perform no
+    /// further operations.
+    pub fn enqueue_abandoned(
+        &self,
+        ctx: &mut ThreadCtx,
+        pm: &Pmem,
+        node_idx: usize,
+        value: u64,
+        publish: bool,
+    ) {
+        assert!(node_idx != 0, "slot 0 is the dummy");
+        let node = self.region.node(node_idx);
+        pm.write_u64(ctx, node, value);
+        pm.write_u64(ctx, node.offset_by(8), NULL_WORD);
+        pm.write_u64(ctx, node.offset_by(16), NODE_MAGIC);
+        pm.flush(ctx, node);
+        if !publish {
+            return;
+        }
+        loop {
+            let tail = self.tail.load(ctx).expect("tail is never null");
+            match self.link_of(tail).compare_exchange(ctx, None, Some(node)) {
+                Ok(_) => return, // died here: link unpersisted, tail lagging.
+                Err(Some(next)) => {
+                    self.persist_link(ctx, pm, tail, next);
+                    let _ = self.tail.compare_exchange(ctx, Some(tail), Some(next));
+                }
+                Err(None) => unreachable!("a failed CAS against None observed None"),
+            }
+        }
+    }
+
     /// Dequeues the front value as thread `t`'s operation `seq`;
     /// `None` when the queue is observed empty.
     pub fn dequeue(&self, ctx: &mut ThreadCtx, pm: &Pmem, t: usize, seq: u64) -> Option<u64> {

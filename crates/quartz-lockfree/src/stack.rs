@@ -9,7 +9,7 @@
 //! 2. CAS the volatile head; on failure re-link `next` to the new
 //!    observed head, re-flush, retry;
 //! 3. persist the head mirror (monotone re-read pattern, see
-//!    [`DetectableStack::persist_head`]);
+//!    `DetectableStack::persist_head`);
 //! 4. [`complete_op`]: durable log record + checkpoint bump.
 //!
 //! Pop mirrors the same shape. Nodes are never reused, so the CAS loop
@@ -106,6 +106,49 @@ impl DetectableStack {
         }
         self.persist_head(ctx, pm);
         complete_op(ctx, pm, &self.region, self.variant, t, seq, value);
+    }
+
+    /// Stress hook: runs a push up to — and, when `publish` is set,
+    /// through — the winning CAS, then stops dead. This models a thread
+    /// killed mid-operation at its atomic seam:
+    ///
+    /// * `publish == false` — killed after durably preparing the node
+    ///   but before publication: the node is arena garbage, never
+    ///   reachable, and no completion record exists;
+    /// * `publish == true` — killed at the seam right after the winning
+    ///   CAS, before the head mirror persist and the completion record:
+    ///   the classic in-flight push the verifier's I4 accounting bound
+    ///   (`≤ threads`) exists to tolerate.
+    ///
+    /// The caller must not reuse `node_idx` and the killed thread must
+    /// perform no further operations.
+    pub fn push_abandoned(
+        &self,
+        ctx: &mut ThreadCtx,
+        pm: &Pmem,
+        node_idx: usize,
+        value: u64,
+        publish: bool,
+    ) {
+        let node = self.region.node(node_idx);
+        let mut cur = self.head.load(ctx);
+        pm.write_u64(ctx, node, value);
+        pm.write_u64(ctx, node.offset_by(8), encode_ptr(cur));
+        pm.write_u64(ctx, node.offset_by(16), NODE_MAGIC);
+        pm.flush(ctx, node);
+        if !publish {
+            return;
+        }
+        loop {
+            match self.head.compare_exchange(ctx, cur, Some(node)) {
+                Ok(_) => return, // died here: no mirror, no record.
+                Err(actual) => {
+                    cur = actual;
+                    pm.write_u64(ctx, node.offset_by(8), encode_ptr(cur));
+                    pm.flush(ctx, node);
+                }
+            }
+        }
     }
 
     /// Pops the top value as thread `t`'s operation `seq`; `None` when

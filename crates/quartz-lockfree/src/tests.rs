@@ -13,6 +13,7 @@ use crate::harness::{machine, nvm_config, run_sweep, SweepSpec};
 use crate::layout::{planned_value, Region};
 use crate::queue::DetectableQueue;
 use crate::stack::DetectableStack;
+use crate::stress::{derive_fates, run_thread_crash_stress, StressSpec, ThreadFate};
 use crate::verify::Structure;
 
 // ---------------------------------------------------------------- sweeps
@@ -347,4 +348,96 @@ proptest::proptest! {
             proptest::prop_assert_eq!(&seqs, &sorted, "producer {} FIFO order", t);
         }
     }
+}
+
+// ---- random thread-crash stress -------------------------------------
+
+/// Shared assertions for one thread-crash stress case: every crash
+/// point recovers, the final (post-mortem) image recovers, and the
+/// survivors drained exactly the published values.
+fn assert_stress_ok(out: &crate::stress::StressOutcome) {
+    assert!(out.points > 0, "plan produced no crash points");
+    assert!(
+        out.failing == 0,
+        "{}/{} crash points failed recovery; first: {:?}; fates {:?}",
+        out.failing,
+        out.points,
+        out.first_failure,
+        out.fates
+    );
+    assert!(
+        out.final_verdict.is_ok(),
+        "final image fails recovery: {:?}; fates {:?}",
+        out.final_verdict,
+        out.fates
+    );
+    // Conservation at quiescence: survivors drain every reachable
+    // value — each completed push plus each abandoned-but-published
+    // one. With no survivors nothing drains.
+    let expected = if out.fates.iter().any(|f| !f.is_killed()) {
+        out.fates
+            .iter()
+            .map(|f| f.completed + usize::from(f.killed == Some(true)))
+            .sum()
+    } else {
+        0
+    };
+    assert_eq!(
+        out.popped, expected,
+        "drained count vs published; fates {:?}",
+        out.fates
+    );
+}
+
+proptest::proptest! {
+    // Satellite stress: kill a random subset of threads at seeded
+    // random atomic seams mid-operation; recovery invariants must hold
+    // at every crash point (64 cases per structure by default).
+    #[test]
+    fn stack_survives_random_thread_crashes(seed in 0u64..u64::MAX / 2) {
+        let out = run_thread_crash_stress(&StressSpec::new(Structure::Stack, seed));
+        assert_stress_ok(&out);
+    }
+
+    #[test]
+    fn queue_survives_random_thread_crashes(seed in 0u64..u64::MAX / 2) {
+        let out = run_thread_crash_stress(&StressSpec::new(Structure::Queue, seed));
+        assert_stress_ok(&out);
+    }
+}
+
+#[test]
+fn thread_crash_stress_is_deterministic_per_seed() {
+    for structure in [Structure::Stack, Structure::Queue] {
+        // 0x5100 kills two threads at published seams and leaves one
+        // survivor (guarded below so the fixture stays honest if
+        // derive_fates changes).
+        let spec = StressSpec::new(structure, 0x5100);
+        let a = run_thread_crash_stress(&spec);
+        let b = run_thread_crash_stress(&spec);
+        assert!(a.fates.iter().any(|f| f.killed == Some(true)));
+        assert!(a.fates.iter().any(|f| !f.is_killed()));
+        assert_eq!(a.fates, b.fates);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.popped, b.popped);
+        assert_eq!(
+            a.fingerprints, b.fingerprints,
+            "same seed must replay to identical durable images ({structure:?})"
+        );
+        assert!(a.cas_seams > 0, "winning CASes become crash candidates");
+        assert_eq!(a.failing, 0);
+    }
+}
+
+#[test]
+fn derive_fates_is_seeded_and_mixed() {
+    // Pure function of the seed...
+    assert_eq!(derive_fates(42, 3, 4), derive_fates(42, 3, 4));
+    // ...and across seeds the population exercises every fate shape:
+    // survivors, pre-publication deaths, and post-CAS deaths.
+    let all: Vec<ThreadFate> = (0..64).flat_map(|s| derive_fates(s, 3, 4)).collect();
+    assert!(all.iter().any(|f| !f.is_killed()));
+    assert!(all.iter().any(|f| f.killed == Some(false)));
+    assert!(all.iter().any(|f| f.killed == Some(true)));
+    assert!(all.iter().all(|f| f.completed <= 4));
 }

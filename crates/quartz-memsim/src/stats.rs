@@ -31,6 +31,13 @@ pub struct MemStats {
     pub writebacks: u64,
     /// Store misses that fetched ownership from DRAM.
     pub rfos: u64,
+    /// Store-path DRAM accesses (RFOs + streaming stores) served by the
+    /// local node — the ground truth behind the asymmetric write model's
+    /// store-miss counters.
+    pub store_miss_local: u64,
+    /// Store-path DRAM accesses (RFOs + streaming stores) served by a
+    /// remote node.
+    pub store_miss_remote: u64,
     /// Non-temporal (streaming) stores.
     pub stream_stores: u64,
     /// Cache-line flushes (`clflush`/`clflushopt`).
@@ -68,6 +75,11 @@ impl MemStats {
         self.dram_local + self.dram_remote
     }
 
+    /// Store-path DRAM accesses (RFOs + streaming stores, either node).
+    pub fn store_misses(&self) -> u64 {
+        self.store_miss_local + self.store_miss_remote
+    }
+
     /// Total bytes of DRAM traffic across all nodes.
     pub fn total_bytes(&self) -> u64 {
         self.node_bytes.iter().sum()
@@ -101,6 +113,11 @@ mod tests {
         s.dram_remote = 2;
         assert_eq!(s.total_loads(), 20);
         assert_eq!(s.dram_loads(), 5);
+        s.store_miss_local = 4;
+        s.store_miss_remote = 1;
+        assert_eq!(s.store_misses(), 5);
+        // Store-side locality counters do not leak into load totals.
+        assert_eq!(s.total_loads(), 20);
     }
 
     #[test]

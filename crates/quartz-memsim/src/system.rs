@@ -730,10 +730,11 @@ impl MemorySystem {
         let node = addr.node();
         g.seq += 1;
         let seq = g.seq;
-        let (base, _) = self.dram_latency(core, node, seq, addr);
+        let (base, local) = self.dram_latency(core, node, seq, addr);
         let t = g.channels.reserve(node, addr.line(), now);
         g.stats.rfos += 1;
         g.stats.node_bytes[node.0] += LINE_SIZE;
+        self.account_store_miss(g, core, local);
         let completion = now + t.queue_wait + base;
         g.rfo[core].push_back(completion);
         if g.rfo[core].len() > self.config.store_buffer {
@@ -741,6 +742,11 @@ impl MemorySystem {
             if oldest > now {
                 let stall = oldest.duration_since(now);
                 g.stats.store_stall += stall;
+                self.platform.pmu().add(
+                    core,
+                    RawEvent::StallCyclesStoreBuffer,
+                    self.stall_cycles(stall, now),
+                );
                 cost += stall;
             }
         }
@@ -777,6 +783,7 @@ impl MemorySystem {
         let t = g.channels.reserve(node, addr.line(), now);
         g.stats.stream_stores += 1;
         g.stats.node_bytes[node.0] += LINE_SIZE;
+        self.account_store_miss(g, core, self.is_local(core, node));
         g.persist_event(|obs| {
             obs.writeback(addr.line(), WritebackCause::Streaming, now, t.completes_at)
         });
@@ -786,10 +793,31 @@ impl MemorySystem {
             if oldest > now {
                 let stall = oldest.duration_since(now);
                 g.stats.store_stall += stall;
+                self.platform.pmu().add(
+                    core,
+                    RawEvent::StallCyclesStoreBuffer,
+                    self.stall_cycles(stall, now),
+                );
                 cost += stall;
             }
         }
         cost
+    }
+
+    /// Accounts one store-path DRAM access (RFO or streaming store) to
+    /// the ground-truth stats and the store-miss PMU events. Flush
+    /// writebacks deliberately never come through here: `pflush` already
+    /// charges flushed lines, so double-feeding them into the asymmetric
+    /// write model would price every persisted line twice.
+    fn account_store_miss(&self, g: &mut Inner, core: usize, local: bool) {
+        let pmu = self.platform.pmu();
+        if local {
+            g.stats.store_miss_local += 1;
+            pmu.add(core, RawEvent::StoreMissLocal, 1);
+        } else {
+            g.stats.store_miss_remote += 1;
+            pmu.add(core, RawEvent::StoreMissRemote, 1);
+        }
     }
 
     /// `clflush`: writes back (if dirty) and invalidates a line, stalling
@@ -1047,6 +1075,38 @@ mod tests {
         // Eventually the RFO buffer fills and stores stall.
         assert!(m.stats().store_stall > Duration::ZERO);
         assert!(stalled.as_ns_f64() > 100.0);
+        // Buffer-full waits surface as store-buffer stall cycles, the
+        // store-side analogue of STALLS_L2_PENDING.
+        assert!(m.platform().pmu().raw(0, RawEvent::StallCyclesStoreBuffer) > 0);
+    }
+
+    #[test]
+    fn store_misses_feed_store_side_pmu_events() {
+        let m = mem(Architecture::Haswell);
+        let local = m.alloc(NodeId(0), 4096).unwrap();
+        let remote = m.alloc(NodeId(1), 4096).unwrap();
+        m.store(0, local, SimTime::ZERO);
+        m.store(0, remote, SimTime::from_ns(100));
+        let pmu = m.platform().pmu();
+        assert_eq!(pmu.raw(0, RawEvent::StoreMissLocal), 1);
+        assert_eq!(pmu.raw(0, RawEvent::StoreMissRemote), 1);
+        assert_eq!(m.stats().store_miss_local, 1);
+        assert_eq!(m.stats().store_miss_remote, 1);
+        // Streaming stores count as store misses too.
+        m.store_stream(0, local.offset_by(128), SimTime::from_ns(200));
+        assert_eq!(pmu.raw(0, RawEvent::StoreMissLocal), 2);
+        assert_eq!(m.stats().store_misses(), 3);
+        // A store that hits in cache feeds nothing further...
+        m.store(0, local, SimTime::from_ns(300));
+        assert_eq!(m.stats().store_misses(), 3);
+        // ...and neither does flushing a dirty line: pflush already
+        // charges flushed lines, so the flush writeback must not be
+        // double-counted as a store miss.
+        m.flush(0, remote, SimTime::from_ns(400));
+        assert_eq!(pmu.raw(0, RawEvent::StoreMissRemote), 1);
+        assert_eq!(m.stats().store_misses(), 3);
+        // Load-side counters never moved.
+        assert_eq!(pmu.raw(0, RawEvent::L3MissLocalLoads), 0);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::error::PlatformError;
 use crate::faults::FaultCell;
 use crate::pci::{PciConfigSpace, PrivilegeToken};
 use crate::pmu::bank::{CounterSelection, StandardCounters};
-use crate::pmu::events::{standard_event_set, EventKind};
+use crate::pmu::events::{standard_event_set, store_event_set, EventKind};
 use crate::pmu::PmuState;
 use crate::thermal::ThermalControl;
 use crate::topology::{CoreId, SocketId, Topology};
@@ -67,9 +67,30 @@ impl KernelModule {
     ///
     /// Panics if `core` is out of range for the machine.
     pub fn program_standard_counters(&self, core: usize) -> StandardCounters {
+        self.program_event_sets(core, false)
+    }
+
+    /// Programs the Table 1 event set *plus* the store-side events the
+    /// asymmetric write model reads (`RESOURCE_STALLS:SB` and the
+    /// RFO/streaming-store miss counters) in one bank write, and enables
+    /// user-mode `rdpmc`. A single programming call matters: reprogramming
+    /// a bank clears unlisted slots, so programming standard and store
+    /// sets separately would lose whichever went first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for the machine.
+    pub fn program_asymmetric_counters(&self, core: usize) -> StandardCounters {
+        self.program_event_sets(core, true)
+    }
+
+    fn program_event_sets(&self, core: usize, with_stores: bool) -> StandardCounters {
         let core = CoreId(core);
         assert!(core.0 < self.topology.num_cores(), "{core} out of range");
-        let events = standard_event_set(self.arch);
+        let mut events = standard_event_set(self.arch);
+        if with_stores {
+            events.extend(store_event_set(self.arch));
+        }
         self.pmu
             .program_bank(core, &events)
             .expect("standard event set must be programmable");
@@ -86,6 +107,10 @@ impl KernelModule {
             l3_miss_local: sel(EventKind::L3MissLocal),
             l3_miss_remote: sel(EventKind::L3MissRemote),
             l3_miss_all: sel(EventKind::L3MissAll),
+            store_stalls: sel(EventKind::StallsStoreBuffer),
+            store_miss_local: sel(EventKind::StoreMissLocal),
+            store_miss_remote: sel(EventKind::StoreMissRemote),
+            store_miss_all: sel(EventKind::StoreMissAll),
         }
     }
 
@@ -112,6 +137,28 @@ impl KernelModule {
             });
         }
         Ok(self.program_standard_counters(core))
+    }
+
+    /// Fallible variant of [`KernelModule::program_asymmetric_counters`]
+    /// with the same stale-topology semantics as
+    /// [`KernelModule::try_program_standard_counters`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if a stale topology read excludes `core`, or if `core` is
+    /// genuinely out of range.
+    pub fn try_program_asymmetric_counters(
+        &self,
+        core: usize,
+    ) -> Result<StandardCounters, PlatformError> {
+        let observed = self.observed_num_cores();
+        if core >= observed {
+            return Err(PlatformError::StaleTopology {
+                observed_cores: observed,
+                core: CoreId(core),
+            });
+        }
+        Ok(self.program_asymmetric_counters(core))
     }
 
     /// Programs an explicit event list on `core` (advanced use).
@@ -179,6 +226,63 @@ mod tests {
         assert!(sel.l3_miss_local.is_some());
         assert!(sel.l3_miss_remote.is_some());
         assert_eq!(sel.len(), 4);
+    }
+
+    #[test]
+    fn asymmetric_counters_extend_the_standard_layout() {
+        let ivb = Platform::new(PlatformConfig::new(Architecture::IvyBridge));
+        let std_sel = ivb.kernel_module().program_standard_counters(0);
+        assert_eq!(std_sel.store_len(), 0);
+        let sel = ivb.kernel_module().program_asymmetric_counters(0);
+        // The standard slots keep their positions: the asymmetric set is
+        // a pure extension, which is what keeps symmetric epoch math
+        // byte-identical when the store slots go unread.
+        assert_eq!(sel.stalls_l2_pending, std_sel.stalls_l2_pending);
+        assert_eq!(sel.l3_hit, std_sel.l3_hit);
+        assert_eq!(sel.l3_miss_local, std_sel.l3_miss_local);
+        assert_eq!(sel.l3_miss_remote, std_sel.l3_miss_remote);
+        assert_eq!(sel.store_len(), 3);
+        assert_eq!(sel.len(), 7);
+        assert!(sel.store_stalls.is_some());
+        assert!(sel.store_miss_local.is_some());
+        assert!(sel.store_miss_remote.is_some());
+        assert!(sel.store_miss_all.is_none());
+
+        let snb = Platform::new(PlatformConfig::new(Architecture::SandyBridge));
+        let sel = snb.kernel_module().program_asymmetric_counters(0);
+        assert_eq!(sel.store_len(), 2);
+        assert_eq!(sel.len(), 5);
+        assert!(sel.store_miss_all.is_some());
+        assert!(sel.store_miss_local.is_none());
+        // All programmed slots are readable.
+        assert_eq!(
+            snb.pmu()
+                .rdpmc(CoreId(0), sel.store_stalls.unwrap().slot)
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn try_program_asymmetric_respects_stale_topology() {
+        use crate::faults::FaultInjector;
+
+        struct Stale;
+        impl FaultInjector for Stale {
+            fn observed_num_cores(&self, _true_cores: usize) -> usize {
+                1
+            }
+        }
+
+        let p = Platform::new(PlatformConfig::new(Architecture::Haswell));
+        let kmod = p.kernel_module();
+        assert!(kmod.try_program_asymmetric_counters(2).is_ok());
+        p.install_fault_injector(std::sync::Arc::new(Stale));
+        assert!(matches!(
+            kmod.try_program_asymmetric_counters(2),
+            Err(PlatformError::StaleTopology { .. })
+        ));
+        p.clear_fault_injector();
     }
 
     #[test]

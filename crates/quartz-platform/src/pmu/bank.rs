@@ -59,6 +59,18 @@ pub struct StandardCounters {
     pub l3_miss_remote: Option<CounterSelection>,
     /// Slot of the combined LLC-miss event (Sandy Bridge).
     pub l3_miss_all: Option<CounterSelection>,
+    /// Slot of `RESOURCE_STALLS:SB` — programmed only when the
+    /// asymmetric write model is active.
+    pub store_stalls: Option<CounterSelection>,
+    /// Slot of the local-DRAM store-miss event (Ivy Bridge / Haswell,
+    /// asymmetric model only).
+    pub store_miss_local: Option<CounterSelection>,
+    /// Slot of the remote-DRAM store-miss event (Ivy Bridge / Haswell,
+    /// asymmetric model only).
+    pub store_miss_remote: Option<CounterSelection>,
+    /// Slot of the combined store-miss event (Sandy Bridge, asymmetric
+    /// model only).
+    pub store_miss_all: Option<CounterSelection>,
 }
 
 impl StandardCounters {
@@ -67,6 +79,17 @@ impl StandardCounters {
         2 + self.l3_miss_local.is_some() as usize
             + self.l3_miss_remote.is_some() as usize
             + self.l3_miss_all.is_some() as usize
+            + self.store_len()
+    }
+
+    /// Number of programmed store-side slots (0 in the symmetric
+    /// configuration — the epoch budget must then match the pre-
+    /// asymmetry 4-read accounting byte for byte).
+    pub fn store_len(&self) -> usize {
+        self.store_stalls.is_some() as usize
+            + self.store_miss_local.is_some() as usize
+            + self.store_miss_remote.is_some() as usize
+            + self.store_miss_all.is_some() as usize
     }
 
     /// Always false: a standard selection has at least two counters.

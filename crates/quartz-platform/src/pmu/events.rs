@@ -21,15 +21,34 @@ pub enum RawEvent {
     /// Retired demand loads that missed LLC and were served by a remote
     /// DRAM node.
     L3MissRemoteLoads,
+    /// Core cycles stalled because the store buffer (or the WC-buffer
+    /// pool for streaming stores) was full and the oldest pending write
+    /// had not yet reached DRAM (`RESOURCE_STALLS:SB`). The store-path
+    /// analogue of [`RawEvent::StallCyclesL2Pending`], used by the
+    /// asymmetric write-latency model (Koshiba-style store accounting).
+    StallCyclesStoreBuffer,
+    /// Demand RFOs and streaming stores that missed LLC and were served
+    /// by the local DRAM node.
+    StoreMissLocal,
+    /// Demand RFOs and streaming stores that missed LLC and were served
+    /// by a remote DRAM node.
+    StoreMissRemote,
 }
+
+/// Number of raw events — sizes the per-core storage in
+/// [`super::PmuState`].
+pub const NUM_RAW_EVENTS: usize = 7;
 
 impl RawEvent {
     /// All raw events, in storage order.
-    pub const ALL: [RawEvent; 4] = [
+    pub const ALL: [RawEvent; NUM_RAW_EVENTS] = [
         RawEvent::StallCyclesL2Pending,
         RawEvent::L3HitLoads,
         RawEvent::L3MissLocalLoads,
         RawEvent::L3MissRemoteLoads,
+        RawEvent::StallCyclesStoreBuffer,
+        RawEvent::StoreMissLocal,
+        RawEvent::StoreMissRemote,
     ];
 
     /// Dense index used by [`super::PmuState`] storage.
@@ -39,6 +58,9 @@ impl RawEvent {
             RawEvent::L3HitLoads => 1,
             RawEvent::L3MissLocalLoads => 2,
             RawEvent::L3MissRemoteLoads => 3,
+            RawEvent::StallCyclesStoreBuffer => 4,
+            RawEvent::StoreMissLocal => 5,
+            RawEvent::StoreMissRemote => 6,
         }
     }
 }
@@ -65,17 +87,35 @@ pub enum EventKind {
     /// Combined LLC miss count (`MEM_LOAD_UOPS_MISC_RETIRED:LLC_MISS`) —
     /// Sandy Bridge only.
     L3MissAll,
+    /// `RESOURCE_STALLS:SB` — store-buffer-full stall cycles, all three
+    /// families. Not in the paper's Table 1: programmed only when the
+    /// asymmetric write model is active.
+    StallsStoreBuffer,
+    /// RFOs/streaming stores served from local DRAM
+    /// (`OFFCORE_RESPONSE:DMND_RFO:LLC_MISS_LOCAL`) — Ivy Bridge /
+    /// Haswell only.
+    StoreMissLocal,
+    /// RFOs/streaming stores served from remote DRAM
+    /// (`OFFCORE_RESPONSE:DMND_RFO:LLC_MISS_REMOTE`) — Ivy Bridge /
+    /// Haswell only.
+    StoreMissRemote,
+    /// Combined RFO/streaming-store LLC miss count — Sandy Bridge only
+    /// (no local/remote offcore split).
+    StoreMissAll,
 }
 
 impl EventKind {
     /// Whether this event can be programmed on `arch` (paper Table 1).
     pub fn available_on(self, arch: Architecture) -> bool {
         match self {
-            EventKind::StallsL2Pending | EventKind::L3Hit => true,
-            EventKind::L3MissLocal | EventKind::L3MissRemote => {
-                arch.params().has_local_remote_miss_split()
+            EventKind::StallsL2Pending | EventKind::L3Hit | EventKind::StallsStoreBuffer => true,
+            EventKind::L3MissLocal
+            | EventKind::L3MissRemote
+            | EventKind::StoreMissLocal
+            | EventKind::StoreMissRemote => arch.params().has_local_remote_miss_split(),
+            EventKind::L3MissAll | EventKind::StoreMissAll => {
+                matches!(arch, Architecture::SandyBridge)
             }
-            EventKind::L3MissAll => matches!(arch, Architecture::SandyBridge),
         }
     }
 
@@ -149,6 +189,48 @@ pub const TABLE1_EVENT_NAMES: &[(Architecture, EventKind, &str)] = &[
         EventKind::L3MissRemote,
         "MEM_LOAD_UOPS_L3_MISS_RETIRED:REMOTE_DRAM",
     ),
+    // Store-side events for the asymmetric read/write model (beyond the
+    // paper's Table 1, which only lists the load path).
+    (
+        Architecture::SandyBridge,
+        EventKind::StallsStoreBuffer,
+        "RESOURCE_STALLS:SB",
+    ),
+    (
+        Architecture::SandyBridge,
+        EventKind::StoreMissAll,
+        "OFFCORE_RESPONSE:DMND_RFO:LLC_MISS",
+    ),
+    (
+        Architecture::IvyBridge,
+        EventKind::StallsStoreBuffer,
+        "RESOURCE_STALLS:SB",
+    ),
+    (
+        Architecture::IvyBridge,
+        EventKind::StoreMissLocal,
+        "OFFCORE_RESPONSE:DMND_RFO:LLC_MISS_LOCAL",
+    ),
+    (
+        Architecture::IvyBridge,
+        EventKind::StoreMissRemote,
+        "OFFCORE_RESPONSE:DMND_RFO:LLC_MISS_REMOTE",
+    ),
+    (
+        Architecture::Haswell,
+        EventKind::StallsStoreBuffer,
+        "RESOURCE_STALLS:SB",
+    ),
+    (
+        Architecture::Haswell,
+        EventKind::StoreMissLocal,
+        "OFFCORE_RESPONSE:DMND_RFO:L3_MISS_LOCAL",
+    ),
+    (
+        Architecture::Haswell,
+        EventKind::StoreMissRemote,
+        "OFFCORE_RESPONSE:DMND_RFO:L3_MISS_REMOTE",
+    ),
 ];
 
 /// The standard event set Quartz programs on `arch`, in slot order.
@@ -166,6 +248,21 @@ pub fn standard_event_set(arch: Architecture) -> Vec<EventKind> {
             EventKind::L3Hit,
             EventKind::L3MissAll,
         ]
+    }
+}
+
+/// The store-side event set the asymmetric write model appends after
+/// [`standard_event_set`], in slot order. All three families fit:
+/// 4 + 3 = 7 (IVB/HSW) and 3 + 2 = 5 (SNB) of the bank's 8 slots.
+pub fn store_event_set(arch: Architecture) -> Vec<EventKind> {
+    if arch.params().has_local_remote_miss_split() {
+        vec![
+            EventKind::StallsStoreBuffer,
+            EventKind::StoreMissLocal,
+            EventKind::StoreMissRemote,
+        ]
+    } else {
+        vec![EventKind::StallsStoreBuffer, EventKind::StoreMissAll]
     }
 }
 
@@ -207,17 +304,60 @@ mod tests {
     }
 
     #[test]
-    fn standard_set_is_available() {
+    fn store_set_sizes_fit_the_bank() {
+        assert_eq!(store_event_set(Architecture::SandyBridge).len(), 2);
+        assert_eq!(store_event_set(Architecture::IvyBridge).len(), 3);
+        assert_eq!(store_event_set(Architecture::Haswell).len(), 3);
         for arch in Architecture::ALL {
-            for ev in standard_event_set(arch) {
+            let total = standard_event_set(arch).len() + store_event_set(arch).len();
+            assert!(total <= super::super::bank::NUM_SLOTS, "{arch}: {total}");
+        }
+    }
+
+    #[test]
+    fn standard_and_store_sets_are_available() {
+        for arch in Architecture::ALL {
+            for ev in standard_event_set(arch)
+                .into_iter()
+                .chain(store_event_set(arch))
+            {
                 assert!(ev.available_on(arch), "{ev:?} on {arch}");
             }
         }
     }
 
     #[test]
+    fn store_events_follow_the_miss_split_rule() {
+        assert!(EventKind::StallsStoreBuffer.available_on(Architecture::SandyBridge));
+        assert!(!EventKind::StoreMissLocal.available_on(Architecture::SandyBridge));
+        assert!(EventKind::StoreMissAll.available_on(Architecture::SandyBridge));
+        assert!(!EventKind::StoreMissAll.available_on(Architecture::Haswell));
+        assert!(EventKind::StoreMissRemote.available_on(Architecture::IvyBridge));
+        // Store-side events carry Intel names (beyond the paper's
+        // Table 1, but printed alongside it) with the same LLC→L3
+        // rename and RFO response qualifiers per family.
+        assert_eq!(
+            EventKind::StallsStoreBuffer.intel_name(Architecture::Haswell),
+            Some("RESOURCE_STALLS:SB")
+        );
+        assert_eq!(
+            EventKind::StoreMissLocal.intel_name(Architecture::IvyBridge),
+            Some("OFFCORE_RESPONSE:DMND_RFO:LLC_MISS_LOCAL")
+        );
+        assert_eq!(
+            EventKind::StoreMissLocal.intel_name(Architecture::Haswell),
+            Some("OFFCORE_RESPONSE:DMND_RFO:L3_MISS_LOCAL")
+        );
+        // And none on a family where the event is unavailable.
+        assert_eq!(
+            EventKind::StoreMissAll.intel_name(Architecture::Haswell),
+            None
+        );
+    }
+
+    #[test]
     fn raw_event_indices_are_dense_and_unique() {
-        let mut seen = [false; 4];
+        let mut seen = [false; NUM_RAW_EVENTS];
         for ev in RawEvent::ALL {
             assert!(!seen[ev.index()]);
             seen[ev.index()] = true;

@@ -92,7 +92,10 @@ impl FidelityModel {
 
     fn amplitude(&self, event: EventKind) -> f64 {
         match event {
-            EventKind::StallsL2Pending => self.stall_amp,
+            // Stall-cycle counters (load- and store-side) share the
+            // family's stall skew; every miss-count event shares the
+            // (usually smaller) miss skew.
+            EventKind::StallsL2Pending | EventKind::StallsStoreBuffer => self.stall_amp,
             _ => self.miss_amp,
         }
     }
@@ -143,6 +146,10 @@ fn event_tag(event: EventKind) -> u64 {
         EventKind::L3MissLocal => 3,
         EventKind::L3MissRemote => 4,
         EventKind::L3MissAll => 5,
+        EventKind::StallsStoreBuffer => 6,
+        EventKind::StoreMissLocal => 7,
+        EventKind::StoreMissRemote => 8,
+        EventKind::StoreMissAll => 9,
     }
 }
 
@@ -237,6 +244,26 @@ mod tests {
                 "delta {d} vs expected {expect} for ({r1},{r2})"
             );
         }
+    }
+
+    #[test]
+    fn store_events_use_the_right_amplitudes() {
+        let p = Architecture::SandyBridge.params();
+        let m = FidelityModel::new(p, 3);
+        // Store-buffer stalls ride the stall amplitude, store misses the
+        // miss amplitude — same rule as their load-side counterparts.
+        assert!(m.bias(EventKind::StallsStoreBuffer).abs() <= p.stall_counter_skew);
+        assert!(m.bias(EventKind::StoreMissAll).abs() <= p.miss_counter_skew);
+        // Distinct tags: the store-side bias is not a copy of the
+        // load-side one.
+        assert_ne!(
+            m.bias(EventKind::StallsStoreBuffer),
+            m.bias(EventKind::StallsL2Pending)
+        );
+        assert_ne!(
+            m.bias(EventKind::StoreMissLocal),
+            m.bias(EventKind::L3MissLocal)
+        );
     }
 
     #[test]

@@ -13,6 +13,6 @@ pub mod fidelity;
 mod state;
 
 pub use bank::{CounterBank, CounterSelection, StandardCounters};
-pub use events::{EventKind, RawEvent, TABLE1_EVENT_NAMES};
+pub use events::{EventKind, RawEvent, NUM_RAW_EVENTS, TABLE1_EVENT_NAMES};
 pub use fidelity::FidelityModel;
 pub use state::{PmuState, COUNTER_MASK, COUNTER_WIDTH_BITS};

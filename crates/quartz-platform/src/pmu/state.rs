@@ -8,7 +8,7 @@ use crate::arch::ArchParams;
 use crate::error::PlatformError;
 use crate::faults::FaultCell;
 use crate::pmu::bank::CounterBank;
-use crate::pmu::events::{EventKind, RawEvent};
+use crate::pmu::events::{EventKind, RawEvent, NUM_RAW_EVENTS};
 use crate::pmu::fidelity::FidelityModel;
 use crate::topology::CoreId;
 
@@ -30,7 +30,7 @@ pub const COUNTER_MASK: u64 = (1 << COUNTER_WIDTH_BITS) - 1;
 pub struct PmuState {
     arch: ArchParams,
     /// `raw[core][RawEvent::index()]`.
-    raw: Vec<[AtomicU64; 4]>,
+    raw: Vec<[AtomicU64; NUM_RAW_EVENTS]>,
     banks: Vec<Mutex<CounterBank>>,
     user_rdpmc: Vec<AtomicBool>,
     fidelity: Mutex<FidelityModel>,
@@ -90,6 +90,12 @@ impl PmuState {
             EventKind::L3MissAll => {
                 self.raw(core, RawEvent::L3MissLocalLoads)
                     + self.raw(core, RawEvent::L3MissRemoteLoads)
+            }
+            EventKind::StallsStoreBuffer => self.raw(core, RawEvent::StallCyclesStoreBuffer),
+            EventKind::StoreMissLocal => self.raw(core, RawEvent::StoreMissLocal),
+            EventKind::StoreMissRemote => self.raw(core, RawEvent::StoreMissRemote),
+            EventKind::StoreMissAll => {
+                self.raw(core, RawEvent::StoreMissLocal) + self.raw(core, RawEvent::StoreMissRemote)
             }
         }
     }
@@ -201,6 +207,21 @@ mod tests {
         p.add(0, RawEvent::L3MissLocalLoads, 3);
         p.add(0, RawEvent::L3MissRemoteLoads, 4);
         assert_eq!(p.true_value(0, EventKind::L3MissAll), 7);
+    }
+
+    #[test]
+    fn store_events_accumulate_independently_of_load_events() {
+        let p = pmu();
+        p.add(0, RawEvent::StoreMissLocal, 5);
+        p.add(0, RawEvent::StoreMissRemote, 2);
+        p.add(0, RawEvent::StallCyclesStoreBuffer, 900);
+        assert_eq!(p.true_value(0, EventKind::StoreMissLocal), 5);
+        assert_eq!(p.true_value(0, EventKind::StoreMissRemote), 2);
+        assert_eq!(p.true_value(0, EventKind::StoreMissAll), 7);
+        assert_eq!(p.true_value(0, EventKind::StallsStoreBuffer), 900);
+        // The load-side quantities are untouched.
+        assert_eq!(p.true_value(0, EventKind::L3MissAll), 0);
+        assert_eq!(p.true_value(0, EventKind::StallsL2Pending), 0);
     }
 
     #[test]

@@ -97,6 +97,62 @@ pub fn run_stream_copy(ctx: &mut ThreadCtx, config: &StreamConfig) -> StreamResu
     }
 }
 
+/// Runs the triad kernel `a[i] = b[i] + k*c[i]` with `threads` workers,
+/// using *regular* (write-back, RFO-path) stores instead of streaming
+/// ones: each written line is first read for ownership and the posted
+/// stores back up in the store buffer. This is the write-heavy cell of
+/// the asymmetry ablation — its cost is dominated by store-path events
+/// the load-side counters cannot see.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or allocation fails.
+pub fn run_stream_triad(ctx: &mut ThreadCtx, config: &StreamConfig) -> StreamResult {
+    assert!(config.threads >= 1, "need at least one stream thread");
+    let lines = config.lines_per_thread;
+    let node = config.node;
+    let t0 = ctx.now();
+    let mut workers = Vec::with_capacity(config.threads);
+    for _ in 0..config.threads {
+        workers.push(ctx.spawn(move |c| {
+            let b = c.alloc_on(node, lines * 64);
+            let cc = c.alloc_on(node, lines * 64);
+            let a = c.alloc_on(node, lines * 64);
+            let mut batch = [b; 8];
+            let mut i = 0;
+            while i < lines {
+                let chunk = (lines - i).min(8);
+                // Two source streams load in overlapping batches...
+                for (k, slot) in batch[..chunk as usize].iter_mut().enumerate() {
+                    *slot = b.offset_by((i + k as u64) * 64);
+                }
+                c.load_batch(&batch[..chunk as usize]);
+                for (k, slot) in batch[..chunk as usize].iter_mut().enumerate() {
+                    *slot = cc.offset_by((i + k as u64) * 64);
+                }
+                c.load_batch(&batch[..chunk as usize]);
+                // ...and the destination takes posted RFO stores.
+                for k in 0..chunk {
+                    c.store(a.offset_by((i + k) * 64));
+                }
+                i += chunk;
+            }
+            c.free(b).expect("triad b");
+            c.free(cc).expect("triad c");
+            c.free(a).expect("triad a");
+        }));
+    }
+    for w in workers {
+        ctx.join(w);
+    }
+    let elapsed = ctx.now().saturating_duration_since(t0);
+    StreamResult {
+        elapsed,
+        // Triad convention: two reads + one write per element.
+        bytes: config.threads as u64 * lines * 192,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

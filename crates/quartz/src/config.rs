@@ -3,6 +3,25 @@
 use quartz_platform::time::Duration;
 
 /// The NVM performance characteristics to emulate.
+///
+/// # The two write knobs
+///
+/// `write_delay_ns` and `write_latency_ns` are *different* knobs and
+/// deliberately not coupled:
+///
+/// * `write_delay_ns` is the paper's §3.1 slow-write emulation: an extra
+///   delay charged by **`pflush`** per cache line explicitly written back
+///   to NVM. It models the synchronous cost of forcing a line out of the
+///   cache, and only persistence code that flushes pays it.
+/// * `write_latency_ns` activates the **asymmetric write model**: an
+///   epoch-level Eq. 2-style term derived from store-side counters
+///   (`RESOURCE_STALLS:SB` and the RFO/streaming-store misses), charging
+///   ordinary posted stores whose buffer back-pressure the load-side
+///   `STALLS_L2_PENDING` model cannot see. `None` (the default) keeps
+///   the original symmetric model, byte for byte.
+///
+/// Flushed lines are charged once, by `pflush`, never again by the
+/// asymmetric term: flush writebacks do not feed the store-miss counters.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NvmTarget {
     /// Average NVM read latency in nanoseconds (`NVM_lat` in Eq. 1/2).
@@ -12,11 +31,24 @@ pub struct NvmTarget {
     /// Extra delay injected by `pflush` per cache-line write to NVM, in
     /// nanoseconds (the paper's configurable slow-write emulation, §3.1).
     pub write_delay_ns: f64,
+    /// Average NVM *write* latency in nanoseconds for the asymmetric
+    /// write model (the store-side `NVM_lat` of the Eq. 2-style write
+    /// term). `None` disables the asymmetric model entirely — no store
+    /// counters are programmed or read, keeping symmetric runs
+    /// byte-identical to the pre-asymmetry emulator.
+    pub write_latency_ns: Option<f64>,
+    /// NVM *write* bandwidth in GB/s, used to pace `pflush` WPQ drain
+    /// when set; `None` leaves writes paced by `write_delay_ns` alone.
+    /// Real NVMs are bandwidth-asymmetric (Optane DC: ~39 GB/s read vs
+    /// ~14 GB/s write).
+    pub write_bandwidth_gbps: Option<f64>,
 }
 
 impl NvmTarget {
     /// A target with the given read latency, full bandwidth, and a write
     /// delay equal to the read latency (a common PCM-like assumption).
+    /// The asymmetric write model stays off: symmetric PCM-like targets
+    /// charge writes only at `pflush`, exactly as the paper does.
     ///
     /// # Panics
     ///
@@ -27,6 +59,26 @@ impl NvmTarget {
             read_latency_ns,
             bandwidth_gbps: None,
             write_delay_ns: read_latency_ns,
+            write_latency_ns: None,
+            write_bandwidth_gbps: None,
+        }
+    }
+
+    /// An Optane DC persistent-memory target, calibrated from the
+    /// measurements of Hirofuchi & Takano (arXiv 2002.06018): ~169 ns
+    /// loaded read latency, ~90 ns write-to-WPQ latency, and strongly
+    /// asymmetric bandwidth (~39.4 GB/s read, ~13.9 GB/s write).
+    /// Activates the asymmetric write model; note the write latency is
+    /// *below* typical remote-DRAM latency — writes land in the WPQ, not
+    /// the media — which the model clamps to a zero write term on
+    /// substrates whose DRAM is already slower.
+    pub fn optane_dcpmm() -> Self {
+        NvmTarget {
+            read_latency_ns: 169.0,
+            bandwidth_gbps: Some(39.4),
+            write_delay_ns: 90.0,
+            write_latency_ns: Some(90.0),
+            write_bandwidth_gbps: Some(13.9),
         }
     }
 
@@ -42,6 +94,27 @@ impl NvmTarget {
         assert!(ns >= 0.0, "write delay must be non-negative");
         self.write_delay_ns = ns;
         self
+    }
+
+    /// Activates the asymmetric write model with the given NVM write
+    /// latency (see the type-level docs for how this differs from
+    /// [`NvmTarget::with_write_delay_ns`]).
+    pub fn with_write_latency_ns(mut self, ns: f64) -> Self {
+        assert!(ns > 0.0, "write latency must be positive");
+        self.write_latency_ns = Some(ns);
+        self
+    }
+
+    /// Sets the NVM write-bandwidth target for `pflush` pacing.
+    pub fn with_write_bandwidth_gbps(mut self, gbps: f64) -> Self {
+        assert!(gbps > 0.0, "write bandwidth must be positive");
+        self.write_bandwidth_gbps = Some(gbps);
+        self
+    }
+
+    /// Whether the asymmetric write model is active.
+    pub fn is_asymmetric(&self) -> bool {
+        self.write_latency_ns.is_some()
     }
 }
 
@@ -231,7 +304,38 @@ mod tests {
 
     #[test]
     fn default_write_delay_matches_read() {
-        assert_eq!(NvmTarget::new(300.0).write_delay_ns, 300.0);
+        let t = NvmTarget::new(300.0);
+        assert_eq!(t.write_delay_ns, 300.0);
+        // The PCM-like default is symmetric: pflush charges writes, the
+        // epoch model does not — write_latency_ns (the asymmetric-model
+        // knob) stays off so stores are never double-charged.
+        assert_eq!(t.write_latency_ns, None);
+        assert!(!t.is_asymmetric());
+    }
+
+    #[test]
+    fn optane_preset_is_asymmetric() {
+        let t = NvmTarget::optane_dcpmm();
+        assert_eq!(t.read_latency_ns, 169.0);
+        assert_eq!(t.write_latency_ns, Some(90.0));
+        assert_eq!(t.bandwidth_gbps, Some(39.4));
+        assert_eq!(t.write_bandwidth_gbps, Some(13.9));
+        assert!(t.is_asymmetric());
+        // Write-to-WPQ is *faster* than the read path — the asymmetry
+        // can go either way and the preset records the measured numbers,
+        // not an assumption.
+        assert!(t.write_latency_ns.unwrap() < t.read_latency_ns);
+    }
+
+    #[test]
+    fn write_knobs_are_independent() {
+        let t = NvmTarget::new(500.0)
+            .with_write_delay_ns(700.0)
+            .with_write_latency_ns(900.0)
+            .with_write_bandwidth_gbps(2.0);
+        assert_eq!(t.write_delay_ns, 700.0);
+        assert_eq!(t.write_latency_ns, Some(900.0));
+        assert_eq!(t.write_bandwidth_gbps, Some(2.0));
     }
 
     #[test]

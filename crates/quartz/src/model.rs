@@ -50,6 +50,41 @@ pub fn delay_stall_based_ns(ldm_stall_ns: f64, dram_lat_ns: f64, nvm_lat_ns: f64
     (ldm_stall_ns / dram_lat_ns * (nvm_lat_ns - dram_lat_ns)).max(0.0)
 }
 
+/// The asymmetric extension of Eq. 2: read- and write-side stalls priced
+/// at *different* target latencies:
+///
+/// ```text
+/// Δ = LDM_STALL/DRAM_lat × (NVM_read − DRAM_lat)
+///   + SB_STALL/DRAM_lat  × (NVM_write − DRAM_lat)
+/// ```
+///
+/// The read term is the paper's Eq. 2 over load stalls; the write term
+/// applies the same serialized-access logic to store-buffer stalls
+/// (`RESOURCE_STALLS:SB`), which is where slow posted writes surface —
+/// the back-pressure the load-side counters cannot see (cf. Koshiba et
+/// al., arXiv 1908.02135). Each term clamps to zero independently, so a
+/// WPQ-fast / media-slow-read NVM (Optane) injects only read-side delay.
+///
+/// With `nvm_write_ns == nvm_read_ns` the sum degenerates *exactly* to
+/// [`delay_stall_based_ns`] over the combined stall time, by linearity.
+pub fn delay_asymmetric_ns(
+    ldm_stall_ns: f64,
+    sb_stall_ns: f64,
+    dram_lat_ns: f64,
+    nvm_read_ns: f64,
+    nvm_write_ns: f64,
+) -> f64 {
+    delay_stall_based_ns(ldm_stall_ns, dram_lat_ns, nvm_read_ns)
+        + delay_stall_based_ns(sb_stall_ns, dram_lat_ns, nvm_write_ns)
+}
+
+/// The asymmetric analogue of Eq. 1 for the simple-model ablation: every
+/// store miss (RFO or streaming store) is assumed serialized and charged
+/// the write-latency difference.
+pub fn write_delay_simple_ns(store_misses: u64, dram_lat_ns: f64, nvm_write_ns: f64) -> f64 {
+    delay_simple_ns(store_misses, dram_lat_ns, nvm_write_ns)
+}
+
 /// The §3.3 heuristic splitting total stall time into the share caused by
 /// remote-DRAM (virtual NVM) accesses:
 ///
@@ -92,9 +127,23 @@ pub fn split_remote_stall_ns(
 /// corruption: wrap glitches, cross-socket TSC skew shrinking the
 /// apparent span, or plain bad reads.
 pub fn epoch_budget_cycles(span_cycles: u64, epoch_compute_cycles: u64, rdpmc_cycles: u64) -> u64 {
+    epoch_budget_cycles_for(span_cycles, epoch_compute_cycles, rdpmc_cycles, 4)
+}
+
+/// [`epoch_budget_cycles`] generalized to `n_reads` counter reads per
+/// epoch boundary. The symmetric model always budgets four reads (even
+/// on Sandy Bridge, which reads three — a deliberate, historical
+/// over-budget that must not change); the asymmetric model budgets
+/// `4 + store_len()` because it really performs the extra `rdpmc`s.
+pub fn epoch_budget_cycles_for(
+    span_cycles: u64,
+    epoch_compute_cycles: u64,
+    rdpmc_cycles: u64,
+    n_reads: u64,
+) -> u64 {
     (span_cycles
         .saturating_add(epoch_compute_cycles)
-        .saturating_add(4 * rdpmc_cycles))
+        .saturating_add(n_reads.saturating_mul(rdpmc_cycles)))
     .saturating_mul(9)
         / 8
 }
@@ -198,6 +247,59 @@ mod tests {
         assert!((d - 200.0).abs() < 1e-9);
         let simple = delay_simple_ns(4, 100.0, 300.0);
         assert!(simple > 3.0 * d, "Eq. 1 over-injects under MLP");
+    }
+
+    #[test]
+    fn asymmetric_delay_prices_each_side_at_its_latency() {
+        // Hand-computed micro-trace: 1000 ns of load stalls and 500 ns of
+        // store-buffer stalls over 100 ns DRAM, targeting 300 ns reads
+        // and 500 ns writes.
+        //   read term:  1000/100 x (300-100) = 2000 ns
+        //   write term:  500/100 x (500-100) = 2000 ns
+        let d = delay_asymmetric_ns(1000.0, 500.0, 100.0, 300.0, 500.0);
+        assert!((d - 4000.0).abs() < 1e-9, "{d}");
+        // No store stalls -> pure Eq. 2.
+        let d = delay_asymmetric_ns(1000.0, 0.0, 100.0, 300.0, 500.0);
+        assert!((d - 2000.0).abs() < 1e-9);
+        // Optane-shaped: writes faster than DRAM clamp their term to
+        // zero without bleeding into the read term.
+        let d = delay_asymmetric_ns(1000.0, 800.0, 100.0, 169.0, 90.0);
+        assert!((d - delay_stall_based_ns(1000.0, 100.0, 169.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_delay_degenerates_to_symmetric() {
+        // Equal read/write latency must reproduce Eq. 2 over the summed
+        // stall time exactly (linearity) — the property the proptest in
+        // tests/proptests.rs fuzzes.
+        for (r, s) in [(1000.0, 500.0), (0.0, 750.0), (123.4, 567.8)] {
+            let asym = delay_asymmetric_ns(r, s, 100.0, 300.0, 300.0);
+            let sym = delay_stall_based_ns(r + s, 100.0, 300.0);
+            assert!((asym - sym).abs() < 1e-9, "{asym} vs {sym}");
+        }
+    }
+
+    #[test]
+    fn simple_write_term_counts_store_misses() {
+        // 10 serialized store misses, 100 -> 500 ns: 4000 ns.
+        assert_eq!(write_delay_simple_ns(10, 100.0, 500.0), 4000.0);
+        // Faster-than-DRAM writes clamp to zero.
+        assert_eq!(write_delay_simple_ns(10, 100.0, 90.0), 0.0);
+    }
+
+    #[test]
+    fn generalized_budget_matches_legacy_at_four_reads() {
+        for span in [0u64, 1_000, 100_000, u64::MAX] {
+            assert_eq!(
+                epoch_budget_cycles(span, 2_000, 500),
+                epoch_budget_cycles_for(span, 2_000, 500, 4)
+            );
+        }
+        // Asymmetric IVB/HSW epochs read 4 + 3 counters.
+        assert_eq!(
+            epoch_budget_cycles_for(100_000, 2_000, 500, 7),
+            (100_000u64 + 2_000 + 7 * 500) * 9 / 8
+        );
     }
 
     #[test]

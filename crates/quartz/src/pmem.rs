@@ -73,12 +73,28 @@ impl Quartz {
     /// Accounting is attributed *before* the spin under a single slot-lock
     /// acquisition, so a monitor signal delivered during the spin cannot
     /// observe a flush whose delay was charged but not recorded.
+    /// When the target sets `write_bandwidth_gbps`, the flushed line also
+    /// occupies a write-pending-queue drain slot paced at that bandwidth:
+    /// back-to-back flushes faster than the NVM can absorb them wait for
+    /// the queue instead of just the fixed per-line delay. With the knob
+    /// unset the pacing path never runs and `pflush` behaves exactly as
+    /// before.
     pub fn pflush(&self, ctx: &mut ThreadCtx, addr: Addr) {
         let t0 = ctx.now();
         ctx.flush(addr);
-        let delay = Duration::from_ns_f64(self.config().target.write_delay_ns);
+        let mut delay = Duration::from_ns_f64(self.config().target.write_delay_ns);
         if let Some(slot) = self.slot_of(ctx) {
             let mut owner = slot.lock_owner();
+            if let Some(bw) = self.config().target.write_bandwidth_gbps {
+                // One cache line takes 64/bw ns to drain; the queue
+                // serializes drains, so this flush completes when the
+                // *later* of its fixed delay and its drain slot is done.
+                let drain = Duration::from_ns_f64(64.0 / bw);
+                let now = ctx.now();
+                let drained_at = owner.wpq_next_free.max(now) + drain;
+                owner.wpq_next_free = drained_at;
+                delay = delay.max(drained_at.saturating_duration_since(now));
+            }
             owner.stats.pflush_delay += delay;
             owner.stats.pflushes += 1;
         }

@@ -54,6 +54,11 @@ pub(crate) struct SlotOwner {
     /// in place instead of growing the vec unboundedly; `pcommit` keeps
     /// the max completion time either way.
     pub pending_flushes: Vec<(u64, SimTime)>,
+    /// Instant this thread's NVM write-pending queue next has a free
+    /// drain slot, for `pflush` pacing at the target's write bandwidth.
+    /// Stays at `ZERO` (and the pacing path never runs) unless
+    /// `write_bandwidth_gbps` is configured.
+    pub wpq_next_free: SimTime,
 }
 
 /// One thread's emulator state: atomics the monitor may read without
@@ -159,6 +164,7 @@ impl SlotRegistry {
                 snap,
                 stats: ThreadStats::default(),
                 pending_flushes: Vec::new(),
+                wpq_next_free: SimTime::ZERO,
             }),
         });
         let mut slots = self.slots.write();

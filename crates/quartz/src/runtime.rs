@@ -40,6 +40,12 @@ pub(crate) struct Snap {
     pub miss_local: u64,
     pub miss_remote: u64,
     pub miss_all: u64,
+    /// Store-buffer stall cycles (`RESOURCE_STALLS:SB`). Read — and
+    /// therefore nonzero — only when the asymmetric write model is on.
+    pub sb_stalls: u64,
+    pub store_miss_local: u64,
+    pub store_miss_remote: u64,
+    pub store_miss_all: u64,
 }
 
 impl Snap {
@@ -58,6 +64,10 @@ impl Snap {
             miss_local: d(self.miss_local, earlier.miss_local),
             miss_remote: d(self.miss_remote, earlier.miss_remote),
             miss_all: d(self.miss_all, earlier.miss_all),
+            sb_stalls: d(self.sb_stalls, earlier.sb_stalls),
+            store_miss_local: d(self.store_miss_local, earlier.store_miss_local),
+            store_miss_remote: d(self.store_miss_remote, earlier.store_miss_remote),
+            store_miss_all: d(self.store_miss_all, earlier.store_miss_all),
         }
     }
 
@@ -70,6 +80,10 @@ impl Snap {
             (self.miss_local, earlier.miss_local),
             (self.miss_remote, earlier.miss_remote),
             (self.miss_all, earlier.miss_all),
+            (self.sb_stalls, earlier.sb_stalls),
+            (self.store_miss_local, earlier.store_miss_local),
+            (self.store_miss_remote, earlier.store_miss_remote),
+            (self.store_miss_all, earlier.store_miss_all),
         ]
         .iter()
         .filter(|(now, then)| now < then)
@@ -82,6 +96,16 @@ impl Snap {
             self.miss_all
         } else {
             self.miss_local + self.miss_remote
+        }
+    }
+
+    /// Total store misses, regardless of which counters the family
+    /// exposes (the store-side analogue of [`Snap::misses`]).
+    pub(crate) fn store_misses(self) -> u64 {
+        if self.store_miss_all > 0 {
+            self.store_miss_all
+        } else {
+            self.store_miss_local + self.store_miss_remote
         }
     }
 }
@@ -341,6 +365,7 @@ impl Quartz {
             totals.atomic_ops += s.atomic_ops;
             totals.cas_handoffs += s.cas_handoffs;
             totals.cas_handoff_wait += s.cas_handoff_wait;
+            totals.write_term += s.write_term;
             // Host-side lock telemetry lives in slot atomics (it is
             // written outside the owner lock).
             totals.lock_wait_ns += slot.lock_wait_ns();
@@ -444,16 +469,43 @@ impl Quartz {
             .l3_miss_all
             .map(|c| read(ctx, c.slot, fb.miss_all))
             .unwrap_or(0);
+        // Store-side slots exist only under asymmetric programming, so
+        // these reads — and the virtual time `rdpmc` charges — happen
+        // exactly when the asymmetric model is on. A symmetric config
+        // performs the same four reads as always, byte for byte.
+        let sb_stalls = counters
+            .store_stalls
+            .map(|c| read(ctx, c.slot, fb.sb_stalls))
+            .unwrap_or(0);
+        let store_miss_local = counters
+            .store_miss_local
+            .map(|c| read(ctx, c.slot, fb.store_miss_local))
+            .unwrap_or(0);
+        let store_miss_remote = counters
+            .store_miss_remote
+            .map(|c| read(ctx, c.slot, fb.store_miss_remote))
+            .unwrap_or(0);
+        let store_miss_all = counters
+            .store_miss_all
+            .map(|c| read(ctx, c.slot, fb.store_miss_all))
+            .unwrap_or(0);
         Snap {
             stalls,
             hits,
             miss_local,
             miss_remote,
             miss_all,
+            sb_stalls,
+            store_miss_local,
+            store_miss_remote,
+            store_miss_all,
         }
     }
 
-    /// Computes the injected delay (ns) for one epoch's counter deltas.
+    /// Computes the *read-side* injected delay (ns) for one epoch's
+    /// counter deltas (Eq. 1 or Eq. 2; the asymmetric write term is
+    /// computed separately by
+    /// [`compute_write_delay_ns`](Self::compute_write_delay_ns)).
     pub(crate) fn compute_delay_ns(&self, d: Snap) -> f64 {
         let nvm = self.config.target.read_latency_ns;
         match (self.config.model, self.config.memory_mode) {
@@ -490,6 +542,115 @@ impl Quartz {
                         model::delay_stall_based_ns(rem_ns, self.dram_remote_ns, nvm)
                     }
                 }
+            }
+        }
+    }
+
+    /// Computes the asymmetric *write-side* delay (ns) for one epoch's
+    /// deltas — the store-path Eq. 2 analogue over `RESOURCE_STALLS:SB`
+    /// (or, under the simple model, store-miss counts). Zero whenever
+    /// the asymmetric model is off: symmetric configs never program the
+    /// store counters, so the deltas are structurally zero and the
+    /// whole term short-circuits.
+    ///
+    /// Unlike the read side, the store-buffer stall count needs no
+    /// Eq. 3-style hit/miss weighting: `RESOURCE_STALLS:SB` only fires
+    /// on buffer-full back-pressure, which is already purely the DRAM-
+    /// bound share of store traffic.
+    pub(crate) fn compute_write_delay_ns(&self, d: Snap) -> f64 {
+        let Some(wlat) = self.config.target.write_latency_ns else {
+            return 0.0;
+        };
+        match (self.config.model, self.config.memory_mode) {
+            (LatencyModelKind::Simple, MemoryMode::PmOnly) => {
+                model::write_delay_simple_ns(d.store_misses(), self.dram_local_ns, wlat)
+            }
+            (LatencyModelKind::Simple, MemoryMode::TwoMemory) => {
+                model::write_delay_simple_ns(d.store_miss_remote, self.dram_remote_ns, wlat)
+            }
+            (LatencyModelKind::StallBased, mode) => {
+                let sb_ns = self
+                    .platform
+                    .frequency()
+                    .cycles_to_duration(d.sb_stalls)
+                    .as_ns_f64();
+                match mode {
+                    MemoryMode::PmOnly => {
+                        model::delay_stall_based_ns(sb_ns, self.dram_local_ns, wlat)
+                    }
+                    MemoryMode::TwoMemory => {
+                        // §3.3 transplanted onto the store path: weight
+                        // the SB stall time by latency-weighted store-
+                        // miss locality, inflate only the remote share.
+                        let rem_ns = model::split_remote_stall_ns(
+                            sb_ns,
+                            d.store_miss_local,
+                            d.store_miss_remote,
+                            self.dram_local_ns,
+                            self.dram_remote_ns,
+                        );
+                        model::delay_stall_based_ns(rem_ns, self.dram_remote_ns, wlat)
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`compute_write_delay_ns`](Self::compute_write_delay_ns) with the
+    /// same sanity bounds as the read side: SB stall cycles clamp to the
+    /// epoch budget, the resulting delay to the budget-implied maximum
+    /// at the *write* latency. The simple model is exempt for the same
+    /// ablation reason.
+    pub(crate) fn compute_write_delay_ns_bounded(
+        &self,
+        d: Snap,
+        budget_cycles: u64,
+    ) -> (f64, bool) {
+        let Some(wlat) = self.config.target.write_latency_ns else {
+            return (0.0, false);
+        };
+        match (self.config.model, self.config.memory_mode) {
+            (LatencyModelKind::Simple, _) => (self.compute_write_delay_ns(d), false),
+            (LatencyModelKind::StallBased, mode) => {
+                let (sb_cycles, stall_clamped) =
+                    model::clamp_stall_cycles(d.sb_stalls as f64, budget_cycles);
+                if stall_clamped {
+                    self.degradation
+                        .stall_clamps
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let freq = self.platform.frequency();
+                let sb_ns = freq
+                    .cycles_to_duration(sb_cycles.round() as u64)
+                    .as_ns_f64();
+                let (delay, substrate) = match mode {
+                    MemoryMode::PmOnly => (
+                        model::delay_stall_based_ns(sb_ns, self.dram_local_ns, wlat),
+                        self.dram_local_ns,
+                    ),
+                    MemoryMode::TwoMemory => {
+                        let rem_ns = model::split_remote_stall_ns(
+                            sb_ns,
+                            d.store_miss_local,
+                            d.store_miss_remote,
+                            self.dram_local_ns,
+                            self.dram_remote_ns,
+                        );
+                        (
+                            model::delay_stall_based_ns(rem_ns, self.dram_remote_ns, wlat),
+                            self.dram_remote_ns,
+                        )
+                    }
+                };
+                let budget_ns = freq.cycles_to_duration(budget_cycles).as_ns_f64();
+                let (delay, delay_clamped) =
+                    model::clamp_delay_ns(delay, budget_ns, substrate, wlat);
+                if delay_clamped {
+                    self.degradation
+                        .delay_clamps
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                (delay, stall_clamped || delay_clamped)
             }
         }
     }
@@ -627,10 +788,22 @@ impl Quartz {
             .platform
             .frequency()
             .duration_to_cycles(t0.saturating_duration_since(epoch_opened));
-        let budget =
-            model::epoch_budget_cycles(span_cycles, costs.epoch_compute_cycles, costs.rdpmc_cycles);
-        let (delay_ns, clamped) = self.compute_delay_ns_bounded(d, budget);
-        let delay = Duration::from_ns_f64(delay_ns);
+        // The asymmetric model really performs extra rdpmc reads per
+        // boundary, so they join the budget; store_len() is 0 in the
+        // symmetric configuration, where the budget must stay the
+        // historical 4-read value byte for byte.
+        let n_reads = 4 + owner.counters.store_len() as u64;
+        let budget = model::epoch_budget_cycles_for(
+            span_cycles,
+            costs.epoch_compute_cycles,
+            costs.rdpmc_cycles,
+            n_reads,
+        );
+        let (read_ns, read_clamped) = self.compute_delay_ns_bounded(d, budget);
+        let (write_ns, write_clamped) = self.compute_write_delay_ns_bounded(d, budget);
+        let clamped = read_clamped || write_clamped;
+        let write_term = Duration::from_ns_f64(write_ns);
+        let delay = Duration::from_ns_f64(read_ns) + write_term;
 
         // Amortize emulator overhead into the injected delay (§3.2):
         // overhead already slowed the thread down, so it is deducted
@@ -657,6 +830,7 @@ impl Quartz {
         // outside-the-lock delay outside the lock (§2.3).
         slot.set_epoch_start(ctx.now());
         owner.stats.overhead += overhead;
+        owner.stats.write_term += write_term;
         let carried = owner.stats.carried_overhead + overhead;
         let inject = delay.saturating_sub(carried);
         owner.stats.carried_overhead = carried.saturating_sub(delay);
@@ -726,9 +900,15 @@ impl Hooks for Quartz {
         // times — each refresh charged like a clock read — and past the
         // budget trust the hardware over the snapshot: the core is
         // demonstrably alive, it is running this registration.
+        let asymmetric = self.config.target.is_asymmetric();
         let mut counters = None;
         for _ in 0..TOPOLOGY_REFRESHES {
-            match self.kmod.try_program_standard_counters(ctx.core()) {
+            let attempt = if asymmetric {
+                self.kmod.try_program_asymmetric_counters(ctx.core())
+            } else {
+                self.kmod.try_program_standard_counters(ctx.core())
+            };
+            match attempt {
                 Ok(c) => {
                     counters = Some(c);
                     break;
@@ -751,7 +931,13 @@ impl Hooks for Quartz {
                 Err(e) => panic!("counter programming failed at registration: {e}"),
             }
         }
-        let counters = counters.unwrap_or_else(|| self.kmod.program_standard_counters(ctx.core()));
+        let counters = counters.unwrap_or_else(|| {
+            if asymmetric {
+                self.kmod.program_asymmetric_counters(ctx.core())
+            } else {
+                self.kmod.program_standard_counters(ctx.core())
+            }
+        });
         let snap = self.read_counters(ctx, counters, None);
         self.registry
             .register(ctx.thread_id().0, counters, snap, ctx.now());

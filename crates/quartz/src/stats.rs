@@ -90,6 +90,11 @@ pub struct ThreadStats {
     /// atomic publications (the visibility stall charged at hand-off
     /// edges).
     pub cas_handoff_wait: Duration,
+    /// Share of the computed epoch delay contributed by the asymmetric
+    /// write term (store-side Eq. 2 over `RESOURCE_STALLS:SB`). Zero —
+    /// and absent from the JSON — unless the target sets
+    /// `write_latency_ns`.
+    pub write_term: Duration,
 }
 
 impl ThreadStats {
@@ -160,6 +165,12 @@ impl ThreadStats {
                 self.cas_handoffs,
                 self.cas_handoff_wait.as_ps(),
             ));
+        }
+        // Same conditional-schema rule for the asymmetric write model:
+        // symmetric runs never compute a write term and keep their
+        // pre-asymmetry JSON byte for byte.
+        if !self.write_term.is_zero() {
+            out.push_str(&format!(",\"write_term_ps\":{}", self.write_term.as_ps()));
         }
         out.push('}');
         out
@@ -431,6 +442,9 @@ impl fmt::Display for QuartzStats {
             self.totals.skipped_min_epoch
         )?;
         writeln!(f, "  injected delay     : {}", self.totals.injected)?;
+        if !self.totals.write_term.is_zero() {
+            writeln!(f, "  write term (asym)  : {}", self.totals.write_term)?;
+        }
         writeln!(f, "  epoch overhead     : {}", self.totals.overhead)?;
         writeln!(
             f,
@@ -630,6 +644,17 @@ mod tests {
         let out = s.to_string();
         assert!(out.contains("barrier 0, atomic 2, exit 0"), "{out}");
         assert!(out.contains("9 ops, 3 CAS hand-offs"), "{out}");
+    }
+
+    #[test]
+    fn write_term_appears_only_when_asymmetric() {
+        // Symmetric runs keep the pre-asymmetry schema byte-for-byte.
+        assert!(!ThreadStats::default().to_json().contains("write_term"));
+        assert!(!QuartzStats::default().to_string().contains("write term"));
+        let mut s = QuartzStats::default();
+        s.totals.write_term = Duration::from_ns(42);
+        assert!(s.totals.to_json().contains("\"write_term_ps\":42000"));
+        assert!(s.to_string().contains("write term (asym)"));
     }
 
     #[test]

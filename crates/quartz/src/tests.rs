@@ -868,6 +868,151 @@ fn storm_accounting_has_no_double_charges() {
     assert!(per.iter().all(|t| t.lock_acquisitions > 0));
 }
 
+/// Streams regular (RFO-path) stores over a buffer far larger than L3,
+/// touching one line per page stride so the store buffer backs up;
+/// returns elapsed virtual ns.
+fn store_burst(ctx: &mut ThreadCtx, node: NodeId, stores: u64) -> f64 {
+    let buf = ctx.alloc_on(node, 1 << 24);
+    let t0 = ctx.now();
+    for i in 0..stores {
+        ctx.store(buf.offset_by((i * 4096 + (i % 7) * 64) % ((1 << 24) - 64)));
+    }
+    ctx.now().saturating_duration_since(t0).as_ns_f64()
+}
+
+#[test]
+fn asymmetric_model_charges_write_heavy_runs() {
+    // The tentpole's point: a write-heavy run under the symmetric model
+    // pays almost nothing (posted stores are invisible to the load-side
+    // counters), while the asymmetric model prices the store-buffer
+    // back-pressure at the NVM write latency.
+    let arch = Architecture::IvyBridge;
+    let run = |target: NvmTarget| {
+        let mem = machine(arch, true);
+        let engine = Engine::new(Arc::clone(&mem));
+        let quartz = Quartz::new(
+            QuartzConfig::new(target).with_max_epoch(Duration::from_us(100)),
+            mem,
+        )
+        .unwrap();
+        quartz.attach(&engine).unwrap();
+        let out = Arc::new(parking_lot::Mutex::new(0.0));
+        let o = Arc::clone(&out);
+        engine.run(move |ctx| {
+            *o.lock() = store_burst(ctx, NodeId(0), 30_000);
+        });
+        let v = *out.lock();
+        (v, quartz.stats())
+    };
+    let sym = NvmTarget::new(300.0);
+    let asym = NvmTarget::new(300.0).with_write_latency_ns(900.0);
+    let (t_sym, s_sym) = run(sym);
+    let (t_asym, s_asym) = run(asym);
+    assert!(s_sym.totals.write_term.is_zero());
+    assert!(!s_asym.totals.write_term.is_zero());
+    assert!(
+        t_asym > 1.1 * t_sym,
+        "asymmetric run must be visibly slower on write-heavy code: {t_asym} vs {t_sym}"
+    );
+    // Schema: the write term surfaces in JSON only for the asymmetric run.
+    assert!(!s_sym.to_json().contains("write_term_ps"));
+    assert!(s_asym.to_json().contains("write_term_ps"));
+}
+
+#[test]
+fn asymmetric_model_leaves_read_heavy_runs_alone() {
+    // Control cell: a pointer chase has no store traffic, so turning the
+    // asymmetric model on must not change the injected read-side delay
+    // beyond the (amortized) extra counter-read overhead.
+    let arch = Architecture::Haswell;
+    let run = |target: NvmTarget| {
+        let mem = machine(arch, true);
+        let engine = Engine::new(Arc::clone(&mem));
+        let quartz = Quartz::new(
+            QuartzConfig::new(target).with_max_epoch(Duration::from_us(100)),
+            mem,
+        )
+        .unwrap();
+        quartz.attach(&engine).unwrap();
+        let out = Arc::new(parking_lot::Mutex::new(0.0));
+        let o = Arc::clone(&out);
+        engine.run(move |ctx| {
+            *o.lock() = chase(ctx, NodeId(0), 30_000);
+        });
+        let v = *out.lock();
+        (v, quartz.stats())
+    };
+    let (t_sym, _) = run(NvmTarget::new(500.0));
+    let (t_asym, s_asym) = run(NvmTarget::new(500.0).with_write_latency_ns(900.0));
+    // No stores -> no SB stalls -> zero write term, even with the model on.
+    assert!(s_asym.totals.write_term.is_zero(), "{s_asym}");
+    let drift = (t_asym - t_sym).abs() / t_sym;
+    assert!(drift < 0.02, "read-heavy drift {:.3}%", drift * 100.0);
+}
+
+#[test]
+fn pflush_does_not_double_charge_stores_under_asymmetric_model() {
+    // Satellite check for the two write knobs: a store that is promptly
+    // pflushed is charged once by pflush (write_delay_ns); the asymmetric
+    // term must not price the flush writeback again. With flushes keeping
+    // the store buffer drained there is no RFO back-pressure, so the
+    // write term stays zero and total write charging is exactly
+    // pflushes x write_delay.
+    let mem = machine(Architecture::IvyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let target = NvmTarget::new(300.0)
+        .with_write_delay_ns(450.0)
+        .with_write_latency_ns(900.0);
+    let quartz = Quartz::new(QuartzConfig::new(target), mem).unwrap();
+    quartz.attach(&engine).unwrap();
+    let q = Arc::clone(&quartz);
+    engine.run(move |ctx| {
+        let buf = q.pmalloc(ctx, 1 << 16).unwrap();
+        for i in 0..200u64 {
+            ctx.store(buf.offset_by((i % 1024) * 64));
+            q.pflush(ctx, buf.offset_by((i % 1024) * 64));
+        }
+    });
+    let stats = quartz.stats();
+    assert_eq!(stats.totals.pflushes, 200);
+    assert_eq!(stats.totals.pflush_delay, Duration::from_ns(200 * 450));
+    // Each flush spins 450 ns, so the at-most-one in-flight RFO always
+    // completes before the next store: zero SB stalls, zero write term.
+    assert!(
+        stats.totals.write_term.is_zero(),
+        "flushed stores double-charged: {stats}"
+    );
+}
+
+#[test]
+fn wpq_pacing_throttles_flush_bursts() {
+    // write_bandwidth_gbps paces pflush at the NVM drain rate: 1 GB/s
+    // means 64 ns per line, dominating a 1 ns fixed write delay.
+    let mem = machine(Architecture::IvyBridge, true);
+    let engine = Engine::new(Arc::clone(&mem));
+    let target = NvmTarget::new(300.0)
+        .with_write_delay_ns(1.0)
+        .with_write_bandwidth_gbps(1.0);
+    let quartz = Quartz::new(QuartzConfig::new(target), mem).unwrap();
+    quartz.attach(&engine).unwrap();
+    let q = Arc::clone(&quartz);
+    let out = Arc::new(parking_lot::Mutex::new(0.0));
+    let o = Arc::clone(&out);
+    engine.run(move |ctx| {
+        let buf = q.pmalloc(ctx, 1 << 16).unwrap();
+        let t0 = ctx.now();
+        for i in 0..50u64 {
+            ctx.store(buf.offset_by(i * 64));
+            q.pflush(ctx, buf.offset_by(i * 64));
+        }
+        *o.lock() = ctx.now().saturating_duration_since(t0).as_ns_f64();
+    });
+    // 50 lines at 64 ns/line of drain = 3200 ns minimum.
+    assert!(*out.lock() >= 50.0 * 64.0, "WPQ pacing: {}", out.lock());
+    let stats = quartz.stats();
+    assert!(stats.totals.pflush_delay >= Duration::from_ns(3200));
+}
+
 mod snap_properties {
     //! Property tests for the counter-snapshot arithmetic the epoch
     //! accounting is built on.

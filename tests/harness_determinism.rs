@@ -438,6 +438,69 @@ fn lockfree_sweep_is_byte_identical_at_any_jobs_count() {
 }
 
 #[test]
+fn asymmetry_ablation_is_byte_identical_at_any_jobs_count() {
+    // The asymmetry ablation is pure virtual time (jitter off, perfect
+    // counters, fixed seed), so the console table and the whole
+    // BENCH_asymmetry.json — deltas and write terms included — uphold
+    // the byte-identity contract.
+    let exp = registry::find("asymmetry_ablation").expect("registered");
+    assert!(
+        exp.deterministic(),
+        "asymmetry_ablation must advertise determinism"
+    );
+    let base = std::env::temp_dir().join("quartz_bench_golden_asymmetry");
+    let (console1, files1) = golden_run("asymmetry_ablation", 1, &base.join("j1"));
+    let (console8, files8) = golden_run("asymmetry_ablation", 8, &base.join("j8"));
+    assert_eq!(console1, console8);
+    assert!(!files1.is_empty());
+    assert_eq!(files1.len(), files8.len());
+    for ((n1, b1), (n8, b8)) in files1.iter().zip(&files8) {
+        assert_eq!(n1, n8);
+        assert_eq!(b1, b8, "{n1} differs between --jobs 1 and --jobs 8");
+    }
+    let (_, bytes) = files1
+        .iter()
+        .find(|(n, _)| n == "BENCH_asymmetry.json")
+        .expect("BENCH_asymmetry.json emitted");
+    let bench = String::from_utf8(bytes.clone()).unwrap();
+    for needle in [
+        "\"schema\":1",
+        "\"bench\":\"asymmetry_ablation\"",
+        "\"kind\":\"read_only\"",
+        "\"kind\":\"write_heavy\"",
+        "\"write_term_ns_asym\":",
+    ] {
+        assert!(bench.contains(needle), "missing {needle} in {bench}");
+    }
+    // The read-only control cell accrues exactly zero write term even
+    // under the asymmetric model: no stores, nothing to price.
+    assert!(
+        bench.contains("\"kind\":\"read_only\",\"sym_ns\""),
+        "control cell present: {bench}"
+    );
+    let control = bench
+        .split("\"kind\":\"read_only\"")
+        .nth(1)
+        .expect("control cell");
+    let control = &control[..control.find('}').unwrap()];
+    assert!(
+        control.contains("\"write_term_ns_asym\":0"),
+        "control cell write term must be exactly zero: {control}"
+    );
+    // No host-timed fields: the timing scrubber must be a no-op here.
+    assert_eq!(
+        strip_timing_fields(&bench),
+        bench,
+        "asymmetry_ablation must not record host timing in its bench file"
+    );
+    let manifest = std::fs::read_to_string(base.join("j8").join("manifest.json")).unwrap();
+    assert!(
+        manifest.contains("\"benches\":[\"BENCH_asymmetry.json\"]"),
+        "{manifest}"
+    );
+}
+
+#[test]
 fn cli_filter_splits_commas_before_selection() {
     // --inject-fail validates its name against the selected set before
     // running anything, so it doubles as a cheap probe of what a

@@ -169,6 +169,46 @@ proptest! {
         }
     }
 
+    /// The asymmetric write model degenerates *exactly* to the symmetric
+    /// one when write and read latency coincide: by linearity of Eq. 2,
+    /// pricing load stalls and store-buffer stalls separately at the
+    /// same latency equals pricing their sum once. This is the
+    /// regression guard for the symmetric-byte-identity contract.
+    #[test]
+    fn asymmetric_delay_degenerates_when_latencies_match(
+        ldm_ns in 0.0f64..1e9,
+        sb_ns in 0.0f64..1e9,
+        dram in 50.0f64..200.0,
+        extra in 0.0f64..2_000.0,
+    ) {
+        let nvm = dram + extra;
+        let asym = model::delay_asymmetric_ns(ldm_ns, sb_ns, dram, nvm, nvm);
+        let sym = model::delay_stall_based_ns(ldm_ns + sb_ns, dram, nvm);
+        let tol = sym.abs() * 1e-12 + 1e-9;
+        prop_assert!((asym - sym).abs() <= tol, "{asym} != {sym}");
+    }
+
+    /// The write term is independent of the read latency and linear in
+    /// the write-latency difference — read- and write-side pricing never
+    /// bleed into each other.
+    #[test]
+    fn asymmetric_terms_are_independent(
+        ldm_ns in 0.0f64..1e8,
+        sb_ns in 0.0f64..1e8,
+        dram in 50.0f64..200.0,
+        r_extra in 0.0f64..2_000.0,
+        w_extra in 0.0f64..2_000.0,
+    ) {
+        let d = model::delay_asymmetric_ns(ldm_ns, sb_ns, dram, dram + r_extra, dram + w_extra);
+        let read = model::delay_stall_based_ns(ldm_ns, dram, dram + r_extra);
+        let write = model::delay_stall_based_ns(sb_ns, dram, dram + w_extra);
+        prop_assert!((d - (read + write)).abs() <= (read + write).abs() * 1e-12 + 1e-9);
+        // A write latency at or below the substrate zeroes only the
+        // write term.
+        let d0 = model::delay_asymmetric_ns(ldm_ns, sb_ns, dram, dram + r_extra, dram);
+        prop_assert!((d0 - read).abs() <= read.abs() * 1e-12 + 1e-9);
+    }
+
     /// §3.3 latency-weighted split: the local and remote shares are an
     /// *exact* partition of the total stall time (what Eq. 2 charges is
     /// never more or less than what was measured), and the remote share
