@@ -14,6 +14,10 @@
 //! * `livelock/cas_storm` must trip the consecutive-failed-CAS streak
 //!   detector and come back as [`SimFailure::Livelock`] naming the
 //!   spinning thread set (progress in virtual time, none in the data);
+//! * `timeout/recv_expiry` must come back `ok`: a legitimate
+//!   `recv_timeout`/`send_timeout` expiry is a pending virtual-time
+//!   event, and neither the armed watchdog nor the deadlock detector
+//!   may misread the timed wait as lost progress;
 //! * `deadlock/quartz_reap` additionally checks the emulator-side
 //!   containment: the attached Quartz instance reaps every orphaned
 //!   per-thread slot and flags the undrained flush as an epoch-state
@@ -67,16 +71,21 @@ enum Scenario {
     LivelockCasStorm,
     /// ABBA deadlock with Quartz attached: slots must be reaped.
     DeadlockQuartzReap,
+    /// A legitimate `recv_timeout` expiry on a never-fed channel, with
+    /// the watchdog armed: a *timed* wait is a pending virtual-time
+    /// event, not a hang or deadlock, and must classify as `ok`.
+    TimeoutRecvExpiry,
 }
 
 impl Scenario {
-    const ALL: [Scenario; 6] = [
+    const ALL: [Scenario; 7] = [
         Scenario::Clean,
         Scenario::DeadlockAbba,
         Scenario::PanicChild,
         Scenario::HangVirtualSpin,
         Scenario::LivelockCasStorm,
         Scenario::DeadlockQuartzReap,
+        Scenario::TimeoutRecvExpiry,
     ];
 
     fn name(self) -> &'static str {
@@ -87,13 +96,14 @@ impl Scenario {
             Scenario::HangVirtualSpin => "hang/virtual_spin",
             Scenario::LivelockCasStorm => "livelock/cas_storm",
             Scenario::DeadlockQuartzReap => "deadlock/quartz_reap",
+            Scenario::TimeoutRecvExpiry => "timeout/recv_expiry",
         }
     }
 
     /// The [`SimFailure::kind`] (or `"ok"`) the scenario must produce.
     fn expected(self) -> &'static str {
         match self {
-            Scenario::Clean => "ok",
+            Scenario::Clean | Scenario::TimeoutRecvExpiry => "ok",
             Scenario::DeadlockAbba | Scenario::DeadlockQuartzReap => "deadlock",
             Scenario::PanicChild => "panic",
             Scenario::HangVirtualSpin => "hang",
@@ -314,6 +324,39 @@ fn eval(pt: &Pt<Scenario>) -> Row {
                     render_cycle(&failure),
                     stats.degradation.orphan_slots_reaped,
                     stats.degradation.epoch_state_anomalies
+                ),
+            )
+        }
+        Scenario::TimeoutRecvExpiry => {
+            // Same watchdog the hang scenario uses: if timed waits were
+            // misread as lost progress, this budget would trip.
+            engine.set_watchdog(Some(std::time::Duration::from_millis(HANG_BUDGET_MS)));
+            let never_fed = engine.channel::<u64>();
+            let slot = engine.bounded_channel::<u64>(1);
+            let report = engine
+                .try_run(move |ctx| {
+                    use quartz_threadsim::{RecvTimeoutError, SendTimeoutError};
+                    let r = ctx.chan_recv_timeout(&never_fed, Duration::from_us(500));
+                    assert!(
+                        matches!(r, Err(RecvTimeoutError::Timeout)),
+                        "never-fed channel must expire, got {r:?}"
+                    );
+                    // Same discipline on the send side: a full bounded
+                    // slot with no drainer expires instead of wedging.
+                    ctx.chan_send(&slot, 1);
+                    let s = ctx.chan_send_timeout(&slot, 2, Duration::from_us(500));
+                    assert!(
+                        matches!(s, Err(SendTimeoutError::Timeout(2))),
+                        "full slot must expire the timed send"
+                    );
+                })
+                .unwrap_or_else(|f| panic!("{label}: timed expiry misclassified as {f}"));
+            (
+                "ok".to_string(),
+                format!(
+                    "recv_timeout + send_timeout expired cleanly at {} \
+                     (watchdog armed, no hang/deadlock)",
+                    report.end_time
                 ),
             )
         }

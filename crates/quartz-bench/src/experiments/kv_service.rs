@@ -9,9 +9,11 @@
 //! is amplified by queueing into the tail percentiles long before the
 //! mean moves. This experiment drives the [`KvService`] scenario (N
 //! open-loop connection sources fanning into M batching workers) across
-//! an offered-load sweep at DRAM and at an Optane-measured NVM read
-//! latency (~374 ns per arXiv:2002.06018), recording
-//! coordinated-omission-free latency distributions.
+//! an offered-load sweep at DRAM and at the calibrated asymmetric
+//! Optane DC PMM target ([`NvmTarget::optane_dcpmm`]: ~169 ns reads,
+//! ~90 ns write-to-WPQ, 39.4/13.9 GB/s read/write bandwidth, per
+//! arXiv:2002.06018), recording coordinated-omission-free latency
+//! distributions.
 //!
 //! Emits `BENCH_kv_service.json`; the curves are pure virtual-time
 //! measurements, so the file is byte-identical at any `--jobs`.
@@ -26,19 +28,13 @@ use crate::json::Json;
 use crate::report::{f, Table};
 use crate::{build_engine, MachineSpec};
 
-/// Measured NVM read latency of Intel Optane DC PMM (idle, sequential),
-/// per "An Empirical Guide to the Behavior and Use of Scalable
-/// Persistent Memory" (arXiv:2002.06018): ~2–3x DRAM, ≈ 305–380 ns
-/// observed; we emulate the pointer-chase-visible figure.
-const OPTANE_READ_NS: f64 = 374.0;
-
 /// Machine seed for the service cells (distinct from fig15/16's 16/17).
 const SEED: u64 = 21;
 
 /// One grid cell: a memory configuration at one offered load.
 #[derive(Clone)]
 struct CellSpec {
-    /// `"dram"` or `"nvm374"`.
+    /// `"dram"` or `"optane"`.
     memory: &'static str,
     /// Emulated NVM target; `None` is the DRAM baseline.
     target: Option<NvmTarget>,
@@ -119,10 +115,7 @@ impl Experiment for KvServiceCurves {
             &[1.0e6, 2.0e6, 4.0e6, 6.0e6, 8.0e6, 10.0e6]
         };
         let mut points: Vec<Pt<CellSpec>> = Vec::new();
-        for (memory, target) in [
-            ("dram", None),
-            ("nvm374", Some(NvmTarget::new(OPTANE_READ_NS))),
-        ] {
+        for (memory, target) in [("dram", None), ("optane", Some(NvmTarget::optane_dcpmm()))] {
             for &offered_rps in loads {
                 points.push(Pt::new(
                     format!("{memory}/load{:.2}M", offered_rps / 1e6),
@@ -233,12 +226,14 @@ fn bench_json(ctx: &ExpCtx, rows: &[CellRow]) -> String {
             ),
         ])
     };
+    let target = NvmTarget::optane_dcpmm();
     let obj = Json::obj(vec![
-        ("schema", Json::Int(1)),
+        ("schema", Json::Int(2)),
         ("bench", Json::str("kv_service")),
         ("quick", Json::Bool(ctx.quick())),
-        ("nvm_read_ns", Json::Num(OPTANE_READ_NS)),
-        ("curves", Json::Arr(vec![curve("dram"), curve("nvm374")])),
+        ("nvm_target", Json::str("optane_dcpmm")),
+        ("nvm_read_ns", Json::Num(target.read_latency_ns)),
+        ("curves", Json::Arr(vec![curve("dram"), curve("optane")])),
     ]);
     obj.render() + "\n"
 }

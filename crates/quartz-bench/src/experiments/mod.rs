@@ -26,6 +26,7 @@ pub mod kv_service;
 pub mod lockfree_sweep;
 pub mod memsim_throughput;
 pub mod overhead;
+pub mod overload;
 pub mod pagerank_validation;
 pub mod table1;
 pub mod table2;

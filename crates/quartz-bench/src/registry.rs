@@ -11,7 +11,7 @@ use crate::exp::Experiment;
 use crate::experiments::{
     ablations, asymmetry, contention, crash, extensions, failure_modes, faults, fig11, fig12,
     fig13, fig14, fig15, fig16, fig8, kv_service, lockfree_sweep, memsim_throughput, overhead,
-    pagerank_validation, table1, table2,
+    overload, pagerank_validation, table1, table2,
 };
 
 /// Every registered experiment, in canonical `repro all` order.
@@ -42,6 +42,7 @@ static REGISTRY: &[&dyn Experiment] = &[
     &failure_modes::FailureModes,
     &memsim_throughput::MemsimThroughput,
     &kv_service::KvServiceCurves,
+    &overload::OverloadMatrix,
     &lockfree_sweep::LockfreeSweep,
 ];
 
@@ -170,6 +171,7 @@ mod tests {
             "failure_modes",
             "memsim_throughput",
             "kv_service",
+            "overload_matrix",
             "lockfree_sweep",
         ];
         let names: Vec<&str> = all().iter().map(|e| e.name()).collect();

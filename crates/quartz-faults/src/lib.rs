@@ -33,9 +33,11 @@
 
 mod injector;
 mod plan;
+mod service;
 
 pub use injector::{install, FaultyPlatform, PlanInjector};
 pub use plan::{FaultClass, FaultPlan};
+pub use service::{ServiceFaultClass, ServiceFaultPlan, ServicePlanInjector};
 
 #[cfg(test)]
 mod tests;

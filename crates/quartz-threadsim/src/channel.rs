@@ -23,6 +23,19 @@
 //! the cycle) is reported as
 //! [`SimFailure::Deadlock`](crate::SimFailure) with named channel
 //! edges (`t1 -(ch0)-> t2`), exactly like mutex and join cycles.
+//!
+//! Channels may also be **bounded**
+//! ([`Engine::bounded_channel`](crate::Engine::bounded_channel) /
+//! [`ThreadCtx::chan_new_bounded`](crate::ThreadCtx::chan_new_bounded)):
+//! a `chan_send` on a full queue parks the sender off the runnable set
+//! (consuming zero simulated time beyond the wait itself) until a
+//! receiver drains a slot. Capacity 0 is a rendezvous — a send
+//! completes only by pairing with a parked receiver. A blocked sender
+//! appears in deadlock cycles as a named full-channel edge
+//! (`t1 -(ch0 full)-> t2`, pointing at the registered drainer), and the
+//! timed variants (`chan_send_timeout` / `chan_recv_timeout`) wake on a
+//! virtual-time deadline instead of parking forever, so a timed wait is
+//! never misreported as a deadlock or hang.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -105,6 +118,85 @@ impl std::fmt::Display for TryRecvError {
         match self {
             TryRecvError::Empty => write!(f, "channel empty"),
             TryRecvError::Closed => write!(f, "channel closed"),
+        }
+    }
+}
+
+/// Why [`ThreadCtx::chan_try_send`](crate::ThreadCtx::chan_try_send)
+/// could not place a payload; the rejected payload is handed back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity (or, for a rendezvous channel,
+    /// no receiver is parked) right now.
+    Full(T),
+    /// The channel is closed; no payload will ever be accepted again.
+    Closed(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the payload the channel rejected.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Closed(v) => v,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "channel full"),
+            TrySendError::Closed(_) => write!(f, "channel closed"),
+        }
+    }
+}
+
+/// Why [`ThreadCtx::chan_send_timeout`](crate::ThreadCtx::chan_send_timeout)
+/// gave up; the rejected payload is handed back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The virtual-time deadline expired with the queue still full.
+    Timeout(T),
+    /// The channel closed while (or before) the sender waited.
+    Closed(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// Recovers the payload the channel rejected.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(v) | SendTimeoutError::Closed(v) => v,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => write!(f, "send timed out"),
+            SendTimeoutError::Closed(_) => write!(f, "channel closed"),
+        }
+    }
+}
+
+/// Why [`ThreadCtx::chan_recv_timeout`](crate::ThreadCtx::chan_recv_timeout)
+/// returned no payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The virtual-time deadline expired with the channel still empty.
+    /// This is a *legitimate* outcome of a timed wait, not a failure —
+    /// the scheduler woke the receiver at its deadline; it was never a
+    /// deadlock or hang candidate.
+    Timeout,
+    /// The channel is closed and fully drained.
+    Closed,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "recv timed out"),
+            RecvTimeoutError::Closed => write!(f, "channel closed"),
         }
     }
 }

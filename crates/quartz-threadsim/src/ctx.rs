@@ -12,11 +12,12 @@ use quartz_platform::time::{Duration, SimTime};
 use quartz_platform::{CoreId, NodeId, Platform};
 
 use crate::atomics::{spurious_roll, AtomicEvent, AtomicOp, AtomicPhase, CasOutcome};
-use crate::channel::{SimChannel, TryRecvError};
+use crate::channel::{RecvTimeoutError, SendTimeoutError, SimChannel, TryRecvError, TrySendError};
 use crate::engine::{
-    close_channel, new_atomic, new_barrier, new_channel, new_cond, new_mutex, register_sender,
-    schedule_next, spawn_thread, wake_thread, EngineShared, SchedState, ShutdownSignal, Status,
-    ThreadId, HANDOFF_NS, LOCK_OP_NS, SPAWN_NS,
+    close_channel, expire_timed_wait, new_atomic, new_barrier, new_channel, new_cond, new_mutex,
+    next_timed_wait, register_receiver, register_sender, schedule_next, spawn_thread,
+    wake_one_blocked_sender, wake_one_receiver, EngineShared, SchedState, ShutdownSignal, Status,
+    ThreadId, TimedWait, HANDOFF_NS, LOCK_OP_NS, SPAWN_NS,
 };
 use crate::failure::SimFailure;
 use crate::{AtomicId, BarrierId, CondId, MutexId, SimAtomicPtr, SimAtomicU64};
@@ -168,27 +169,48 @@ impl ThreadCtx {
         let shared = Arc::clone(&self.shared);
         let mut st = shared.state.lock();
         loop {
-            let due = st
+            // Causality bound: fire events due up to our clock, but
+            // never past the lookahead deadline. Once a fire wakes a
+            // thread whose clock trails ours (trimming `deadline`),
+            // later events must wait — the woken thread may change the
+            // state those events observe (e.g. an admission gauge), so
+            // it has to run first. The remaining dues fire either at
+            // its op boundaries or when we resume.
+            let horizon = self.clock.min(self.deadline);
+            let due_timer = st
                 .timers
                 .iter()
                 .enumerate()
-                .filter(|(_, t)| t.next_fire <= self.clock)
+                .filter(|(_, t)| t.next_fire <= horizon)
                 .min_by_key(|(i, t)| (t.next_fire, *i))
-                .map(|(i, _)| i);
-            let Some(idx) = due else { break };
-            if let Some(woken) = crate::engine::fire_timer(&mut st, idx) {
-                // An injection woke a parked channel receiver (possibly
-                // at a clock below ours): bound our lookahead so we
-                // yield to it promptly.
-                self.deadline = self.deadline.min(woken + shared.quantum);
+                .map(|(i, t)| (t.next_fire, i));
+            let due_wait = next_timed_wait(&st).filter(|(dl, _)| *dl <= horizon);
+            // Interleave timer fires and timed-wait expiries in virtual
+            // time, deadline-first on ties: a payload landing exactly at
+            // a receiver's deadline arrives too late (POSIX timed-wait
+            // semantics), so the expiry must be processed first.
+            match (due_wait, due_timer) {
+                (Some((dl, thread)), timer) if timer.is_none_or(|(at, _)| dl <= at) => {
+                    let mut min_wake = None;
+                    expire_timed_wait(&mut st, thread, &mut min_wake);
+                    if let Some(w) = min_wake {
+                        self.deadline = self.deadline.min(w + shared.quantum);
+                    }
+                }
+                (_, Some((_, idx))) => {
+                    if let Some(woken) = crate::engine::fire_timer(&mut st, idx) {
+                        // An injection woke a parked channel receiver
+                        // (possibly at a clock below ours): bound our
+                        // lookahead so we yield to it promptly.
+                        self.deadline = self.deadline.min(woken + shared.quantum);
+                    }
+                }
+                // `(Some(_), None)` always passes the first arm's
+                // guard, so only `(None, None)` reaches here.
+                _ => break,
             }
         }
-        self.next_timer = st
-            .timers
-            .iter()
-            .map(|t| t.next_fire)
-            .min()
-            .unwrap_or(FAR_FUTURE);
+        self.next_timer = next_event_cache(&st);
     }
 
     fn yield_handoff(&mut self) {
@@ -929,7 +951,14 @@ impl ThreadCtx {
 
     /// Creates a simulated-time MPSC channel from inside a thread.
     pub fn chan_new<T: Send>(&mut self) -> SimChannel<T> {
-        SimChannel::new(new_channel(&self.shared))
+        SimChannel::new(new_channel(&self.shared, None))
+    }
+
+    /// Creates a bounded simulated-time channel from inside a thread.
+    /// `capacity` 0 is a rendezvous; see
+    /// [`Engine::bounded_channel`](crate::Engine::bounded_channel).
+    pub fn chan_new_bounded<T: Send>(&mut self, capacity: usize) -> SimChannel<T> {
+        SimChannel::new(new_channel(&self.shared, Some(capacity)))
     }
 
     /// Declares this thread a producer of `ch` without sending yet —
@@ -941,8 +970,48 @@ impl ThreadCtx {
         register_sender(&mut st, ch.id().0, self.id.0);
     }
 
+    /// Declares this thread a consumer of `ch` without receiving yet —
+    /// the dual of [`chan_register_sender`](Self::chan_register_sender):
+    /// a sender that blocks on a full queue before our first receive can
+    /// name us as the drainer in deadlock diagnosis. `chan_recv` and
+    /// friends register implicitly.
+    pub fn chan_register_receiver<T: Send>(&mut self, ch: &SimChannel<T>) {
+        let mut st = self.shared.state.lock();
+        register_receiver(&mut st, ch.id().0, self.id.0);
+    }
+
+    /// Completes a send under the scheduler lock: payload into the
+    /// host-side buffer, depth bump, one parked receiver woken at this
+    /// instant plus the hand-off cost. Caller has verified room.
+    fn complete_send_locked<T: Send>(&mut self, st: &mut SchedState, ch: &SimChannel<T>, value: T) {
+        // Data and control plane move together under the scheduler
+        // lock: INVARIANT queued == buf.len().
+        ch.push(value);
+        st.channels[ch.id().0].queued += 1;
+        let mut min_wake = None;
+        wake_one_receiver(st, ch.id().0, self.clock, &mut min_wake);
+        if let Some(w) = min_wake {
+            self.deadline = self.deadline.min(w + self.shared.quantum);
+        }
+    }
+
+    /// Wakes one blocked sender after this receiver drained a slot (or
+    /// parked, for a rendezvous pairing), trimming our lookahead so the
+    /// freed producer runs promptly.
+    fn wake_sender_after_pop(&mut self, st: &mut SchedState, ch: usize) {
+        let mut min_wake = None;
+        wake_one_blocked_sender(st, ch, self.clock, &mut min_wake);
+        if let Some(w) = min_wake {
+            self.deadline = self.deadline.min(w + self.shared.quantum);
+        }
+    }
+
     /// Sends `value` on `ch`, waking one parked receiver at this instant
-    /// plus the hand-off cost. Never blocks (the channel is unbounded).
+    /// plus the hand-off cost. On an unbounded channel this never
+    /// blocks; on a bounded channel a send against a full queue parks
+    /// the sender off the runnable set — consuming zero simulated time
+    /// beyond the wait itself — until a receiver frees a slot (or, for a
+    /// rendezvous, parks to pair with us).
     ///
     /// # Panics
     ///
@@ -951,24 +1020,118 @@ impl ThreadCtx {
     pub fn chan_send<T: Send>(&mut self, ch: &SimChannel<T>, value: T) {
         self.op_boundary();
         self.clock += Duration::from_ns(LOCK_OP_NS);
+        let mut value = Some(value);
+        loop {
+            let shared = Arc::clone(&self.shared);
+            let mut st = shared.state.lock();
+            register_sender(&mut st, ch.id().0, self.id.0);
+            let rec = &mut st.channels[ch.id().0];
+            assert!(!rec.closed, "send on closed channel");
+            if rec.has_room() {
+                let v = value.take().expect("send payload consumed twice");
+                self.complete_send_locked(&mut st, ch, v);
+                return;
+            }
+            rec.blocked_senders.push_back(self.id.0);
+            st.threads[self.id.0].status = Status::Blocked;
+            st.threads[self.id.0].clock = self.clock;
+            schedule_next(&shared, &mut st);
+            self.park(st);
+            // Woken by a drained slot, a newly parked rendezvous
+            // receiver, or a close. Re-check: with multiple producers
+            // another sender may have claimed the slot first.
+        }
+    }
+
+    /// Non-blocking send.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] if the bounded queue is at capacity (or no
+    /// receiver is parked on a rendezvous channel) right now,
+    /// [`TrySendError::Closed`] if the channel is closed. The payload
+    /// rides back in the error.
+    pub fn chan_try_send<T: Send>(
+        &mut self,
+        ch: &SimChannel<T>,
+        value: T,
+    ) -> Result<(), TrySendError<T>> {
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
         let shared = Arc::clone(&self.shared);
         let mut st = shared.state.lock();
         register_sender(&mut st, ch.id().0, self.id.0);
-        let waiter = {
-            let rec = &mut st.channels[ch.id().0];
-            assert!(!rec.closed, "send on closed channel");
-            // Data and control plane move together under the scheduler
-            // lock: INVARIANT queued == buf.len().
-            ch.push(value);
-            rec.queued += 1;
-            rec.receivers.pop_front()
-        };
-        if let Some(r) = waiter {
-            let mut min_wake = None;
-            wake_thread(&mut st, r, self.clock, &mut min_wake);
-            if let Some(w) = min_wake {
-                self.deadline = self.deadline.min(w + shared.quantum);
+        let rec = &st.channels[ch.id().0];
+        if rec.closed {
+            return Err(TrySendError::Closed(value));
+        }
+        if !rec.has_room() {
+            return Err(TrySendError::Full(value));
+        }
+        self.complete_send_locked(&mut st, ch, value);
+        Ok(())
+    }
+
+    /// Sends with a virtual-time deadline: like
+    /// [`chan_send`](Self::chan_send) but a sender still blocked when
+    /// `timeout` elapses wakes at exactly the deadline and gets its
+    /// payload back. The timed wait is a scheduled virtual-time event —
+    /// never a deadlock or hang candidate.
+    ///
+    /// # Errors
+    ///
+    /// [`SendTimeoutError::Timeout`] if the deadline expired with the
+    /// queue still full, [`SendTimeoutError::Closed`] if the channel
+    /// closed before the payload was accepted.
+    pub fn chan_send_timeout<T: Send>(
+        &mut self,
+        ch: &SimChannel<T>,
+        value: T,
+        timeout: Duration,
+    ) -> Result<(), SendTimeoutError<T>> {
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        let deadline = self.clock + timeout;
+        let mut value = Some(value);
+        loop {
+            let shared = Arc::clone(&self.shared);
+            let mut st = shared.state.lock();
+            let me = self.id.0;
+            register_sender(&mut st, ch.id().0, me);
+            if st.threads[me].timed_wait.is_some_and(|w| w.expired) {
+                st.threads[me].timed_wait = None;
+                let v = value.take().expect("send payload consumed twice");
+                return Err(SendTimeoutError::Timeout(v));
             }
+            let closed = st.channels[ch.id().0].closed;
+            if closed {
+                st.threads[me].timed_wait = None;
+                let v = value.take().expect("send payload consumed twice");
+                return Err(SendTimeoutError::Closed(v));
+            }
+            if st.channels[ch.id().0].has_room() {
+                st.threads[me].timed_wait = None;
+                let v = value.take().expect("send payload consumed twice");
+                self.complete_send_locked(&mut st, ch, v);
+                return Ok(());
+            }
+            if self.clock >= deadline {
+                // Zero/elapsed budget and no room: give up without
+                // parking (covers `timeout == 0` as a try_send).
+                st.threads[me].timed_wait = None;
+                let v = value.take().expect("send payload consumed twice");
+                return Err(SendTimeoutError::Timeout(v));
+            }
+            st.channels[ch.id().0].blocked_senders.push_back(me);
+            st.threads[me].timed_wait = Some(TimedWait {
+                deadline,
+                channel: ch.id().0,
+                expired: false,
+            });
+            st.threads[me].status = Status::Blocked;
+            st.threads[me].clock = self.clock;
+            schedule_next(&shared, &mut st);
+            self.park(st);
         }
     }
 
@@ -981,10 +1144,13 @@ impl ThreadCtx {
         loop {
             let shared = Arc::clone(&self.shared);
             let mut st = shared.state.lock();
+            register_receiver(&mut st, ch.id().0, self.id.0);
             let rec = &mut st.channels[ch.id().0];
             if rec.queued > 0 {
                 rec.queued -= 1;
-                return Some(ch.pop().expect("channel buffer behind queued count"));
+                let v = ch.pop().expect("channel buffer behind queued count");
+                self.wake_sender_after_pop(&mut st, ch.id().0);
+                return Some(v);
             }
             if rec.closed {
                 return None;
@@ -992,11 +1158,75 @@ impl ThreadCtx {
             rec.receivers.push_back(self.id.0);
             st.threads[self.id.0].status = Status::Blocked;
             st.threads[self.id.0].clock = self.clock;
+            // Rendezvous pairing: our parking is the event a capacity-0
+            // blocked sender waits for.
+            self.wake_sender_after_pop(&mut st, ch.id().0);
             schedule_next(&shared, &mut st);
             self.park(st);
             // Woken by a send, an injection, or a close. Re-check: with
             // multiple consumers another receiver may have drained the
             // payload first, in which case we re-park.
+        }
+    }
+
+    /// Receives with a virtual-time deadline: like
+    /// [`chan_recv`](Self::chan_recv) but a receiver still empty-handed
+    /// when `timeout` elapses wakes at exactly the deadline. The timed
+    /// wait is a scheduled virtual-time event — never a deadlock or
+    /// hang candidate, and the watchdog does not misclassify it.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if the deadline expired with the
+    /// channel still empty, [`RecvTimeoutError::Closed`] once the
+    /// channel is closed and drained.
+    pub fn chan_recv_timeout<T: Send>(
+        &mut self,
+        ch: &SimChannel<T>,
+        timeout: Duration,
+    ) -> Result<T, RecvTimeoutError> {
+        self.op_boundary();
+        self.clock += Duration::from_ns(LOCK_OP_NS);
+        let deadline = self.clock + timeout;
+        loop {
+            let shared = Arc::clone(&self.shared);
+            let mut st = shared.state.lock();
+            let me = self.id.0;
+            register_receiver(&mut st, ch.id().0, me);
+            if st.threads[me].timed_wait.is_some_and(|w| w.expired) {
+                st.threads[me].timed_wait = None;
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let rec = &mut st.channels[ch.id().0];
+            if rec.queued > 0 {
+                rec.queued -= 1;
+                st.threads[me].timed_wait = None;
+                let v = ch.pop().expect("channel buffer behind queued count");
+                self.wake_sender_after_pop(&mut st, ch.id().0);
+                return Ok(v);
+            }
+            if rec.closed {
+                st.threads[me].timed_wait = None;
+                return Err(RecvTimeoutError::Closed);
+            }
+            if self.clock >= deadline {
+                // Zero/elapsed budget and nothing queued: give up
+                // without parking (covers `timeout == 0` as a
+                // try_recv).
+                st.threads[me].timed_wait = None;
+                return Err(RecvTimeoutError::Timeout);
+            }
+            rec.receivers.push_back(me);
+            st.threads[me].timed_wait = Some(TimedWait {
+                deadline,
+                channel: ch.id().0,
+                expired: false,
+            });
+            st.threads[me].status = Status::Blocked;
+            st.threads[me].clock = self.clock;
+            self.wake_sender_after_pop(&mut st, ch.id().0);
+            schedule_next(&shared, &mut st);
+            self.park(st);
         }
     }
 
@@ -1011,10 +1241,13 @@ impl ThreadCtx {
         self.clock += Duration::from_ns(LOCK_OP_NS);
         let shared = Arc::clone(&self.shared);
         let mut st = shared.state.lock();
+        register_receiver(&mut st, ch.id().0, self.id.0);
         let rec = &mut st.channels[ch.id().0];
         if rec.queued > 0 {
             rec.queued -= 1;
-            return Ok(ch.pop().expect("channel buffer behind queued count"));
+            let v = ch.pop().expect("channel buffer behind queued count");
+            self.wake_sender_after_pop(&mut st, ch.id().0);
+            return Ok(v);
         }
         if rec.closed {
             Err(TryRecvError::Closed)
@@ -1051,13 +1284,21 @@ fn compute_caches(st: &SchedState, id: usize, quantum: Duration) -> (SimTime, Si
         Some(c) => c + quantum,
         None => FAR_FUTURE,
     };
-    let next_timer = st
-        .timers
-        .iter()
-        .map(|t| t.next_fire)
-        .min()
-        .unwrap_or(FAR_FUTURE);
-    (deadline, next_timer)
+    (deadline, next_event_cache(st))
+}
+
+/// The earliest pending virtual-time event a running thread must stop
+/// for at an op boundary: a timer fire or a blocked thread's timed-wait
+/// deadline. Both are scheduled events, so neither may slide past a
+/// running thread's clock unobserved.
+fn next_event_cache(st: &SchedState) -> SimTime {
+    let timer = st.timers.iter().map(|t| t.next_fire).min();
+    let wait = next_timed_wait(st).map(|(dl, _)| dl);
+    match (timer, wait) {
+        (Some(a), Some(b)) => a.min(b),
+        (Some(a), None) | (None, Some(a)) => a,
+        (None, None) => FAR_FUTURE,
+    }
 }
 
 impl std::fmt::Debug for ThreadCtx {

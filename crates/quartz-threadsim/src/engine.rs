@@ -65,6 +65,23 @@ pub(crate) enum Status {
     Finished,
 }
 
+/// An in-progress timed channel wait (`chan_recv_timeout` /
+/// `chan_send_timeout`): the parked thread self-wakes at `deadline`
+/// unless a send/recv/close releases it first. The scheduler treats the
+/// deadline as a pending virtual-time event, so a run where every
+/// thread sits in a timed wait is *progress*, never a deadlock or hang.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TimedWait {
+    /// Virtual instant the wait gives up.
+    pub deadline: SimTime,
+    /// The channel the thread is parked on (receiver or blocked-sender
+    /// queue), so expiry can unlink it.
+    pub channel: usize,
+    /// Set when the wake *was* the deadline: the parked operation
+    /// observes this and returns its typed Timeout.
+    pub expired: bool,
+}
+
 pub(crate) struct ThreadRec {
     pub clock: SimTime,
     pub status: Status,
@@ -72,6 +89,8 @@ pub(crate) struct ThreadRec {
     pub pending_signal: Arc<AtomicBool>,
     pub joiners: Vec<usize>,
     pub finish_time: SimTime,
+    /// Deadline of an in-progress timed channel wait, `None` otherwise.
+    pub timed_wait: Option<TimedWait>,
     /// Consecutive failed (genuine or spurious) compare-exchanges with
     /// no successful atomic modification in between — the livelock
     /// detector's per-thread progress meter. Reset by any successful
@@ -107,17 +126,40 @@ pub(crate) struct BarrierRec {
 pub(crate) struct ChannelRec {
     /// Payloads currently buffered (send minus recv).
     pub queued: usize,
+    /// Bounded capacity; `None` is unbounded (sends never block) and
+    /// `Some(0)` is a rendezvous (a send pairs with a parked receiver).
+    /// Open-loop source injections ignore the bound — admission control
+    /// at the network edge is the workload's job, not the channel's.
+    pub capacity: Option<usize>,
     /// No further sends will happen; `recv` drains then returns `None`.
     pub closed: bool,
     /// Threads parked in `chan_recv`, FIFO.
     pub receivers: VecDeque<usize>,
+    /// Threads parked in a blocking `chan_send` on a full queue, FIFO.
+    pub blocked_senders: VecDeque<usize>,
     /// Threads registered as producers (explicitly or by sending),
     /// ascending — the wait-for edges of a channel deadlock.
     pub senders: Vec<usize>,
+    /// Threads registered as consumers (explicitly or by receiving),
+    /// ascending — the wait-for edges of a *full*-channel deadlock: a
+    /// blocked sender transitively waits on the smallest live drainer.
+    pub consumers: Vec<usize>,
     /// Open-loop event sources currently feeding this channel; the
     /// channel auto-closes when this reaches zero with no live
     /// registered sender thread.
     pub sources: usize,
+}
+
+impl ChannelRec {
+    /// Whether a thread-side send can complete right now: below the
+    /// bound, or (rendezvous) a receiver is parked and ready to pair.
+    pub fn has_room(&self) -> bool {
+        match self.capacity {
+            None => true,
+            Some(0) => !self.receivers.is_empty(),
+            Some(c) => self.queued < c,
+        }
+    }
 }
 
 /// Scheduler-owned state of one simulated atomic cell. Only ever
@@ -307,7 +349,19 @@ impl Engine {
     /// handle. Inside a simulated thread, use
     /// [`ThreadCtx::chan_new`](crate::ThreadCtx::chan_new) instead.
     pub fn channel<T: Send>(&self) -> SimChannel<T> {
-        SimChannel::new(new_channel(&self.shared))
+        SimChannel::new(new_channel(&self.shared, None))
+    }
+
+    /// Creates a **bounded** simulated-time MPSC channel before the run
+    /// starts: a thread-side `chan_send` parks (in virtual time) while
+    /// `capacity` payloads are queued, and `capacity == 0` is a
+    /// rendezvous channel. Open-loop source injections are exempt from
+    /// the bound (the source is the network edge; shedding is the
+    /// workload's admission-control decision). Inside a simulated
+    /// thread, use
+    /// [`ThreadCtx::chan_new_bounded`](crate::ThreadCtx::chan_new_bounded).
+    pub fn bounded_channel<T: Send>(&self, capacity: usize) -> SimChannel<T> {
+        SimChannel::new(new_channel(&self.shared, Some(capacity)))
     }
 
     /// Creates a simulated atomic u64 before the run starts, so the
@@ -617,6 +671,7 @@ where
         pending_signal: Arc::clone(&pending),
         joiners: Vec::new(),
         finish_time: SimTime::ZERO,
+        timed_wait: None,
         cas_fail_streak: 0,
     });
     st.live += 1;
@@ -746,8 +801,9 @@ pub(crate) fn schedule_next(shared: &Arc<EngineShared>, st: &mut SchedState) {
         None => {
             // Event-driven advance: with every thread blocked, an
             // open-loop source may still inject arrivals that wake a
-            // channel receiver. Only if no source can make progress is
-            // this a genuine deadlock.
+            // channel receiver, and a timed channel wait self-wakes at
+            // its deadline. Only if neither can make progress is this a
+            // genuine deadlock.
             if advance_sources(st) {
                 schedule_next(shared, st);
             } else {
@@ -758,10 +814,43 @@ pub(crate) fn schedule_next(shared: &Arc<EngineShared>, st: &mut SchedState) {
     }
 }
 
-/// With no thread runnable, fires wake-capable event sources in
-/// virtual-time order until one of them wakes a thread (via a channel
-/// injection or close). Returns `true` when some thread became
-/// runnable, `false` when no source exists or none can help.
+/// The earliest unexpired timed-wait deadline among blocked threads,
+/// with its thread (smallest id on ties, deterministic).
+pub(crate) fn next_timed_wait(st: &SchedState) -> Option<(SimTime, usize)> {
+    st.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::Blocked)
+        .filter_map(|(i, t)| t.timed_wait.filter(|w| !w.expired).map(|w| (w.deadline, i)))
+        .min()
+}
+
+/// Expires thread `i`'s timed channel wait: unlinks it from the
+/// channel's parked queues, marks the wait expired (the parked
+/// operation returns its typed Timeout), and wakes the thread at
+/// exactly its deadline — no hand-off cost, nobody handed anything off.
+pub(crate) fn expire_timed_wait(st: &mut SchedState, i: usize, min_wake: &mut Option<SimTime>) {
+    let Some(w) = st.threads[i].timed_wait else {
+        return;
+    };
+    let ch = &mut st.channels[w.channel];
+    ch.receivers.retain(|&t| t != i);
+    ch.blocked_senders.retain(|&t| t != i);
+    let t = &mut st.threads[i];
+    t.timed_wait = Some(TimedWait { expired: true, ..w });
+    t.clock = t.clock.max(w.deadline);
+    t.status = Status::Runnable;
+    let c = t.clock;
+    *min_wake = Some(match *min_wake {
+        Some(m) => m.min(c),
+        None => c,
+    });
+}
+
+/// With no thread runnable, processes pending virtual-time events —
+/// wake-capable event sources and timed-wait deadlines — in
+/// virtual-time order until one of them wakes a thread. Returns `true`
+/// when some thread became runnable, `false` when nothing can help.
 ///
 /// A misbehaving source that keeps firing without ever injecting would
 /// advance virtual time forever; after a generous budget of consecutive
@@ -770,21 +859,36 @@ pub(crate) fn schedule_next(shared: &Arc<EngineShared>, st: &mut SchedState) {
 fn advance_sources(st: &mut SchedState) -> bool {
     let mut barren = 0u32;
     loop {
-        let due = st
+        let due_src = st
             .timers
             .iter()
             .enumerate()
             .filter(|(_, t)| t.wake && t.next_fire < TIMER_NEVER)
             .min_by_key(|(i, t)| (t.next_fire, *i))
-            .map(|(i, _)| i);
-        let Some(idx) = due else { return false };
-        fire_timer(st, idx);
-        if st.threads.iter().any(|t| t.status == Status::Runnable) {
-            return true;
-        }
-        barren += 1;
-        if barren > 4096 {
-            return false;
+            .map(|(i, t)| (t.next_fire, i));
+        let due_wait = next_timed_wait(st);
+        match (due_wait, due_src) {
+            // A deadline due no later than the next injection expires
+            // first (a payload landing at exactly the deadline instant
+            // is too late — POSIX timed-wait semantics).
+            (Some((dl, thread)), src) if src.is_none_or(|(at, _)| dl <= at) => {
+                let mut min_wake = None;
+                expire_timed_wait(st, thread, &mut min_wake);
+                return true;
+            }
+            (_, Some((_, idx))) => {
+                fire_timer(st, idx);
+                if st.threads.iter().any(|t| t.status == Status::Runnable) {
+                    return true;
+                }
+                barren += 1;
+                if barren > 4096 {
+                    return false;
+                }
+            }
+            // `(Some(_), None)` always passes the first arm's guard,
+            // so only `(None, None)` reaches here.
+            _ => return false,
         }
     }
 }
@@ -836,11 +940,8 @@ pub(crate) fn fire_timer(st: &mut SchedState, idx: usize) -> Option<SimTime> {
     // source's *final* firing may both deliver a payload and stop.
     let mut min_wake = None;
     for ch in injected {
-        let rec = &mut st.channels[ch.0];
-        rec.queued += 1;
-        if let Some(r) = rec.receivers.pop_front() {
-            wake_thread(st, r, fire_time, &mut min_wake);
-        }
+        st.channels[ch.0].queued += 1;
+        wake_one_receiver(st, ch.0, fire_time, &mut min_wake);
     }
     for ch in closed {
         close_channel(st, ch.0, fire_time, &mut min_wake);
@@ -886,8 +987,64 @@ pub(crate) fn wake_thread(
     });
 }
 
+/// Wakes the first parked receiver of `ch` that can still accept a
+/// payload arriving at `at`. Parked receivers whose timed-wait deadline
+/// already passed are expired instead (woken at their own deadline with
+/// the timeout flag — the payload stays queued for the next taker), so
+/// a late send never resurrects a wait that should have timed out.
+pub(crate) fn wake_one_receiver(
+    st: &mut SchedState,
+    ch: usize,
+    at: SimTime,
+    min_wake: &mut Option<SimTime>,
+) {
+    loop {
+        let Some(&r) = st.channels[ch].receivers.front() else {
+            return;
+        };
+        let stale = st.threads[r]
+            .timed_wait
+            .is_some_and(|w| !w.expired && w.deadline <= at);
+        if stale {
+            expire_timed_wait(st, r, min_wake);
+            continue; // unlinked itself; try the next receiver
+        }
+        st.channels[ch].receivers.pop_front();
+        wake_thread(st, r, at, min_wake);
+        return;
+    }
+}
+
+/// Wakes the first blocked sender of `ch` that is still waiting at
+/// instant `at` (a queue slot freed, or a rendezvous receiver parked).
+/// Senders whose timed-wait deadline already passed are expired
+/// instead.
+pub(crate) fn wake_one_blocked_sender(
+    st: &mut SchedState,
+    ch: usize,
+    at: SimTime,
+    min_wake: &mut Option<SimTime>,
+) {
+    loop {
+        let Some(&s) = st.channels[ch].blocked_senders.front() else {
+            return;
+        };
+        let stale = st.threads[s]
+            .timed_wait
+            .is_some_and(|w| !w.expired && w.deadline <= at);
+        if stale {
+            expire_timed_wait(st, s, min_wake);
+            continue;
+        }
+        st.channels[ch].blocked_senders.pop_front();
+        wake_thread(st, s, at, min_wake);
+        return;
+    }
+}
+
 /// Closes channel `ch` at instant `at` and wakes every parked receiver
-/// (each will observe `closed` and drain out).
+/// and blocked sender (receivers observe `closed` and drain out;
+/// senders observe it and report their typed Closed error).
 pub(crate) fn close_channel(
     st: &mut SchedState,
     ch: usize,
@@ -898,6 +1055,10 @@ pub(crate) fn close_channel(
     let receivers = std::mem::take(&mut st.channels[ch].receivers);
     for r in receivers {
         wake_thread(st, r, at, min_wake);
+    }
+    let senders = std::mem::take(&mut st.channels[ch].blocked_senders);
+    for s in senders {
+        wake_thread(st, s, at, min_wake);
     }
 }
 
@@ -951,13 +1112,16 @@ pub(crate) fn new_cond(shared: &EngineShared) -> CondId {
 }
 
 /// Allocates the scheduler-side record of a new channel.
-pub(crate) fn new_channel(shared: &EngineShared) -> ChannelId {
+pub(crate) fn new_channel(shared: &EngineShared, capacity: Option<usize>) -> ChannelId {
     let mut st = shared.state.lock();
     st.channels.push(ChannelRec {
         queued: 0,
+        capacity,
         closed: false,
         receivers: VecDeque::new(),
+        blocked_senders: VecDeque::new(),
         senders: Vec::new(),
+        consumers: Vec::new(),
         sources: 0,
     });
     ChannelId(st.channels.len() - 1)
@@ -970,6 +1134,16 @@ pub(crate) fn register_sender(st: &mut SchedState, ch: usize, thread: usize) {
     let senders = &mut st.channels[ch].senders;
     if let Err(pos) = senders.binary_search(&thread) {
         senders.insert(pos, thread);
+    }
+}
+
+/// Registers `thread` as a consumer of channel `ch` (idempotent, kept
+/// sorted) — the drainer a blocked sender transitively waits on in a
+/// full-channel deadlock. Must be called with the scheduler lock held.
+pub(crate) fn register_receiver(st: &mut SchedState, ch: usize, thread: usize) {
+    let consumers = &mut st.channels[ch].consumers;
+    if let Err(pos) = consumers.binary_search(&thread) {
+        consumers.insert(pos, thread);
     }
 }
 

@@ -192,6 +192,15 @@ pub enum WaitTarget {
         /// on another thread.
         sources: usize,
     },
+    /// Parked in a blocking `chan_send` on a *full* bounded channel.
+    ChannelFull {
+        /// The channel id.
+        channel: usize,
+        /// The smallest-id live registered consumer thread, if any —
+        /// the drainer this sender transitively waits on to free a
+        /// slot.
+        drainer: Option<ThreadId>,
+    },
 }
 
 impl std::fmt::Display for WaitTarget {
@@ -222,6 +231,10 @@ impl std::fmt::Display for WaitTarget {
                     }
                 }
             }
+            WaitTarget::ChannelFull { channel, drainer } => match drainer {
+                Some(t) => write!(f, "full channel ch{channel} (drained by {t})"),
+                None => write!(f, "full channel ch{channel} (no live consumer)"),
+            },
         }
     }
 }
@@ -266,6 +279,10 @@ pub enum EdgeVia {
     /// A channel edge: the waiter is parked in `chan_recv` on this
     /// channel and the holder is its only hope of a payload.
     Channel(usize),
+    /// A full-channel edge: the waiter is parked in a blocking
+    /// `chan_send` on this bounded channel and the holder is the
+    /// registered consumer that would free a slot.
+    ChannelFull(usize),
 }
 
 /// One edge of the wait-for cycle: `thread` waits for `holder` through
@@ -296,6 +313,9 @@ impl std::fmt::Display for CycleEdge {
             EdgeVia::Mutex(m) => write!(f, "{} -(m{m})-> {}", self.thread, self.holder),
             EdgeVia::Join => write!(f, "{} -(join)-> {}", self.thread, self.holder),
             EdgeVia::Channel(c) => write!(f, "{} -(ch{c})-> {}", self.thread, self.holder),
+            EdgeVia::ChannelFull(c) => {
+                write!(f, "{} -(ch{c} full)-> {}", self.thread, self.holder)
+            }
         }
     }
 }
@@ -406,6 +426,25 @@ pub(crate) fn deadlock_report(st: &SchedState) -> DeadlockReport {
                 });
             }
         }
+        // A blocked sender on a full bounded channel transitively waits
+        // on the smallest-id live registered consumer (`consumers` is
+        // kept sorted). Timed waits never reach this report — the
+        // scheduler expires them as pending virtual-time events before
+        // declaring a deadlock.
+        let drainer = c
+            .consumers
+            .iter()
+            .copied()
+            .find(|&r| r < n && st.threads[r].status != Status::Finished)
+            .map(ThreadId);
+        for &w in &c.blocked_senders {
+            if w < n && waits_on[w].is_none() {
+                waits_on[w] = Some(WaitTarget::ChannelFull {
+                    channel: cid,
+                    drainer,
+                });
+            }
+        }
     }
 
     let threads: Vec<WaitingThread> = st
@@ -441,6 +480,10 @@ pub(crate) fn deadlock_report(st: &SchedState) -> DeadlockReport {
                 feeder: Some(t),
                 sources: 0,
             }) => Some((EdgeVia::Channel(channel), t.0)),
+            Some(WaitTarget::ChannelFull {
+                channel,
+                drainer: Some(t),
+            }) => Some((EdgeVia::ChannelFull(channel), t.0)),
             _ => None,
         }
     };

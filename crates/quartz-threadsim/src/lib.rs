@@ -53,7 +53,7 @@ pub mod hooks;
 pub mod timer;
 
 pub use atomics::{AtomicEvent, AtomicOp, AtomicPhase, CasOutcome, SimAtomicPtr, SimAtomicU64};
-pub use channel::{SimChannel, TryRecvError};
+pub use channel::{RecvTimeoutError, SendTimeoutError, SimChannel, TryRecvError, TrySendError};
 pub use ctx::ThreadCtx;
 pub use engine::{Engine, RunReport, ThreadId};
 pub use failure::{

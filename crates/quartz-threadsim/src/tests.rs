@@ -769,6 +769,68 @@ fn open_loop_source_injects_while_every_thread_is_blocked() {
 }
 
 #[test]
+fn far_ahead_thread_does_not_batch_fire_sources_past_woken_receivers() {
+    // Regression: a thread whose clock jumps far ahead (a wedged worker
+    // charging a long stall) reaches its next op boundary with many
+    // source firings due. It must NOT fire them all in one batch — the
+    // first injection wakes a receiver whose clock trails by
+    // milliseconds, and that receiver's execution (here: releasing an
+    // admission-gauge slot) changes the state later firings observe.
+    // The firing loop has to stop at the lookahead bound and yield, so
+    // gauge-gated admission interleaves causally with the drain.
+    let e = engine(Architecture::IvyBridge);
+    let ch = e.channel::<u64>();
+    let feed = ch.clone();
+    let gauge = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let (g_src, s_src) = (Arc::clone(&gauge), Arc::clone(&shed));
+    let mut n = 0u64;
+    e.add_open_loop_source(Duration::from_us(10), &[ch.id()], move |api| {
+        // Admission window of 4: shed when the consumer has not yet
+        // released earlier arrivals.
+        if g_src.load(Ordering::Relaxed) < 4 {
+            g_src.fetch_add(1, Ordering::Relaxed);
+            api.send(&feed, n);
+        } else {
+            s_src.fetch_add(1, Ordering::Relaxed);
+        }
+        n += 1;
+        if n == 100 {
+            api.stop();
+        }
+    });
+    let g_con = Arc::clone(&gauge);
+    let got = Arc::new(AtomicU64::new(0));
+    let got_con = Arc::clone(&got);
+    e.run(move |ctx| {
+        let consumer = ctx.spawn(move |c| {
+            while c.chan_recv(&ch).is_some() {
+                c.compute_ns(1_000.0);
+                g_con.fetch_sub(1, Ordering::Relaxed);
+                got_con.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let staller = ctx.spawn(|c| {
+            // Jump 2 ms ahead (past all 100 firings), then hit another
+            // op boundary with every firing due at once.
+            c.compute_ns(2_000_000.0);
+            c.compute_ns(1_000.0);
+        });
+        ctx.join(consumer);
+        ctx.join(staller);
+    });
+    // The consumer keeps up with the offered rate (1 us of service per
+    // 10 us gap), so causal interleaving admits everything.
+    assert_eq!(
+        got.load(Ordering::Relaxed),
+        100,
+        "every arrival admitted and drained"
+    );
+    assert_eq!(shed.load(Ordering::Relaxed), 0, "no arrival shed");
+    assert_eq!(gauge.load(Ordering::Relaxed), 0, "gauge fully released");
+}
+
+#[test]
 fn open_loop_source_varies_gaps_with_reschedule_in() {
     let e = engine(Architecture::IvyBridge);
     let ch = e.channel::<SimTime>();
@@ -808,6 +870,200 @@ fn try_recv_reports_empty_then_drains_then_closed() {
         assert_eq!(ctx.chan_try_recv(&ch), Err(TryRecvError::Closed));
         assert_eq!(ctx.chan_recv(&ch), None);
     });
+}
+
+// ----------------------------------------------------------------------
+// Bounded channels and virtual-time timeouts.
+// ----------------------------------------------------------------------
+
+#[test]
+fn bounded_send_blocks_until_receiver_drains_without_spinning_sim_time() {
+    engine(Architecture::IvyBridge).run(|ctx| {
+        let ch = ctx.chan_new_bounded::<u64>(1);
+        let tx = ch.clone();
+        let producer = ctx.spawn(move |c| {
+            c.chan_send(&tx, 1); // fills the single slot at ~0
+            c.chan_send(&tx, 2); // blocks until the drain at 2 ms
+            let ns = c.now().as_ns_f64();
+            assert!(ns >= 2_000_000.0, "woke before the drain: {ns}");
+            // A blocked send consumes zero simulated time beyond the
+            // wait itself: wake at the drain instant plus hand-off, not
+            // a spin-inflated clock.
+            assert!(ns < 2_010_000.0, "blocked send spun virtual time: {ns}");
+        });
+        ctx.compute_ns(2_000_000.0);
+        assert_eq!(ctx.chan_recv(&ch), Some(1));
+        assert_eq!(ctx.chan_recv(&ch), Some(2));
+        ctx.join(producer);
+    });
+}
+
+#[test]
+fn rendezvous_channel_pairs_send_with_parked_receiver() {
+    use crate::TrySendError;
+    engine(Architecture::IvyBridge).run(|ctx| {
+        let ch = ctx.chan_new_bounded::<u64>(0);
+        // No receiver parked: a capacity-0 channel has no room.
+        assert_eq!(ctx.chan_try_send(&ch, 9), Err(TrySendError::Full(9)));
+        let rx = ch.clone();
+        let consumer = ctx.spawn(move |c| {
+            c.compute_ns(1_000_000.0);
+            let v = c.chan_recv(&rx).expect("paired payload");
+            assert_eq!(v, 42);
+        });
+        // Blocks until the consumer parks at ~1 ms, then pairs.
+        ctx.chan_send(&ch, 42);
+        let ns = ctx.now().as_ns_f64();
+        assert!(ns >= 1_000_000.0, "send completed with nobody parked: {ns}");
+        assert!(ns < 1_010_000.0, "rendezvous send spun virtual time: {ns}");
+        ctx.join(consumer);
+    });
+}
+
+#[test]
+fn try_send_reports_full_then_room_then_closed() {
+    use crate::TrySendError;
+    engine(Architecture::IvyBridge).run(|ctx| {
+        let ch = ctx.chan_new_bounded::<u64>(1);
+        assert_eq!(ctx.chan_try_send(&ch, 1), Ok(()));
+        assert_eq!(ctx.chan_try_send(&ch, 2), Err(TrySendError::Full(2)));
+        assert_eq!(ctx.chan_try_recv(&ch), Ok(1));
+        assert_eq!(ctx.chan_try_send(&ch, 3), Ok(()));
+        ctx.chan_close(&ch);
+        assert_eq!(ctx.chan_try_send(&ch, 4), Err(TrySendError::Closed(4)));
+        assert_eq!(TrySendError::Closed(4).into_inner(), 4);
+    });
+}
+
+#[test]
+fn send_timeout_expires_at_exact_deadline_and_returns_payload() {
+    use crate::SendTimeoutError;
+    engine(Architecture::IvyBridge).run(|ctx| {
+        let ch = ctx.chan_new_bounded::<u64>(1);
+        ctx.chan_send(&ch, 1); // fills the slot
+        let before = ctx.now().as_ns_f64();
+        // Nobody will ever drain: the timed wait is the only pending
+        // virtual-time event, so the scheduler advances to the deadline
+        // and wakes us there — not a deadlock, not a hang.
+        let err = ctx
+            .chan_send_timeout(&ch, 2, Duration::from_us(10))
+            .unwrap_err();
+        assert_eq!(err, SendTimeoutError::Timeout(2));
+        assert_eq!(err.into_inner(), 2);
+        let waited = ctx.now().as_ns_f64() - before;
+        assert!(waited >= 10_000.0, "woke before the deadline: {waited}");
+        assert!(waited < 10_100.0, "woke late or spun: {waited}");
+        // The slot is still occupied by the first payload.
+        assert_eq!(ctx.chan_recv(&ch), Some(1));
+    });
+}
+
+#[test]
+fn recv_timeout_distinguishes_expiry_from_late_arrival() {
+    use crate::RecvTimeoutError;
+    let e = engine(Architecture::IvyBridge);
+    let ch = e.channel::<u64>();
+    let feed = ch.clone();
+    // One arrival at 1 ms — far past the 10 us timed wait below.
+    let mut fired = false;
+    e.add_open_loop_source(Duration::from_ms(1), &[ch.id()], move |api| {
+        if !fired {
+            api.send(&feed, 5);
+            fired = true;
+        }
+        api.stop();
+    });
+    e.run(move |ctx| {
+        let before = ctx.now().as_ns_f64();
+        let err = ctx
+            .chan_recv_timeout(&ch, Duration::from_us(10))
+            .unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+        let waited = ctx.now().as_ns_f64() - before;
+        assert!(waited >= 10_000.0, "woke before the deadline: {waited}");
+        assert!(waited < 10_100.0, "woke late or spun: {waited}");
+        // The payload was never consumed by the expired wait: a second,
+        // longer wait picks it up at the 1 ms arrival.
+        let v = ctx
+            .chan_recv_timeout(&ch, Duration::from_ms(5))
+            .expect("arrival");
+        assert_eq!(v, 5);
+        assert!(ctx.now().as_ns_f64() >= 1_000_000.0);
+    });
+}
+
+#[test]
+fn timed_wait_is_not_misclassified_by_watchdog_or_deadlock_detector() {
+    use crate::RecvTimeoutError;
+    // Every thread sits in a timed wait on a never-fed channel while
+    // the hang watchdog is armed: the run must complete cleanly — a
+    // timed wait is a scheduled virtual-time event, not a hang and not
+    // a deadlock.
+    let e = engine(Architecture::IvyBridge);
+    e.set_watchdog(Some(std::time::Duration::from_millis(250)));
+    let result = e.try_run(|ctx| {
+        let ch = ctx.chan_new::<u64>();
+        let rx = ch.clone();
+        let t = ctx.spawn(move |c| {
+            assert_eq!(
+                c.chan_recv_timeout(&rx, Duration::from_ms(3)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        });
+        assert_eq!(
+            ctx.chan_recv_timeout(&ch, Duration::from_ms(7)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        ctx.join(t);
+        assert!(ctx.now().as_ns_f64() >= 7_000_000.0);
+    });
+    result.unwrap_or_else(|f| panic!("timed wait misclassified as {f}"));
+}
+
+#[test]
+fn full_channel_cycle_reports_deadlock_with_named_full_edges() {
+    let failure = engine(Architecture::IvyBridge)
+        .try_run(|ctx| {
+            let a = ctx.chan_new_bounded::<u64>(1);
+            let b = ctx.chan_new_bounded::<u64>(1);
+            // Root fills both queues, then two workers each try to
+            // produce into one full queue before draining the other —
+            // the backpressure mirror of the classic request cycle.
+            ctx.chan_send(&a, 0);
+            ctx.chan_send(&b, 0);
+            let (a1, b1) = (a.clone(), b.clone());
+            let k1 = ctx.spawn(move |c| {
+                c.chan_register_receiver(&b1);
+                c.chan_send(&a1, 1); // blocks: a is full, t2 never drains
+                let _ = c.chan_recv(&b1);
+            });
+            let (a2, b2) = (a, b);
+            let k2 = ctx.spawn(move |c| {
+                c.chan_register_receiver(&a2);
+                c.chan_send(&b2, 2); // blocks: b is full, t1 never drains
+                let _ = c.chan_recv(&a2);
+            });
+            ctx.join(k1);
+            ctx.join(k2);
+        })
+        .unwrap_err();
+    let SimFailure::Deadlock(report) = failure else {
+        panic!("expected Deadlock, got {failure}");
+    };
+    assert!(report
+        .threads
+        .iter()
+        .filter(|t| t.thread.0 > 0)
+        .all(|t| matches!(t.waits_on, Some(WaitTarget::ChannelFull { .. }))));
+    assert_eq!(
+        report.cycle.len(),
+        2,
+        "two-edge full-channel cycle: {report}"
+    );
+    let msg = report.to_string();
+    assert!(msg.contains("t1 -(ch0 full)-> t2"), "{msg}");
+    assert!(msg.contains("t2 -(ch1 full)-> t1"), "{msg}");
+    assert!(msg.contains("full channel ch"), "{msg}");
 }
 
 // ----------------------------------------------------------------------

@@ -15,7 +15,10 @@ pub mod undo_log;
 
 pub use btree::{KvConfig, KvStore};
 pub use driver::{preload, run_kv_benchmark, KvBenchConfig, KvBenchResult};
-pub use service::{KvService, ServiceConfig, ServiceResult};
+pub use service::{
+    backoff_delay, deadline_remaining, validate_service_config, KvService, NoServiceFaults,
+    ServiceConfig, ServiceFaultInjector, ServiceResult,
+};
 pub use undo_log::{
     check_undo_log, golden_prefix, run_undo_log, UndoLogKv, UndoLogSpec, UndoVariant,
 };

@@ -157,6 +157,7 @@ fn failure_modes_is_byte_identical_and_classifies_all_modes() {
         "hang/virtual_spin",
         "livelock/cas_storm",
         "deadlock/quartz_reap",
+        "timeout/recv_expiry",
     ] {
         assert!(
             console1.contains(scenario),
@@ -164,7 +165,7 @@ fn failure_modes_is_byte_identical_and_classifies_all_modes() {
         );
     }
     assert!(
-        console1.contains("6/6 scenarios classified as expected"),
+        console1.contains("7/7 scenarios classified as expected"),
         "verdict line must confirm full classification:\n{console1}"
     );
     // The deadlock diagnostics name the actual lock cycle.
@@ -360,10 +361,11 @@ fn kv_service_bench_file_is_byte_identical_at_any_jobs_count() {
         .expect("BENCH_kv_service.json emitted");
     let bench = String::from_utf8(bytes.clone()).unwrap();
     for needle in [
-        "\"schema\":1",
+        "\"schema\":2",
         "\"bench\":\"kv_service\"",
+        "\"nvm_target\":\"optane_dcpmm\"",
         "\"memory\":\"dram\"",
-        "\"memory\":\"nvm374\"",
+        "\"memory\":\"optane\"",
         "\"p999_ns\":",
     ] {
         assert!(bench.contains(needle), "missing {needle} in {bench}");
@@ -378,6 +380,56 @@ fn kv_service_bench_file_is_byte_identical_at_any_jobs_count() {
     assert!(
         manifest.contains("\"benches\":[\"BENCH_kv_service.json\"]"),
         "{manifest}"
+    );
+}
+
+#[test]
+fn overload_matrix_bench_file_is_byte_identical_at_any_jobs_count() {
+    // The overload matrix layers seeded service faults, retries with
+    // seeded backoff, and breaker state on top of the service scenario;
+    // every one of those decisions is a pure function of the seed, so
+    // the whole matrix — counters, goodput, percentiles — upholds the
+    // byte-identity contract.
+    let exp = registry::find("overload_matrix").expect("registered");
+    assert!(
+        exp.deterministic(),
+        "overload_matrix must advertise determinism"
+    );
+    let base = std::env::temp_dir().join("quartz_bench_golden_overload");
+    let (console1, files1) = golden_run("overload_matrix", 1, &base.join("j1"));
+    let (console8, files8) = golden_run("overload_matrix", 8, &base.join("j8"));
+    assert_eq!(console1, console8);
+    assert!(!files1.is_empty());
+    assert_eq!(files1.len(), files8.len());
+    for ((n1, b1), (n8, b8)) in files1.iter().zip(&files8) {
+        assert_eq!(n1, n8);
+        assert_eq!(b1, b8, "{n1} differs between --jobs 1 and --jobs 8");
+    }
+    let (_, bytes) = files1
+        .iter()
+        .find(|(n, _)| n == "BENCH_overload.json")
+        .expect("BENCH_overload.json emitted");
+    let bench = String::from_utf8(bytes.clone()).unwrap();
+    for needle in [
+        "\"bench\":\"overload_matrix\"",
+        "\"mode\":\"unprotected\"",
+        "\"mode\":\"protected\"",
+        "\"fault\":\"slow_worker\"",
+        "\"fault\":\"stuck_worker\"",
+        "\"goodput_rps\":",
+        "\"conservation_ok\":true",
+        "\"fault_bounds\":",
+    ] {
+        assert!(bench.contains(needle), "missing {needle} in {bench}");
+    }
+    assert!(
+        !bench.contains("\"conservation_ok\":false"),
+        "every cell must conserve requests:\n{bench}"
+    );
+    assert_eq!(
+        strip_timing_fields(&bench),
+        bench,
+        "overload_matrix must not record host timing in its bench file"
     );
 }
 
